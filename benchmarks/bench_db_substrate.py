@@ -1,0 +1,164 @@
+"""Substrate baseline — the embedded database's raw operation costs.
+
+Not one of the paper's EXP-N experiments: this is the infrastructure
+baseline the event-processing numbers sit on.  Useful when judging the
+other benches ("is capture slow, or is the database slow?") and for
+spotting regressions in the storage/SQL layer.
+
+Run standalone:  python benchmarks/bench_db_substrate.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+try:
+    from benchmarks.reporting import print_table
+except ImportError:
+    from reporting import print_table
+
+from repro.clock import SimulatedClock
+from repro.db import Database
+
+N_ROWS = 2_000
+
+
+def make_db(*, indexed: bool) -> Database:
+    db = Database(clock=SimulatedClock(), sync_policy="none")
+    db.execute(
+        "CREATE TABLE t (id INT PRIMARY KEY, grp TEXT, val REAL)"
+    )
+    if indexed:
+        db.execute("CREATE INDEX ix_grp ON t(grp) USING HASH")
+        db.execute("CREATE INDEX ix_val ON t(val)")
+    return db
+
+
+def populate(db: Database, n: int) -> None:
+    for i in range(n):
+        db.insert_row("t", {"id": i, "grp": f"g{i % 50}", "val": float(i % 997)})
+
+
+def run_experiment(n: int = N_ROWS) -> list[dict]:
+    rows: list[dict] = []
+    for indexed in (False, True):
+        label = "indexed" if indexed else "heap only"
+
+        db = make_db(indexed=indexed)
+        started = time.perf_counter()
+        populate(db, n)
+        insert_elapsed = time.perf_counter() - started
+        rows.append({
+            "operation": "programmatic insert",
+            "schema": label,
+            "ops_per_s": n / insert_elapsed,
+        })
+
+        queries = 300
+        started = time.perf_counter()
+        for i in range(queries):
+            db.query(f"SELECT val FROM t WHERE id = {i * 3 % n}")
+        rows.append({
+            "operation": "point SELECT (pk)",
+            "schema": label,
+            "ops_per_s": queries / (time.perf_counter() - started),
+        })
+
+        started = time.perf_counter()
+        for i in range(queries):
+            db.query(f"SELECT count(*) FROM t WHERE grp = 'g{i % 50}'")
+        rows.append({
+            "operation": "equality SELECT (grp)",
+            "schema": label,
+            "ops_per_s": queries / (time.perf_counter() - started),
+        })
+
+        started = time.perf_counter()
+        for i in range(100):
+            low = (i * 7) % 900
+            db.query(f"SELECT count(*) FROM t WHERE val BETWEEN {low} AND {low + 20}")
+        rows.append({
+            "operation": "range SELECT (val)",
+            "schema": label,
+            "ops_per_s": 100 / (time.perf_counter() - started),
+        })
+
+        started = time.perf_counter()
+        for i in range(200):
+            db.execute(f"UPDATE t SET val = val + 1 WHERE id = {i}")
+        rows.append({
+            "operation": "point UPDATE (sql)",
+            "schema": label,
+            "ops_per_s": 200 / (time.perf_counter() - started),
+        })
+    return rows
+
+
+# -- pytest-benchmark ---------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def populated():
+    db = make_db(indexed=True)
+    populate(db, N_ROWS)
+    return db
+
+
+def test_substrate_point_select(benchmark, populated):
+    counter = iter(range(10**9))
+    benchmark(
+        lambda: populated.query(
+            f"SELECT val FROM t WHERE id = {next(counter) % N_ROWS}"
+        )
+    )
+
+
+def test_substrate_insert(benchmark):
+    db = make_db(indexed=True)
+    counter = iter(range(10**6, 10**9))
+    benchmark(
+        lambda: db.insert_row(
+            "t", {"id": next(counter), "grp": "g1", "val": 1.0}
+        )
+    )
+
+
+def test_substrate_parse_only(benchmark):
+    from repro.db.sql.parser import parse_statement
+
+    sql = "SELECT grp, count(*) AS n FROM t WHERE val BETWEEN 10 AND 30 GROUP BY grp"
+    benchmark(lambda: parse_statement(sql))
+
+
+def test_substrate_shape():
+    rows = run_experiment(n=800)
+    data = {(row["operation"], row["schema"]): row for row in rows}
+    # Indexed equality/range lookups beat heap scans comfortably.
+    assert (
+        data[("equality SELECT (grp)", "indexed")]["ops_per_s"]
+        > 2 * data[("equality SELECT (grp)", "heap only")]["ops_per_s"]
+    )
+    assert (
+        data[("range SELECT (val)", "indexed")]["ops_per_s"]
+        > 2 * data[("range SELECT (val)", "heap only")]["ops_per_s"]
+    )
+    # Index maintenance costs inserts something, but not an order of
+    # magnitude.
+    assert (
+        data[("programmatic insert", "indexed")]["ops_per_s"]
+        > data[("programmatic insert", "heap only")]["ops_per_s"] / 5
+    )
+
+
+def main() -> None:
+    print_table(
+        f"Substrate baseline: embedded-database operation costs ({N_ROWS} rows)",
+        run_experiment(),
+        ["operation", "schema", "ops_per_s"],
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,183 @@
+"""EXP-2 — Message-storage operational characteristics (paper §2.2.b.ii).
+
+Claims probed:
+
+* transactional enqueue/dequeue sustain useful throughput;
+* durability (journal flush per commit) costs a measurable constant
+  factor vs. the unsafe no-flush mode;
+* batching multiple messages per transaction amortizes commit cost;
+* priority ordering costs little over FIFO.
+
+Run standalone:  python benchmarks/bench_exp2_queues.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import pytest
+
+try:
+    from benchmarks.reporting import print_table
+except ImportError:
+    from reporting import print_table
+
+from repro.clock import SimulatedClock
+from repro.db import Database
+from repro.queues import Message, QueueTable
+
+N_MESSAGES = 1000
+
+
+def make_queue(sync_policy: str = "none") -> QueueTable:
+    db = Database(clock=SimulatedClock(), sync_policy=sync_policy)
+    return QueueTable(db, "bench")
+
+
+def timed(fn) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+def run_experiment(n: int = N_MESSAGES) -> list[dict]:
+    rows: list[dict] = []
+
+    # Enqueue throughput: durability modes × batching.
+    for sync_policy in ("none", "commit", "always"):
+        queue = make_queue(sync_policy)
+        elapsed = timed(lambda: [queue.enqueue({"n": i}) for i in range(n)])
+        rows.append({
+            "operation": "enqueue (1/txn)",
+            "sync_policy": sync_policy,
+            "ops_per_s": n / elapsed,
+            "journal_flushes": queue.db.wal.flush_count,
+        })
+
+    # File-backed journal: real fsyncs make the durability price visible.
+    for sync_policy in ("none", "commit"):
+        with tempfile.TemporaryDirectory() as tmp:
+            db = Database(
+                path=os.path.join(tmp, "wal.log"),
+                clock=SimulatedClock(),
+                sync_policy=sync_policy,
+            )
+            queue = QueueTable(db, "bench")
+            file_n = min(n, 300)  # fsyncs are slow; keep the arm bounded
+            elapsed = timed(
+                lambda: [queue.enqueue({"n": i}) for i in range(file_n)]
+            )
+            rows.append({
+                "operation": f"enqueue (1/txn, file WAL)",
+                "sync_policy": sync_policy,
+                "ops_per_s": file_n / elapsed,
+                "journal_flushes": queue.db.wal.flush_count,
+            })
+
+    for batch in (10, 100):
+        queue = make_queue("commit")
+
+        def run_batched():
+            conn = queue.db.connect()
+            for start in range(0, n, batch):
+                conn.begin()
+                for i in range(start, min(start + batch, n)):
+                    queue.enqueue({"n": i}, conn=conn)
+                conn.commit()
+
+        elapsed = timed(run_batched)
+        rows.append({
+            "operation": f"enqueue (batch={batch}/txn)",
+            "sync_policy": "commit",
+            "ops_per_s": n / elapsed,
+            "journal_flushes": queue.db.wal.flush_count,
+        })
+
+    # Dequeue+ack throughput, FIFO vs priority-spread.
+    for label, priority_of in (
+        ("dequeue+ack (fifo)", lambda i: 0),
+        ("dequeue+ack (10 priorities)", lambda i: i % 10),
+    ):
+        queue = make_queue("none")
+        for i in range(n):
+            queue.enqueue(Message(payload={"n": i}, priority=priority_of(i)))
+
+        def drain():
+            while True:
+                message = queue.dequeue()
+                if message is None:
+                    return
+                queue.ack(message.message_id)
+
+        elapsed = timed(drain)
+        rows.append({
+            "operation": label,
+            "sync_policy": "none",
+            "ops_per_s": n / elapsed,
+            "journal_flushes": queue.db.wal.flush_count,
+        })
+
+    return rows
+
+
+# -- pytest-benchmark micro-measurements -------------------------------------
+
+
+def test_exp2_enqueue_fast_path(benchmark):
+    queue = make_queue("none")
+    counter = iter(range(10**9))
+    benchmark(lambda: queue.enqueue({"n": next(counter)}))
+
+
+def test_exp2_enqueue_durable(benchmark):
+    queue = make_queue("commit")
+    counter = iter(range(10**9))
+    benchmark(lambda: queue.enqueue({"n": next(counter)}))
+
+
+def test_exp2_dequeue_ack(benchmark):
+    queue = make_queue("none")
+    for i in range(20_000):
+        queue.enqueue({"n": i})
+
+    def cycle():
+        message = queue.dequeue()
+        queue.ack(message.message_id)
+
+    benchmark(cycle)
+
+
+def test_exp2_browse(benchmark):
+    queue = make_queue("none")
+    for i in range(500):
+        queue.enqueue({"n": i})
+    benchmark(lambda: sum(1 for _ in queue.browse()))
+
+
+def test_exp2_shape():
+    rows = run_experiment(n=400)
+    by_op = {(row["operation"], row["sync_policy"]): row for row in rows}
+    # Durable enqueue flushes once per message; batching amortizes it.
+    assert by_op[("enqueue (1/txn)", "commit")]["journal_flushes"] >= 400
+    assert by_op[("enqueue (batch=100/txn)", "commit")]["journal_flushes"] <= 10
+    batched = by_op[("enqueue (batch=100/txn)", "commit")]["ops_per_s"]
+    single = by_op[("enqueue (1/txn)", "commit")]["ops_per_s"]
+    assert batched > single * 0.8  # never worse; usually much better
+    # Priorities cost little: within 4x of FIFO drain.
+    fifo = by_op[("dequeue+ack (fifo)", "none")]["ops_per_s"]
+    prio = by_op[("dequeue+ack (10 priorities)", "none")]["ops_per_s"]
+    assert prio > fifo / 4
+
+
+def main() -> None:
+    print_table(
+        f"EXP-2: queue operational characteristics ({N_MESSAGES} messages)",
+        run_experiment(),
+        ["operation", "sync_policy", "ops_per_s", "journal_flushes"],
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,1 @@
+"""Benchmark-suite conftest (fixtures shared across bench modules)."""

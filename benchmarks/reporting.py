@@ -1,0 +1,41 @@
+"""Table rendering for experiment harness output."""
+
+from __future__ import annotations
+
+
+
+def print_table(title: str, rows: list[dict], columns: list[str] | None = None) -> None:
+    """Render experiment rows as an aligned text table (the harness
+    output recorded in EXPERIMENTS.md)."""
+    if not rows:
+        print(f"\n{title}\n  (no rows)")
+        return
+    if columns is None:
+        columns = list(rows[0])
+    widths = {
+        column: max(len(column), *(len(_fmt(row.get(column))) for row in rows))
+        for column in columns
+    }
+    print(f"\n{title}")
+    header = "  " + "  ".join(column.ljust(widths[column]) for column in columns)
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for row in rows:
+        print(
+            "  "
+            + "  ".join(_fmt(row.get(column)).ljust(widths[column]) for column in columns)
+        )
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

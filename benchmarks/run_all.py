@@ -1,0 +1,72 @@
+"""Regenerate every experiment's harness table in one run.
+
+Usage:  python benchmarks/run_all.py [--out FILE]
+
+Runs EXP-1 … EXP-10 in order and writes the combined tables to stdout
+(and optionally a file) — the artifact summarized in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import importlib
+import io
+import sys
+import time
+
+EXPERIMENTS = [
+    "bench_exp1_capture",
+    "bench_exp2_queues",
+    "bench_exp3_internal_opt",
+    "bench_exp4_rule_scale",
+    "bench_exp5_rule_churn",
+    "bench_exp6_cep",
+    "bench_exp7_analytics",
+    "bench_exp8_distribution",
+    "bench_exp9_virt",
+    "bench_exp10_recovery",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None, help="also write to this file")
+    parser.add_argument(
+        "--only", default=None,
+        help="comma-separated experiment numbers, e.g. --only 1,4,9",
+    )
+    arguments = parser.parse_args(argv)
+
+    selected = EXPERIMENTS
+    if arguments.only:
+        wanted = {f"bench_exp{n.strip()}_" for n in arguments.only.split(",")}
+        selected = [
+            name for name in EXPERIMENTS
+            if any(name.startswith(prefix) for prefix in wanted)
+        ]
+
+    sections: list[str] = []
+    for name in selected:
+        module = importlib.import_module(
+            name if __package__ in (None, "") else f"benchmarks.{name}"
+        )
+        buffer = io.StringIO()
+        started = time.perf_counter()
+        with contextlib.redirect_stdout(buffer):
+            module.main()
+        elapsed = time.perf_counter() - started
+        section = buffer.getvalue().rstrip()
+        sections.append(f"{section}\n  [harness wall time: {elapsed:.1f}s]")
+        print(sections[-1])
+        sys.stdout.flush()
+
+    if arguments.out:
+        with open(arguments.out, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(sections) + "\n")
+        print(f"\nwritten to {arguments.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

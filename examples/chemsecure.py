@@ -1,0 +1,138 @@
+"""ChemSecure use case (paper §2.2.e.iii): hazardous-material management.
+
+"Any threat has to be known to the people who are authorized and able
+to respond most efficiently."
+
+Demonstrates database-centric event processing on RFID container
+tracking:
+
+* the **authorization matrix lives in a table** and zone violations are
+  caught with a stream-table lookup join (no rules hard-code policy);
+* temperature excursions are caught by a rule set with range anchors
+  (the predicate index at work);
+* everything lands in an audited queue; the audit trail itself is SQL;
+* a secured queue rejects unauthorized consumers.
+
+Run:  python examples/chemsecure.py
+"""
+
+from repro.clock import SimulatedClock
+from repro.core import EpisodeTracker
+from repro.cq import ContinuousQuery
+from repro.db import Database
+from repro.db.schema import Column
+from repro.db.types import TEXT
+from repro.errors import AccessDeniedError
+from repro.queues import Permission, QueueBroker, SecurityManager
+from repro.rules import EnqueueAction, RuleEngine
+from repro.workloads import HazmatGenerator
+from repro.workloads.hazmat import SAFE_TEMPERATURE
+
+
+def main() -> None:
+    clock = SimulatedClock()
+    db = Database(clock=clock)
+    generator = HazmatGenerator(containers=24, violation_count=6, seed=37)
+    stream = generator.generate(1200.0)
+    print(f"RFID reads: {len(stream)}, injected violations: {len(stream.episodes)}")
+
+    # -- policy as data: the authorization matrix is a table ----------------
+    db.create_table(
+        "authorized_zones",
+        [Column("material", TEXT, nullable=False), Column("zone", TEXT, nullable=False)],
+    )
+    db.create_index("ix_auth_material", "authorized_zones", "material", kind="hash")
+    for row in generator.reference_rows():
+        db.insert_row("authorized_zones", row)
+
+    security = SecurityManager()
+    staging = QueueBroker(db, security=security, audit=True)
+    staging.create_queue("violations", keep_history=True)
+    security.protect("violations")
+    security.grant("detector", "violations", Permission.ENQUEUE)
+    security.grant("hazmat_officer", "violations",
+                   Permission.DEQUEUE, Permission.BROWSE)
+
+    # -- zone violations: lookup join against the policy table ---------------
+    zone_hits: list = []
+
+    def flag_zone_violation(event):
+        material = event["material"]
+        table = db.catalog.table("authorized_zones")
+        allowed = {
+            table.get(rowid)["zone"]
+            for rowid in table.lookup_rowids("material", material)
+        }
+        if event["zone"] not in allowed:
+            zone_hits.append(event)
+            staging.publish("violations", {
+                "kind": "zone", "container": event["container"],
+                "material": material, "zone": event["zone"],
+                "at": event.timestamp,
+            }, principal="detector")
+
+    zone_cq = ContinuousQuery("zones").sink(flag_zone_violation)
+
+    # -- temperature excursions: a rule per material class --------------------
+    engine = RuleEngine()
+    temp_hits: list = []
+
+    def stage_temp(rule, context):
+        temp_hits.append(context)
+        staging.publish("violations", {
+            "kind": "temperature", "container": context["container"],
+            "material": context["material"],
+            "temperature": context["temperature"],
+        }, principal="detector")
+
+    for material, ceiling in SAFE_TEMPERATURE.items():
+        engine.add(
+            f"temp_{material}",
+            f"material = '{material}' AND temperature > {ceiling}",
+            action=stage_temp,
+            event_types=("rfid.read",),
+        )
+
+    # -- drive -------------------------------------------------------------------
+    tracker = EpisodeTracker(stream.episodes, window=70.0)
+    for event in stream:
+        clock.advance_to(max(clock.now(), event.timestamp))
+        zone_cq.push(event)
+        engine.evaluate(event)
+    for event in zone_hits:
+        tracker.record_alert(event.timestamp)
+    for context in temp_hits:
+        tracker.record_alert(context.get("timestamp") or clock.now())
+
+    result = tracker.result()
+    print(f"zone violations flagged: {len(zone_hits)}")
+    print(f"temperature excursions flagged: {len(temp_hits)}")
+    print(f"episodes detected: {result.detected}/{result.episodes} "
+          f"(recall {result.recall:.2f})")
+    print(f"rule engine evaluated {engine.stats['conditions_evaluated']} "
+          f"conditions for {engine.stats['events_evaluated']} events "
+          f"(indexed; naive would be "
+          f"{engine.stats['events_evaluated'] * len(engine.rules())})")
+
+    # -- consumption under security -----------------------------------------------
+    try:
+        staging.consume("violations", principal="random_person")
+    except AccessDeniedError as exc:
+        print(f"security: {exc}")
+    message = staging.consume("violations", principal="hazmat_officer")
+    print(f"hazmat_officer consumed first violation: {message.payload['kind']} "
+          f"on {message.payload['container']}")
+    staging.ack("violations", message.message_id, principal="hazmat_officer")
+
+    # -- the audit trail is just SQL ------------------------------------------------
+    audit = db.query(
+        "SELECT principal, operation, count(*) AS n FROM _queue_audit "
+        "GROUP BY principal, operation ORDER BY principal, operation"
+    )
+    print("audit trail summary:")
+    for row in audit:
+        print(f"  {row['principal']:>16} {row['operation']:<10} {row['n']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Legacy setup shim: the execution environment is offline and lacks
+the ``wheel`` package, so ``pip install -e .`` must take the setup.py
+develop path instead of PEP 517/660."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Event processing using database technology — reproduction of "
+        "Chandy & Gawlick, SIGMOD 2007"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "networkx"],
+)

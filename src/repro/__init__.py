@@ -1,0 +1,79 @@
+"""repro — Event Processing Using Database Technology.
+
+A faithful, from-scratch reproduction of the platform described in
+Chandy & Gawlick's SIGMOD 2007 tutorial: an embedded database whose
+triggers, journal, queues, rules, and continuous queries together form
+a complete event-driven application stack, topped by the tutorial's
+conceptual contribution — sense-and-respond with expectation models and
+VIRT ("Valuable Information at the Right Time") filtering.
+
+Quickstart::
+
+    from repro import Database, EventDrivenApplication, EwmaModel
+
+    db = Database()
+    db.execute("CREATE TABLE meters (meter_id TEXT, usage REAL)")
+    app = EventDrivenApplication(db)
+    app.capture_table("meters", method="trigger")
+    app.monitor("usage_spike", field="usage",
+                model_factory=lambda: EwmaModel(alpha=0.2),
+                threshold=3.0, key_field="meter_id")
+
+See ``examples/quickstart.py`` for a complete walk-through.
+"""
+
+from repro.clock import Clock, SimulatedClock, WallClock
+from repro.core import (
+    Alert,
+    AlertManager,
+    ConfusionTracker,
+    DeviationDetector,
+    EpisodeTracker,
+    EventDrivenApplication,
+    EwmaModel,
+    Expectation,
+    ExpectationModel,
+    MarkovStateModel,
+    RangeModel,
+    RecipientProfile,
+    Responder,
+    ResponderRegistry,
+    SeasonalProfileModel,
+    UpdatePolicy,
+    VirtFilter,
+    VirtScorer,
+)
+from repro.db import Database
+from repro.errors import ReproError
+from repro.events import Event, correlate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "Event",
+    "correlate",
+    "Clock",
+    "SimulatedClock",
+    "WallClock",
+    "ReproError",
+    "EventDrivenApplication",
+    "ExpectationModel",
+    "Expectation",
+    "RangeModel",
+    "EwmaModel",
+    "SeasonalProfileModel",
+    "MarkovStateModel",
+    "DeviationDetector",
+    "UpdatePolicy",
+    "VirtScorer",
+    "VirtFilter",
+    "RecipientProfile",
+    "ConfusionTracker",
+    "EpisodeTracker",
+    "Alert",
+    "AlertManager",
+    "Responder",
+    "ResponderRegistry",
+    "__version__",
+]

@@ -1,0 +1,97 @@
+"""Command-line entry point: ``python -m repro``.
+
+Offers a small operational surface without writing any code:
+
+    python -m repro demo              # run the quickstart pipeline
+    python -m repro sql               # interactive SQL shell on a
+                                      # scratch database
+    python -m repro sql --wal FILE    # ... persisted to a journal file
+    python -m repro version
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+from repro.db import Database
+from repro.errors import ReproError
+
+
+def run_sql_shell(wal_path: str | None) -> int:
+    db = Database(path=wal_path)
+    print(f"repro {__version__} SQL shell — empty line or Ctrl-D to exit")
+    if wal_path:
+        print(f"journal: {wal_path} "
+              f"({len(db.wal)} records recovered)")
+    connection = db.connect()
+    while True:
+        try:
+            line = input("sql> ").strip()
+        except EOFError:
+            print()
+            return 0
+        if not line:
+            return 0
+        try:
+            result = connection.execute(line)
+        except ReproError as exc:
+            print(f"error: {exc}")
+            continue
+        if result.rows:
+            columns = result.columns or list(result.rows[0])
+            print(" | ".join(columns))
+            for row in result.rows:
+                print(" | ".join(str(row.get(column)) for column in columns))
+            print(f"({len(result.rows)} rows)")
+        elif result.rowcount:
+            print(f"ok ({result.rowcount} rows affected)")
+        else:
+            print("ok")
+
+
+def run_demo() -> int:
+    # Import lazily: examples/ ships alongside the package in the repo
+    # but is not part of the installed distribution.
+    import pathlib
+    import runpy
+
+    candidate = (
+        pathlib.Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+    )
+    if not candidate.exists():
+        print("demo requires the repository checkout (examples/quickstart.py)")
+        return 1
+    runpy.run_path(str(candidate), run_name="__main__")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Event processing using database technology "
+        "(Chandy & Gawlick, SIGMOD 2007 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+    subparsers.add_parser("version", help="print the package version")
+    subparsers.add_parser("demo", help="run the quickstart pipeline")
+    sql_parser = subparsers.add_parser("sql", help="interactive SQL shell")
+    sql_parser.add_argument(
+        "--wal", metavar="FILE", default=None,
+        help="journal file: state persists and recovers across runs",
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.command == "version":
+        print(__version__)
+        return 0
+    if arguments.command == "demo":
+        return run_demo()
+    if arguments.command == "sql":
+        return run_sql_shell(arguments.wal)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

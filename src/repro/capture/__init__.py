@@ -1,0 +1,35 @@
+"""Event capture — paper §2.2.a.
+
+Four ways the database turns state changes into events:
+
+* :class:`TriggerCapture` — synchronous, via AFTER-row triggers
+  (§2.2.a.i); cost is paid inside the writing transaction.
+* :class:`JournalCapture` — asynchronous log mining over the WAL
+  (§2.2.a.ii); near-zero foreground cost, bounded capture latency.
+* :class:`QueryCapture` — a periodic query over current state whose
+  result-set *change* is the event (§2.2.a.iii.1).
+* :class:`PatternCapture` — a periodic query comparing current and
+  previous state; a specified transition pattern is the event
+  (§2.2.a.iii.2).
+
+All sources share the :class:`CaptureSource` subscription interface and
+emit :class:`repro.events.Event` objects.
+"""
+
+from repro.capture.base import CaptureSource, change_event
+from repro.capture.journal_capture import JournalCapture
+from repro.capture.notification_capture import QueryNotificationCapture
+from repro.capture.pattern_capture import PatternCapture, Transition
+from repro.capture.query_capture import QueryCapture
+from repro.capture.trigger_capture import TriggerCapture
+
+__all__ = [
+    "CaptureSource",
+    "change_event",
+    "TriggerCapture",
+    "JournalCapture",
+    "QueryCapture",
+    "QueryNotificationCapture",
+    "PatternCapture",
+    "Transition",
+]

@@ -1,0 +1,75 @@
+"""Shared capture-source machinery: subscriptions and event envelopes."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.events import Event
+
+EventSink = Callable[[Event], None]
+
+
+def change_event(
+    table: str,
+    operation: str,
+    timestamp: float,
+    *,
+    old: dict[str, Any] | None = None,
+    new: dict[str, Any] | None = None,
+    source: str = "",
+    txid: int | None = None,
+) -> Event:
+    """Build the canonical data-change event.
+
+    ``event_type`` is ``"<table>.<operation>"`` so type filters can
+    select per-table (``orders.*``) or per-operation
+    (``orders.insert``).  The payload carries both row images plus the
+    new image's columns flattened to top level, so rule conditions can
+    reference columns directly (``price > 100``).
+    """
+    payload: dict[str, Any] = {
+        "table": table,
+        "operation": operation,
+        "old": old,
+        "new": new,
+    }
+    if txid is not None:
+        payload["txid"] = txid
+    image = new if new is not None else old
+    if image:
+        for key, value in image.items():
+            payload.setdefault(key, value)
+    return Event(
+        event_type=f"{table}.{operation}",
+        timestamp=timestamp,
+        payload=payload,
+        source=source,
+    )
+
+
+class CaptureSource:
+    """Base class: fan events out to subscribed sinks.
+
+    Subclasses call :meth:`_emit`; consumers call :meth:`subscribe`.
+    ``events_captured`` counts emissions for the EXP-1 harness.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._sinks: list[EventSink] = []
+        self.events_captured = 0
+
+    def subscribe(self, sink: EventSink) -> None:
+        """Register a callback invoked for every captured event."""
+        self._sinks.append(sink)
+
+    def unsubscribe(self, sink: EventSink) -> None:
+        self._sinks.remove(sink)
+
+    def _emit(self, event: Event) -> None:
+        self.events_captured += 1
+        for sink in self._sinks:
+            sink(event)
+
+    def close(self) -> None:
+        """Detach from the database; default is a no-op."""

@@ -1,0 +1,155 @@
+"""Continuous-query notification (CQN-style) capture.
+
+:class:`QueryCapture` polls; commercial databases also offer *query
+result change notification*: the database itself re-checks a registered
+query when — and only when — a commit touches one of its tables, and
+pushes the delta.  This removes both polling cost on quiet tables and
+detection latency on busy ones (events are published at commit time,
+not at the next poll).
+
+The transient-miss false negative of polling disappears too: every
+commit is observed, so a row that appears and disappears across two
+transactions is seen (within one transaction it is still invisible, as
+it should be — uncommitted state never escapes).
+
+Implementation: the capture extracts the query's table dependencies
+from the parsed statement, registers a commit listener, tracks which
+tables each transaction wrote (via cheap statement-level triggers), and
+re-runs the snapshot diff only for commits that touched a dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+from repro.capture.base import CaptureSource
+from repro.capture.query_capture import _freeze
+from repro.db.database import Database
+from repro.db.sql.ast import Select
+from repro.db.sql.parser import parse_statement
+from repro.db.transactions import Transaction
+from repro.db.triggers import TriggerEvent, TriggerTiming
+from repro.errors import SqlSyntaxError
+from repro.events import Event
+
+
+def query_dependencies(query: str) -> set[str]:
+    """Tables a SELECT reads (base table + joins)."""
+    statement = parse_statement(query)
+    if not isinstance(statement, Select) or statement.table is None:
+        raise SqlSyntaxError(
+            "query notification requires a SELECT over at least one table"
+        )
+    tables = {statement.table}
+    tables.update(join.table for join in statement.joins)
+    return tables
+
+
+class QueryNotificationCapture(CaptureSource):
+    """Push-based query-result change capture."""
+
+    def __init__(
+        self,
+        db: Database,
+        query: str,
+        *,
+        name: str = "query-notification",
+        key_columns: Sequence[str] | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.db = db
+        self.query = query
+        self.key_columns = list(key_columns) if key_columns else None
+        self.dependencies = query_dependencies(query)
+        self._previous = self._snapshot()
+        self._dirty_txids: set[int] = set()
+        self._trigger_names: list[str] = []
+        self.reevaluations = 0
+        self.commits_observed = 0
+        self.commits_skipped = 0
+
+        # Statement-level AFTER triggers mark the writing transaction
+        # dirty; the commit listener re-evaluates only for dirty txids.
+        for table in self.dependencies:
+            for operation in (
+                TriggerEvent.INSERT, TriggerEvent.UPDATE, TriggerEvent.DELETE
+            ):
+                trigger_name = f"{name}_{table}_{operation.value}"
+                db.create_trigger(
+                    trigger_name,
+                    table,
+                    timing=TriggerTiming.AFTER,
+                    event=operation,
+                    action=self._mark_dirty,
+                    for_each_row=True,
+                )
+                self._trigger_names.append(trigger_name)
+        db.add_commit_listener(self._on_commit)
+        db.add_abort_listener(self._on_abort)
+
+    def _mark_dirty(self, context) -> None:
+        self._dirty_txids.add(context.txid)
+
+    def _on_abort(self, transaction: Transaction) -> None:
+        self._dirty_txids.discard(transaction.txid)
+
+    def _on_commit(self, transaction: Transaction) -> None:
+        self.commits_observed += 1
+        if transaction.txid not in self._dirty_txids:
+            self.commits_skipped += 1
+            return
+        self._dirty_txids.discard(transaction.txid)
+        self._reevaluate()
+
+    def _snapshot(self) -> dict[Hashable, dict[str, Any]]:
+        snapshot: dict[Hashable, dict[str, Any]] = {}
+        for row in self.db.query(self.query):
+            if self.key_columns:
+                key = tuple(_freeze(row[column]) for column in self.key_columns)
+            else:
+                key = _freeze(row)
+            snapshot[key] = row
+        return snapshot
+
+    def _reevaluate(self) -> None:
+        self.reevaluations += 1
+        current = self._snapshot()
+        now = self.db.clock.now()
+        for key, row in current.items():
+            if key not in self._previous:
+                self._publish("added", row, None, now)
+            elif self._previous[key] != row:
+                self._publish("changed", row, self._previous[key], now)
+        for key, row in self._previous.items():
+            if key not in current:
+                self._publish("removed", None, row, now)
+        self._previous = current
+
+    def _publish(
+        self,
+        kind: str,
+        row: dict[str, Any] | None,
+        previous: dict[str, Any] | None,
+        now: float,
+    ) -> None:
+        payload: dict[str, Any] = {"new": row, "old": previous}
+        image = row if row is not None else previous
+        if image:
+            for key, value in image.items():
+                payload.setdefault(key, value)
+        self._emit(
+            Event(
+                event_type=f"query.{self.name}.{kind}",
+                timestamp=now,
+                payload=payload,
+                source=f"cqn:{self.name}",
+            )
+        )
+
+    def close(self) -> None:
+        for trigger_name in self._trigger_names:
+            try:
+                self.db.drop_trigger(trigger_name)
+            except Exception:
+                pass
+        self._trigger_names.clear()

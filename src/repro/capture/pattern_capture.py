@@ -1,0 +1,126 @@
+"""Pattern capture across current and previous states (§2.2.a.iii.2).
+
+Where :class:`QueryCapture` reports *that* the result set changed,
+:class:`PatternCapture` evaluates a **transition pattern** over the
+(previous, current) pair of each keyed row and emits an event only when
+the pattern holds.  The pattern is an expression over a synthesized row
+exposing each monitored column twice: ``old_<col>`` and ``new_<col>``
+(plus bare ``<col>`` bound to the new value), e.g.::
+
+    Transition("meter_readings",
+               condition="new_usage > old_usage * 2",
+               key_columns=["meter_id"])
+
+— "usage doubled since the last observation", the utility use case from
+§2.2.e.ii.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Sequence
+
+from repro.capture.base import CaptureSource
+from repro.capture.query_capture import _freeze
+from repro.db.database import Database
+from repro.db.expr import Expression, evaluate_predicate
+from repro.db.sql.parser import parse_expression
+from repro.events import Event
+
+
+@dataclass
+class Transition:
+    """A transition pattern over a monitored query.
+
+    Attributes:
+        query: SELECT (or table name — expanded to ``SELECT * FROM t``)
+            defining the monitored state.
+        condition: expression text over ``old_*``/``new_*`` columns.
+        key_columns: columns identifying a row across polls.
+        include_appearing: evaluate the pattern for rows with no
+            previous image (old_* bound to NULL).  Default False: a
+            transition needs both states.
+    """
+
+    query: str
+    condition: str
+    key_columns: Sequence[str]
+    include_appearing: bool = False
+
+    def parsed_condition(self) -> Expression:
+        return parse_expression(self.condition)
+
+    def sql(self) -> str:
+        text = self.query.strip()
+        if text.upper().startswith("SELECT"):
+            return text
+        return f"SELECT * FROM {text}"
+
+
+class PatternCapture(CaptureSource):
+    """Detect specified old-vs-new patterns in a polled query."""
+
+    def __init__(
+        self,
+        db: Database,
+        transition: Transition,
+        *,
+        name: str = "pattern-capture",
+    ) -> None:
+        super().__init__(name)
+        self.db = db
+        self.transition = transition
+        self._condition = transition.parsed_condition()
+        self._previous: dict[Hashable, dict[str, Any]] = {}
+        self._primed = False
+        self.polls = 0
+
+    def poll(self) -> list[Event]:
+        """Evaluate the transition pattern for every keyed row.
+
+        The first poll establishes baselines; patterns fire from the
+        second poll onward (unless ``include_appearing``).
+        """
+        self.polls += 1
+        rows = self.db.query(self.transition.sql())
+        now = self.db.clock.now()
+        current: dict[Hashable, dict[str, Any]] = {}
+        events: list[Event] = []
+        for row in rows:
+            key = tuple(
+                _freeze(row[column]) for column in self.transition.key_columns
+            )
+            current[key] = row
+            previous = self._previous.get(key)
+            if previous is None and not (
+                self._primed and self.transition.include_appearing
+            ):
+                continue
+            context: dict[str, Any] = dict(row)
+            for column, value in row.items():
+                context[f"new_{column}"] = value
+            if previous is not None:
+                for column, value in previous.items():
+                    context[f"old_{column}"] = value
+            else:
+                for column in row:
+                    context[f"old_{column}"] = None
+            if evaluate_predicate(self._condition, context):
+                events.append(
+                    Event(
+                        event_type=f"pattern.{self.name}",
+                        timestamp=now,
+                        payload={
+                            "old": previous,
+                            "new": row,
+                            "condition": self.transition.condition,
+                            **row,
+                        },
+                        source=f"pattern:{self.name}",
+                    )
+                )
+        self._previous = current
+        self._primed = True
+        for event in events:
+            self._emit(event)
+        return events

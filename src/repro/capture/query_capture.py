@@ -1,0 +1,110 @@
+"""Query-based event capture: result-set change as event (§2.2.a.iii.1).
+
+A :class:`QueryCapture` runs a SELECT on every poll and diffs the
+result set against the previous poll's snapshot.  Rows that appear
+produce ``query.<name>.added`` events; rows that disappear produce
+``query.<name>.removed`` events; rows whose non-key columns change
+produce ``query.<name>.changed`` events (when ``key_columns`` given).
+
+This is the *pull* end of the capture spectrum: no database hooks at
+all, cost proportional to poll frequency × result size, and detection
+latency bounded by the poll interval.  It also under-reports: a row
+that appears and disappears between two polls is never seen — a false
+negative mode the other capture styles do not have (tested explicitly).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+from repro.capture.base import CaptureSource
+from repro.db.database import Database
+from repro.events import Event
+
+
+def _freeze(value: Any) -> Hashable:
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+class QueryCapture(CaptureSource):
+    """Periodic query snapshot differencing."""
+
+    def __init__(
+        self,
+        db: Database,
+        query: str,
+        *,
+        name: str = "query-capture",
+        key_columns: Sequence[str] | None = None,
+    ) -> None:
+        """Args:
+        query: any SELECT; its rows define the monitored state.
+        key_columns: identity columns for rows.  With keys, the diff
+            distinguishes *changed* rows from remove+add pairs; without,
+            rows are compared by full value.
+        """
+        super().__init__(name)
+        self.db = db
+        self.query = query
+        self.key_columns = list(key_columns) if key_columns else None
+        self._previous: dict[Hashable, dict[str, Any]] | None = None
+        self.polls = 0
+
+    def _snapshot(self) -> dict[Hashable, dict[str, Any]]:
+        rows = self.db.query(self.query)
+        snapshot: dict[Hashable, dict[str, Any]] = {}
+        for row in rows:
+            if self.key_columns:
+                key = tuple(_freeze(row[column]) for column in self.key_columns)
+            else:
+                key = _freeze(row)
+            snapshot[key] = row
+        return snapshot
+
+    def poll(self) -> list[Event]:
+        """Run the query, diff against the previous result set, emit.
+
+        The first poll establishes the baseline and emits nothing.
+        """
+        self.polls += 1
+        current = self._snapshot()
+        events: list[Event] = []
+        if self._previous is not None:
+            now = self.db.clock.now()
+            for key, row in current.items():
+                if key not in self._previous:
+                    events.append(self._make_event("added", row, None, now))
+                elif self._previous[key] != row:
+                    events.append(
+                        self._make_event("changed", row, self._previous[key], now)
+                    )
+            for key, row in self._previous.items():
+                if key not in current:
+                    events.append(self._make_event("removed", None, row, now))
+        self._previous = current
+        for event in events:
+            self._emit(event)
+        return events
+
+    def _make_event(
+        self,
+        kind: str,
+        row: dict[str, Any] | None,
+        previous: dict[str, Any] | None,
+        now: float,
+    ) -> Event:
+        payload: dict[str, Any] = {"new": row, "old": previous}
+        image = row if row is not None else previous
+        if image:
+            for key, value in image.items():
+                payload.setdefault(key, value)
+        return Event(
+            event_type=f"query.{self.name}.{kind}",
+            timestamp=now,
+            payload=payload,
+            source=f"query:{self.name}",
+        )

@@ -1,0 +1,96 @@
+"""Clock abstraction shared by every subsystem.
+
+Event-processing semantics (window boundaries, message expiration,
+delivery timeliness) depend on *when* things happen.  To make the whole
+platform deterministic under test, every component takes a
+:class:`Clock` and never calls ``time.time()`` directly.
+
+Two implementations are provided:
+
+* :class:`WallClock` — real time, for live deployments and benchmarks.
+* :class:`SimulatedClock` — manually advanced time, for tests and for
+  the discrete-event workload generators.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from typing import Callable
+
+
+class Clock:
+    """Interface: a monotonically non-decreasing source of seconds."""
+
+    def now(self) -> float:
+        """Return the current time in (fractional) seconds."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or simulate blocking) for ``seconds``."""
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real wall-clock time backed by :func:`time.monotonic`.
+
+    ``monotonic`` is used rather than ``time.time`` so that window and
+    expiration arithmetic is immune to system clock adjustments; an
+    epoch offset keeps values positive and roughly epoch-like for
+    display purposes.
+    """
+
+    def __init__(self) -> None:
+        self._offset = time.time() - time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() + self._offset
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+
+class SimulatedClock(Clock):
+    """A clock that only moves when told to.
+
+    Besides ``advance``, it supports scheduling callbacks, which lets
+    tests drive poll-based components (query capture, propagation
+    retries) deterministically.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._timers: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` when the clock has advanced past ``delay``."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        heapq.heappush(
+            self._timers, (self._now + delay, next(self._counter), callback)
+        )
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward, firing any timers that come due in order."""
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        deadline = self._now + seconds
+        while self._timers and self._timers[0][0] <= deadline:
+            due, _seq, callback = heapq.heappop(self._timers)
+            self._now = due
+            callback()
+        self._now = deadline
+
+    def advance_to(self, timestamp: float) -> None:
+        """Advance the clock to an absolute ``timestamp``."""
+        if timestamp < self._now:
+            raise ValueError("cannot advance a clock backwards")
+        self.advance(timestamp - self._now)

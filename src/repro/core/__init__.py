@@ -1,0 +1,75 @@
+"""The tutorial's conceptual core: sense-and-respond systems.
+
+"Systems and individuals have models (expectations) of behaviors of
+their environments, and applications notify them when reality — as
+determined by measurements and estimates — deviates from their
+expectations."  (§1)
+
+* :mod:`repro.core.model` — expectation models (static ranges, EWMA,
+  seasonal profiles, Markov state models).
+* :mod:`repro.core.deviation` — reality-vs-expectation detection with
+  model-updating policies ("management by exception", §2.1.f).
+* :mod:`repro.core.virt` — VIRT (Valuable Information at the Right
+  Time) scoring and filtering against information overload.
+* :mod:`repro.core.metrics` — false-positive / false-negative
+  accounting (the paper's keywords: "errors, false positives, false
+  negatives, statistics").
+* :mod:`repro.core.alerting` / :mod:`repro.core.responders` — deliver
+  to those *authorized, available and able* (§2.2.e.iii–iv).
+* :mod:`repro.core.application` — the assembled event-driven
+  application.
+"""
+
+from repro.core.alerting import Alert, AlertManager
+from repro.core.application import EventDrivenApplication
+from repro.core.bam import BusinessActivityMonitor, Kpi, KpiReading
+from repro.core.deviation import DeviationDetector, UpdatePolicy
+from repro.core.metrics import ConfusionTracker, EpisodeTracker
+from repro.core.model import (
+    EwmaModel,
+    Expectation,
+    ExpectationModel,
+    MarkovStateModel,
+    RangeModel,
+    SeasonalProfileModel,
+)
+from repro.core.responders import Responder, ResponderRegistry
+from repro.core.spec import (
+    ApplicationSpec,
+    CategorySpec,
+    ConditionSpec,
+    EventTypeSpec,
+    SpecificationError,
+    Violation,
+)
+from repro.core.virt import RecipientProfile, VirtFilter, VirtScorer
+
+__all__ = [
+    "ExpectationModel",
+    "Expectation",
+    "RangeModel",
+    "EwmaModel",
+    "SeasonalProfileModel",
+    "MarkovStateModel",
+    "DeviationDetector",
+    "UpdatePolicy",
+    "VirtScorer",
+    "VirtFilter",
+    "RecipientProfile",
+    "ConfusionTracker",
+    "EpisodeTracker",
+    "Alert",
+    "AlertManager",
+    "Responder",
+    "ResponderRegistry",
+    "EventDrivenApplication",
+    "ApplicationSpec",
+    "EventTypeSpec",
+    "ConditionSpec",
+    "CategorySpec",
+    "SpecificationError",
+    "Violation",
+    "BusinessActivityMonitor",
+    "Kpi",
+    "KpiReading",
+]

@@ -1,0 +1,222 @@
+"""Alert management: dedup, escalation, responder dispatch.
+
+Alerts are the system's outward-facing product; this module keeps them
+useful under load:
+
+* **Deduplication** — repeated alerts for the same (kind, entity)
+  within ``cooldown`` collapse into the first one (its ``repeats``
+  counter increments), the standard alarm-fatigue countermeasure.
+* **Escalation** — an alert unacknowledged past its level's deadline
+  escalates to the next severity and is re-dispatched.
+* **Dispatch** — responders come from the
+  :class:`repro.core.responders.ResponderRegistry` (authorized,
+  available, able); delivery is through a callback per channel.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.clock import Clock
+from repro.core.responders import Responder, ResponderRegistry
+from repro.errors import ResponderError
+from repro.events import Event
+
+SEVERITIES = ("info", "warning", "critical", "emergency")
+
+Channel = Callable[["Alert", list[Responder]], None]
+
+
+@dataclass
+class Alert:
+    """One alert: what happened, to whom it matters, how it is going."""
+
+    alert_id: int
+    kind: str
+    entity: Any
+    severity: str
+    event: Event
+    created_at: float
+    message: str = ""
+    acknowledged: bool = False
+    acknowledged_by: str | None = None
+    repeats: int = 0
+    escalations: int = 0
+    responders: list[str] = field(default_factory=list)
+
+    def severity_index(self) -> int:
+        return SEVERITIES.index(self.severity)
+
+
+class AlertManager:
+    """Turns deviation/rule events into deduplicated, escalating alerts."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        *,
+        responders: ResponderRegistry | None = None,
+        cooldown: float = 60.0,
+        escalation_timeout: float = 300.0,
+    ) -> None:
+        self.clock = clock
+        self.responders = responders
+        self.cooldown = cooldown
+        self.escalation_timeout = escalation_timeout
+        self._alerts: dict[int, Alert] = {}
+        self._recent: dict[tuple[str, Any], int] = {}  # (kind, entity) -> alert id
+        self._ids = itertools.count(1)
+        self._channels: list[Channel] = []
+        # Active silences: (kind or "*", entity or None) -> end time.
+        self._silences: dict[tuple[str, Any], float] = {}
+        self.stats = {
+            "raised": 0,
+            "deduplicated": 0,
+            "escalated": 0,
+            "dispatch_failures": 0,
+            "silenced": 0,
+        }
+
+    def add_channel(self, channel: Channel) -> None:
+        """Register a delivery channel (console, pager, test collector)."""
+        self._channels.append(channel)
+
+    # -- silences (maintenance windows) --------------------------------------
+
+    def silence(
+        self,
+        *,
+        kind: str = "*",
+        entity: Any = None,
+        duration: float,
+    ) -> None:
+        """Suppress alerts matching (kind, entity) for ``duration``
+        seconds — the maintenance-window primitive.  ``kind="*"``
+        matches every kind; ``entity=None`` matches every entity of the
+        kind."""
+        self._silences[(kind, entity)] = self.clock.now() + duration
+
+    def clear_silence(self, *, kind: str = "*", entity: Any = None) -> None:
+        self._silences.pop((kind, entity), None)
+
+    def _silenced(self, kind: str, entity: Any) -> bool:
+        now = self.clock.now()
+        expired = [key for key, until in self._silences.items() if until <= now]
+        for key in expired:
+            del self._silences[key]
+        for silence_kind, silence_entity in self._silences:
+            if silence_kind not in ("*", kind):
+                continue
+            if silence_entity is not None and silence_entity != entity:
+                continue
+            return True
+        return False
+
+    # -- raising -----------------------------------------------------------------
+
+    def raise_alert(
+        self,
+        kind: str,
+        event: Event,
+        *,
+        entity: Any = None,
+        severity: str = "warning",
+        message: str = "",
+        category: str | None = None,
+        required_capabilities: tuple[str, ...] = (),
+        location: tuple[float, float] | None = None,
+    ) -> Alert | None:
+        """Create (or fold into a recent duplicate) an alert.
+
+        Returns the new alert, or None when deduplicated into an
+        existing one.
+        """
+        if severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {severity!r}")
+        now = self.clock.now()
+        if self._silenced(kind, entity):
+            self.stats["silenced"] += 1
+            return None
+        dedup_key = (kind, entity)
+        recent_id = self._recent.get(dedup_key)
+        if recent_id is not None:
+            recent = self._alerts.get(recent_id)
+            if (
+                recent is not None
+                and not recent.acknowledged
+                and now - recent.created_at < self.cooldown
+            ):
+                recent.repeats += 1
+                self.stats["deduplicated"] += 1
+                return None
+        alert = Alert(
+            alert_id=next(self._ids),
+            kind=kind,
+            entity=entity,
+            severity=severity,
+            event=event,
+            created_at=now,
+            message=message or f"{kind} on {entity!r}",
+        )
+        self._alerts[alert.alert_id] = alert
+        self._recent[dedup_key] = alert.alert_id
+        self.stats["raised"] += 1
+        self._dispatch(alert, category, required_capabilities, location)
+        return alert
+
+    def _dispatch(
+        self,
+        alert: Alert,
+        category: str | None,
+        required_capabilities: tuple[str, ...],
+        location: tuple[float, float] | None,
+    ) -> None:
+        chosen: list[Responder] = []
+        if self.responders is not None and category is not None:
+            try:
+                chosen = self.responders.select(
+                    category=category,
+                    required_capabilities=required_capabilities,
+                    location=location,
+                    now=self.clock.now(),
+                )
+                alert.responders.extend(r.name for r in chosen)
+            except ResponderError:
+                self.stats["dispatch_failures"] += 1
+        for channel in self._channels:
+            channel(alert, chosen)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def acknowledge(self, alert_id: int, *, by: str = "") -> None:
+        alert = self._alerts[alert_id]
+        alert.acknowledged = True
+        alert.acknowledged_by = by or None
+
+    def open_alerts(self) -> list[Alert]:
+        return [a for a in self._alerts.values() if not a.acknowledged]
+
+    def get(self, alert_id: int) -> Alert:
+        return self._alerts[alert_id]
+
+    def check_escalations(self) -> list[Alert]:
+        """Escalate unacknowledged alerts past their deadline; returns
+        the alerts that escalated (re-dispatched on each escalation)."""
+        now = self.clock.now()
+        escalated: list[Alert] = []
+        for alert in self._alerts.values():
+            if alert.acknowledged:
+                continue
+            deadline = alert.created_at + self.escalation_timeout * (
+                alert.escalations + 1
+            )
+            if now >= deadline and alert.severity_index() < len(SEVERITIES) - 1:
+                alert.severity = SEVERITIES[alert.severity_index() + 1]
+                alert.escalations += 1
+                self.stats["escalated"] += 1
+                escalated.append(alert)
+                for channel in self._channels:
+                    channel(alert, [])
+        return escalated

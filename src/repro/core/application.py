@@ -1,0 +1,220 @@
+"""The assembled event-driven application.
+
+:class:`EventDrivenApplication` wires the tutorial's architecture into
+one object:
+
+    capture (triggers / journal / queries)
+        → input stream
+        → rule engine (critical-condition rules)
+        → continuous queries (windows, patterns, aggregates)
+        → expectation models (deviation detection)
+        → VIRT filters (per recipient)
+        → alert manager → responders
+
+Each stage remains independently usable; the application only provides
+construction convenience and a single :meth:`pump` that advances every
+poll-driven component (journal mining, query capture, ack timeouts,
+escalations).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.capture.base import CaptureSource
+from repro.capture.journal_capture import JournalCapture
+from repro.capture.query_capture import QueryCapture
+from repro.capture.trigger_capture import TriggerCapture
+from repro.core.alerting import Alert, AlertManager
+from repro.core.deviation import DeviationDetector, ModelFactory, UpdatePolicy
+from repro.core.responders import ResponderRegistry
+from repro.core.virt import RecipientProfile, VirtFilter, VirtScorer
+from repro.cq.query import CQEngine, ContinuousQuery
+from repro.cq.stream import Stream
+from repro.db.database import Database
+from repro.errors import ReproError
+from repro.events import Event
+from repro.queues.broker import QueueBroker
+from repro.rules.engine import RuleEngine
+from repro.rules.rule import Rule
+
+
+class EventDrivenApplication:
+    """One sense-and-respond application over one database."""
+
+    def __init__(self, db: Database, *, name: str = "app") -> None:
+        self.db = db
+        self.name = name
+        self.clock = db.clock
+        self.input = Stream(f"{name}.input")
+        self.rules = RuleEngine()
+        self.cq = CQEngine()
+        self.queues = QueueBroker(db, name=f"{name}-queues")
+        self.responders = ResponderRegistry()
+        self.alerts = AlertManager(self.clock, responders=self.responders)
+        self.virt_scorer = VirtScorer(self.clock)
+        self.virt_filters: dict[str, VirtFilter] = {}
+        self.detectors: dict[str, DeviationDetector] = {}
+        self._captures: list[CaptureSource] = []
+        self.input.subscribe(self._on_event)
+
+    # -- capture ------------------------------------------------------------
+
+    def capture_table(
+        self, table: str, *, method: str = "trigger", **kwargs: Any
+    ) -> CaptureSource:
+        """Start capturing changes of ``table`` into the input stream.
+
+        ``method`` is ``"trigger"`` (synchronous) or ``"journal"``
+        (asynchronous; advanced by :meth:`pump`).
+        """
+        if method == "trigger":
+            source: CaptureSource = TriggerCapture(
+                self.db, [table], name=f"{self.name}_cap_{table}", **kwargs
+            )
+        elif method == "journal":
+            source = JournalCapture(
+                self.db, [table], name=f"{self.name}_jcap_{table}", **kwargs
+            )
+        else:
+            raise ReproError(f"unknown capture method {method!r}")
+        source.subscribe(self.input.push)
+        self._captures.append(source)
+        return source
+
+    def capture_query(
+        self,
+        query: str,
+        *,
+        name: str,
+        key_columns: list[str] | None = None,
+        push: bool = False,
+    ) -> CaptureSource:
+        """Monitor a query's result set.
+
+        ``push=False`` polls on :meth:`pump` (query-diff capture);
+        ``push=True`` registers a CQN-style notification that fires at
+        commit time with no polling at all.
+        """
+        if push:
+            from repro.capture.notification_capture import (
+                QueryNotificationCapture,
+            )
+
+            source: CaptureSource = QueryNotificationCapture(
+                self.db, query, name=name, key_columns=key_columns
+            )
+        else:
+            source = QueryCapture(
+                self.db, query, name=name, key_columns=key_columns
+            )
+        source.subscribe(self.input.push)
+        self._captures.append(source)
+        return source
+
+    # -- rules & queries ---------------------------------------------------------
+
+    def add_rule(self, rule: Rule) -> Rule:
+        return self.rules.add_rule(rule)
+
+    def add_query(self, query: ContinuousQuery) -> ContinuousQuery:
+        self.cq.register(query)
+        self.input.subscribe(query.push)
+        return query
+
+    # -- models -------------------------------------------------------------------
+
+    def monitor(
+        self,
+        name: str,
+        *,
+        field: str,
+        model_factory: ModelFactory,
+        threshold: float,
+        key_field: str | None = None,
+        update_policy: UpdatePolicy = UpdatePolicy.ALWAYS,
+        severity: str = "warning",
+        category: str | None = None,
+    ) -> DeviationDetector:
+        """Watch a numeric field against an expectation model; raise an
+        alert (routed through VIRT filters) on deviation."""
+        detector = DeviationDetector(
+            self.input,
+            name=name,
+            field=field,
+            model_factory=model_factory,
+            threshold=threshold,
+            key_field=key_field,
+            update_policy=update_policy,
+        )
+        self.detectors[name] = detector
+
+        def on_deviation(event: Event) -> None:
+            self.alerts.raise_alert(
+                kind=name,
+                event=event,
+                entity=event.get("key"),
+                severity=severity,
+                category=category,
+                message=(
+                    f"{name}: {event.get('field')}={event.get('observed')} "
+                    f"expected≈{event.get('expected')}"
+                ),
+            )
+            for virt_filter in self.virt_filters.values():
+                virt_filter.offer(event)
+
+        detector.subscribe(on_deviation)
+        return detector
+
+    # -- recipients -----------------------------------------------------------------
+
+    def add_recipient(
+        self,
+        profile: RecipientProfile,
+        *,
+        threshold: float,
+        deliver: Callable[[Event, float], None] | None = None,
+    ) -> VirtFilter:
+        """Register a recipient behind a VIRT filter."""
+        virt_filter = VirtFilter(
+            self.virt_scorer, profile, threshold=threshold, deliver=deliver
+        )
+        self.virt_filters[profile.name] = virt_filter
+        return virt_filter
+
+    # -- runtime -----------------------------------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        self.rules.evaluate(event)
+
+    def process(self, event: Event) -> None:
+        """Inject an application-level event directly."""
+        self.input.push(event)
+
+    def pump(self) -> int:
+        """Advance every poll-driven component once; returns events
+        captured by polling sources."""
+        captured = 0
+        for source in self._captures:
+            poll = getattr(source, "poll", None)
+            if poll is not None:
+                captured += len(poll())
+        self.alerts.check_escalations()
+        return captured
+
+    def statistics(self) -> dict[str, Any]:
+        return {
+            "rules": dict(self.rules.stats),
+            "queries": self.cq.statistics(),
+            "alerts": dict(self.alerts.stats),
+            "detectors": {
+                name: dict(d.stats) for name, d in self.detectors.items()
+            },
+            "virt": {
+                name: dict(f.stats) for name, f in self.virt_filters.items()
+            },
+            "captures": {
+                source.name: source.events_captured for source in self._captures
+            },
+        }

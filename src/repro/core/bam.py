@@ -1,0 +1,204 @@
+"""Business Activity Monitoring (BAM) over the event stream.
+
+The tutorial's enterprise-stack inventory (§1) includes "Business
+Process Management and Business Application Monitoring tools".  This
+module provides the monitoring half: **KPIs** defined as windowed
+aggregates over event streams, each with a target band, evaluated
+continuously and summarized in a dashboard snapshot.
+
+A KPI differs from a deviation detector: the detector learns what
+normal is, while a KPI is *managed* — the business declares the target
+band, and the interesting states are ``ok`` / ``warning`` / ``breach``
+against that declaration (management by exception over business
+metrics rather than sensor readings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.cq.aggregate import AggregateFunction, WindowAggregate
+from repro.cq.stream import Stream
+from repro.cq.window import TumblingWindow
+from repro.errors import StreamError
+from repro.events import Event
+
+KPI_STATUS_OK = "ok"
+KPI_STATUS_WARNING = "warning"
+KPI_STATUS_BREACH = "breach"
+
+
+@dataclass
+class KpiReading:
+    """One evaluated window of a KPI."""
+
+    name: str
+    value: float | None
+    status: str
+    window_start: float
+    window_end: float
+    target_low: float | None
+    target_high: float | None
+
+
+@dataclass
+class Kpi:
+    """A declared business metric.
+
+    ``field``/``aggregate`` define the measurement per window;
+    ``target_low``/``target_high`` the acceptable band; ``warning_band``
+    the fraction of the band width near the edges that counts as
+    warning (early signal before breach).
+    """
+
+    name: str
+    field: str | None
+    aggregate: Callable[[], AggregateFunction]
+    window: float
+    target_low: float | None = None
+    target_high: float | None = None
+    warning_band: float = 0.1
+    history: list[KpiReading] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.target_low is None and self.target_high is None:
+            raise StreamError(f"KPI {self.name!r} declares no target band")
+        if (
+            self.target_low is not None
+            and self.target_high is not None
+            and self.target_low >= self.target_high
+        ):
+            raise StreamError(f"KPI {self.name!r} has an empty target band")
+
+    def classify(self, value: float | None) -> str:
+        if value is None:
+            return KPI_STATUS_BREACH  # no data is itself an exception
+        low, high = self.target_low, self.target_high
+        if low is not None and value < low:
+            return KPI_STATUS_BREACH
+        if high is not None and value > high:
+            return KPI_STATUS_BREACH
+        if low is not None and high is not None:
+            margin = (high - low) * self.warning_band
+            if value < low + margin or value > high - margin:
+                return KPI_STATUS_WARNING
+        return KPI_STATUS_OK
+
+    @property
+    def current(self) -> KpiReading | None:
+        return self.history[-1] if self.history else None
+
+
+class BusinessActivityMonitor:
+    """Evaluates a set of KPIs over one event stream."""
+
+    def __init__(self, source: Stream | None = None, *, name: str = "bam") -> None:
+        self.name = name
+        self.source = source or Stream(f"{name}.input")
+        self._kpis: dict[str, Kpi] = {}
+        self._windows: list[TumblingWindow] = []
+        self._status_listeners: list[Callable[[Kpi, KpiReading], None]] = []
+
+    def on_status_change(
+        self, listener: Callable[[Kpi, KpiReading], None]
+    ) -> None:
+        """Called whenever a KPI's status differs from its previous
+        window (ok→warning, warning→breach, recovery...)."""
+        self._status_listeners.append(listener)
+
+    def add_kpi(
+        self,
+        name: str,
+        *,
+        field: str | None,
+        aggregate: Callable[[], AggregateFunction],
+        window: float,
+        target_low: float | None = None,
+        target_high: float | None = None,
+        warning_band: float = 0.1,
+        event_filter: str | None = None,
+    ) -> Kpi:
+        if name in self._kpis:
+            raise StreamError(f"KPI {name!r} already defined")
+        kpi = Kpi(
+            name=name,
+            field=field,
+            aggregate=aggregate,
+            window=window,
+            target_low=target_low,
+            target_high=target_high,
+            warning_band=warning_band,
+        )
+        self._kpis[name] = kpi
+
+        upstream: Stream = self.source
+        if event_filter is not None:
+            from repro.cq.operators import FilterOperator
+
+            upstream = FilterOperator(
+                upstream, event_filter, name=f"{name}.filter"
+            )
+        window_operator = TumblingWindow(
+            upstream, window, name=f"{name}.window"
+        )
+        self._windows.append(window_operator)
+        aggregate_operator = WindowAggregate(
+            window_operator,
+            f"kpi.{name}",
+            {"value": (field, aggregate)},
+            name=f"{name}.aggregate",
+        )
+        aggregate_operator.subscribe(
+            lambda event, kpi=kpi: self._record(kpi, event)
+        )
+        return kpi
+
+    def _record(self, kpi: Kpi, event: Event) -> None:
+        value = event["value"]
+        reading = KpiReading(
+            name=kpi.name,
+            value=value,
+            status=kpi.classify(value),
+            window_start=event["window_start"],
+            window_end=event["window_end"],
+            target_low=kpi.target_low,
+            target_high=kpi.target_high,
+        )
+        previous = kpi.current
+        kpi.history.append(reading)
+        if previous is None or previous.status != reading.status:
+            for listener in self._status_listeners:
+                listener(kpi, reading)
+
+    def push(self, event: Event) -> None:
+        self.source.push(event)
+
+    def flush(self) -> None:
+        for window_operator in self._windows:
+            window_operator.flush()
+
+    def kpi(self, name: str) -> Kpi:
+        try:
+            return self._kpis[name]
+        except KeyError:
+            raise StreamError(f"KPI {name!r} is not defined") from None
+
+    def dashboard(self) -> list[dict[str, Any]]:
+        """Current status snapshot, one row per KPI (breaches first)."""
+        order = {KPI_STATUS_BREACH: 0, KPI_STATUS_WARNING: 1, KPI_STATUS_OK: 2}
+        rows = []
+        for kpi in self._kpis.values():
+            current = kpi.current
+            rows.append({
+                "kpi": kpi.name,
+                "value": current.value if current else None,
+                "status": current.status if current else "no-data",
+                "target": (kpi.target_low, kpi.target_high),
+                "windows_observed": len(kpi.history),
+                "breaches": sum(
+                    1 for r in kpi.history if r.status == KPI_STATUS_BREACH
+                ),
+            })
+        rows.sort(key=lambda row: order.get(row["status"], 3))
+        return rows

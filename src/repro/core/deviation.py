@@ -1,0 +1,116 @@
+"""Deviation detection: reality vs expectation (§2.1.f).
+
+A :class:`DeviationDetector` binds an expectation-model *factory* to a
+numeric (or symbolic, for Markov models) field of an event stream.
+Models are instantiated per entity (``key_field``), so each meter /
+symbol / sensor has its own expectations.
+
+Model updating (§2.1.f "updating models") is a policy choice:
+
+* ``UpdatePolicy.ALWAYS`` — every observation trains the model, so the
+  baseline adapts even through anomalous episodes (drift-following).
+* ``UpdatePolicy.WHEN_NORMAL`` — anomalous observations are excluded
+  from training, keeping the baseline clean but risking staleness if
+  the world genuinely shifts.
+* ``UpdatePolicy.NEVER`` — frozen models (static specifications).
+
+Detected deviations are emitted as ``deviation.<name>`` events carrying
+the score, the expectation band, and the offending observation.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Callable, Hashable
+
+from repro.cq.stream import Operator, Stream
+from repro.core.model import ExpectationModel
+from repro.errors import ModelError
+from repro.events import Event
+
+ModelFactory = Callable[[], ExpectationModel]
+
+
+class UpdatePolicy(Enum):
+    ALWAYS = "always"
+    WHEN_NORMAL = "when_normal"
+    NEVER = "never"
+
+
+class DeviationDetector(Operator):
+    """Stream operator: observations in, deviation events out."""
+
+    def __init__(
+        self,
+        upstream: Stream,
+        *,
+        name: str,
+        field: str,
+        model_factory: ModelFactory,
+        threshold: float,
+        key_field: str | None = None,
+        update_policy: UpdatePolicy = UpdatePolicy.ALWAYS,
+    ) -> None:
+        super().__init__(f"deviation({name})", upstream)
+        if threshold <= 0:
+            raise ModelError("deviation threshold must be positive")
+        self.detector_name = name
+        self.field = field
+        self.model_factory = model_factory
+        self.threshold = threshold
+        self.key_field = key_field
+        self.update_policy = update_policy
+        self._models: dict[Hashable, ExpectationModel] = {}
+        self.stats = {"observations": 0, "deviations": 0, "skipped": 0}
+
+    def model_for(self, key: Hashable = None) -> ExpectationModel:
+        model = self._models.get(key)
+        if model is None:
+            model = self.model_factory()
+            self._models[key] = model
+        return model
+
+    @property
+    def entities(self) -> int:
+        return len(self._models)
+
+    def process(self, event: Event) -> None:
+        value = event.get(self.field)
+        if value is None:
+            self.stats["skipped"] += 1
+            return
+        key = event.get(self.key_field) if self.key_field else None
+        model = self.model_for(key)
+        context = {"timestamp": event.timestamp, **event.payload}
+        self.stats["observations"] += 1
+        score = model.score(value, context)
+        deviated = model.ready and score >= self.threshold
+        if deviated:
+            self.stats["deviations"] += 1
+            expectation = model.expect(context)
+            self.emit(
+                event.derive(
+                    f"deviation.{self.detector_name}",
+                    {
+                        "detector": self.detector_name,
+                        "key": key,
+                        "field": self.field,
+                        "observed": value,
+                        "expected": expectation.value,
+                        "expected_low": expectation.low,
+                        "expected_high": expectation.high,
+                        "score": score,
+                        "threshold": self.threshold,
+                        **{
+                            k: v
+                            for k, v in event.payload.items()
+                            if k not in ("score", "observed")
+                        },
+                    },
+                    source=self.name,
+                )
+            )
+        if self.update_policy is UpdatePolicy.ALWAYS or (
+            self.update_policy is UpdatePolicy.WHEN_NORMAL and not deviated
+        ):
+            model.observe(value, context)

@@ -1,0 +1,146 @@
+"""Error accounting: false positives, false negatives, statistics.
+
+The paper's keyword list ("errors, false positives, false negatives,
+statistics") reflects that a sense-and-respond system is a detector and
+must be evaluated like one.  Two trackers:
+
+* :class:`ConfusionTracker` — per-decision bookkeeping when each item
+  has a ground-truth label.
+* :class:`EpisodeTracker` — time-based matching of alerts against
+  ground-truth critical *episodes* (an alert within the response window
+  of an episode is a true positive; uncovered episodes are the false
+  negatives that matter operationally).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class ConfusionTracker:
+    """Classic TP/FP/FN/TN counts with derived rates."""
+
+    def __init__(self) -> None:
+        self.tp = 0
+        self.fp = 0
+        self.fn = 0
+        self.tn = 0
+
+    def record(self, *, predicted: bool, actual: bool) -> None:
+        if predicted and actual:
+            self.tp += 1
+        elif predicted and not actual:
+            self.fp += 1
+        elif not predicted and actual:
+            self.fn += 1
+        else:
+            self.tn += 1
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.fn + self.tn
+
+    @property
+    def precision(self) -> float:
+        predicted = self.tp + self.fp
+        return self.tp / predicted if predicted else 0.0
+
+    @property
+    def recall(self) -> float:
+        actual = self.tp + self.fn
+        return self.tp / actual if actual else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        negatives = self.fp + self.tn
+        return self.fp / negatives if negatives else 0.0
+
+    @property
+    def false_negative_rate(self) -> float:
+        positives = self.tp + self.fn
+        return self.fn / positives if positives else 0.0
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "tp": self.tp,
+            "fp": self.fp,
+            "fn": self.fn,
+            "tn": self.tn,
+            "precision": self.precision,
+            "recall": self.recall,
+            "fpr": self.false_positive_rate,
+            "fnr": self.false_negative_rate,
+            "f1": self.f1,
+        }
+
+
+@dataclass
+class EpisodeResult:
+    episodes: int
+    detected: int
+    alerts: int
+    true_alerts: int
+    false_alerts: int
+    mean_delay: float | None
+
+    @property
+    def recall(self) -> float:
+        return self.detected / self.episodes if self.episodes else 0.0
+
+    @property
+    def precision(self) -> float:
+        return self.true_alerts / self.alerts if self.alerts else 0.0
+
+    @property
+    def false_negative_rate(self) -> float:
+        return 1.0 - self.recall
+
+
+class EpisodeTracker:
+    """Match alert times against ground-truth episode times.
+
+    An episode at time ``t`` is *detected* by any alert in
+    ``[t, t + window]``; alerts matching no episode are false alarms.
+    """
+
+    def __init__(self, episodes: list[float], *, window: float) -> None:
+        self.episodes = sorted(episodes)
+        self.window = window
+        self.alert_times: list[float] = []
+
+    def record_alert(self, timestamp: float) -> None:
+        self.alert_times.append(timestamp)
+
+    def result(self) -> EpisodeResult:
+        detected: set[float] = set()
+        true_alerts = 0
+        delays: list[float] = []
+        for alert in sorted(self.alert_times):
+            matched = None
+            for episode in self.episodes:
+                if episode <= alert <= episode + self.window:
+                    matched = episode
+                    break
+                if episode > alert:
+                    break
+            if matched is None:
+                continue
+            true_alerts += 1
+            if matched not in detected:
+                detected.add(matched)
+                delays.append(alert - matched)
+        alerts = len(self.alert_times)
+        return EpisodeResult(
+            episodes=len(self.episodes),
+            detected=len(detected),
+            alerts=alerts,
+            true_alerts=true_alerts,
+            false_alerts=alerts - true_alerts,
+            mean_delay=sum(delays) / len(delays) if delays else None,
+        )

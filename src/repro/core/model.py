@@ -1,0 +1,242 @@
+"""Expectation models: formalized "models of environment behavior".
+
+Each model answers two questions about an observation:
+
+* :meth:`ExpectationModel.expect` — what do I believe the value should
+  be right now?
+* :meth:`ExpectationModel.score` — how far is this observation from my
+  expectation, in comparable units (roughly standard deviations /
+  surprise)?
+
+and learns with :meth:`observe`.  Deviation *policy* (thresholds, when
+to update) lives in :mod:`repro.core.deviation`, keeping models pure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.cq.analytics import StreamStatistics
+from repro.errors import ModelError
+
+
+@dataclass
+class Expectation:
+    """What the model expects: a central value and a tolerance band."""
+
+    value: float | None
+    low: float | None = None
+    high: float | None = None
+    confidence: float = 1.0
+
+    def contains(self, observation: float) -> bool:
+        if self.low is not None and observation < self.low:
+            return False
+        if self.high is not None and observation > self.high:
+            return False
+        return True
+
+
+class ExpectationModel:
+    """Interface for all expectation models."""
+
+    def expect(self, context: dict[str, Any] | None = None) -> Expectation:
+        """Current expectation (context may carry e.g. a timestamp)."""
+        raise NotImplementedError
+
+    def score(
+        self, value: float, context: dict[str, Any] | None = None
+    ) -> float:
+        """Deviation magnitude of ``value`` (0 = exactly as expected)."""
+        raise NotImplementedError
+
+    def observe(
+        self, value: float, context: dict[str, Any] | None = None
+    ) -> None:
+        """Absorb an observation (models that learn update state)."""
+
+    @property
+    def ready(self) -> bool:
+        """False while the model is still warming up (scores are 0)."""
+        return True
+
+
+class RangeModel(ExpectationModel):
+    """Static tolerance band: "usage should stay between low and high".
+
+    Score is 0 inside the band and grows linearly with the distance
+    outside it, normalized by the band width — the simplest
+    "specifying expected behavior by models" from §2.1.f.
+    """
+
+    def __init__(self, low: float, high: float) -> None:
+        if low >= high:
+            raise ModelError("RangeModel requires low < high")
+        self.low = low
+        self.high = high
+        self._width = high - low
+
+    def expect(self, context: dict[str, Any] | None = None) -> Expectation:
+        return Expectation(
+            value=(self.low + self.high) / 2, low=self.low, high=self.high
+        )
+
+    def score(self, value: float, context: dict[str, Any] | None = None) -> float:
+        if value < self.low:
+            return (self.low - value) / self._width
+        if value > self.high:
+            return (value - self.high) / self._width
+        return 0.0
+
+
+class EwmaModel(ExpectationModel):
+    """Adaptive baseline: expectation is the EWMA, score is the z-score
+    against the running standard deviation."""
+
+    def __init__(self, *, alpha: float = 0.1, warmup: int = 10) -> None:
+        self.stats = StreamStatistics(ewma_alpha=alpha)
+        self.warmup = warmup
+
+    @property
+    def ready(self) -> bool:
+        return self.stats.count >= self.warmup
+
+    def expect(self, context: dict[str, Any] | None = None) -> Expectation:
+        if self.stats.ewma is None:
+            return Expectation(value=None, confidence=0.0)
+        spread = 3 * self.stats.stddev
+        return Expectation(
+            value=self.stats.ewma,
+            low=self.stats.ewma - spread,
+            high=self.stats.ewma + spread,
+            confidence=min(1.0, self.stats.count / max(1, self.warmup)),
+        )
+
+    def score(self, value: float, context: dict[str, Any] | None = None) -> float:
+        if not self.ready:
+            return 0.0
+        deviation = abs(value - self.stats.ewma)
+        if self.stats.stddev == 0.0:
+            # A constant history: any departure at all is maximally
+            # surprising (a zero-variance baseline must not mute alarms).
+            return 0.0 if deviation == 0.0 else float("inf")
+        return deviation / self.stats.stddev
+
+    def observe(self, value: float, context: dict[str, Any] | None = None) -> None:
+        self.stats.add(value)
+
+
+class SeasonalProfileModel(ExpectationModel):
+    """Time-of-period profile: one baseline per bin of a repeating
+    period (hour-of-day, day-of-week...).
+
+    ``context["timestamp"]`` selects the bin.  The utility use case
+    (§2.2.e.ii): usage at 3am is compared with *3am usage*, not the
+    all-day mean, so a nightly spike is a deviation even when it would
+    be normal at noon.
+    """
+
+    def __init__(self, *, period: float, bins: int, warmup_per_bin: int = 5) -> None:
+        if period <= 0 or bins <= 0:
+            raise ModelError("period and bins must be positive")
+        self.period = period
+        self.bins = bins
+        self.warmup_per_bin = warmup_per_bin
+        self._profiles = [StreamStatistics() for _ in range(bins)]
+
+    def _bin(self, context: dict[str, Any] | None) -> int:
+        if context is None or "timestamp" not in context:
+            raise ModelError("SeasonalProfileModel needs context['timestamp']")
+        phase = (context["timestamp"] % self.period) / self.period
+        return min(self.bins - 1, int(phase * self.bins))
+
+    @property
+    def ready(self) -> bool:
+        return any(
+            profile.count >= self.warmup_per_bin for profile in self._profiles
+        )
+
+    def expect(self, context: dict[str, Any] | None = None) -> Expectation:
+        profile = self._profiles[self._bin(context)]
+        if profile.count == 0:
+            return Expectation(value=None, confidence=0.0)
+        spread = 3 * profile.stddev
+        return Expectation(
+            value=profile.mean,
+            low=profile.mean - spread,
+            high=profile.mean + spread,
+            confidence=min(1.0, profile.count / max(1, self.warmup_per_bin)),
+        )
+
+    def score(self, value: float, context: dict[str, Any] | None = None) -> float:
+        profile = self._profiles[self._bin(context)]
+        if profile.count < self.warmup_per_bin:
+            return 0.0
+        deviation = abs(value - profile.mean)
+        if profile.stddev == 0.0:
+            return 0.0 if deviation == 0.0 else float("inf")
+        return deviation / profile.stddev
+
+    def observe(self, value: float, context: dict[str, Any] | None = None) -> None:
+        self._profiles[self._bin(context)].add(value)
+
+
+class MarkovStateModel(ExpectationModel):
+    """Discrete-state expectation: how surprising is this transition?
+
+    Learns first-order transition counts with Laplace smoothing; the
+    score of observing state ``s`` after state ``p`` is the surprisal
+    ``-log2 P(s | p)`` scaled so "as expected" ≈ 0 and rare transitions
+    grow without bound.  Suits workflows and device-status streams
+    where values are symbolic, not numeric.
+    """
+
+    def __init__(self, *, smoothing: float = 1.0, warmup: int = 20) -> None:
+        self.smoothing = smoothing
+        self.warmup = warmup
+        self._counts: dict[Hashable, dict[Hashable, int]] = {}
+        self._states: set[Hashable] = set()
+        self._previous: Hashable | None = None
+        self.observations = 0
+
+    @property
+    def ready(self) -> bool:
+        return self.observations >= self.warmup
+
+    def transition_probability(self, prev: Hashable, state: Hashable) -> float:
+        outgoing = self._counts.get(prev, {})
+        total = sum(outgoing.values())
+        vocabulary = max(1, len(self._states))
+        return (outgoing.get(state, 0) + self.smoothing) / (
+            total + self.smoothing * vocabulary
+        )
+
+    def expect(self, context: dict[str, Any] | None = None) -> Expectation:
+        if self._previous is None or self._previous not in self._counts:
+            return Expectation(value=None, confidence=0.0)
+        outgoing = self._counts[self._previous]
+        if not outgoing:
+            return Expectation(value=None, confidence=0.0)
+        likely = max(outgoing, key=outgoing.get)
+        return Expectation(
+            value=None,
+            confidence=self.transition_probability(self._previous, likely),
+        )
+
+    def score(self, value: Hashable, context: dict[str, Any] | None = None) -> float:
+        if not self.ready or self._previous is None:
+            return 0.0
+        probability = self.transition_probability(self._previous, value)
+        return -math.log2(probability)
+
+    def observe(self, value: Hashable, context: dict[str, Any] | None = None) -> None:
+        self._states.add(value)
+        if self._previous is not None:
+            self._counts.setdefault(self._previous, {})
+            self._counts[self._previous][value] = (
+                self._counts[self._previous].get(value, 0) + 1
+            )
+        self._previous = value
+        self.observations += 1

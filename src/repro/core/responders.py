@@ -1,0 +1,112 @@
+"""Responder selection: authorized, available, and able (§2.2.e.iii–iv).
+
+ChemSecure: "any threat has to be known to the people who are
+*authorized* and *able* to respond most efficiently."  SensorNet:
+"deliver to first responders who are authorized, available and able to
+respond most efficiently."
+
+A :class:`Responder` declares authorizations (clearance categories),
+capabilities (what they can handle), an availability schedule, and a
+location.  :meth:`ResponderRegistry.select` filters on all three axes
+and ranks the survivors by distance — "most efficiently".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import ResponderError
+
+
+@dataclass
+class Responder:
+    """One person/system that can act on alerts."""
+
+    name: str
+    authorizations: set[str] = field(default_factory=set)
+    capabilities: set[str] = field(default_factory=set)
+    location: tuple[float, float] = (0.0, 0.0)
+    available: bool = True
+    # Optional on-duty windows as (start, end) times; empty = always.
+    duty_windows: list[tuple[float, float]] = field(default_factory=list)
+    dispatched: int = 0
+
+    def is_available(self, now: float | None = None) -> bool:
+        if not self.available:
+            return False
+        if not self.duty_windows or now is None:
+            return self.available
+        return any(start <= now <= end for start, end in self.duty_windows)
+
+    def is_authorized(self, category: str) -> bool:
+        return category in self.authorizations or "*" in self.authorizations
+
+    def is_able(self, required: Iterable[str]) -> bool:
+        return set(required) <= self.capabilities
+
+    def distance_to(self, location: tuple[float, float]) -> float:
+        return math.dist(self.location, location)
+
+
+class ResponderRegistry:
+    """Find the right responders for an incident."""
+
+    def __init__(self) -> None:
+        self._responders: dict[str, Responder] = {}
+
+    def register(self, responder: Responder) -> Responder:
+        if responder.name in self._responders:
+            raise ResponderError(
+                f"responder {responder.name!r} already registered"
+            )
+        self._responders[responder.name] = responder
+        return responder
+
+    def get(self, name: str) -> Responder:
+        try:
+            return self._responders[name]
+        except KeyError:
+            raise ResponderError(f"responder {name!r} is not registered") from None
+
+    def __len__(self) -> int:
+        return len(self._responders)
+
+    def set_available(self, name: str, available: bool) -> None:
+        self.get(name).available = available
+
+    def select(
+        self,
+        *,
+        category: str,
+        required_capabilities: Iterable[str] = (),
+        location: tuple[float, float] | None = None,
+        now: float | None = None,
+        count: int = 1,
+    ) -> list[Responder]:
+        """The ``count`` best responders: authorized ∧ available ∧ able,
+        nearest first.  Raises :class:`ResponderError` when none
+        qualify — an unroutable critical alert is an operational
+        failure, not a silent drop."""
+        required = list(required_capabilities)
+        qualified = [
+            responder
+            for responder in self._responders.values()
+            if responder.is_authorized(category)
+            and responder.is_available(now)
+            and responder.is_able(required)
+        ]
+        if not qualified:
+            raise ResponderError(
+                f"no responder is authorized, available, and able for "
+                f"category {category!r} with capabilities {required}"
+            )
+        if location is not None:
+            qualified.sort(key=lambda responder: responder.distance_to(location))
+        else:
+            qualified.sort(key=lambda responder: responder.dispatched)
+        chosen = qualified[:count]
+        for responder in chosen:
+            responder.dispatched += 1
+        return chosen

@@ -1,0 +1,189 @@
+"""Formal specification of event-driven applications (paper §2.1.d–f).
+
+The tutorial's Part 1 calls for *formal specification* of event-driven
+applications: what is monitored, what conditions matter, who must be
+told, and what guarantees the wiring must satisfy.  This module gives
+that a concrete, checkable form: an :class:`ApplicationSpec` declares
+the intent, and :meth:`ApplicationSpec.validate` audits a live
+:class:`repro.core.application.EventDrivenApplication` against it,
+returning precise violations instead of letting mis-wired monitoring
+fail silently in production.
+
+Checks cover the classic silent-failure modes of event systems:
+
+* a table declared monitored with no capture source attached;
+* a declared critical condition with no rule/detector implementing it;
+* an alert category with **no** authorized+able responder — the
+  ChemSecure requirement inverted into a static check;
+* a recipient expected to hear about a category whose VIRT filter
+  threshold exceeds the maximum score that category's events can reach
+  (it would suppress everything);
+* rules that reference event attributes no declared event type carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.application import EventDrivenApplication
+from repro.errors import ReproError
+
+
+class SpecificationError(ReproError):
+    """Raised by :meth:`ApplicationSpec.enforce` when validation fails."""
+
+
+@dataclass
+class Violation:
+    """One specification breach."""
+
+    kind: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.subject}: {self.detail}"
+
+
+@dataclass
+class EventTypeSpec:
+    """A declared event type and the attributes it carries."""
+
+    event_type: str
+    attributes: set[str] = field(default_factory=set)
+
+
+@dataclass
+class ConditionSpec:
+    """A critical condition the application must watch for."""
+
+    name: str
+    # Satisfied by a rule with this id, or a detector with this name.
+    implemented_by_rule: str | None = None
+    implemented_by_detector: str | None = None
+
+
+@dataclass
+class CategorySpec:
+    """An alert category and what handling it requires."""
+
+    category: str
+    required_capabilities: tuple[str, ...] = ()
+    recipients: tuple[str, ...] = ()
+
+
+@dataclass
+class ApplicationSpec:
+    """The declared intent of one event-driven application."""
+
+    name: str
+    monitored_tables: tuple[str, ...] = ()
+    event_types: tuple[EventTypeSpec, ...] = ()
+    conditions: tuple[ConditionSpec, ...] = ()
+    categories: tuple[CategorySpec, ...] = ()
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self, app: EventDrivenApplication) -> list[Violation]:
+        """Audit ``app`` against this spec; returns all violations."""
+        violations: list[Violation] = []
+        violations.extend(self._check_captures(app))
+        violations.extend(self._check_conditions(app))
+        violations.extend(self._check_categories(app))
+        violations.extend(self._check_rule_attributes(app))
+        return violations
+
+    def enforce(self, app: EventDrivenApplication) -> None:
+        """Raise :class:`SpecificationError` listing any violations."""
+        violations = self.validate(app)
+        if violations:
+            raise SpecificationError(
+                f"application {self.name!r} violates its specification:\n"
+                + "\n".join(f"  - {violation}" for violation in violations)
+            )
+
+    def _check_captures(self, app: EventDrivenApplication) -> list[Violation]:
+        violations = []
+        captured_tables: set[str] = set()
+        for source in app._captures:
+            tables = getattr(source, "tables", None)
+            if tables:
+                captured_tables.update(tables)
+        for table in self.monitored_tables:
+            if table.lower() not in captured_tables:
+                violations.append(Violation(
+                    "uncaptured-table",
+                    table,
+                    "declared monitored but no trigger/journal capture is "
+                    "attached; changes would go unobserved",
+                ))
+        return violations
+
+    def _check_conditions(self, app: EventDrivenApplication) -> list[Violation]:
+        violations = []
+        rule_ids = {rule.rule_id for rule in app.rules.rules()}
+        for condition in self.conditions:
+            satisfied = False
+            if condition.implemented_by_rule is not None:
+                satisfied = condition.implemented_by_rule in rule_ids
+            if not satisfied and condition.implemented_by_detector is not None:
+                satisfied = condition.implemented_by_detector in app.detectors
+            if not satisfied:
+                violations.append(Violation(
+                    "unimplemented-condition",
+                    condition.name,
+                    "no registered rule or detector implements this "
+                    "declared critical condition",
+                ))
+        return violations
+
+    def _check_categories(self, app: EventDrivenApplication) -> list[Violation]:
+        violations = []
+        for category in self.categories:
+            qualified = [
+                responder
+                for responder in app.responders._responders.values()
+                if responder.is_authorized(category.category)
+                and responder.is_able(category.required_capabilities)
+            ]
+            if not qualified:
+                violations.append(Violation(
+                    "unanswerable-category",
+                    category.category,
+                    "no registered responder is authorized and able "
+                    f"(needs {list(category.required_capabilities)}); "
+                    "critical alerts would have nobody to go to",
+                ))
+            for recipient in category.recipients:
+                if recipient not in app.virt_filters:
+                    violations.append(Violation(
+                        "missing-recipient",
+                        recipient,
+                        f"declared for category {category.category!r} but "
+                        "has no VIRT filter registered",
+                    ))
+        return violations
+
+    def _check_rule_attributes(
+        self, app: EventDrivenApplication
+    ) -> list[Violation]:
+        if not self.event_types:
+            return []
+        violations = []
+        known_attributes: set[str] = set()
+        for spec in self.event_types:
+            known_attributes.update(spec.attributes)
+        # Attributes the platform injects on every event context.
+        known_attributes.update({"event_type", "timestamp"})
+        for rule in app.rules.rules():
+            unknown = rule.condition.referenced_columns() - known_attributes
+            if unknown:
+                violations.append(Violation(
+                    "unknown-attributes",
+                    rule.rule_id,
+                    f"condition references {sorted(unknown)} which no "
+                    "declared event type carries (would evaluate as NULL "
+                    "and never match)",
+                ))
+        return violations

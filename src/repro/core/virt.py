@@ -1,0 +1,150 @@
+"""VIRT — Valuable Information at the Right Time (§1).
+
+"A major problem today is information overload; this problem can be
+solved by identifying what information is critical […] and filtering
+out non-critical data."
+
+The :class:`VirtScorer` computes a value-of-information score per
+(event, recipient) from four components:
+
+* **surprise** — how far reality deviates from expectation (the
+  deviation score, squashed into [0, 1)).  "Valuable information is
+  that which supports or contradicts current expectations…"
+* **actionability** — "…or that which requires an action on the part
+  of the receiver": the recipient's declared weight for this event
+  category.
+* **relevance** — attribute match between the event and the
+  recipient's scope (region, asset class, …).
+* **timeliness** — exponential decay with the event's age; stale news
+  is worth little ("at the Right Time").
+
+The :class:`VirtFilter` forwards only events scoring at or above a
+threshold, and keeps delivered/suppressed counts — EXP-9 sweeps the
+threshold to trace the volume-reduction vs false-negative frontier.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.clock import Clock
+from repro.events import Event
+
+
+@dataclass
+class RecipientProfile:
+    """What one recipient cares about.
+
+    ``interests`` maps event-type patterns to actionability weights in
+    [0, 1].  ``scope`` holds attribute values that must be compatible
+    with the event for full relevance (e.g. ``{"region": "west"}``).
+    """
+
+    name: str
+    interests: dict[str, float] = field(default_factory=dict)
+    scope: dict[str, Any] = field(default_factory=dict)
+    half_life: float = 300.0
+
+    def actionability(self, event_type: str) -> float:
+        best = 0.0
+        for pattern, weight in self.interests.items():
+            if pattern == "*" or pattern == event_type:
+                best = max(best, weight)
+            elif pattern.endswith(".*") and event_type.startswith(pattern[:-1]):
+                best = max(best, weight)
+        return best
+
+    def relevance(self, event: Event) -> float:
+        if not self.scope:
+            return 1.0
+        matched = 0
+        for attribute, expected in self.scope.items():
+            value = event.get(attribute)
+            if value is None:
+                continue  # Unknown attributes neither match nor clash.
+            if value != expected:
+                return 0.0  # A scope clash makes the event irrelevant.
+            matched += 1
+        return 1.0 if matched else 0.5  # No overlap: weakly relevant.
+
+
+class VirtScorer:
+    """Combines surprise, actionability, relevance, timeliness."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        *,
+        surprise_scale: float = 3.0,
+        weights: tuple[float, float, float] | None = None,
+        include_timeliness: bool = True,
+    ) -> None:
+        """``weights`` are (surprise, actionability, relevance) mixing
+        weights; they are normalized.  ``surprise_scale`` is the
+        deviation score at which surprise saturates to ~0.63."""
+        self.clock = clock
+        self.surprise_scale = surprise_scale
+        raw = weights or (0.5, 0.3, 0.2)
+        total = sum(raw)
+        self.weights = tuple(w / total for w in raw)
+        self.include_timeliness = include_timeliness
+
+    def surprise(self, event: Event) -> float:
+        score = event.get("score")
+        if score is None:
+            return 0.0
+        return 1.0 - math.exp(-abs(float(score)) / self.surprise_scale)
+
+    def score(self, event: Event, recipient: RecipientProfile) -> float:
+        surprise = self.surprise(event)
+        actionability = recipient.actionability(event.event_type)
+        relevance = recipient.relevance(event)
+        w_s, w_a, w_r = self.weights
+        base = w_s * surprise + w_a * actionability + w_r * relevance
+        if not self.include_timeliness:
+            return base
+        age = max(0.0, self.clock.now() - event.timestamp)
+        timeliness = math.exp(-age * math.log(2) / recipient.half_life)
+        return base * timeliness
+
+
+class VirtFilter:
+    """Threshold gate between the event flood and a recipient."""
+
+    def __init__(
+        self,
+        scorer: VirtScorer,
+        recipient: RecipientProfile,
+        *,
+        threshold: float,
+        deliver: Callable[[Event, float], None] | None = None,
+    ) -> None:
+        self.scorer = scorer
+        self.recipient = recipient
+        self.threshold = threshold
+        self.deliver = deliver
+        self.stats = {"seen": 0, "delivered": 0, "suppressed": 0}
+
+    def offer(self, event: Event) -> float | None:
+        """Score the event; deliver if it clears the threshold.
+
+        Returns the score when delivered, None when suppressed.
+        """
+        self.stats["seen"] += 1
+        score = self.scorer.score(event, self.recipient)
+        if score >= self.threshold:
+            self.stats["delivered"] += 1
+            if self.deliver is not None:
+                self.deliver(event, score)
+            return score
+        self.stats["suppressed"] += 1
+        return None
+
+    @property
+    def volume_reduction(self) -> float:
+        """seen / delivered — the overload-mitigation factor."""
+        if self.stats["delivered"] == 0:
+            return float("inf") if self.stats["seen"] else 1.0
+        return self.stats["seen"] / self.stats["delivered"]

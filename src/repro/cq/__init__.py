@@ -1,0 +1,65 @@
+"""Continuous queries and complex event processing (§2.2.c.i.3–4).
+
+Continuous queries are dataflow graphs of push-based operators:
+streams → filters/maps → windows → aggregates → sinks, plus an
+NFA-based pattern matcher for event sequences (the "comprehensive base
+for CEP") and continuous analytics that score which candidate queries
+are *valuable* (§2.2.c.i.4).
+"""
+
+from repro.cq.aggregate import (
+    Avg,
+    Count,
+    First,
+    Last,
+    Max,
+    Min,
+    Percentile,
+    Stddev,
+    Sum,
+    WindowAggregate,
+)
+from repro.cq.analytics import AnomalyDetector, QueryValueScorer, StreamStatistics
+from repro.cq.operators import FilterOperator, MapOperator, StreamJoin, StreamTableJoin
+from repro.cq.pattern import Kleene, PatternElement, PatternMatcher, Seq
+from repro.cq.query import ContinuousQuery, CQEngine
+from repro.cq.stream import Stream
+from repro.cq.window import (
+    CountWindow,
+    SessionWindow,
+    SlidingWindow,
+    TumblingWindow,
+    WindowPane,
+)
+
+__all__ = [
+    "Stream",
+    "FilterOperator",
+    "MapOperator",
+    "StreamJoin",
+    "StreamTableJoin",
+    "TumblingWindow",
+    "SlidingWindow",
+    "CountWindow",
+    "SessionWindow",
+    "WindowPane",
+    "WindowAggregate",
+    "Count",
+    "Sum",
+    "Avg",
+    "Min",
+    "Max",
+    "Stddev",
+    "Percentile",
+    "First",
+    "Last",
+    "PatternMatcher",
+    "PatternElement",
+    "Seq",
+    "Kleene",
+    "ContinuousQuery",
+    "CQEngine",
+    "StreamStatistics",
+    "AnomalyDetector",
+    "QueryValueScorer",
+]

@@ -1,0 +1,221 @@
+"""Window aggregation: incremental aggregate functions over panes.
+
+An aggregate function is a small class with ``add(value)`` and
+``result()``; :class:`WindowAggregate` applies a named set of them to
+every incoming :class:`repro.cq.window.WindowPane` and emits one
+summary event per pane — the shape of a continuous ``GROUP BY window``
+query.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.cq.stream import Operator, Stream
+from repro.cq.window import PANE_EVENT_TYPE, WindowPane
+from repro.errors import StreamError
+from repro.events import Event
+
+
+class AggregateFunction:
+    """Base: feed values with :meth:`add`, read with :meth:`result`."""
+
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class Count(AggregateFunction):
+    """Number of non-NULL values (or events, when field is None)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class Sum(AggregateFunction):
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.any = False
+
+    def add(self, value: Any) -> None:
+        self.total += value
+        self.any = True
+
+    def result(self) -> float | None:
+        return self.total if self.any else None
+
+
+class Avg(AggregateFunction):
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        self.total += value
+        self.count += 1
+
+    def result(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+
+class Min(AggregateFunction):
+    def __init__(self) -> None:
+        self.value: Any = None
+
+    def add(self, value: Any) -> None:
+        if self.value is None or value < self.value:
+            self.value = value
+
+    def result(self) -> Any:
+        return self.value
+
+
+class Max(AggregateFunction):
+    def __init__(self) -> None:
+        self.value: Any = None
+
+    def add(self, value: Any) -> None:
+        if self.value is None or value > self.value:
+            self.value = value
+
+    def result(self) -> Any:
+        return self.value
+
+
+class Stddev(AggregateFunction):
+    """Sample standard deviation via Welford's algorithm."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def add(self, value: Any) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    def result(self) -> float | None:
+        if self.count < 2:
+            return None
+        return math.sqrt(self.m2 / (self.count - 1))
+
+
+class Percentile(AggregateFunction):
+    """Exact percentile (stores values; fine at window scale)."""
+
+    def __init__(self, fraction: float) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise StreamError("percentile fraction must be in [0, 1]")
+        self.fraction = fraction
+        self.values: list[Any] = []
+
+    def add(self, value: Any) -> None:
+        self.values.append(value)
+
+    def result(self) -> Any:
+        if not self.values:
+            return None
+        ordered = sorted(self.values)
+        index = min(
+            len(ordered) - 1, max(0, math.ceil(self.fraction * len(ordered)) - 1)
+        )
+        return ordered[index]
+
+
+class First(AggregateFunction):
+    def __init__(self) -> None:
+        self.value: Any = None
+        self.seen = False
+
+    def add(self, value: Any) -> None:
+        if not self.seen:
+            self.value = value
+            self.seen = True
+
+    def result(self) -> Any:
+        return self.value
+
+
+class Last(AggregateFunction):
+    def __init__(self) -> None:
+        self.value: Any = None
+
+    def add(self, value: Any) -> None:
+        self.value = value
+
+    def result(self) -> Any:
+        return self.value
+
+
+# (output name) -> (field to read, factory for the aggregate function)
+AggregateSpec = dict[str, tuple[str | None, Callable[[], AggregateFunction]]]
+
+
+class WindowAggregate(Operator):
+    """Summarize each pane into one event.
+
+    Example::
+
+        agg = WindowAggregate(window, "vwap_1m", {
+            "volume": ("qty", Sum),
+            "trades": (None, Count),
+            "high": ("price", Max),
+        })
+
+    emits ``Event("vwap_1m", pane.end, {"volume": ..., "trades": ...,
+    "high": ..., "window_start": ..., "window_end": ..., "key": ...})``.
+    """
+
+    def __init__(
+        self,
+        upstream: Stream,
+        output_type: str,
+        spec: AggregateSpec,
+        *,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name or f"aggregate({output_type})", upstream)
+        self.output_type = output_type
+        self.spec = dict(spec)
+
+    def process(self, event: Event) -> None:
+        if event.event_type != PANE_EVENT_TYPE:
+            raise StreamError(
+                "WindowAggregate must consume a window operator's panes"
+            )
+        pane: WindowPane = event["pane"]
+        payload: dict[str, Any] = {
+            "window_start": pane.start,
+            "window_end": pane.end,
+            "key": pane.key,
+            "count": len(pane),
+        }
+        for output_name, (field_name, factory) in self.spec.items():
+            fn = factory()
+            if field_name is None:
+                for _event in pane.events:
+                    fn.add(1)
+            else:
+                for value in pane.values(field_name):
+                    fn.add(value)
+            payload[output_name] = fn.result()
+        self.emit(
+            Event(
+                event_type=self.output_type,
+                timestamp=pane.end,
+                payload=payload,
+                source=self.name,
+                causes=tuple(e.event_id for e in pane.events[:32]),
+            )
+        )

@@ -1,0 +1,210 @@
+"""Continuous analytics: identify *valuable* continuous queries
+(§2.2.c.i.4) and score streams for anomaly content.
+
+Three layers:
+
+* :class:`StreamStatistics` — running count/mean/variance (Welford),
+  EWMA, and extremes for any numeric stream field.
+* :class:`AnomalyDetector` — z-score of each observation against the
+  EWMA baseline; emits deviation scores used by the sense-and-respond
+  core.
+* :class:`QueryValueScorer` — given candidate continuous queries run
+  over a *labelled* stream (ground-truth critical timestamps), scores
+  each query's output by precision/recall/timeliness and combines them
+  into a value score.  "Continuous analytics provide the technology to
+  identify valuable continuous queries" is the claim; EXP-7 checks that
+  the scorer's top-k ranking recovers the queries that actually track
+  the labelled condition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import StreamError
+from repro.events import Event
+
+
+class StreamStatistics:
+    """Running statistics over a numeric sequence."""
+
+    def __init__(self, *, ewma_alpha: float = 0.1) -> None:
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise StreamError("ewma_alpha must be in (0, 1]")
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+        self.ewma: float | None = None
+        self.ewma_alpha = ewma_alpha
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+        if self.ewma is None:
+            self.ewma = value
+        else:
+            self.ewma += self.ewma_alpha * (value - self.ewma)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0.0 until two observations arrive)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class AnomalyDetector:
+    """Z-score anomaly detection against a running baseline.
+
+    ``score(value)`` returns ``|value - baseline| / stddev`` (0.0 while
+    warming up); ``observe`` also updates the baseline.  Scores at or
+    above ``threshold`` count as anomalies.
+    """
+
+    def __init__(
+        self,
+        *,
+        threshold: float = 3.0,
+        ewma_alpha: float = 0.1,
+        warmup: int = 10,
+    ) -> None:
+        self.stats = StreamStatistics(ewma_alpha=ewma_alpha)
+        self.threshold = threshold
+        self.warmup = warmup
+        self.anomalies = 0
+
+    def score(self, value: float) -> float:
+        if self.stats.count < self.warmup:
+            return 0.0
+        baseline = self.stats.ewma if self.stats.ewma is not None else self.stats.mean
+        deviation = abs(value - baseline)
+        if self.stats.stddev == 0.0:
+            # Zero-variance history: any departure is maximally surprising.
+            return 0.0 if deviation == 0.0 else float("inf")
+        return deviation / self.stats.stddev
+
+    def observe(self, value: float) -> float:
+        """Score first, then absorb the value into the baseline."""
+        result = self.score(value)
+        self.stats.add(value)
+        if result >= self.threshold:
+            self.anomalies += 1
+        return result
+
+    def is_anomaly(self, value: float) -> bool:
+        return self.observe(value) >= self.threshold
+
+
+@dataclass
+class QueryScore:
+    """Value assessment of one candidate continuous query."""
+
+    name: str
+    alerts: int
+    hits: int
+    precision: float
+    recall: float
+    mean_detection_delay: float | None
+    value: float
+
+
+@dataclass
+class _Candidate:
+    name: str
+    alert_times: list[float] = field(default_factory=list)
+
+
+class QueryValueScorer:
+    """Scores candidate queries against ground-truth critical episodes.
+
+    An alert *hits* an episode when it falls inside
+    ``[episode, episode + tolerance]``.  The value score is the F1 of
+    precision/recall discounted by normalized detection delay — a query
+    that fires precisely, covers every episode, and fires early is
+    maximally valuable; a chatty or blind query scores near zero.
+    """
+
+    def __init__(self, truth: Iterable[float], *, tolerance: float = 60.0) -> None:
+        self.truth = sorted(truth)
+        self.tolerance = tolerance
+        self._candidates: dict[str, _Candidate] = {}
+
+    def record_alert(self, query_name: str, timestamp: float) -> None:
+        candidate = self._candidates.setdefault(
+            query_name, _Candidate(query_name)
+        )
+        candidate.alert_times.append(timestamp)
+
+    def register(self, query_name: str) -> None:
+        """Make a candidate known even before (or without) any alert —
+        a query that never fires must appear in the ranking with zero
+        value rather than silently vanish."""
+        self._candidates.setdefault(query_name, _Candidate(query_name))
+
+    def attach(self, query: "object") -> None:
+        """Subscribe to a ContinuousQuery's output stream."""
+        name = query.name  # type: ignore[attr-defined]
+        self.register(name)
+        query.sink(  # type: ignore[attr-defined]
+            lambda event: self.record_alert(name, event.timestamp)
+        )
+
+    def _score_one(self, candidate: _Candidate) -> QueryScore:
+        alerts = sorted(candidate.alert_times)
+        hits = 0
+        covered: set[float] = set()
+        delays: list[float] = []
+        for alert in alerts:
+            matched = None
+            for episode in self.truth:
+                if episode <= alert <= episode + self.tolerance:
+                    matched = episode
+                    break
+            if matched is not None:
+                hits += 1
+                if matched not in covered:
+                    covered.add(matched)
+                    delays.append(alert - matched)
+        precision = hits / len(alerts) if alerts else 0.0
+        recall = len(covered) / len(self.truth) if self.truth else 0.0
+        if precision + recall > 0:
+            f1 = 2 * precision * recall / (precision + recall)
+        else:
+            f1 = 0.0
+        mean_delay = sum(delays) / len(delays) if delays else None
+        timeliness = (
+            1.0 - (mean_delay / self.tolerance) if mean_delay is not None else 0.0
+        )
+        value = f1 * (0.5 + 0.5 * max(0.0, timeliness))
+        return QueryScore(
+            name=candidate.name,
+            alerts=len(alerts),
+            hits=hits,
+            precision=precision,
+            recall=recall,
+            mean_detection_delay=mean_delay,
+            value=value,
+        )
+
+    def scores(self) -> list[QueryScore]:
+        """All candidates, most valuable first."""
+        return sorted(
+            (self._score_one(c) for c in self._candidates.values()),
+            key=lambda score: -score.value,
+        )
+
+    def top(self, k: int) -> list[QueryScore]:
+        """The k most valuable queries — what an operator would deploy."""
+        return self.scores()[:k]

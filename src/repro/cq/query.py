@@ -1,0 +1,221 @@
+"""Continuous-query facade and registry.
+
+:class:`ContinuousQuery` offers a fluent builder over the operator
+modules so applications write::
+
+    cq = (ContinuousQuery("hot_meters", source)
+          .filter("usage > 100")
+          .window_tumbling(60.0, key_field="meter_id")
+          .aggregate("meter_minute", {"avg_usage": ("usage", Avg)})
+          .sink(alerts.append))
+
+:class:`CQEngine` names and owns queries, routes events to their source
+streams, and exposes per-query statistics — the bookkeeping the
+analytics layer (EXP-7) uses to score which queries are valuable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.cq.aggregate import AggregateSpec, WindowAggregate
+from repro.cq.operators import FilterOperator, MapOperator, StreamTableJoin
+from repro.cq.pattern import PatternMatcher, Seq
+from repro.cq.stream import Stream
+from repro.cq.window import (
+    CountWindow,
+    SessionWindow,
+    SlidingWindow,
+    TumblingWindow,
+)
+from repro.db.database import Database
+from repro.errors import StreamError
+from repro.events import Event
+
+
+class ContinuousQuery:
+    """A named dataflow pipeline built stage by stage."""
+
+    def __init__(self, name: str, source: Stream | None = None) -> None:
+        self.name = name
+        self.source = source or Stream(f"{name}.source")
+        self.head: Stream = self.source
+        self._flushables: list[Any] = []
+        self.outputs: list[Event] = []
+        self._collect_outputs = False
+
+    # -- builder stages ------------------------------------------------------
+
+    def filter(self, condition: Any) -> "ContinuousQuery":
+        self.head = FilterOperator(
+            self.head, condition, name=f"{self.name}.filter"
+        )
+        return self
+
+    def map(
+        self, fn: Callable[[Event], Any], *, output_type: str | None = None
+    ) -> "ContinuousQuery":
+        self.head = MapOperator(
+            self.head, fn, output_type=output_type, name=f"{self.name}.map"
+        )
+        return self
+
+    def window_tumbling(
+        self, size: float, *, key_field: str | None = None, allowed_lateness: float = 0.0
+    ) -> "ContinuousQuery":
+        window = TumblingWindow(
+            self.head,
+            size,
+            key_field=key_field,
+            allowed_lateness=allowed_lateness,
+            name=f"{self.name}.window",
+        )
+        self._flushables.append(window)
+        self.head = window
+        return self
+
+    def window_sliding(
+        self, size: float, slide: float, *, key_field: str | None = None
+    ) -> "ContinuousQuery":
+        window = SlidingWindow(
+            self.head, size, slide, key_field=key_field, name=f"{self.name}.window"
+        )
+        self._flushables.append(window)
+        self.head = window
+        return self
+
+    def window_count(
+        self, count: int, *, key_field: str | None = None
+    ) -> "ContinuousQuery":
+        window = CountWindow(
+            self.head, count, key_field=key_field, name=f"{self.name}.window"
+        )
+        self._flushables.append(window)
+        self.head = window
+        return self
+
+    def window_session(
+        self, gap: float, *, key_field: str | None = None
+    ) -> "ContinuousQuery":
+        window = SessionWindow(
+            self.head, gap, key_field=key_field, name=f"{self.name}.window"
+        )
+        self._flushables.append(window)
+        self.head = window
+        return self
+
+    def aggregate(self, output_type: str, spec: AggregateSpec) -> "ContinuousQuery":
+        self.head = WindowAggregate(
+            self.head, output_type, spec, name=f"{self.name}.aggregate"
+        )
+        return self
+
+    def pattern(
+        self,
+        pattern: Seq,
+        *,
+        output_type: str,
+        selection: str = "skip_till_next",
+        prune_expired: bool = True,
+    ) -> "ContinuousQuery":
+        self.head = PatternMatcher(
+            self.head,
+            pattern,
+            output_type=output_type,
+            selection=selection,
+            prune_expired=prune_expired,
+            name=f"{self.name}.pattern",
+        )
+        return self
+
+    def lookup(
+        self,
+        db: Database,
+        table_name: str,
+        *,
+        event_key: str,
+        table_key: str,
+        prefix: str = "",
+    ) -> "ContinuousQuery":
+        self.head = StreamTableJoin(
+            self.head,
+            db,
+            table_name,
+            event_key=event_key,
+            table_key=table_key,
+            prefix=prefix,
+            name=f"{self.name}.lookup",
+        )
+        return self
+
+    def sink(self, fn: Callable[[Event], None]) -> "ContinuousQuery":
+        """Attach an output consumer (terminal but repeatable)."""
+        self.head.subscribe(fn)
+        return self
+
+    def collect(self) -> "ContinuousQuery":
+        """Also record outputs on ``self.outputs`` (tests, analytics)."""
+        if not self._collect_outputs:
+            self._collect_outputs = True
+            self.head.subscribe(self.outputs.append)
+        return self
+
+    # -- runtime ----------------------------------------------------------------
+
+    def push(self, event: Event) -> None:
+        self.source.push(event)
+
+    def flush(self) -> None:
+        """Close open windows (end of stream / end of epoch)."""
+        for stage in self._flushables:
+            stage.flush()
+
+    @property
+    def events_in(self) -> int:
+        return self.source.events_in
+
+    @property
+    def events_out(self) -> int:
+        return self.head.events_out
+
+
+class CQEngine:
+    """Registry of continuous queries sharing one input feed."""
+
+    def __init__(self) -> None:
+        self._queries: dict[str, ContinuousQuery] = {}
+
+    def register(self, query: ContinuousQuery) -> ContinuousQuery:
+        if query.name in self._queries:
+            raise StreamError(f"continuous query {query.name!r} already exists")
+        self._queries[query.name] = query
+        return query
+
+    def deregister(self, name: str) -> None:
+        if name not in self._queries:
+            raise StreamError(f"continuous query {name!r} does not exist")
+        del self._queries[name]
+
+    def query(self, name: str) -> ContinuousQuery:
+        try:
+            return self._queries[name]
+        except KeyError:
+            raise StreamError(f"continuous query {name!r} does not exist") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._queries)
+
+    def push(self, event: Event) -> None:
+        """Feed one event to every registered query."""
+        for query in self._queries.values():
+            query.push(event)
+
+    def flush(self) -> None:
+        for query in self._queries.values():
+            query.flush()
+
+    def statistics(self) -> dict[str, dict[str, int]]:
+        return {
+            name: {"events_in": q.events_in, "events_out": q.events_out}
+            for name, q in self._queries.items()
+        }

@@ -1,0 +1,71 @@
+"""Push-based streams: the dataflow substrate for continuous queries.
+
+A :class:`Stream` is a named channel of :class:`repro.events.Event`.
+Operators are themselves streams that subscribe to an upstream and push
+derived events downstream, so arbitrary dataflow graphs compose from
+one primitive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.events import Event
+
+EventSink = Callable[[Event], None]
+
+
+class Stream:
+    """A named event channel with fan-out."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._sinks: list[EventSink] = []
+        self.events_in = 0
+        self.events_out = 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+    def subscribe(self, sink: EventSink) -> "Stream":
+        """Attach a downstream consumer; returns self for chaining."""
+        self._sinks.append(sink)
+        return self
+
+    def unsubscribe(self, sink: EventSink) -> None:
+        self._sinks.remove(sink)
+
+    def push(self, event: Event) -> None:
+        """Inject an event; the default stream forwards unchanged."""
+        self.events_in += 1
+        self.emit(event)
+
+    def emit(self, event: Event) -> None:
+        """Deliver an event to every subscriber."""
+        self.events_out += 1
+        for sink in self._sinks:
+            sink(event)
+
+
+class Operator(Stream):
+    """A stream derived from an upstream stream.
+
+    Subclasses implement :meth:`process`; construction wires the
+    subscription so graphs are built by just instantiating operators.
+    """
+
+    def __init__(self, name: str, upstream: Stream) -> None:
+        super().__init__(name)
+        self.upstream = upstream
+        upstream.subscribe(self.push)
+
+    def push(self, event: Event) -> None:
+        self.events_in += 1
+        self.process(event)
+
+    def process(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def detach(self) -> None:
+        """Disconnect from the upstream (stops receiving events)."""
+        self.upstream.unsubscribe(self.push)

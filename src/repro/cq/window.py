@@ -1,0 +1,271 @@
+"""Window operators: tumbling, sliding, count, session.
+
+Windows segment a stream by *event time* (the event's own timestamp,
+not arrival time).  A window operator collects events into panes and
+emits each completed :class:`WindowPane` to its subscribers wrapped in
+a ``window.pane`` event whose payload holds the pane.
+
+Completion is watermark-by-progress: a pane closes when an event at or
+beyond its end arrives (event time is assumed mostly ordered, the
+stream norm); ``allowed_lateness`` tolerates bounded disorder, and
+anything later is dropped and counted in ``late_dropped`` — an honest
+accounting the tests assert on.  ``flush()`` force-closes open panes at
+end of stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cq.stream import Operator, Stream
+from repro.errors import WindowError
+from repro.events import Event
+
+PANE_EVENT_TYPE = "window.pane"
+
+
+@dataclass
+class WindowPane:
+    """One completed window: its bounds, key, and contents."""
+
+    start: float
+    end: float
+    events: list[Event] = field(default_factory=list)
+    key: Any = None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def values(self, field_name: str) -> list[Any]:
+        """Extract one payload field from every event (None-skipping)."""
+        result = []
+        for event in self.events:
+            value = event.get(field_name)
+            if value is not None:
+                result.append(value)
+        return result
+
+
+def _pane_event(pane: WindowPane, source: str) -> Event:
+    return Event(
+        event_type=PANE_EVENT_TYPE,
+        timestamp=pane.end,
+        payload={"pane": pane, "start": pane.start, "end": pane.end, "key": pane.key},
+        source=source,
+    )
+
+
+class TumblingWindow(Operator):
+    """Fixed, non-overlapping windows of ``size`` seconds, aligned to
+    multiples of ``size`` — optionally partitioned by ``key_field``."""
+
+    def __init__(
+        self,
+        upstream: Stream,
+        size: float,
+        *,
+        key_field: str | None = None,
+        allowed_lateness: float = 0.0,
+        name: str | None = None,
+    ) -> None:
+        if size <= 0:
+            raise WindowError("window size must be positive")
+        super().__init__(name or f"tumbling({size})", upstream)
+        self.size = size
+        self.key_field = key_field
+        self.allowed_lateness = allowed_lateness
+        self._panes: dict[tuple[Any, float], WindowPane] = {}
+        self._watermark = float("-inf")
+        self.late_dropped = 0
+
+    def _key(self, event: Event) -> Any:
+        return event.get(self.key_field) if self.key_field else None
+
+    def process(self, event: Event) -> None:
+        timestamp = event.timestamp
+        if timestamp < self._watermark - self.allowed_lateness:
+            self.late_dropped += 1
+            return
+        self._watermark = max(self._watermark, timestamp)
+        start = (timestamp // self.size) * self.size
+        key = self._key(event)
+        pane = self._panes.get((key, start))
+        if pane is None:
+            pane = WindowPane(start=start, end=start + self.size, key=key)
+            self._panes[(key, start)] = pane
+        pane.events.append(event)
+        self._close_expired()
+
+    def _close_expired(self) -> None:
+        horizon = self._watermark - self.allowed_lateness
+        ready = [
+            pane_key
+            for pane_key, pane in self._panes.items()
+            if pane.end <= horizon
+        ]
+        for pane_key in sorted(ready, key=lambda item: item[1]):
+            pane = self._panes.pop(pane_key)
+            self.emit(_pane_event(pane, self.name))
+
+    def flush(self) -> None:
+        """Close every open pane (end of stream)."""
+        for pane_key in sorted(self._panes, key=lambda item: item[1]):
+            pane = self._panes.pop(pane_key)
+            self.emit(_pane_event(pane, self.name))
+
+
+class SlidingWindow(Operator):
+    """Overlapping windows: ``size`` seconds every ``slide`` seconds.
+
+    Each event lands in ``ceil(size / slide)`` panes.
+    """
+
+    def __init__(
+        self,
+        upstream: Stream,
+        size: float,
+        slide: float,
+        *,
+        key_field: str | None = None,
+        allowed_lateness: float = 0.0,
+        name: str | None = None,
+    ) -> None:
+        if size <= 0 or slide <= 0:
+            raise WindowError("window size and slide must be positive")
+        if slide > size:
+            raise WindowError(
+                "slide larger than size leaves gaps; use a tumbling window"
+            )
+        super().__init__(name or f"sliding({size},{slide})", upstream)
+        self.size = size
+        self.slide = slide
+        self.key_field = key_field
+        self.allowed_lateness = allowed_lateness
+        self._panes: dict[tuple[Any, float], WindowPane] = {}
+        self._watermark = float("-inf")
+        self.late_dropped = 0
+
+    def process(self, event: Event) -> None:
+        timestamp = event.timestamp
+        if timestamp < self._watermark - self.allowed_lateness:
+            self.late_dropped += 1
+            return
+        self._watermark = max(self._watermark, timestamp)
+        key = event.get(self.key_field) if self.key_field else None
+        # Pane starts are the multiples of slide in (ts - size, ts].
+        start = ((timestamp - self.size) // self.slide + 1) * self.slide
+        while start <= timestamp:
+            if timestamp < start + self.size:
+                pane = self._panes.get((key, start))
+                if pane is None:
+                    pane = WindowPane(start=start, end=start + self.size, key=key)
+                    self._panes[(key, start)] = pane
+                pane.events.append(event)
+            start += self.slide
+        self._close_expired()
+
+    def _close_expired(self) -> None:
+        horizon = self._watermark - self.allowed_lateness
+        ready = sorted(
+            (pane_key for pane_key, pane in self._panes.items() if pane.end <= horizon),
+            key=lambda item: item[1],
+        )
+        for pane_key in ready:
+            self.emit(_pane_event(self._panes.pop(pane_key), self.name))
+
+    def flush(self) -> None:
+        for pane_key in sorted(self._panes, key=lambda item: item[1]):
+            self.emit(_pane_event(self._panes.pop(pane_key), self.name))
+
+
+class CountWindow(Operator):
+    """Every ``count`` events forms a pane (optionally per key)."""
+
+    def __init__(
+        self,
+        upstream: Stream,
+        count: int,
+        *,
+        key_field: str | None = None,
+        name: str | None = None,
+    ) -> None:
+        if count <= 0:
+            raise WindowError("count must be positive")
+        super().__init__(name or f"count({count})", upstream)
+        self.count = count
+        self.key_field = key_field
+        self._buffers: dict[Any, list[Event]] = {}
+
+    def process(self, event: Event) -> None:
+        key = event.get(self.key_field) if self.key_field else None
+        buffer = self._buffers.setdefault(key, [])
+        buffer.append(event)
+        if len(buffer) >= self.count:
+            pane = WindowPane(
+                start=buffer[0].timestamp,
+                end=buffer[-1].timestamp,
+                events=list(buffer),
+                key=key,
+            )
+            buffer.clear()
+            self.emit(_pane_event(pane, self.name))
+
+    def flush(self) -> None:
+        for key, buffer in list(self._buffers.items()):
+            if buffer:
+                pane = WindowPane(
+                    start=buffer[0].timestamp,
+                    end=buffer[-1].timestamp,
+                    events=list(buffer),
+                    key=key,
+                )
+                buffer.clear()
+                self.emit(_pane_event(pane, self.name))
+
+
+class SessionWindow(Operator):
+    """Activity sessions: a pane closes after ``gap`` seconds of
+    silence (per key)."""
+
+    def __init__(
+        self,
+        upstream: Stream,
+        gap: float,
+        *,
+        key_field: str | None = None,
+        name: str | None = None,
+    ) -> None:
+        if gap <= 0:
+            raise WindowError("session gap must be positive")
+        super().__init__(name or f"session({gap})", upstream)
+        self.gap = gap
+        self.key_field = key_field
+        self._sessions: dict[Any, WindowPane] = {}
+        self._watermark = float("-inf")
+
+    def process(self, event: Event) -> None:
+        timestamp = event.timestamp
+        self._watermark = max(self._watermark, timestamp)
+        key = event.get(self.key_field) if self.key_field else None
+        session = self._sessions.get(key)
+        if session is not None and timestamp - session.end > self.gap:
+            self.emit(_pane_event(self._sessions.pop(key), self.name))
+            session = None
+        if session is None:
+            session = WindowPane(start=timestamp, end=timestamp, key=key)
+            self._sessions[key] = session
+        session.events.append(event)
+        session.end = max(session.end, timestamp)
+        # Close other keys' idle sessions as time advances.
+        idle = [
+            session_key
+            for session_key, pane in self._sessions.items()
+            if self._watermark - pane.end > self.gap
+        ]
+        for session_key in idle:
+            self.emit(_pane_event(self._sessions.pop(session_key), self.name))
+
+    def flush(self) -> None:
+        for key in sorted(self._sessions, key=lambda k: self._sessions[k].start):
+            self.emit(_pane_event(self._sessions.pop(key), self.name))

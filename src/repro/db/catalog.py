@@ -1,0 +1,99 @@
+"""System catalog: the registry of tables, indexes, and triggers.
+
+The catalog is also queryable as data — ``describe()`` returns rows the
+same shape an information-schema view would, which the examples use to
+show "the database knows its own event configuration".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.db.storage import HeapTable
+from repro.db.schema import TableSchema
+from repro.db.triggers import TriggerRegistry
+from repro.errors import SchemaError
+
+
+class Catalog:
+    """Owns every schema object in one database."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, HeapTable] = {}
+        self.triggers = TriggerRegistry()
+
+    # -- tables ------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> HeapTable:
+        if schema.name in self._tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        table = HeapTable(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> HeapTable:
+        name = name.lower()
+        table = self._tables.pop(name, None)
+        if table is None:
+            raise SchemaError(f"table {name!r} does not exist")
+        for trigger in self.triggers.for_table(name):
+            self.triggers.drop(trigger.name)
+        return table
+
+    def table(self, name: str) -> HeapTable:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise SchemaError(f"table {name!r} does not exist") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def tables(self) -> list[HeapTable]:
+        return [self._tables[name] for name in sorted(self._tables)]
+
+    # -- introspection -------------------------------------------------------
+
+    def describe(self) -> list[dict[str, Any]]:
+        """One row per catalog object, information-schema style."""
+        rows: list[dict[str, Any]] = []
+        for name in sorted(self._tables):
+            table = self._tables[name]
+            rows.append(
+                {
+                    "object_type": "table",
+                    "name": name,
+                    "detail": ", ".join(
+                        f"{c.name} {c.col_type.name}" for c in table.schema.columns
+                    ),
+                    "row_count": len(table),
+                }
+            )
+            for index_name in sorted(table.indexes):
+                index = table.indexes[index_name]
+                rows.append(
+                    {
+                        "object_type": "index",
+                        "name": index_name,
+                        "detail": f"on {name}({index.column})"
+                        + (" unique" if index.unique else ""),
+                        "row_count": None,
+                    }
+                )
+        for trigger_name in self.triggers.names():
+            trigger = self.triggers.get(trigger_name)
+            rows.append(
+                {
+                    "object_type": "trigger",
+                    "name": trigger_name,
+                    "detail": (
+                        f"{trigger.timing.value} {trigger.event.value} "
+                        f"on {trigger.table}"
+                    ),
+                    "row_count": None,
+                }
+            )
+        return rows

@@ -1,0 +1,697 @@
+"""Expression AST and evaluator with SQL three-valued logic.
+
+This module is the single expression engine for the whole platform:
+SQL ``WHERE`` clauses, ``CHECK`` constraints, trigger ``WHEN`` clauses,
+the rule engine's "expressions as data", continuous-query filters, and
+pub/sub content filters all evaluate the same AST.
+
+Evaluation follows SQL semantics: any comparison involving NULL yields
+UNKNOWN (Python ``None``), and AND/OR/NOT implement Kleene logic.
+
+The analysis helpers at the bottom (:func:`conjuncts`,
+:meth:`Expression.as_equality`, :meth:`Expression.as_range`) are what
+the rule-engine predicate index (EXP-4) is built on.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.db.types import compare_values
+from repro.errors import ExpressionError
+
+
+class Expression:
+    """Base class for expression AST nodes."""
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        """Evaluate against a row (mapping of column name to value)."""
+        raise NotImplementedError
+
+    def referenced_columns(self) -> set[str]:
+        """All column names this expression reads."""
+        result: set[str] = set()
+        self._collect_columns(result)
+        return result
+
+    def _collect_columns(self, into: set[str]) -> None:
+        for child in self.children():
+            child._collect_columns(into)
+
+    def children(self) -> Iterator["Expression"]:
+        return iter(())
+
+    # -- analysis hooks used by the predicate index ---------------------
+
+    def as_equality(self) -> tuple[str, Any] | None:
+        """Return ``(column, constant)`` when this node is ``col = const``."""
+        return None
+
+    def as_range(self) -> tuple[str, Any, Any, bool, bool] | None:
+        """Return ``(column, low, high, low_inclusive, high_inclusive)``
+        when this node constrains one column to a constant interval.
+        ``None`` bounds mean unbounded on that side."""
+        return None
+
+
+class Literal(Expression):
+    """A constant value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        return self.value
+
+
+class ColumnRef(Expression):
+    """A reference to a column, optionally qualified (``t.col``).
+
+    Lookup tries the qualified name first, then the bare name; this lets
+    the same node work against single-table rows and join rows whose
+    keys are qualified.
+    """
+
+    __slots__ = ("name", "qualifier")
+
+    def __init__(self, name: str, qualifier: str | None = None) -> None:
+        self.name = name.lower()
+        self.qualifier = qualifier.lower() if qualifier else None
+
+    def __repr__(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+    @property
+    def full_name(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        if self.qualifier:
+            qualified = f"{self.qualifier}.{self.name}"
+            if qualified in row:
+                return row[qualified]
+        if self.name in row:
+            return row[self.name]
+        raise ExpressionError(f"unknown column {self.full_name!r}")
+
+    def _collect_columns(self, into: set[str]) -> None:
+        into.add(self.name)
+
+
+def _is_unknown(value: Any) -> bool:
+    return value is None
+
+
+def _truthy(value: Any) -> bool:
+    """SQL condition result to Python bool: UNKNOWN/NULL counts as false."""
+    return bool(value) and value is not None
+
+
+_ARITHMETIC: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "%": lambda a, b: a % b,
+}
+
+_COMPARISONS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+class BinaryOp(Expression):
+    """Binary operator: arithmetic, comparison, AND/OR, string ``||``."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+    def children(self) -> Iterator[Expression]:
+        yield self.left
+        yield self.right
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        if self.op == "AND":
+            left = self.left.evaluate(row)
+            if not _is_unknown(left) and not _truthy(left):
+                return False  # FALSE AND anything = FALSE (short circuit)
+            right = self.right.evaluate(row)
+            if not _is_unknown(right) and not _truthy(right):
+                return False
+            if _is_unknown(left) or _is_unknown(right):
+                return None
+            return True
+        if self.op == "OR":
+            left = self.left.evaluate(row)
+            if _truthy(left):
+                return True  # TRUE OR anything = TRUE (short circuit)
+            right = self.right.evaluate(row)
+            if _truthy(right):
+                return True
+            if _is_unknown(left) or _is_unknown(right):
+                return None
+            return False
+
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if self.op in _COMPARISONS:
+            if _is_unknown(left) or _is_unknown(right):
+                return None
+            cmp = compare_values(left, right)
+            if self.op == "=":
+                return cmp == 0
+            if self.op == "!=":
+                return cmp != 0
+            if self.op == "<":
+                return cmp < 0
+            if self.op == "<=":
+                return cmp <= 0
+            if self.op == ">":
+                return cmp > 0
+            return cmp >= 0
+        if self.op == "||":
+            if _is_unknown(left) or _is_unknown(right):
+                return None
+            return str(left) + str(right)
+        if self.op == "/":
+            if _is_unknown(left) or _is_unknown(right):
+                return None
+            if right == 0:
+                raise ExpressionError("division by zero")
+            return left / right
+        if self.op in _ARITHMETIC:
+            if _is_unknown(left) or _is_unknown(right):
+                return None
+            try:
+                return _ARITHMETIC[self.op](left, right)
+            except TypeError:
+                raise ExpressionError(
+                    f"operator {self.op!r} not applicable to "
+                    f"{type(left).__name__} and {type(right).__name__}"
+                ) from None
+        raise ExpressionError(f"unknown operator {self.op!r}")
+
+    def as_equality(self) -> tuple[str, Any] | None:
+        if self.op != "=":
+            return None
+        if isinstance(self.left, ColumnRef) and isinstance(self.right, Literal):
+            return (self.left.name, self.right.value)
+        if isinstance(self.right, ColumnRef) and isinstance(self.left, Literal):
+            return (self.right.name, self.left.value)
+        return None
+
+    def as_range(self) -> tuple[str, Any, Any, bool, bool] | None:
+        column: str
+        value: Any
+        op = self.op
+        if isinstance(self.left, ColumnRef) and isinstance(self.right, Literal):
+            column, value = self.left.name, self.right.value
+        elif isinstance(self.right, ColumnRef) and isinstance(self.left, Literal):
+            column, value = self.right.name, self.left.value
+            flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+            op = flip.get(op, op)
+        else:
+            return None
+        if value is None:
+            return None
+        if op == "<":
+            return (column, None, value, False, False)
+        if op == "<=":
+            return (column, None, value, False, True)
+        if op == ">":
+            return (column, value, None, False, False)
+        if op == ">=":
+            return (column, value, None, True, False)
+        if op == "=":
+            return (column, value, value, True, True)
+        return None
+
+
+class UnaryOp(Expression):
+    """Unary NOT and arithmetic negation."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expression) -> None:
+        self.op = op
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return f"({self.op} {self.operand!r})"
+
+    def children(self) -> Iterator[Expression]:
+        yield self.operand
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        value = self.operand.evaluate(row)
+        if self.op == "NOT":
+            if _is_unknown(value):
+                return None
+            return not _truthy(value)
+        if self.op == "-":
+            if _is_unknown(value):
+                return None
+            return -value
+        raise ExpressionError(f"unknown unary operator {self.op!r}")
+
+
+class IsNull(Expression):
+    """``expr IS NULL`` / ``expr IS NOT NULL`` — never UNKNOWN."""
+
+    __slots__ = ("operand", "negated")
+
+    def __init__(self, operand: Expression, negated: bool = False) -> None:
+        self.operand = operand
+        self.negated = negated
+
+    def __repr__(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand!r} {suffix})"
+
+    def children(self) -> Iterator[Expression]:
+        yield self.operand
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        is_null = self.operand.evaluate(row) is None
+        return not is_null if self.negated else is_null
+
+
+class InList(Expression):
+    """``expr IN (v1, v2, ...)`` with SQL NULL semantics."""
+
+    __slots__ = ("operand", "items", "negated")
+
+    def __init__(
+        self, operand: Expression, items: list[Expression], negated: bool = False
+    ) -> None:
+        self.operand = operand
+        self.items = items
+        self.negated = negated
+
+    def __repr__(self) -> str:
+        keyword = "NOT IN" if self.negated else "IN"
+        inner = ", ".join(repr(item) for item in self.items)
+        return f"({self.operand!r} {keyword} ({inner}))"
+
+    def children(self) -> Iterator[Expression]:
+        yield self.operand
+        yield from self.items
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return None
+        saw_null = False
+        for item in self.items:
+            candidate = item.evaluate(row)
+            if candidate is None:
+                saw_null = True
+            elif compare_values(value, candidate) == 0:
+                return not self.negated
+        if saw_null:
+            return None
+        return self.negated
+
+
+class Between(Expression):
+    """``expr BETWEEN low AND high`` (inclusive both ends)."""
+
+    __slots__ = ("operand", "low", "high", "negated")
+
+    def __init__(
+        self,
+        operand: Expression,
+        low: Expression,
+        high: Expression,
+        negated: bool = False,
+    ) -> None:
+        self.operand = operand
+        self.low = low
+        self.high = high
+        self.negated = negated
+
+    def __repr__(self) -> str:
+        keyword = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"({self.operand!r} {keyword} {self.low!r} AND {self.high!r})"
+
+    def children(self) -> Iterator[Expression]:
+        yield self.operand
+        yield self.low
+        yield self.high
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        value = self.operand.evaluate(row)
+        low = self.low.evaluate(row)
+        high = self.high.evaluate(row)
+        if value is None or low is None or high is None:
+            return None
+        inside = compare_values(value, low) >= 0 and compare_values(value, high) <= 0
+        return not inside if self.negated else inside
+
+    def as_range(self) -> tuple[str, Any, Any, bool, bool] | None:
+        if self.negated:
+            return None
+        if (
+            isinstance(self.operand, ColumnRef)
+            and isinstance(self.low, Literal)
+            and isinstance(self.high, Literal)
+            and self.low.value is not None
+            and self.high.value is not None
+        ):
+            return (self.operand.name, self.low.value, self.high.value, True, True)
+        return None
+
+
+class Like(Expression):
+    """``expr LIKE pattern`` with ``%`` and ``_`` wildcards."""
+
+    __slots__ = ("operand", "pattern", "negated", "_regex")
+
+    def __init__(
+        self, operand: Expression, pattern: Expression, negated: bool = False
+    ) -> None:
+        self.operand = operand
+        self.pattern = pattern
+        self.negated = negated
+        self._regex: re.Pattern[str] | None = None
+        if isinstance(pattern, Literal) and isinstance(pattern.value, str):
+            self._regex = _like_to_regex(pattern.value)
+
+    def __repr__(self) -> str:
+        keyword = "NOT LIKE" if self.negated else "LIKE"
+        return f"({self.operand!r} {keyword} {self.pattern!r})"
+
+    def children(self) -> Iterator[Expression]:
+        yield self.operand
+        yield self.pattern
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return None
+        regex = self._regex
+        if regex is None:
+            pattern_value = self.pattern.evaluate(row)
+            if pattern_value is None:
+                return None
+            regex = _like_to_regex(str(pattern_value))
+        matched = regex.fullmatch(str(value)) is not None
+        return not matched if self.negated else matched
+
+
+def _like_to_regex(pattern: str) -> re.Pattern[str]:
+    parts: list[str] = []
+    for char in pattern:
+        if char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+    return re.compile("".join(parts), re.DOTALL)
+
+
+class Case(Expression):
+    """Searched CASE: ``CASE WHEN c1 THEN v1 ... ELSE d END``."""
+
+    __slots__ = ("branches", "default")
+
+    def __init__(
+        self,
+        branches: list[tuple[Expression, Expression]],
+        default: Expression | None = None,
+    ) -> None:
+        if not branches:
+            raise ExpressionError("CASE requires at least one WHEN branch")
+        self.branches = branches
+        self.default = default
+
+    def __repr__(self) -> str:
+        parts = [f"WHEN {c!r} THEN {v!r}" for c, v in self.branches]
+        if self.default is not None:
+            parts.append(f"ELSE {self.default!r}")
+        return "CASE " + " ".join(parts) + " END"
+
+    def children(self) -> Iterator[Expression]:
+        for condition, value in self.branches:
+            yield condition
+            yield value
+        if self.default is not None:
+            yield self.default
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        for condition, value in self.branches:
+            if _truthy(condition.evaluate(row)):
+                return value.evaluate(row)
+        if self.default is not None:
+            return self.default.evaluate(row)
+        return None
+
+
+def _fn_coalesce(*args: Any) -> Any:
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _null_guard(fn: Callable[..., Any]) -> Callable[..., Any]:
+    def wrapped(*args: Any) -> Any:
+        if any(arg is None for arg in args):
+            return None
+        return fn(*args)
+
+    return wrapped
+
+
+_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "abs": _null_guard(abs),
+    "length": _null_guard(lambda s: len(str(s))),
+    "lower": _null_guard(lambda s: str(s).lower()),
+    "upper": _null_guard(lambda s: str(s).upper()),
+    "round": _null_guard(lambda x, digits=0: round(x, int(digits))),
+    "floor": _null_guard(lambda x: math.floor(x)),
+    "ceil": _null_guard(lambda x: math.ceil(x)),
+    "sqrt": _null_guard(lambda x: math.sqrt(x)),
+    "ln": _null_guard(lambda x: math.log(x)),
+    "exp": _null_guard(lambda x: math.exp(x)),
+    "sign": _null_guard(lambda x: (x > 0) - (x < 0)),
+    "min": _null_guard(min),
+    "max": _null_guard(max),
+    "coalesce": _fn_coalesce,
+    "nullif": lambda a, b: None if a == b else a,
+    "substr": _null_guard(
+        lambda s, start, length=None: str(s)[
+            int(start) - 1 : None if length is None else int(start) - 1 + int(length)
+        ]
+    ),
+    "trim": _null_guard(lambda s: str(s).strip()),
+    "instr": _null_guard(lambda s, sub: str(s).find(str(sub)) + 1),
+}
+
+
+def register_function(name: str, fn: Callable[..., Any]) -> None:
+    """Register a scalar function usable from every expression context."""
+    _FUNCTIONS[name.lower()] = fn
+
+
+class FunctionCall(Expression):
+    """Scalar function call, e.g. ``abs(x - y)``."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: list[Expression]) -> None:
+        self.name = name.lower()
+        self.args = args
+        if self.name not in _FUNCTIONS:
+            raise ExpressionError(f"unknown function {name!r}")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(arg) for arg in self.args)
+        return f"{self.name}({inner})"
+
+    def children(self) -> Iterator[Expression]:
+        yield from self.args
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        values = [arg.evaluate(row) for arg in self.args]
+        try:
+            return _FUNCTIONS[self.name](*values)
+        except (ValueError, TypeError) as exc:
+            raise ExpressionError(f"{self.name}(): {exc}") from None
+
+
+# --------------------------------------------------------------------------
+# Structural serialization — "expressions as data"
+# --------------------------------------------------------------------------
+#
+# The tutorial highlights storing expressions *as data* inside the
+# database (§2.2.c.i.2).  These converters give every expression a
+# JSON-stable form so rules, subscriptions, and CHECK constraints can be
+# persisted in catalog tables and journaled through the WAL.
+
+
+def expression_to_dict(expression: Expression) -> dict[str, Any]:
+    """Serialize an expression AST to a JSON-compatible dict."""
+    if isinstance(expression, Literal):
+        return {"node": "literal", "value": expression.value}
+    if isinstance(expression, ColumnRef):
+        return {
+            "node": "column",
+            "name": expression.name,
+            "qualifier": expression.qualifier,
+        }
+    if isinstance(expression, BinaryOp):
+        return {
+            "node": "binary",
+            "op": expression.op,
+            "left": expression_to_dict(expression.left),
+            "right": expression_to_dict(expression.right),
+        }
+    if isinstance(expression, UnaryOp):
+        return {
+            "node": "unary",
+            "op": expression.op,
+            "operand": expression_to_dict(expression.operand),
+        }
+    if isinstance(expression, IsNull):
+        return {
+            "node": "isnull",
+            "operand": expression_to_dict(expression.operand),
+            "negated": expression.negated,
+        }
+    if isinstance(expression, InList):
+        return {
+            "node": "in",
+            "operand": expression_to_dict(expression.operand),
+            "items": [expression_to_dict(item) for item in expression.items],
+            "negated": expression.negated,
+        }
+    if isinstance(expression, Between):
+        return {
+            "node": "between",
+            "operand": expression_to_dict(expression.operand),
+            "low": expression_to_dict(expression.low),
+            "high": expression_to_dict(expression.high),
+            "negated": expression.negated,
+        }
+    if isinstance(expression, Like):
+        return {
+            "node": "like",
+            "operand": expression_to_dict(expression.operand),
+            "pattern": expression_to_dict(expression.pattern),
+            "negated": expression.negated,
+        }
+    if isinstance(expression, Case):
+        return {
+            "node": "case",
+            "branches": [
+                [expression_to_dict(cond), expression_to_dict(value)]
+                for cond, value in expression.branches
+            ],
+            "default": (
+                expression_to_dict(expression.default)
+                if expression.default is not None
+                else None
+            ),
+        }
+    if isinstance(expression, FunctionCall):
+        return {
+            "node": "call",
+            "name": expression.name,
+            "args": [expression_to_dict(arg) for arg in expression.args],
+        }
+    raise ExpressionError(
+        f"cannot serialize expression node {type(expression).__name__}"
+    )
+
+
+def expression_from_dict(data: Mapping[str, Any]) -> Expression:
+    """Rebuild an expression AST from :func:`expression_to_dict` output."""
+    node = data.get("node")
+    if node == "literal":
+        return Literal(data["value"])
+    if node == "column":
+        return ColumnRef(data["name"], data.get("qualifier"))
+    if node == "binary":
+        return BinaryOp(
+            data["op"],
+            expression_from_dict(data["left"]),
+            expression_from_dict(data["right"]),
+        )
+    if node == "unary":
+        return UnaryOp(data["op"], expression_from_dict(data["operand"]))
+    if node == "isnull":
+        return IsNull(expression_from_dict(data["operand"]), data["negated"])
+    if node == "in":
+        return InList(
+            expression_from_dict(data["operand"]),
+            [expression_from_dict(item) for item in data["items"]],
+            data["negated"],
+        )
+    if node == "between":
+        return Between(
+            expression_from_dict(data["operand"]),
+            expression_from_dict(data["low"]),
+            expression_from_dict(data["high"]),
+            data["negated"],
+        )
+    if node == "like":
+        return Like(
+            expression_from_dict(data["operand"]),
+            expression_from_dict(data["pattern"]),
+            data["negated"],
+        )
+    if node == "case":
+        return Case(
+            [
+                (expression_from_dict(cond), expression_from_dict(value))
+                for cond, value in data["branches"]
+            ],
+            (
+                expression_from_dict(data["default"])
+                if data.get("default") is not None
+                else None
+            ),
+        )
+    if node == "call":
+        return FunctionCall(
+            data["name"], [expression_from_dict(arg) for arg in data["args"]]
+        )
+    raise ExpressionError(f"cannot deserialize expression node {node!r}")
+
+
+# --------------------------------------------------------------------------
+# Analysis helpers (rule-engine predicate index, planner)
+# --------------------------------------------------------------------------
+
+
+def conjuncts(expression: Expression) -> list[Expression]:
+    """Split an expression on top-level ANDs.
+
+    ``a = 1 AND b > 2 AND c LIKE 'x%'`` yields three conjuncts — the
+    unit the predicate index and access-path planner both reason about.
+    """
+    if isinstance(expression, BinaryOp) and expression.op == "AND":
+        return conjuncts(expression.left) + conjuncts(expression.right)
+    return [expression]
+
+
+def evaluate_predicate(expression: Expression, row: Mapping[str, Any]) -> bool:
+    """Evaluate a boolean expression, mapping UNKNOWN to False."""
+    return _truthy(expression.evaluate(row))

@@ -1,0 +1,15 @@
+"""SQL subset: lexer → parser → planner → executor.
+
+Supported statements: CREATE TABLE / CREATE [UNIQUE] INDEX /
+CREATE TRIGGER / DROP TABLE / DROP INDEX / DROP TRIGGER / INSERT /
+UPDATE / DELETE / SELECT (WHERE, JOIN, GROUP BY, HAVING, ORDER BY,
+LIMIT/OFFSET, aggregates) / BEGIN / COMMIT / ROLLBACK / SAVEPOINT.
+
+:func:`parse_expression` parses a standalone boolean/scalar expression
+and is how the rule engine and pub/sub filters accept conditions as
+text ("expressions as data").
+"""
+
+from repro.db.sql.parser import parse_expression, parse_statement
+
+__all__ = ["parse_statement", "parse_expression"]

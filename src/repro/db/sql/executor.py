@@ -1,0 +1,815 @@
+"""Statement execution against a :class:`repro.db.database.Database`.
+
+The executor is stateless: it receives the database facade and the
+current connection, plans row access, and routes every mutation through
+the database's core ``insert_row``/``update_row``/``delete_row``
+methods so SQL and the programmatic API share one code path (locks,
+WAL, triggers, undo).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.db.expr import (
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+    evaluate_predicate,
+)
+from repro.db.index import _sort_key
+from repro.db.sql.ast import (
+    AggregateCall,
+    BeginStatement,
+    CommitStatement,
+    CreateIndex,
+    CreateTable,
+    CreateTrigger,
+    Delete,
+    DropIndex,
+    DropTable,
+    DropTrigger,
+    ExistsSelect,
+    Explain,
+    InSelect,
+    Insert,
+    JoinClause,
+    RollbackStatement,
+    SavepointStatement,
+    Select,
+    SelectItem,
+    Statement,
+    Update,
+)
+from repro.db.sql.planner import plan_access
+from repro.errors import DatabaseError, ExpressionError, SqlSyntaxError
+
+if TYPE_CHECKING:
+    from repro.db.database import Connection, Database
+
+
+@dataclass
+class Result:
+    """Outcome of one statement execution."""
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    rowcount: int = 0
+    lastrowid: int | None = None
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> Any:
+        """First column of the first row (e.g. ``SELECT count(*)``)."""
+        if not self.rows:
+            return None
+        first = self.rows[0]
+        if not self.columns:
+            return next(iter(first.values()), None)
+        return first[self.columns[0]]
+
+    def column(self, name: str) -> list[Any]:
+        return [row[name] for row in self.rows]
+
+
+def execute(db: "Database", conn: "Connection", statement: Statement) -> Result:
+    """Execute a parsed statement; transaction control is handled by the
+    connection before this is reached."""
+    if isinstance(statement, Explain):
+        return _execute_explain(db, conn, statement)
+    if isinstance(statement, Select):
+        return _execute_select(db, conn, statement)
+    if isinstance(statement, Insert):
+        return _execute_insert(db, conn, statement)
+    if isinstance(statement, Update):
+        return _execute_update(db, conn, statement)
+    if isinstance(statement, Delete):
+        return _execute_delete(db, conn, statement)
+    if isinstance(statement, CreateTable):
+        db.create_table_from_def(conn, statement)
+        return Result()
+    if isinstance(statement, DropTable):
+        db.drop_table(statement.table, if_exists=statement.if_exists, conn=conn)
+        return Result()
+    if isinstance(statement, CreateIndex):
+        db.create_index(
+            statement.name,
+            statement.table,
+            statement.column,
+            unique=statement.unique,
+            kind=statement.kind,
+            conn=conn,
+        )
+        return Result()
+    if isinstance(statement, DropIndex):
+        db.drop_index(statement.name, statement.table)
+        return Result()
+    if isinstance(statement, CreateTrigger):
+        db.create_trigger_from_def(statement)
+        return Result()
+    if isinstance(statement, DropTrigger):
+        db.drop_trigger(statement.name)
+        return Result()
+    if isinstance(
+        statement,
+        (BeginStatement, CommitStatement, RollbackStatement, SavepointStatement),
+    ):
+        raise DatabaseError(
+            "transaction control must be handled by the connection"
+        )
+    raise DatabaseError(f"unsupported statement {type(statement).__name__}")
+
+
+def _execute_explain(db: "Database", conn: "Connection", stmt: Explain) -> Result:
+    """Describe the access path the inner statement would use."""
+    steps: list[str] = []
+    inner = stmt.statement
+    if isinstance(inner, (Update, Delete)):
+        table = db.catalog.table(inner.table)
+        where = _resolve_subqueries(db, conn, inner.where)
+        steps.append(plan_access(table, where).explain())
+        steps.append(
+            "UPDATE rows" if isinstance(inner, Update) else "DELETE rows"
+        )
+    elif isinstance(inner, Select):
+        if inner.table is None:
+            steps.append("CONSTANT (no table)")
+        else:
+            where = _resolve_subqueries(db, conn, inner.where)
+            if inner.joins:
+                steps.append(f"SCAN {inner.table}")
+                for join in inner.joins:
+                    strategy = (
+                        "HASH JOIN"
+                        if _equi_join_columns(join.on, join.alias or join.table)
+                        else "NESTED LOOP"
+                    )
+                    steps.append(f"{strategy} {join.kind.upper()} {join.table}")
+                if where is not None:
+                    steps.append("FILTER residual WHERE")
+            else:
+                table = db.catalog.table(inner.table)
+                steps.append(plan_access(table, where).explain())
+        if inner.group_by or _collect_aggregates(inner):
+            steps.append("AGGREGATE")
+        if inner.distinct:
+            steps.append("DISTINCT")
+        if inner.order_by:
+            steps.append("SORT")
+        if inner.limit is not None or inner.offset:
+            steps.append("LIMIT/OFFSET")
+    else:
+        raise DatabaseError("EXPLAIN supports SELECT, UPDATE, and DELETE")
+    rows = [{"step": index + 1, "operation": text}
+            for index, text in enumerate(steps)]
+    return Result(columns=["step", "operation"], rows=rows, rowcount=len(rows))
+
+
+# --------------------------------------------------------------------------
+# DML
+# --------------------------------------------------------------------------
+
+
+def _execute_insert(db: "Database", conn: "Connection", stmt: Insert) -> Result:
+    from repro.db.triggers import TriggerEvent, TriggerTiming
+
+    table = db.catalog.table(stmt.table)
+    schema = table.schema
+    txid = conn.require_transaction().txid
+    db.fire_statement_triggers(
+        table.name, TriggerEvent.INSERT, TriggerTiming.BEFORE, txid, 0, connection=conn
+    )
+    result = Result()
+    if stmt.select is not None:
+        selected = _execute_select(db, conn, stmt.select)
+        # Positional semantics: SELECT output maps onto the target's
+        # declared columns (or the explicit column list) by position.
+        names = (
+            stmt.columns if stmt.columns is not None else schema.column_names
+        )
+        if len(names) != len(selected.columns):
+            raise SqlSyntaxError(
+                f"INSERT target has {len(names)} columns; SELECT produced "
+                f"{len(selected.columns)}"
+            )
+        for source_row in selected.rows:
+            values = {
+                name: source_row[column]
+                for name, column in zip(names, selected.columns)
+            }
+            result.lastrowid = db.insert_row(stmt.table, values, conn=conn)
+            result.rowcount += 1
+        db.fire_statement_triggers(
+            table.name, TriggerEvent.INSERT, TriggerTiming.AFTER, txid,
+            result.rowcount, connection=conn,
+        )
+        return result
+    for value_exprs in stmt.rows:
+        if stmt.columns is not None:
+            if len(stmt.columns) != len(value_exprs):
+                raise SqlSyntaxError(
+                    f"INSERT has {len(value_exprs)} values for "
+                    f"{len(stmt.columns)} columns"
+                )
+            names = stmt.columns
+        else:
+            if len(value_exprs) != len(schema.columns):
+                raise SqlSyntaxError(
+                    f"INSERT has {len(value_exprs)} values; table "
+                    f"{schema.name!r} has {len(schema.columns)} columns"
+                )
+            names = schema.column_names
+        values = {
+            name: expression.evaluate({}) for name, expression in zip(names, value_exprs)
+        }
+        result.lastrowid = db.insert_row(stmt.table, values, conn=conn)
+        result.rowcount += 1
+    db.fire_statement_triggers(
+        table.name, TriggerEvent.INSERT, TriggerTiming.AFTER, txid, result.rowcount, connection=conn
+    )
+    return result
+
+
+def _execute_update(db: "Database", conn: "Connection", stmt: Update) -> Result:
+    from repro.db.triggers import TriggerEvent, TriggerTiming
+
+    db.lock_table_exclusive(conn, stmt.table)
+    table = db.catalog.table(stmt.table)
+    txid = conn.require_transaction().txid
+    db.fire_statement_triggers(
+        table.name, TriggerEvent.UPDATE, TriggerTiming.BEFORE, txid, 0, connection=conn
+    )
+    where = _resolve_subqueries(db, conn, stmt.where)
+    assignments = [
+        (column, _resolve_subqueries(db, conn, expression))
+        for column, expression in stmt.assignments
+    ]
+    stmt = Update(stmt.table, assignments, where)
+    path = plan_access(table, stmt.where)
+    targets = [(rowid, row) for rowid, row in path.rows()]
+    count = 0
+    for rowid, row in targets:
+        updates = {
+            column: expression.evaluate(row)
+            for column, expression in stmt.assignments
+        }
+        db.update_row(stmt.table, rowid, updates, conn=conn)
+        count += 1
+    db.fire_statement_triggers(
+        table.name, TriggerEvent.UPDATE, TriggerTiming.AFTER, txid, count, connection=conn
+    )
+    return Result(rowcount=count)
+
+
+def _execute_delete(db: "Database", conn: "Connection", stmt: Delete) -> Result:
+    from repro.db.triggers import TriggerEvent, TriggerTiming
+
+    db.lock_table_exclusive(conn, stmt.table)
+    table = db.catalog.table(stmt.table)
+    txid = conn.require_transaction().txid
+    db.fire_statement_triggers(
+        table.name, TriggerEvent.DELETE, TriggerTiming.BEFORE, txid, 0, connection=conn
+    )
+    path = plan_access(table, _resolve_subqueries(db, conn, stmt.where))
+    targets = [rowid for rowid, _row in path.rows()]
+    for rowid in targets:
+        db.delete_row(stmt.table, rowid, conn=conn)
+    db.fire_statement_triggers(
+        table.name, TriggerEvent.DELETE, TriggerTiming.AFTER, txid, len(targets), connection=conn
+    )
+    return Result(rowcount=len(targets))
+
+
+# --------------------------------------------------------------------------
+# SELECT
+# --------------------------------------------------------------------------
+
+
+def _execute_select(db: "Database", conn: "Connection", stmt: Select) -> Result:
+    if stmt.table is None:
+        # Table-less SELECT: evaluate expressions against an empty row.
+        row, columns = _project(stmt.items, {}, aggregates=None, ordinal=[0])
+        return Result(columns=columns, rows=[row], rowcount=1)
+
+    db.lock_table_shared(conn, stmt.table)
+    for join in stmt.joins:
+        db.lock_table_shared(conn, join.table)
+
+    where = _resolve_subqueries(db, conn, stmt.where)
+
+    if not stmt.joins:
+        # Single-table SELECT: let the planner pick an index path.  The
+        # path re-applies the full WHERE as a residual filter, so no
+        # second filtering pass is needed.  Qualified references in the
+        # WHERE (``o.price``) still resolve: ColumnRef falls back to the
+        # bare column name.
+        table = db.catalog.table(stmt.table)
+        base_alias = stmt.alias or stmt.table
+        path = plan_access(table, where)
+        source_rows = [
+            _qualify(row, base_alias) for _rowid, row in path.rows()
+        ]
+    else:
+        source_rows = list(_scan_from_clause(db, stmt))
+        if where is not None:
+            source_rows = [
+                row for row in source_rows if evaluate_predicate(where, row)
+            ]
+
+    aggregate_nodes = _collect_aggregates(stmt)
+    if stmt.group_by or aggregate_nodes:
+        output_pairs = _execute_grouped(stmt, source_rows, aggregate_nodes)
+    else:
+        output_pairs = []
+        ordinal = [0]
+        for row in source_rows:
+            projected, columns = _project(
+                stmt.items, row, aggregates=None, ordinal=ordinal
+            )
+            output_pairs.append((projected, row))
+
+    columns = _output_columns(stmt, source_rows)
+
+    if stmt.distinct:
+        seen: set[tuple[Any, ...]] = set()
+        unique_pairs = []
+        for projected, base in output_pairs:
+            key = tuple(_sort_key(projected.get(name)) for name in columns)
+            if key not in seen:
+                seen.add(key)
+                unique_pairs.append((projected, base))
+        output_pairs = unique_pairs
+
+    if stmt.order_by:
+        def order_key(pair: tuple[dict[str, Any], dict[str, Any]]):
+            projected, base = pair
+            merged = {**base, **projected}
+            keys = []
+            for index, item in enumerate(stmt.order_by):
+                hidden = f"__order_{index}"
+                if hidden in base:
+                    value = base[hidden]  # precomputed by the grouped path
+                else:
+                    value = _evaluate_ordering(item.expression, merged, projected)
+                key = _sort_key(value)
+                keys.append(_Reversed(key) if item.descending else key)
+            return keys
+
+        output_pairs.sort(key=order_key)
+
+    rows = [projected for projected, _base in output_pairs]
+    if stmt.offset:
+        rows = rows[stmt.offset :]
+    if stmt.limit is not None:
+        rows = rows[: stmt.limit]
+    return Result(columns=columns, rows=rows, rowcount=len(rows))
+
+
+class _Reversed:
+    """Inverts comparison for DESC sort keys."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.key == self.key
+
+
+def _evaluate_ordering(
+    expression: Expression, merged: dict[str, Any], projected: dict[str, Any]
+) -> Any:
+    # An ORDER BY item may name a projection alias not present in the
+    # base row; aliases win, then base columns.
+    if isinstance(expression, ColumnRef) and expression.qualifier is None:
+        if expression.name in projected:
+            return projected[expression.name]
+    return expression.evaluate(merged)
+
+
+def _scan_from_clause(db: "Database", stmt: Select) -> Iterator[dict[str, Any]]:
+    """Produce joined rows with both bare and qualified column keys."""
+    base_table = db.catalog.table(stmt.table)
+    base_alias = stmt.alias or stmt.table
+
+    rows: Iterator[dict[str, Any]] = (
+        _qualify(row, base_alias) for _rowid, row in base_table.scan()
+    )
+    for join in stmt.joins:
+        rows = _apply_join(db, rows, join)
+    return rows
+
+
+def _qualify(row: dict[str, Any], alias: str) -> dict[str, Any]:
+    qualified = dict(row)
+    for key, value in row.items():
+        qualified[f"{alias}.{key}"] = value
+    return qualified
+
+
+def _apply_join(
+    db: "Database", left_rows: Iterator[dict[str, Any]], join: JoinClause
+) -> Iterator[dict[str, Any]]:
+    right_table = db.catalog.table(join.table)
+    right_alias = join.alias or join.table
+    right_rows = [_qualify(row, right_alias) for _rowid, row in right_table.scan()]
+
+    # Equi-join fast path: build a hash table on the right side.
+    equi = _equi_join_columns(join.on, right_alias)
+    if equi is not None:
+        left_expr, right_key = equi
+        buckets: dict[Any, list[dict[str, Any]]] = {}
+        for row in right_rows:
+            key = row.get(right_key)
+            if key is not None:
+                buckets.setdefault(_hash_fold(key), []).append(row)
+        for left in left_rows:
+            try:
+                key = left_expr.evaluate(left)
+            except ExpressionError:
+                key = None
+            matches = buckets.get(_hash_fold(key), []) if key is not None else []
+            emitted = False
+            for right in matches:
+                merged = _merge_join_row(left, right)
+                if evaluate_predicate(join.on, merged):
+                    emitted = True
+                    yield merged
+            if not emitted and join.kind == "left":
+                yield _merge_join_row(left, _null_row(right_table, right_alias))
+        return
+
+    for left in left_rows:
+        emitted = False
+        for right in right_rows:
+            merged = _merge_join_row(left, right)
+            if evaluate_predicate(join.on, merged):
+                emitted = True
+                yield merged
+        if not emitted and join.kind == "left":
+            yield _merge_join_row(left, _null_row(right_table, right_alias))
+
+
+def _merge_join_row(
+    left: dict[str, Any], right: dict[str, Any]
+) -> dict[str, Any]:
+    # Qualified keys from both sides always survive; on bare-name
+    # collision the left (earlier) binding wins, matching documented
+    # ambiguity rules.
+    merged = dict(right)
+    merged.update(left)
+    return merged
+
+
+def _null_row(table: Any, alias: str) -> dict[str, Any]:
+    row = {name: None for name in table.schema.column_names}
+    return _qualify(row, alias)
+
+
+def _hash_fold(key: Any) -> Any:
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, float) and key.is_integer():
+        return int(key)
+    return key
+
+
+def _equi_join_columns(
+    on: Expression, right_alias: str
+) -> tuple[Expression, str] | None:
+    """Detect ``<left expr> = <right.col>`` (either side order) so the
+    join can be hashed. Returns (left-side expression, right row key)."""
+    if not (isinstance(on, BinaryOp) and on.op == "="):
+        return None
+    left, right = on.left, on.right
+    for first, second in ((left, right), (right, left)):
+        if (
+            isinstance(second, ColumnRef)
+            and second.qualifier == right_alias
+        ):
+            referenced = (
+                first.qualifier
+                if isinstance(first, ColumnRef)
+                else None
+            )
+            if referenced != right_alias:
+                return first, second.full_name
+    return None
+
+
+# --------------------------------------------------------------------------
+# Aggregation
+# --------------------------------------------------------------------------
+
+
+def _collect_aggregates(stmt: Select) -> list[AggregateCall]:
+    found: list[AggregateCall] = []
+
+    def walk(expression: Expression) -> None:
+        if isinstance(expression, AggregateCall):
+            found.append(expression)
+            return
+        for child in expression.children():
+            walk(child)
+
+    for item in stmt.items:
+        if not item.is_star:
+            walk(item.expression)
+    if stmt.having is not None:
+        walk(stmt.having)
+    for order in stmt.order_by:
+        walk(order.expression)
+    return found
+
+
+def _aggregate_key(node: AggregateCall) -> str:
+    return repr(node)
+
+
+def _compute_aggregate(
+    node: AggregateCall, rows: list[dict[str, Any]]
+) -> Any:
+    if node.argument is None:  # COUNT(*)
+        return len(rows)
+    values = []
+    for row in rows:
+        value = node.argument.evaluate(row)
+        if value is not None:
+            values.append(value)
+    if node.distinct:
+        unique: list[Any] = []
+        seen: set[Any] = set()
+        for value in values:
+            folded = _hash_fold(value)
+            if folded not in seen:
+                seen.add(folded)
+                unique.append(value)
+        values = unique
+    name = node.name
+    if name == "count":
+        return len(values)
+    if not values:
+        return None
+    if name == "sum":
+        return sum(values)
+    if name == "avg":
+        return sum(values) / len(values)
+    if name == "min":
+        return min(values)
+    if name == "max":
+        return max(values)
+    if name == "stddev":
+        if len(values) < 2:
+            return None
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        return math.sqrt(variance)
+    raise ExpressionError(f"unknown aggregate {name!r}")
+
+
+def _rewrite_tree(
+    expression: Expression, visit: "Any"
+) -> Expression:
+    """Rebuild an expression tree bottom-up.
+
+    ``visit(node)`` may return a replacement node (stopping descent into
+    it) or None to recurse into the node's children normally.
+    """
+    replacement = visit(expression)
+    if replacement is not None:
+        return replacement
+
+    def recurse(node: Expression) -> Expression:
+        return _rewrite_tree(node, visit)
+
+    if isinstance(expression, (Literal, ColumnRef)):
+        return expression
+    if isinstance(expression, BinaryOp):
+        return BinaryOp(
+            expression.op, recurse(expression.left), recurse(expression.right)
+        )
+    if isinstance(expression, UnaryOp):
+        return UnaryOp(expression.op, recurse(expression.operand))
+    if isinstance(expression, IsNull):
+        return IsNull(recurse(expression.operand), expression.negated)
+    if isinstance(expression, InList):
+        return InList(
+            recurse(expression.operand),
+            [recurse(item) for item in expression.items],
+            expression.negated,
+        )
+    if isinstance(expression, Between):
+        return Between(
+            recurse(expression.operand),
+            recurse(expression.low),
+            recurse(expression.high),
+            expression.negated,
+        )
+    if isinstance(expression, Like):
+        return Like(
+            recurse(expression.operand),
+            recurse(expression.pattern),
+            expression.negated,
+        )
+    if isinstance(expression, Case):
+        return Case(
+            [(recurse(cond), recurse(value)) for cond, value in expression.branches],
+            recurse(expression.default) if expression.default is not None else None,
+        )
+    if isinstance(expression, FunctionCall):
+        return FunctionCall(
+            expression.name, [recurse(arg) for arg in expression.args]
+        )
+    if isinstance(expression, AggregateCall):
+        if expression.argument is None:
+            return expression
+        return AggregateCall(
+            name=expression.name,
+            argument=recurse(expression.argument),
+            distinct=expression.distinct,
+        )
+    return expression
+
+
+def _substitute_aggregates(
+    expression: Expression, values: dict[str, Any]
+) -> Expression:
+    """Rebuild the tree with AggregateCall nodes replaced by Literals."""
+
+    def visit(node: Expression) -> Expression | None:
+        if isinstance(node, AggregateCall):
+            return Literal(values[_aggregate_key(node)])
+        return None
+
+    return _rewrite_tree(expression, visit)
+
+
+def _resolve_subqueries(
+    db: "Database", conn: "Connection", expression: Expression | None
+) -> Expression | None:
+    """Materialize uncorrelated subqueries: ``IN (SELECT ...)`` becomes
+    a literal IN-list, ``EXISTS (SELECT ...)`` a boolean literal.
+
+    Each subquery runs exactly once per statement.  Correlated
+    subqueries (referencing outer columns) fail inside the subquery's
+    own evaluation with an unknown-column error — documented as
+    unsupported.
+    """
+    if expression is None:
+        return None
+
+    def visit(node: Expression) -> Expression | None:
+        if isinstance(node, InSelect):
+            result = _execute_select(db, conn, node.subquery)
+            if len(result.columns) != 1:
+                raise SqlSyntaxError(
+                    "IN (SELECT ...) requires a single-column subquery"
+                )
+            column = result.columns[0]
+            items: list[Expression] = [
+                Literal(row[column]) for row in result.rows
+            ]
+            operand = _resolve_subqueries(db, conn, node.operand)
+            return InList(operand, items, node.negated)
+        if isinstance(node, ExistsSelect):
+            result = _execute_select(db, conn, node.subquery)
+            exists = len(result.rows) > 0
+            return Literal(not exists if node.negated else exists)
+        return None
+
+    return _rewrite_tree(expression, visit)
+
+
+def _execute_grouped(
+    stmt: Select,
+    source_rows: list[dict[str, Any]],
+    aggregate_nodes: list[AggregateCall],
+) -> list[tuple[dict[str, Any], dict[str, Any]]]:
+    groups: dict[tuple[Any, ...], list[dict[str, Any]]] = {}
+    if stmt.group_by:
+        for row in source_rows:
+            key = tuple(
+                _hash_fold(expression.evaluate(row)) for expression in stmt.group_by
+            )
+            groups.setdefault(key, []).append(row)
+    else:
+        groups[()] = source_rows  # One global group (possibly empty).
+
+    output: list[tuple[dict[str, Any], dict[str, Any]]] = []
+    ordinal = [0]
+    for _key, rows in groups.items():
+        representative = rows[0] if rows else {}
+        aggregate_values = {
+            _aggregate_key(node): _compute_aggregate(node, rows)
+            for node in aggregate_nodes
+        }
+        if stmt.having is not None:
+            having = _substitute_aggregates(stmt.having, aggregate_values)
+            if not evaluate_predicate(having, representative):
+                continue
+        projected, _columns = _project(
+            stmt.items, representative, aggregates=aggregate_values, ordinal=ordinal
+        )
+        base = dict(representative)
+        # Precompute ORDER BY values so sorting never re-encounters a
+        # raw AggregateCall node.
+        for index, order in enumerate(stmt.order_by):
+            substituted = _substitute_aggregates(
+                order.expression, aggregate_values
+            )
+            try:
+                base[f"__order_{index}"] = substituted.evaluate(
+                    {**base, **projected}
+                )
+            except ExpressionError:
+                base[f"__order_{index}"] = projected.get(
+                    _item_name_for_order(order.expression, projected)
+                )
+        output.append((projected, base))
+    return output
+
+
+def _item_name_for_order(expression: Expression, projected: dict[str, Any]) -> str:
+    if isinstance(expression, ColumnRef) and expression.name in projected:
+        return expression.name
+    return ""
+
+
+# --------------------------------------------------------------------------
+# Projection
+# --------------------------------------------------------------------------
+
+
+def _item_name(item: SelectItem, ordinal: int) -> str:
+    if item.alias:
+        return item.alias
+    expression = item.expression
+    if isinstance(expression, ColumnRef):
+        return expression.name
+    if isinstance(expression, AggregateCall):
+        return expression.name
+    return f"col{ordinal}"
+
+
+def _project(
+    items: list[SelectItem],
+    row: dict[str, Any],
+    aggregates: dict[str, Any] | None,
+    ordinal: list[int],
+) -> tuple[dict[str, Any], list[str]]:
+    projected: dict[str, Any] = {}
+    columns: list[str] = []
+    position = 0
+    for item in items:
+        if item.is_star:
+            for key, value in row.items():
+                if "." in key:
+                    continue  # Qualified duplicates stay internal.
+                if key not in projected:
+                    projected[key] = value
+                    columns.append(key)
+            continue
+        position += 1
+        name = _item_name(item, position)
+        expression = item.expression
+        if aggregates is not None:
+            expression = _substitute_aggregates(expression, aggregates)
+        projected[name] = expression.evaluate(row)
+        if name not in columns:
+            columns.append(name)
+    return projected, columns
+
+
+def _output_columns(stmt: Select, source_rows: list[dict[str, Any]]) -> list[str]:
+    columns: list[str] = []
+    position = 0
+    for item in stmt.items:
+        if item.is_star:
+            if source_rows:
+                for key in source_rows[0]:
+                    if "." not in key and key not in columns:
+                        columns.append(key)
+            continue
+        position += 1
+        name = _item_name(item, position)
+        if name not in columns:
+            columns.append(name)
+    return columns

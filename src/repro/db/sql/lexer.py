@@ -1,0 +1,124 @@
+"""Hand-written SQL tokenizer.
+
+Produces a flat token list the recursive-descent parser walks.  Keyword
+recognition is case-insensitive; identifiers are normalized later (by
+schema validation), strings use single quotes with ``''`` escaping,
+and ``--`` starts a line comment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+        "OFFSET", "ASC", "DESC", "AS", "DISTINCT", "JOIN", "INNER", "LEFT",
+        "OUTER", "ON", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+        "CREATE", "DROP", "TABLE", "INDEX", "UNIQUE", "TRIGGER", "PRIMARY",
+        "KEY", "NOT", "NULL", "DEFAULT", "CHECK", "AND", "OR", "IN",
+        "BETWEEN", "LIKE", "IS", "TRUE", "FALSE", "CASE", "WHEN", "THEN",
+        "ELSE", "END", "BEFORE", "AFTER", "OF", "FOR", "EACH", "ROW",
+        "STATEMENT", "EXECUTE", "BEGIN", "COMMIT", "ROLLBACK", "SAVEPOINT",
+        "TO", "USING", "HASH", "ORDERED", "IF", "EXISTS", "COUNT", "STAR",
+        "EXPLAIN",
+    }
+)
+
+_OPERATORS = (
+    "<>", "<=", ">=", "!=", "||",
+    "=", "<", ">", "+", "-", "*", "/", "%", "(", ")", ",", ".", ";",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | OP | EOF
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`SqlSyntaxError` with the
+    offending position on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            parts: list[str] = []
+            while True:
+                if i >= n:
+                    raise SqlSyntaxError("unterminated string literal", start)
+                if text[i] == "'":
+                    if i + 1 < n and text[i + 1] == "'":
+                        parts.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                parts.append(text[i])
+                i += 1
+            tokens.append(Token("STRING", "".join(parts), start))
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            start = i
+            saw_dot = False
+            saw_exp = False
+            while i < n:
+                c = text[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not saw_dot and not saw_exp:
+                    saw_dot = True
+                    i += 1
+                elif c in "eE" and not saw_exp and i > start:
+                    saw_exp = True
+                    i += 1
+                    if i < n and text[i] in "+-":
+                        i += 1
+                else:
+                    break
+            tokens.append(Token("NUMBER", text[start:i], start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, start))
+            else:
+                tokens.append(Token("IDENT", word, start))
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                # Normalize <> to !=.
+                value = "!=" if op == "<>" else op
+                tokens.append(Token("OP", value, i))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise SqlSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("EOF", "", n))
+    return tokens

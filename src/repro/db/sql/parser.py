@@ -1,0 +1,717 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar sketch (expressions use standard precedence):
+
+    expr        := or_expr
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | predicate
+    predicate   := additive (comparison | IS [NOT] NULL | [NOT] IN (...)
+                   | [NOT] BETWEEN additive AND additive
+                   | [NOT] LIKE additive)?
+    additive    := multiplicative (('+'|'-'|'||') multiplicative)*
+    multiplicative := unary (('*'|'/'|'%') unary)*
+    unary       := '-' unary | primary
+    primary     := literal | column | function '(' args ')' | CASE ... END
+                   | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.db.expr import (
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.db.sql.ast import (
+    AGGREGATE_NAMES,
+    AggregateCall,
+    BeginStatement,
+    ColumnDef,
+    CommitStatement,
+    CreateIndex,
+    CreateTable,
+    CreateTrigger,
+    Delete,
+    DropIndex,
+    DropTable,
+    DropTrigger,
+    ExistsSelect,
+    Explain,
+    InSelect,
+    Insert,
+    JoinClause,
+    OrderItem,
+    RollbackStatement,
+    SavepointStatement,
+    Select,
+    SelectItem,
+    Statement,
+    Update,
+)
+from repro.db.sql.lexer import Token, tokenize
+from repro.errors import SqlSyntaxError
+
+_COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, text: str, *, allow_aggregates: bool = False) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.position = 0
+        self.allow_aggregates = allow_aggregates
+
+    # -- token helpers ----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != "EOF":
+            self.position += 1
+        return token
+
+    def check_keyword(self, *keywords: str) -> bool:
+        token = self.peek()
+        return token.kind == "KEYWORD" and token.value in keywords
+
+    def accept_keyword(self, *keywords: str) -> Token | None:
+        if self.check_keyword(*keywords):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, keyword: str) -> Token:
+        token = self.accept_keyword(keyword)
+        if token is None:
+            actual = self.peek()
+            raise SqlSyntaxError(
+                f"expected {keyword}, found {actual.value or 'end of input'!r}",
+                actual.position,
+            )
+        return token
+
+    def accept_op(self, op: str) -> Token | None:
+        token = self.peek()
+        if token.kind == "OP" and token.value == op:
+            return self.advance()
+        return None
+
+    def expect_op(self, op: str) -> Token:
+        token = self.accept_op(op)
+        if token is None:
+            actual = self.peek()
+            raise SqlSyntaxError(
+                f"expected {op!r}, found {actual.value or 'end of input'!r}",
+                actual.position,
+            )
+        return token
+
+    def expect_identifier(self, kind: str = "identifier") -> str:
+        token = self.peek()
+        # Allow non-reserved use of a few keywords as identifiers? Keep
+        # strict: identifiers only.
+        if token.kind == "IDENT":
+            self.advance()
+            return token.value.lower()
+        raise SqlSyntaxError(
+            f"expected {kind}, found {token.value or 'end of input'!r}",
+            token.position,
+        )
+
+    def at_end(self) -> bool:
+        return self.peek().kind == "EOF"
+
+    # -- statement dispatch -----------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        token = self.peek()
+        if token.kind != "KEYWORD":
+            raise SqlSyntaxError(
+                f"expected a statement, found {token.value!r}", token.position
+            )
+        handlers = {
+            "EXPLAIN": self._parse_explain,
+            "SELECT": self._parse_select,
+            "INSERT": self._parse_insert,
+            "UPDATE": self._parse_update,
+            "DELETE": self._parse_delete,
+            "CREATE": self._parse_create,
+            "DROP": self._parse_drop,
+            "BEGIN": self._parse_begin,
+            "COMMIT": self._parse_commit,
+            "ROLLBACK": self._parse_rollback,
+            "SAVEPOINT": self._parse_savepoint,
+        }
+        handler = handlers.get(token.value)
+        if handler is None:
+            raise SqlSyntaxError(
+                f"unsupported statement {token.value}", token.position
+            )
+        statement = handler()
+        self.accept_op(";")
+        if not self.at_end():
+            trailing = self.peek()
+            raise SqlSyntaxError(
+                f"unexpected trailing input {trailing.value!r}", trailing.position
+            )
+        return statement
+
+    def _parse_explain(self) -> Statement:
+        self.expect_keyword("EXPLAIN")
+        token = self.peek()
+        if self.check_keyword("SELECT"):
+            inner: Statement = self._parse_select()
+        elif self.check_keyword("UPDATE"):
+            inner = self._parse_update()
+        elif self.check_keyword("DELETE"):
+            inner = self._parse_delete()
+        else:
+            raise SqlSyntaxError(
+                "EXPLAIN supports SELECT, UPDATE, and DELETE", token.position
+            )
+        return Explain(inner)
+
+    # -- transaction control ------------------------------------------------
+
+    def _parse_begin(self) -> Statement:
+        self.expect_keyword("BEGIN")
+        return BeginStatement()
+
+    def _parse_commit(self) -> Statement:
+        self.expect_keyword("COMMIT")
+        return CommitStatement()
+
+    def _parse_rollback(self) -> Statement:
+        self.expect_keyword("ROLLBACK")
+        savepoint = None
+        if self.accept_keyword("TO"):
+            savepoint = self.expect_identifier("savepoint name")
+        return RollbackStatement(savepoint=savepoint)
+
+    def _parse_savepoint(self) -> Statement:
+        self.expect_keyword("SAVEPOINT")
+        return SavepointStatement(self.expect_identifier("savepoint name"))
+
+    # -- DDL -----------------------------------------------------------------
+
+    def _parse_create(self) -> Statement:
+        self.expect_keyword("CREATE")
+        if self.check_keyword("TABLE"):
+            return self._parse_create_table()
+        if self.check_keyword("UNIQUE", "INDEX"):
+            return self._parse_create_index()
+        if self.check_keyword("TRIGGER"):
+            return self._parse_create_trigger()
+        token = self.peek()
+        raise SqlSyntaxError(
+            f"unsupported CREATE {token.value}", token.position
+        )
+
+    def _parse_create_table(self) -> CreateTable:
+        self.expect_keyword("TABLE")
+        if_not_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            self.expect_keyword("EXISTS")
+            if_not_exists = True
+        table = self.expect_identifier("table name")
+        self.expect_op("(")
+        columns: list[ColumnDef] = []
+        checks: list[Expression] = []
+        while True:
+            if self.accept_keyword("CHECK"):
+                self.expect_op("(")
+                checks.append(self.parse_expression())
+                self.expect_op(")")
+            else:
+                columns.append(self._parse_column_def())
+            if not self.accept_op(","):
+                break
+        self.expect_op(")")
+        return CreateTable(table, columns, checks, if_not_exists)
+
+    def _parse_column_def(self) -> ColumnDef:
+        name = self.expect_identifier("column name")
+        type_token = self.peek()
+        if type_token.kind not in ("IDENT", "KEYWORD"):
+            raise SqlSyntaxError("expected column type", type_token.position)
+        self.advance()
+        column = ColumnDef(name=name, type_name=type_token.value)
+        while True:
+            if self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                column.primary_key = True
+            elif self.accept_keyword("NOT"):
+                self.expect_keyword("NULL")
+                column.nullable = False
+            elif self.accept_keyword("NULL"):
+                column.nullable = True
+            elif self.accept_keyword("UNIQUE"):
+                column.unique = True
+            elif self.accept_keyword("DEFAULT"):
+                column.default = self._parse_literal_value()
+                column.has_default = True
+            else:
+                break
+        return column
+
+    def _parse_literal_value(self) -> Any:
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            return _number_value(token.value)
+        if token.kind == "STRING":
+            self.advance()
+            return token.value
+        if self.accept_keyword("NULL"):
+            return None
+        if self.accept_keyword("TRUE"):
+            return True
+        if self.accept_keyword("FALSE"):
+            return False
+        if token.kind == "OP" and token.value == "-":
+            self.advance()
+            number = self.peek()
+            if number.kind != "NUMBER":
+                raise SqlSyntaxError("expected number after '-'", number.position)
+            self.advance()
+            return -_number_value(number.value)
+        raise SqlSyntaxError("expected a literal value", token.position)
+
+    def _parse_create_index(self) -> CreateIndex:
+        unique = self.accept_keyword("UNIQUE") is not None
+        self.expect_keyword("INDEX")
+        name = self.expect_identifier("index name")
+        self.expect_keyword("ON")
+        table = self.expect_identifier("table name")
+        self.expect_op("(")
+        column = self.expect_identifier("column name")
+        self.expect_op(")")
+        kind = "ordered"
+        if self.accept_keyword("USING"):
+            if self.accept_keyword("HASH"):
+                kind = "hash"
+            elif self.accept_keyword("ORDERED"):
+                kind = "ordered"
+            else:
+                token = self.peek()
+                raise SqlSyntaxError(
+                    f"unknown index kind {token.value!r}", token.position
+                )
+        return CreateIndex(name, table, column, unique, kind)
+
+    def _parse_create_trigger(self) -> CreateTrigger:
+        self.expect_keyword("TRIGGER")
+        name = self.expect_identifier("trigger name")
+        if self.accept_keyword("BEFORE"):
+            timing = "before"
+        else:
+            self.expect_keyword("AFTER")
+            timing = "after"
+        event_token = self.peek()
+        if self.accept_keyword("INSERT"):
+            event = "insert"
+        elif self.accept_keyword("UPDATE"):
+            event = "update"
+        elif self.accept_keyword("DELETE"):
+            event = "delete"
+        else:
+            raise SqlSyntaxError(
+                "expected INSERT, UPDATE, or DELETE", event_token.position
+            )
+        self.expect_keyword("ON")
+        table = self.expect_identifier("table name")
+        for_each_row = True
+        if self.accept_keyword("FOR"):
+            self.expect_keyword("EACH")
+            if self.accept_keyword("ROW"):
+                for_each_row = True
+            else:
+                self.expect_keyword("STATEMENT")
+                for_each_row = False
+        when = None
+        if self.accept_keyword("WHEN"):
+            self.expect_op("(")
+            when = self.parse_expression()
+            self.expect_op(")")
+        self.expect_keyword("EXECUTE")
+        callback = self.expect_identifier("callback name")
+        return CreateTrigger(
+            name=name,
+            table=table,
+            timing=timing,
+            event=event,
+            callback=callback,
+            when=when,
+            for_each_row=for_each_row,
+        )
+
+    def _parse_drop(self) -> Statement:
+        self.expect_keyword("DROP")
+        if self.accept_keyword("TABLE"):
+            if_exists = False
+            if self.accept_keyword("IF"):
+                self.expect_keyword("EXISTS")
+                if_exists = True
+            return DropTable(self.expect_identifier("table name"), if_exists)
+        if self.accept_keyword("INDEX"):
+            name = self.expect_identifier("index name")
+            self.expect_keyword("ON")
+            table = self.expect_identifier("table name")
+            return DropIndex(name, table)
+        if self.accept_keyword("TRIGGER"):
+            return DropTrigger(self.expect_identifier("trigger name"))
+        token = self.peek()
+        raise SqlSyntaxError(f"unsupported DROP {token.value}", token.position)
+
+    # -- DML -----------------------------------------------------------------
+
+    def _parse_insert(self) -> Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_identifier("table name")
+        columns: list[str] | None = None
+        if self.accept_op("("):
+            columns = [self.expect_identifier("column name")]
+            while self.accept_op(","):
+                columns.append(self.expect_identifier("column name"))
+            self.expect_op(")")
+        if self.check_keyword("SELECT"):
+            return Insert(table, columns, [], select=self._parse_select())
+        self.expect_keyword("VALUES")
+        rows: list[list[Expression]] = []
+        while True:
+            self.expect_op("(")
+            row = [self.parse_expression()]
+            while self.accept_op(","):
+                row.append(self.parse_expression())
+            self.expect_op(")")
+            rows.append(row)
+            if not self.accept_op(","):
+                break
+        return Insert(table, columns, rows)
+
+    def _parse_update(self) -> Update:
+        self.expect_keyword("UPDATE")
+        table = self.expect_identifier("table name")
+        self.expect_keyword("SET")
+        assignments: list[tuple[str, Expression]] = []
+        while True:
+            column = self.expect_identifier("column name")
+            self.expect_op("=")
+            assignments.append((column, self.parse_expression()))
+            if not self.accept_op(","):
+                break
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expression()
+        return Update(table, assignments, where)
+
+    def _parse_delete(self) -> Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_identifier("table name")
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expression()
+        return Delete(table, where)
+
+    # -- SELECT ----------------------------------------------------------------
+
+    def _parse_select(self) -> Select:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT") is not None
+        previous_aggregates = self.allow_aggregates
+        self.allow_aggregates = True
+        try:
+            items = [self._parse_select_item()]
+            while self.accept_op(","):
+                items.append(self._parse_select_item())
+        finally:
+            self.allow_aggregates = previous_aggregates
+        select = Select(items=items, distinct=distinct)
+        if self.accept_keyword("FROM"):
+            select.table = self.expect_identifier("table name")
+            select.alias = self._parse_optional_alias()
+            while self.check_keyword("JOIN", "INNER", "LEFT"):
+                select.joins.append(self._parse_join())
+        if self.accept_keyword("WHERE"):
+            select.where = self.parse_expression()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            select.group_by.append(self.parse_expression())
+            while self.accept_op(","):
+                select.group_by.append(self.parse_expression())
+        if self.accept_keyword("HAVING"):
+            previous_aggregates = self.allow_aggregates
+            self.allow_aggregates = True
+            try:
+                select.having = self.parse_expression()
+            finally:
+                self.allow_aggregates = previous_aggregates
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            self.allow_aggregates = True
+            try:
+                select.order_by.append(self._parse_order_item())
+                while self.accept_op(","):
+                    select.order_by.append(self._parse_order_item())
+            finally:
+                self.allow_aggregates = False
+        if self.accept_keyword("LIMIT"):
+            select.limit = int(self._parse_nonnegative_int())
+        if self.accept_keyword("OFFSET"):
+            select.offset = int(self._parse_nonnegative_int())
+        return select
+
+    def _parse_nonnegative_int(self) -> int:
+        token = self.peek()
+        if token.kind != "NUMBER":
+            raise SqlSyntaxError("expected an integer", token.position)
+        self.advance()
+        value = _number_value(token.value)
+        if not isinstance(value, int) or value < 0:
+            raise SqlSyntaxError(
+                "expected a non-negative integer", token.position
+            )
+        return value
+
+    def _parse_select_item(self) -> SelectItem:
+        if self.accept_op("*"):
+            return SelectItem(expression=Literal(None), is_star=True)
+        expression = self.parse_expression()
+        alias = self._parse_optional_alias()
+        return SelectItem(expression=expression, alias=alias)
+
+    def _parse_optional_alias(self) -> str | None:
+        if self.accept_keyword("AS"):
+            return self.expect_identifier("alias")
+        token = self.peek()
+        if token.kind == "IDENT":
+            self.advance()
+            return token.value.lower()
+        return None
+
+    def _parse_join(self) -> JoinClause:
+        kind = "inner"
+        if self.accept_keyword("INNER"):
+            pass
+        elif self.accept_keyword("LEFT"):
+            self.accept_keyword("OUTER")
+            kind = "left"
+        self.expect_keyword("JOIN")
+        table = self.expect_identifier("table name")
+        alias = self._parse_optional_alias()
+        self.expect_keyword("ON")
+        on = self.parse_expression()
+        return JoinClause(table=table, alias=alias, on=on, kind=kind)
+
+    def _parse_order_item(self) -> OrderItem:
+        expression = self.parse_expression()
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return OrderItem(expression, descending)
+
+    # -- expressions ------------------------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self.accept_keyword("OR"):
+            left = BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_not()
+        while self.accept_keyword("AND"):
+            left = BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expression:
+        if self.accept_keyword("NOT"):
+            return UnaryOp("NOT", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expression:
+        left = self._parse_additive()
+        token = self.peek()
+        if token.kind == "OP" and token.value in _COMPARISON_OPS:
+            self.advance()
+            return BinaryOp(token.value, left, self._parse_additive())
+        if self.accept_keyword("IS"):
+            negated = self.accept_keyword("NOT") is not None
+            self.expect_keyword("NULL")
+            return IsNull(left, negated)
+        negated = False
+        if self.check_keyword("NOT") and self.peek(1).kind == "KEYWORD" and self.peek(
+            1
+        ).value in ("IN", "BETWEEN", "LIKE"):
+            self.advance()
+            negated = True
+        if self.accept_keyword("IN"):
+            self.expect_op("(")
+            if self.check_keyword("SELECT"):
+                subquery = self._parse_select()
+                self.expect_op(")")
+                return InSelect(operand=left, subquery=subquery, negated=negated)
+            items = [self.parse_expression()]
+            while self.accept_op(","):
+                items.append(self.parse_expression())
+            self.expect_op(")")
+            return InList(left, items, negated)
+        if self.accept_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self.expect_keyword("AND")
+            high = self._parse_additive()
+            return Between(left, low, high, negated)
+        if self.accept_keyword("LIKE"):
+            return Like(left, self._parse_additive(), negated)
+        if negated:
+            raise SqlSyntaxError(
+                "expected IN, BETWEEN, or LIKE after NOT", self.peek().position
+            )
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.value in ("+", "-", "||"):
+                self.advance()
+                left = BinaryOp(token.value, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.value in ("*", "/", "%"):
+                self.advance()
+                left = BinaryOp(token.value, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expression:
+        if self.accept_op("-"):
+            return UnaryOp("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            return Literal(_number_value(token.value))
+        if token.kind == "STRING":
+            self.advance()
+            return Literal(token.value)
+        if self.accept_keyword("NULL"):
+            return Literal(None)
+        if self.accept_keyword("TRUE"):
+            return Literal(True)
+        if self.accept_keyword("FALSE"):
+            return Literal(False)
+        if self.accept_keyword("CASE"):
+            return self._parse_case()
+        if self.accept_keyword("EXISTS"):
+            self.expect_op("(")
+            subquery = self._parse_select()
+            self.expect_op(")")
+            return ExistsSelect(subquery=subquery)
+        if self.check_keyword("COUNT"):
+            # COUNT is a keyword so COUNT(*) can be recognized.
+            self.advance()
+            return self._parse_call("count", token)
+        if token.kind == "IDENT":
+            self.advance()
+            if self.peek().kind == "OP" and self.peek().value == "(":
+                return self._parse_call(token.value.lower(), token)
+            if self.accept_op("."):
+                column = self.expect_identifier("column name")
+                return ColumnRef(column, qualifier=token.value.lower())
+            return ColumnRef(token.value.lower())
+        if self.accept_op("("):
+            expression = self.parse_expression()
+            self.expect_op(")")
+            return expression
+        raise SqlSyntaxError(
+            f"unexpected token {token.value or 'end of input'!r}", token.position
+        )
+
+    def _parse_case(self) -> Expression:
+        branches: list[tuple[Expression, Expression]] = []
+        default: Expression | None = None
+        while self.accept_keyword("WHEN"):
+            condition = self.parse_expression()
+            self.expect_keyword("THEN")
+            branches.append((condition, self.parse_expression()))
+        if self.accept_keyword("ELSE"):
+            default = self.parse_expression()
+        self.expect_keyword("END")
+        if not branches:
+            raise SqlSyntaxError("CASE requires at least one WHEN", self.peek().position)
+        return Case(branches, default)
+
+    def _parse_call(self, name: str, name_token: Token) -> Expression:
+        self.expect_op("(")
+        if name in AGGREGATE_NAMES and self.allow_aggregates:
+            distinct = self.accept_keyword("DISTINCT") is not None
+            if self.accept_op("*"):
+                self.expect_op(")")
+                if name != "count":
+                    raise SqlSyntaxError(
+                        f"{name}(*) is not valid", name_token.position
+                    )
+                return AggregateCall(name="count", argument=None, distinct=distinct)
+            argument = self.parse_expression()
+            self.expect_op(")")
+            return AggregateCall(name=name, argument=argument, distinct=distinct)
+        args: list[Expression] = []
+        if not self.accept_op(")"):
+            args.append(self.parse_expression())
+            while self.accept_op(","):
+                args.append(self.parse_expression())
+            self.expect_op(")")
+        return FunctionCall(name, args)
+
+
+def _number_value(text: str) -> int | float:
+    if any(ch in text for ch in ".eE"):
+        return float(text)
+    return int(text)
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse one SQL statement (a trailing ``;`` is allowed)."""
+    return _Parser(text).parse_statement()
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a standalone expression — the entry point for rule
+    conditions and subscription filters supplied as text."""
+    parser = _Parser(text)
+    expression = parser.parse_expression()
+    if not parser.at_end():
+        trailing = parser.peek()
+        raise SqlSyntaxError(
+            f"unexpected trailing input {trailing.value!r}", trailing.position
+        )
+    return expression

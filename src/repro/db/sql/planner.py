@@ -1,0 +1,157 @@
+"""Access-path planning for single-table row selection.
+
+Given a table and a WHERE expression, the planner picks, in order of
+preference:
+
+1. **Index point lookup** — an equality conjunct ``col = const`` whose
+   column has any index.
+2. **Index range scan** — a range conjunct (``<``, ``<=``, ``>``,
+   ``>=``, ``BETWEEN``) whose column has an ordered index; adjacent
+   range conjuncts on the same column are merged into one interval.
+3. **Full scan** — everything else.
+
+Whatever path is chosen, the full WHERE expression is re-applied as a
+residual filter, so planning is purely an optimization and can never
+change results — the property the planner's hypothesis test asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.db.expr import Expression, conjuncts, evaluate_predicate
+from repro.db.index import OrderedIndex
+from repro.db.storage import HeapTable
+
+
+@dataclass
+class AccessPath:
+    """A chosen way to produce candidate (rowid, row) pairs."""
+
+    kind: str  # "scan" | "index_eq" | "index_range"
+    table: HeapTable
+    where: Expression | None
+    index_name: str | None = None
+    column: str | None = None
+    key: Any = None
+    low: Any = None
+    high: Any = None
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+
+    def explain(self) -> str:
+        """Human-readable plan description (asserted on in tests)."""
+        if self.kind == "scan":
+            return f"SCAN {self.table.name}"
+        if self.kind == "index_eq":
+            return (
+                f"INDEX LOOKUP {self.table.name}.{self.column} = {self.key!r} "
+                f"USING {self.index_name}"
+            )
+        low_bracket = "[" if self.low_inclusive else "("
+        high_bracket = "]" if self.high_inclusive else ")"
+        return (
+            f"INDEX RANGE {self.table.name}.{self.column} "
+            f"{low_bracket}{self.low!r}, {self.high!r}{high_bracket} "
+            f"USING {self.index_name}"
+        )
+
+    def rows(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Yield candidate rows, applying the residual WHERE filter."""
+        for rowid, row in self._candidates():
+            if self.where is None or evaluate_predicate(self.where, row):
+                yield rowid, row
+
+    def _candidates(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        if self.kind == "scan":
+            yield from self.table.scan()
+            return
+        if self.kind == "index_eq":
+            index = self.table.indexes[self.index_name]
+            for rowid in sorted(index.lookup(self.key)):
+                row = self.table.get(rowid)
+                if row is not None:
+                    yield rowid, row
+            return
+        index = self.table.indexes[self.index_name]
+        assert isinstance(index, OrderedIndex)
+        for _key, rowid in index.range_scan(
+            self.low,
+            self.high,
+            low_inclusive=self.low_inclusive,
+            high_inclusive=self.high_inclusive,
+        ):
+            row = self.table.get(rowid)
+            if row is not None:
+                yield rowid, row
+
+
+def plan_access(table: HeapTable, where: Expression | None) -> AccessPath:
+    """Choose the access path for ``table`` under ``where``."""
+    if where is None:
+        return AccessPath(kind="scan", table=table, where=None)
+
+    parts = conjuncts(where)
+
+    # 1. Equality with any index on the column.
+    for part in parts:
+        equality = part.as_equality()
+        if equality is None:
+            continue
+        column, key = equality
+        index = table.index_on(column)
+        if index is not None:
+            return AccessPath(
+                kind="index_eq",
+                table=table,
+                where=where,
+                index_name=index.name,
+                column=column,
+                key=key,
+            )
+
+    # 2. Range over an ordered index; merge conjuncts on one column.
+    ranges: dict[str, list[tuple[Any, Any, bool, bool]]] = {}
+    for part in parts:
+        bounds = part.as_range()
+        if bounds is None:
+            continue
+        column, low, high, low_inclusive, high_inclusive = bounds
+        ranges.setdefault(column, []).append(
+            (low, high, low_inclusive, high_inclusive)
+        )
+    for column, bound_list in ranges.items():
+        index = table.index_on(column, require_range=True)
+        if index is None:
+            continue
+        low: Any = None
+        high: Any = None
+        low_inclusive = True
+        high_inclusive = True
+        for candidate_low, candidate_high, cli, chi in bound_list:
+            if candidate_low is not None and (
+                low is None or candidate_low > low
+            ):
+                low, low_inclusive = candidate_low, cli
+            elif candidate_low is not None and candidate_low == low:
+                low_inclusive = low_inclusive and cli
+            if candidate_high is not None and (
+                high is None or candidate_high < high
+            ):
+                high, high_inclusive = candidate_high, chi
+            elif candidate_high is not None and candidate_high == high:
+                high_inclusive = high_inclusive and chi
+        return AccessPath(
+            kind="index_range",
+            table=table,
+            where=where,
+            index_name=index.name,
+            column=column,
+            low=low,
+            high=high,
+            low_inclusive=low_inclusive,
+            high_inclusive=high_inclusive,
+        )
+
+    return AccessPath(kind="scan", table=table, where=where)

@@ -1,0 +1,193 @@
+"""Heap table storage with index maintenance.
+
+A :class:`HeapTable` stores rows in insertion order keyed by a
+monotonically increasing rowid.  It owns the table's indexes and keeps
+them consistent on every mutation; UNIQUE constraints are enforced by
+unique indexes that the table auto-creates from its schema.
+
+The storage layer is deliberately ignorant of transactions: the
+transaction manager above it serializes access via locks and performs
+rollback by applying inverse operations recorded in its undo log.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, Mapping
+
+from repro.db.index import HashIndex, Index, OrderedIndex, build_index
+from repro.db.schema import TableSchema
+from repro.errors import ConstraintViolation, SchemaError
+
+
+class HeapTable:
+    """One table's rows plus its secondary indexes."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: dict[int, dict[str, Any]] = {}
+        self._rowids = itertools.count(1)
+        self.indexes: dict[str, Index] = {}
+        for column_name in schema.unique_columns():
+            self.create_index(
+                f"uq_{schema.name}_{column_name}",
+                column_name,
+                kind="hash",
+                unique=True,
+            )
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # -- index management ------------------------------------------------
+
+    def create_index(
+        self, name: str, column: str, *, kind: str = "ordered", unique: bool = False
+    ) -> Index:
+        """Create and backfill an index on ``column``."""
+        if name in self.indexes:
+            raise SchemaError(f"index {name!r} already exists")
+        column = self.schema.column(column).name
+        index = build_index(kind, name, self.name, column, unique)
+        for rowid, row in self._rows.items():
+            index.insert(row[column], rowid)
+        self.indexes[name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        if name not in self.indexes:
+            raise SchemaError(f"index {name!r} does not exist")
+        del self.indexes[name]
+
+    def index_on(self, column: str, *, require_range: bool = False) -> Index | None:
+        """Find an index covering ``column``, preferring ordered ones
+        when a range scan is required."""
+        column = column.lower()
+        best: Index | None = None
+        for index in self.indexes.values():
+            if index.column != column:
+                continue
+            if require_range and not index.supports_range:
+                continue
+            if best is None or (
+                isinstance(index, HashIndex) and not require_range
+            ):
+                best = index
+        return best
+
+    # -- mutations ---------------------------------------------------------
+
+    def insert(self, row: Mapping[str, Any], rowid: int | None = None) -> int:
+        """Insert a fully coerced row; returns the assigned rowid.
+
+        ``rowid`` may be forced by recovery replay so that rowids match
+        the pre-crash assignment.
+        """
+        if rowid is None:
+            rowid = next(self._rowids)
+        else:
+            if rowid in self._rows:
+                raise ConstraintViolation(
+                    "rowid", detail=f"rowid {rowid} already present"
+                )
+            self._rowids = itertools.count(
+                max(rowid + 1, next(self._rowids))
+            )
+        stored = dict(row)
+        self._check_uniqueness(stored, exclude_rowid=None)
+        self._rows[rowid] = stored
+        for index in self.indexes.values():
+            index.insert(stored[index.column], rowid)
+        return rowid
+
+    def update(self, rowid: int, updates: Mapping[str, Any]) -> dict[str, Any]:
+        """Apply coerced column updates to one row; returns the old row."""
+        old_row = self._require(rowid)
+        new_row = dict(old_row)
+        new_row.update(updates)
+        self._check_uniqueness(new_row, exclude_rowid=rowid)
+        for index in self.indexes.values():
+            old_key = old_row[index.column]
+            new_key = new_row[index.column]
+            if old_key != new_key or type(old_key) is not type(new_key):
+                index.delete(old_key, rowid)
+                index.insert(new_key, rowid)
+        self._rows[rowid] = new_row
+        return old_row
+
+    def delete(self, rowid: int) -> dict[str, Any]:
+        """Remove one row; returns it (for undo logging)."""
+        row = self._require(rowid)
+        for index in self.indexes.values():
+            index.delete(row[index.column], rowid)
+        del self._rows[rowid]
+        return row
+
+    def _require(self, rowid: int) -> dict[str, Any]:
+        try:
+            return self._rows[rowid]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no row with rowid {rowid}"
+            ) from None
+
+    def _check_uniqueness(
+        self, row: Mapping[str, Any], exclude_rowid: int | None
+    ) -> None:
+        """Pre-check unique indexes so failed inserts leave no index
+        half-updated (indexes are only touched after this passes)."""
+        for index in self.indexes.values():
+            if not index.unique:
+                continue
+            key = row[index.column]
+            if key is None:
+                continue
+            for existing in index.lookup(key):
+                if existing != exclude_rowid:
+                    raise ConstraintViolation(
+                        f"UNIQUE on {self.name}.{index.column}",
+                        detail=f"duplicate key {key!r}",
+                    )
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, rowid: int) -> dict[str, Any] | None:
+        row = self._rows.get(rowid)
+        return dict(row) if row is not None else None
+
+    def scan(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Full scan in rowid order; yields copies so callers cannot
+        corrupt storage by mutating results."""
+        for rowid in list(self._rows):
+            row = self._rows.get(rowid)
+            if row is not None:
+                yield rowid, dict(row)
+
+    def lookup_rowids(self, column: str, key: Any) -> list[int]:
+        """Point lookup through an index when available, else a scan."""
+        index = self.index_on(column)
+        if index is not None:
+            return sorted(index.lookup(key))
+        column = self.schema.column(column).name
+        return [
+            rowid
+            for rowid, row in self._rows.items()
+            if row[column] == key and key is not None
+        ]
+
+    def snapshot(self) -> dict[int, dict[str, Any]]:
+        """Deep-enough copy of all rows, used by checkpointing."""
+        return {rowid: dict(row) for rowid, row in self._rows.items()}
+
+    def restore(self, rows: Mapping[int, Mapping[str, Any]]) -> None:
+        """Replace all contents from a checkpoint snapshot."""
+        self._rows = {rowid: dict(row) for rowid, row in rows.items()}
+        self._rowids = itertools.count(max(self._rows, default=0) + 1)
+        for index in self.indexes.values():
+            index.clear()
+            for rowid, row in self._rows.items():
+                index.insert(row[index.column], rowid)

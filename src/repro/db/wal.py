@@ -1,0 +1,277 @@
+"""Write-ahead log — the database *journal*.
+
+The WAL serves two masters:
+
+1. **Durability / recovery** (paper §2.2.b.ii.3): every mutation is
+   logged before it is applied; on crash, committed work is replayed
+   from the durable prefix of the log (see :mod:`repro.db.recovery`).
+2. **Journal-based event capture** (paper §2.2.a.ii): an asynchronous
+   *log miner* reads committed records through :class:`JournalReader`
+   and turns them into events without adding any work to the foreground
+   transaction path — the architectural contrast benchmarked in EXP-1.
+
+Durability is modeled explicitly so crash tests are honest: records
+appended but not yet flushed are lost by :meth:`WriteAheadLog.crash`.
+With ``sync_policy="commit"`` (the default) the database flushes on
+every commit, so committed work always survives; with
+``sync_policy="none"`` flushing is manual and a crash may lose
+committed-but-unflushed transactions — the classic trade the tutorial's
+"performance vs recoverability" bullet points at.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import RecoveryError
+
+# Record operation names.
+OP_BEGIN = "begin"
+OP_COMMIT = "commit"
+OP_ABORT = "abort"
+OP_INSERT = "insert"
+OP_UPDATE = "update"
+OP_DELETE = "delete"
+OP_CREATE_TABLE = "create_table"
+OP_DROP_TABLE = "drop_table"
+OP_CREATE_INDEX = "create_index"
+OP_CREATE_TRIGGER = "create_trigger"
+OP_DROP_TRIGGER = "drop_trigger"
+OP_CHECKPOINT = "checkpoint"
+
+DML_OPS = frozenset({OP_INSERT, OP_UPDATE, OP_DELETE})
+DDL_OPS = frozenset(
+    {
+        OP_CREATE_TABLE,
+        OP_DROP_TABLE,
+        OP_CREATE_INDEX,
+        OP_CREATE_TRIGGER,
+        OP_DROP_TRIGGER,
+    }
+)
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One journal entry.
+
+    ``before``/``after`` carry full row images for DML; ``meta`` carries
+    schema payloads for DDL and the table snapshot for checkpoints.
+    ``ts`` is the database-clock time the record was written — journal
+    miners use it as the change's event time.
+    """
+
+    lsn: int
+    txid: int
+    op: str
+    table: str | None = None
+    rowid: int | None = None
+    before: dict[str, Any] | None = None
+    after: dict[str, Any] | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+    ts: float = 0.0
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "lsn": self.lsn,
+                "txid": self.txid,
+                "op": self.op,
+                "table": self.table,
+                "rowid": self.rowid,
+                "before": self.before,
+                "after": self.after,
+                "meta": self.meta,
+                "ts": self.ts,
+            },
+            separators=(",", ":"),
+            default=str,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "LogRecord":
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise RecoveryError(f"corrupt WAL record: {exc}") from None
+        return cls(
+            lsn=data["lsn"],
+            txid=data["txid"],
+            op=data["op"],
+            table=data.get("table"),
+            rowid=data.get("rowid"),
+            before=data.get("before"),
+            after=data.get("after"),
+            meta=data.get("meta") or {},
+            ts=data.get("ts", 0.0),
+        )
+
+
+class WriteAheadLog:
+    """Append-only journal with an explicit durability horizon.
+
+    In-memory by default; pass ``path`` to also persist records to a
+    JSON-lines file on each :meth:`flush` (used by the cross-process
+    recovery tests).
+    """
+
+    def __init__(
+        self,
+        path: str | None = None,
+        sync_policy: str = "commit",
+        clock: Any = None,
+    ) -> None:
+        if sync_policy not in ("commit", "none", "always"):
+            raise ValueError(f"unknown sync_policy {sync_policy!r}")
+        self.path = path
+        self.sync_policy = sync_policy
+        self.clock = clock  # optional; records get ts=0.0 without one
+        self._records: list[LogRecord] = []
+        self._next_lsn = 1
+        self._durable_count = 0
+        self.flush_count = 0  # observable fsync count, used by benchmarks
+        if path and os.path.exists(path):
+            self._load_existing(path)
+
+    def _load_existing(self, path: str) -> None:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    self._records.append(LogRecord.from_json(line))
+        self._durable_count = len(self._records)
+        if self._records:
+            self._next_lsn = self._records[-1].lsn + 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def last_lsn(self) -> int:
+        return self._next_lsn - 1
+
+    @property
+    def durable_lsn(self) -> int:
+        """LSN of the last record guaranteed to survive a crash."""
+        if self._durable_count == 0:
+            return 0
+        return self._records[self._durable_count - 1].lsn
+
+    def append(
+        self,
+        txid: int,
+        op: str,
+        *,
+        table: str | None = None,
+        rowid: int | None = None,
+        before: dict[str, Any] | None = None,
+        after: dict[str, Any] | None = None,
+        meta: dict[str, Any] | None = None,
+    ) -> LogRecord:
+        """Append one record; returns it with its assigned LSN."""
+        record = LogRecord(
+            lsn=self._next_lsn,
+            txid=txid,
+            op=op,
+            table=table,
+            rowid=rowid,
+            before=before,
+            after=after,
+            meta=meta or {},
+            ts=self.clock.now() if self.clock is not None else 0.0,
+        )
+        self._next_lsn += 1
+        self._records.append(record)
+        if self.sync_policy == "always":
+            self.flush()
+        return record
+
+    def flush(self) -> None:
+        """Make every appended record durable (simulated fsync)."""
+        if self._durable_count == len(self._records):
+            return
+        if self.path:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                for record in self._records[self._durable_count :]:
+                    handle.write(record.to_json() + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._durable_count = len(self._records)
+        self.flush_count += 1
+
+    def crash(self) -> list[LogRecord]:
+        """Simulate a crash: drop non-durable records and return the
+        durable prefix (what recovery will see)."""
+        self._records = self._records[: self._durable_count]
+        if self._records:
+            self._next_lsn = self._records[-1].lsn + 1
+        else:
+            self._next_lsn = 1
+        return list(self._records)
+
+    def records(self, *, durable_only: bool = False) -> list[LogRecord]:
+        if durable_only:
+            return list(self._records[: self._durable_count])
+        return list(self._records)
+
+    def records_from(self, lsn: int) -> Iterator[LogRecord]:
+        """Yield records with LSN strictly greater than ``lsn``."""
+        # Records are LSN-ordered; binary search would work but the
+        # journal reader always resumes near the tail, so scan from an
+        # estimated offset.
+        start = min(max(lsn, 0), len(self._records))
+        while start > 0 and self._records[start - 1].lsn > lsn:
+            start -= 1
+        for record in self._records[start:]:
+            if record.lsn > lsn:
+                yield record
+
+    def truncate_before(self, lsn: int) -> int:
+        """Drop records with LSN < ``lsn`` (post-checkpoint log reclaim).
+        Returns the number of records dropped."""
+        kept = [record for record in self._records if record.lsn >= lsn]
+        dropped = len(self._records) - len(kept)
+        self._records = kept
+        self._durable_count = max(0, self._durable_count - dropped)
+        if self.path:
+            with open(self.path, "w", encoding="utf-8") as handle:
+                for record in self._records[: self._durable_count]:
+                    handle.write(record.to_json() + "\n")
+        return dropped
+
+
+class JournalReader:
+    """Cursor over the committed suffix of the journal.
+
+    This is the substrate for journal-based ("log mining") event
+    capture: the reader remembers its position and, on each poll,
+    returns DML records of transactions whose commit record it has seen.
+    Records of uncommitted or aborted transactions are never surfaced.
+    """
+
+    def __init__(self, wal: WriteAheadLog, start_lsn: int = 0) -> None:
+        self._wal = wal
+        self._position = start_lsn
+        # DML records of transactions whose fate we have not yet seen.
+        self._pending: dict[int, list[LogRecord]] = {}
+
+    @property
+    def position(self) -> int:
+        """LSN up to which this reader has consumed the journal."""
+        return self._position
+
+    def poll(self) -> list[LogRecord]:
+        """Return newly committed DML records, in commit order."""
+        committed: list[LogRecord] = []
+        for record in self._wal.records_from(self._position):
+            self._position = record.lsn
+            if record.op in DML_OPS or record.op in DDL_OPS:
+                self._pending.setdefault(record.txid, []).append(record)
+            elif record.op == OP_COMMIT:
+                committed.extend(self._pending.pop(record.txid, []))
+            elif record.op == OP_ABORT:
+                self._pending.pop(record.txid, None)
+        return committed

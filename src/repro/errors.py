@@ -1,0 +1,169 @@
+"""Exception hierarchy for the repro event-processing platform.
+
+Every subsystem raises subclasses of :class:`ReproError`, so callers can
+catch one base class at an integration boundary while tests can assert
+on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# Database substrate
+# --------------------------------------------------------------------------
+
+
+class DatabaseError(ReproError):
+    """Base class for errors raised by the embedded database."""
+
+
+class SchemaError(DatabaseError):
+    """Invalid schema definition or reference to a missing object."""
+
+
+class TypeMismatchError(DatabaseError):
+    """A value could not be coerced to its column's declared type."""
+
+
+class ConstraintViolation(DatabaseError):
+    """A NOT NULL, UNIQUE, PRIMARY KEY, or CHECK constraint failed."""
+
+    def __init__(self, constraint: str, detail: str = "") -> None:
+        self.constraint = constraint
+        self.detail = detail
+        message = f"constraint violated: {constraint}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+class SqlSyntaxError(DatabaseError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} at position {position}"
+        super().__init__(message)
+
+
+class ExpressionError(DatabaseError):
+    """An expression referenced an unknown name or misused an operator."""
+
+
+class TransactionError(DatabaseError):
+    """Invalid transaction state transition (e.g. commit after rollback)."""
+
+
+class DeadlockError(TransactionError):
+    """The lock manager chose this transaction as a deadlock victim."""
+
+
+class LockTimeoutError(TransactionError):
+    """A lock could not be acquired within the configured timeout."""
+
+
+class RecoveryError(DatabaseError):
+    """The write-ahead log could not be replayed consistently."""
+
+
+class TriggerError(DatabaseError):
+    """A trigger definition is invalid or its action raised."""
+
+
+# --------------------------------------------------------------------------
+# Messaging / queues
+# --------------------------------------------------------------------------
+
+
+class QueueError(ReproError):
+    """Base class for message-queue errors."""
+
+
+class QueueNotFoundError(QueueError):
+    """The named queue does not exist in the broker."""
+
+
+class MessageExpiredError(QueueError):
+    """The message passed its expiration before it could be consumed."""
+
+
+class AccessDeniedError(QueueError):
+    """The principal lacks the privilege required for the operation."""
+
+
+class PropagationError(QueueError):
+    """Forwarding a message to another staging area or service failed."""
+
+
+# --------------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------------
+
+
+class RuleError(ReproError):
+    """Base class for rule-engine errors."""
+
+
+class RuleNotFoundError(RuleError):
+    """The referenced rule id is not registered."""
+
+
+class RuleConditionError(RuleError):
+    """A rule condition failed to parse or evaluate."""
+
+
+# --------------------------------------------------------------------------
+# Continuous queries / CEP
+# --------------------------------------------------------------------------
+
+
+class StreamError(ReproError):
+    """Base class for continuous-query errors."""
+
+
+class WindowError(StreamError):
+    """Invalid window specification (e.g. slide larger than range)."""
+
+
+class PatternError(StreamError):
+    """Invalid event-pattern specification."""
+
+
+# --------------------------------------------------------------------------
+# Pub/sub and distribution
+# --------------------------------------------------------------------------
+
+
+class PubSubError(ReproError):
+    """Base class for publish/subscribe errors."""
+
+
+class TopicNotFoundError(PubSubError):
+    """The named topic does not exist."""
+
+
+class RoutingError(PubSubError):
+    """No route exists between the source and destination staging areas."""
+
+
+class DeliveryError(PubSubError):
+    """A message could not be delivered within the retry policy."""
+
+
+# --------------------------------------------------------------------------
+# Core (sense-and-respond)
+# --------------------------------------------------------------------------
+
+
+class ModelError(ReproError):
+    """An expectation model was misconfigured or fed invalid data."""
+
+
+class ResponderError(ReproError):
+    """No responder satisfying the authorization/availability/capability
+    requirements could be found."""

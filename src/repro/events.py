@@ -1,0 +1,134 @@
+"""The event envelope used across every subsystem.
+
+The tutorial's central object is the *event*: a timestamped, typed
+observation about the environment.  Events flow from capture sources
+through queues, rules, continuous queries, expectation models, and
+finally — if they survive VIRT filtering — to responders.
+
+An :class:`Event` is immutable.  Transformations (enrichment,
+correlation) produce new events via :meth:`Event.derive`, preserving
+provenance through ``source`` and ``causes``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+_event_ids = itertools.count(1)
+
+
+def _next_event_id() -> int:
+    return next(_event_ids)
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single immutable event.
+
+    Attributes:
+        event_type: Dotted category name, e.g. ``"orders.insert"`` or
+            ``"sensor.reading"``.  Rule and subscription filters match
+            on it with exact or prefix semantics.
+        timestamp: Occurrence time in seconds (application time, not
+            arrival time).
+        payload: Attribute mapping carrying the observation itself.
+        event_id: Process-unique monotonically increasing id.
+        source: Name of the component that produced the event
+            (``"trigger:orders"``, ``"journal"``, ``"cq:vwap"`` ...).
+        causes: Ids of the events this event was derived from; empty
+            for primitive events.  Gives full provenance for audit.
+    """
+
+    event_type: str
+    timestamp: float
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    event_id: int = field(default_factory=_next_event_id)
+    source: str = ""
+    causes: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.event_type:
+            raise ValueError("event_type must be non-empty")
+        # Freeze the payload so the event is safely shareable.
+        object.__setattr__(self, "payload", dict(self.payload))
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return ``payload[key]`` or ``default`` when absent."""
+        return self.payload.get(key, default)
+
+    def matches_type(self, pattern: str) -> bool:
+        """True when ``pattern`` equals the type, is the ``*`` wildcard,
+        or is a dotted prefix (``"orders.*"`` matches ``"orders.insert"``).
+        """
+        if pattern == "*" or pattern == self.event_type:
+            return True
+        if pattern.endswith(".*"):
+            return self.event_type.startswith(pattern[:-1])
+        return False
+
+    def derive(
+        self,
+        event_type: str,
+        payload: Mapping[str, Any] | None = None,
+        *,
+        timestamp: float | None = None,
+        source: str = "",
+    ) -> "Event":
+        """Create a new event caused by this one.
+
+        The derived event inherits this event's timestamp unless an
+        explicit one is supplied, and records this event's id in its
+        ``causes`` for provenance.
+        """
+        return Event(
+            event_type=event_type,
+            timestamp=self.timestamp if timestamp is None else timestamp,
+            payload=self.payload if payload is None else payload,
+            source=source,
+            causes=(self.event_id,),
+        )
+
+    def with_payload(self, **updates: Any) -> "Event":
+        """Return a copy of this event with payload keys added/replaced."""
+        merged = dict(self.payload)
+        merged.update(updates)
+        return Event(
+            event_type=self.event_type,
+            timestamp=self.timestamp,
+            payload=merged,
+            source=self.source,
+            causes=self.causes,
+        )
+
+
+def correlate(
+    events: Iterable[Event],
+    event_type: str,
+    payload: Mapping[str, Any],
+    *,
+    timestamp: float | None = None,
+    source: str = "",
+) -> Event:
+    """Build a composite event caused by several input events.
+
+    Used by the CEP pattern matcher: a matched SEQ(A, B, C) produces one
+    composite event whose ``causes`` are the three constituent ids and
+    whose timestamp defaults to the latest constituent timestamp.
+    """
+    events = list(events)
+    if not events:
+        raise ValueError("correlate requires at least one input event")
+    if timestamp is None:
+        timestamp = max(event.timestamp for event in events)
+    return Event(
+        event_type=event_type,
+        timestamp=timestamp,
+        payload=payload,
+        source=source,
+        causes=tuple(event.event_id for event in events),
+    )

@@ -1,0 +1,166 @@
+"""At-least-once delivery with ack deadlines (§2.2.d.iii.3).
+
+A :class:`DeliveryManager` sits between a queue and unreliable
+consumers.  Each delivery must be acknowledged within ``ack_timeout``
+(by the database clock); unacknowledged deliveries are requeued and
+retried up to ``max_attempts``, after which the message moves to the
+dead-letter queue.  Consumers that raise are treated as immediate
+nacks.
+
+Invariants (asserted by the tests):
+
+* every enqueued message is eventually consumed exactly once by a
+  successful consumer OR lands in the dead-letter queue;
+* a message is never lost, even when consumers fail repeatedly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import DeliveryError
+from repro.queues.broker import QueueBroker
+from repro.queues.message import Message
+
+Consumer = Callable[[Message], None]
+
+
+@dataclass
+class _PendingAck:
+    message_id: int
+    deadline: float
+
+
+class DeliveryManager:
+    """Reliable consumption loop over one queue."""
+
+    def __init__(
+        self,
+        broker: QueueBroker,
+        queue_name: str,
+        *,
+        ack_timeout: float = 30.0,
+        max_attempts: int = 5,
+        dead_letter_queue: str | None = None,
+    ) -> None:
+        self.broker = broker
+        self.queue_name = queue_name
+        self.ack_timeout = ack_timeout
+        self.max_attempts = max_attempts
+        self.dead_letter_queue = dead_letter_queue
+        if dead_letter_queue and not broker.has_queue(dead_letter_queue):
+            broker.create_queue(dead_letter_queue)
+        self._pending: dict[int, _PendingAck] = {}
+        self.stats = {
+            "delivered": 0,
+            "acked": 0,
+            "redelivered": 0,
+            "consumer_errors": 0,
+            "dead_lettered": 0,
+        }
+
+    @property
+    def clock(self):
+        return self.broker.db.clock
+
+    # -- explicit ack protocol -----------------------------------------------
+
+    def deliver(self, *, consumer_name: str = "consumer") -> Message | None:
+        """Hand out the next message; the caller must :meth:`ack` it
+        before the deadline or it will be redelivered."""
+        self.check_timeouts()
+        message = self.broker.consume(self.queue_name, principal=consumer_name)
+        if message is None:
+            return None
+        self._pending[message.message_id] = _PendingAck(
+            message_id=message.message_id,
+            deadline=self.clock.now() + self.ack_timeout,
+        )
+        self.stats["delivered"] += 1
+        return message
+
+    def ack(self, message_id: int) -> None:
+        if message_id not in self._pending:
+            raise DeliveryError(
+                f"message {message_id} is not awaiting acknowledgement"
+            )
+        del self._pending[message_id]
+        self.broker.ack(self.queue_name, message_id, principal="delivery")
+        self.stats["acked"] += 1
+
+    def nack(self, message_id: int, *, delay: float = 0.0) -> None:
+        """Explicit negative ack: give the message back for retry."""
+        pending = self._pending.pop(message_id, None)
+        if pending is None:
+            raise DeliveryError(
+                f"message {message_id} is not awaiting acknowledgement"
+            )
+        self._retry_or_bury(message_id, delay=delay)
+
+    def check_timeouts(self) -> int:
+        """Requeue deliveries whose ack deadline passed; returns count."""
+        now = self.clock.now()
+        expired = [
+            pending.message_id
+            for pending in self._pending.values()
+            if pending.deadline <= now
+        ]
+        for message_id in expired:
+            del self._pending[message_id]
+            self._retry_or_bury(message_id, delay=0.0)
+        return len(expired)
+
+    def _retry_or_bury(self, message_id: int, *, delay: float) -> None:
+        queue = self.broker.queue(self.queue_name)
+        table = self.broker.db.catalog.table(queue.table_name)
+        row = table.get(message_id)
+        attempts = row["attempts"] if row else self.max_attempts
+        if attempts >= self.max_attempts:
+            if self.dead_letter_queue and row is not None:
+                message = Message.from_row(self.queue_name, message_id, row)
+                self.broker.publish(
+                    self.dead_letter_queue,
+                    Message(
+                        payload=message.payload,
+                        correlation_id=message.correlation_id,
+                        headers={
+                            **message.headers,
+                            "dead_letter_reason": "max delivery attempts",
+                            "origin_queue": self.queue_name,
+                        },
+                    ),
+                    principal="delivery",
+                )
+                self.stats["dead_lettered"] += 1
+            self.broker.ack(self.queue_name, message_id, principal="delivery")
+        else:
+            self.broker.requeue(
+                self.queue_name, message_id, delay=delay, principal="delivery"
+            )
+            self.stats["redelivered"] += 1
+
+    # -- callback-style consumption --------------------------------------------
+
+    def process(
+        self, consumer: Consumer, *, batch: int = 100, consumer_name: str = "consumer"
+    ) -> int:
+        """Deliver up to ``batch`` messages to ``consumer``.
+
+        Successful returns ack automatically; exceptions nack (retry).
+        Returns the number successfully consumed.
+        """
+        consumed = 0
+        for _ in range(batch):
+            message = self.deliver(consumer_name=consumer_name)
+            if message is None:
+                break
+            try:
+                consumer(message)
+            except Exception:
+                self.stats["consumer_errors"] += 1
+                self.nack(message.message_id)
+                continue
+            self.ack(message.message_id)
+            consumed += 1
+        return consumed

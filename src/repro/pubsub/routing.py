@@ -1,0 +1,138 @@
+"""Multi-hop routing between staging areas (§2.2.d.ii.1).
+
+A :class:`StagingTopology` is a weighted graph (networkx) whose nodes
+are staging areas — each one a :class:`repro.pubsub.PubSubBroker` with
+its own database — and whose edges are propagation links with a
+latency cost.  The :class:`Router` forwards an event from one area to
+another along the cheapest live path, republishing at each hop and
+stamping the route into the payload for auditability ("tracking",
+§2.2.d.iii.1).
+
+Failure injection (``fail_link``/``restore_link``) lets tests and EXP-8
+verify rerouting: when an edge goes down, delivery follows the next
+cheapest path, and a partitioned destination raises
+:class:`repro.errors.RoutingError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import networkx as nx
+
+from repro.errors import RoutingError
+from repro.events import Event
+from repro.pubsub.broker import PubSubBroker
+
+
+class StagingTopology:
+    """The graph of staging areas and propagation links."""
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+        self._brokers: dict[str, PubSubBroker] = {}
+
+    def add_area(self, name: str, broker: PubSubBroker) -> None:
+        name = name.lower()
+        if name in self._brokers:
+            raise RoutingError(f"staging area {name!r} already exists")
+        self._brokers[name] = broker
+        self._graph.add_node(name)
+
+    def broker(self, name: str) -> PubSubBroker:
+        try:
+            return self._brokers[name.lower()]
+        except KeyError:
+            raise RoutingError(f"staging area {name!r} does not exist") from None
+
+    def area_names(self) -> list[str]:
+        return sorted(self._brokers)
+
+    def add_link(self, source: str, dest: str, *, latency: float = 1.0) -> None:
+        source, dest = source.lower(), dest.lower()
+        for name in (source, dest):
+            if name not in self._brokers:
+                raise RoutingError(f"staging area {name!r} does not exist")
+        self._graph.add_edge(source, dest, latency=latency, up=True)
+
+    def fail_link(self, source: str, dest: str) -> None:
+        self._set_link(source, dest, up=False)
+
+    def restore_link(self, source: str, dest: str) -> None:
+        self._set_link(source, dest, up=True)
+
+    def _set_link(self, source: str, dest: str, *, up: bool) -> None:
+        source, dest = source.lower(), dest.lower()
+        if not self._graph.has_edge(source, dest):
+            raise RoutingError(f"no link {source!r} -> {dest!r}")
+        self._graph.edges[source, dest]["up"] = up
+
+    def live_view(self) -> nx.DiGraph:
+        """Subgraph of links currently up."""
+        live = nx.DiGraph()
+        live.add_nodes_from(self._graph.nodes)
+        for source, dest, data in self._graph.edges(data=True):
+            if data.get("up", True):
+                live.add_edge(source, dest, latency=data["latency"])
+        return live
+
+    def shortest_path(self, source: str, dest: str) -> tuple[list[str], float]:
+        """Cheapest live path and its total latency."""
+        source, dest = source.lower(), dest.lower()
+        live = self.live_view()
+        try:
+            path = nx.shortest_path(live, source, dest, weight="latency")
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            raise RoutingError(
+                f"no live route from {source!r} to {dest!r}"
+            ) from None
+        cost = sum(
+            live.edges[a, b]["latency"] for a, b in zip(path, path[1:])
+        )
+        return path, cost
+
+
+class Router:
+    """Forwards events across the topology, hop by hop."""
+
+    def __init__(self, topology: StagingTopology) -> None:
+        self.topology = topology
+        self.stats = {"routed": 0, "hops": 0, "failed": 0}
+
+    def route(
+        self,
+        event: Event,
+        *,
+        source: str,
+        dest: str,
+        topic: str,
+    ) -> dict[str, Any]:
+        """Deliver ``event`` to ``topic`` at the destination area.
+
+        The event is republished at every intermediate hop (so local
+        subscribers along the path can also observe transit traffic on
+        ``<topic>.transit``) and finally published on ``topic`` at the
+        destination.  Returns routing metadata (path, cost).
+        """
+        try:
+            path, cost = self.topology.shortest_path(source, dest)
+        except RoutingError:
+            self.stats["failed"] += 1
+            raise
+        routed = event.with_payload(
+            route_path=list(path), route_cost=cost, route_source=source
+        )
+        for hop in path[1:-1]:
+            broker = self.topology.broker(hop)
+            transit_topic = f"{topic}.transit"
+            if transit_topic not in broker.topic_names():
+                broker.create_topic(transit_topic)
+            broker.publish(transit_topic, routed)
+            self.stats["hops"] += 1
+        destination = self.topology.broker(dest)
+        if topic not in destination.topic_names():
+            destination.create_topic(topic)
+        destination.publish(topic, routed)
+        self.stats["hops"] += 1
+        self.stats["routed"] += 1
+        return {"path": path, "cost": cost}

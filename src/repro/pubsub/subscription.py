@@ -1,0 +1,67 @@
+"""Topic subscriptions: durable and nondurable, with content filters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.db.expr import Expression, evaluate_predicate
+from repro.db.sql.parser import parse_expression
+from repro.events import Event
+from repro.rules.engine import EventContext
+
+Callback = Callable[[Event], None]
+
+
+@dataclass
+class TopicSubscription:
+    """One subscriber's registration on a topic pattern.
+
+    Nondurable subscriptions deliver straight to ``callback`` and miss
+    events published while the subscriber is detached.  Durable
+    subscriptions spool matched events into a per-subscriber queue
+    (owned by the broker) and survive subscriber restarts — the
+    database-backed guarantee the tutorial emphasizes.
+    """
+
+    subscriber: str
+    topic_pattern: str
+    content_filter: Expression | None = None
+    durable: bool = False
+    callback: Callback | None = None
+    queue_name: str | None = None
+    delivered: int = 0
+    filtered_out: int = 0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        subscriber: str,
+        topic_pattern: str,
+        *,
+        content_filter: str | Expression | None = None,
+        durable: bool = False,
+        callback: Callback | None = None,
+    ) -> "TopicSubscription":
+        if isinstance(content_filter, str):
+            content_filter = parse_expression(content_filter)
+        return cls(
+            subscriber=subscriber,
+            topic_pattern=topic_pattern.lower(),
+            content_filter=content_filter,
+            durable=durable,
+            callback=callback,
+        )
+
+    def accepts(self, event: Event) -> bool:
+        """Apply the content filter (absent attributes read as NULL)."""
+        if self.content_filter is None:
+            return True
+        context = EventContext(event.payload)
+        context.setdefault("event_type", event.event_type)
+        context.setdefault("timestamp", event.timestamp)
+        if evaluate_predicate(self.content_filter, context):
+            return True
+        self.filtered_out += 1
+        return False

@@ -1,0 +1,33 @@
+"""Message storage: staging areas / queues (paper §2.2.b).
+
+Queues are ordinary database tables, which is the tutorial's point —
+message storage inherits the database's security, auditing,
+performance, recoverability, and transactional support for free.
+
+* :class:`QueueTable` — one persistent queue (priority + FIFO order,
+  visibility delay, expiration, ack/requeue).
+* :class:`QueueBroker` — named queues, foreign-message ingestion, and
+  the internal fast-path enqueue (§2.2.b.i.3).
+* :class:`SecurityManager` / audit trail — §2.2.b.ii.1.
+* :class:`Propagator` — forwarding to other staging areas and external
+  services (§2.2.d.ii).
+"""
+
+from repro.queues.audit import AuditTrail, Permission, SecurityManager
+from repro.queues.broker import QueueBroker
+from repro.queues.message import Message, MessageState
+from repro.queues.propagation import ExternalService, Propagator, PropagationLink
+from repro.queues.queue_table import QueueTable
+
+__all__ = [
+    "Message",
+    "MessageState",
+    "QueueTable",
+    "QueueBroker",
+    "SecurityManager",
+    "AuditTrail",
+    "Permission",
+    "Propagator",
+    "PropagationLink",
+    "ExternalService",
+]

@@ -1,0 +1,124 @@
+"""Security, auditing, tracking for message storage (§2.2.b.ii.1).
+
+* :class:`SecurityManager` — per-queue ACLs.  Principals are plain
+  strings; privileges are :class:`Permission` values.  Every guarded
+  operation calls :meth:`SecurityManager.check`, which raises
+  :class:`repro.errors.AccessDeniedError` on missing privilege.
+* :class:`AuditTrail` — an append-only audit table *inside the
+  database* (``_queue_audit``), so the audit trail itself inherits
+  durability and recoverability, and is queryable with SQL.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any
+
+from repro.db.database import Database
+from repro.db.schema import Column
+from repro.db.types import INT, TEXT, TIMESTAMP
+from repro.errors import AccessDeniedError
+
+AUDIT_TABLE = "_queue_audit"
+
+
+class Permission(Enum):
+    ENQUEUE = "enqueue"
+    DEQUEUE = "dequeue"
+    BROWSE = "browse"
+    ADMIN = "admin"
+
+
+class SecurityManager:
+    """Per-queue access-control lists.
+
+    An unknown queue is open by default until :meth:`protect` is called
+    on it; afterwards only granted principals may operate.  ADMIN
+    implies every other permission.
+    """
+
+    def __init__(self) -> None:
+        self._protected: set[str] = set()
+        self._grants: dict[tuple[str, str], set[Permission]] = {}
+
+    def protect(self, queue: str) -> None:
+        """Switch ``queue`` from open to deny-by-default."""
+        self._protected.add(queue.lower())
+
+    def grant(self, principal: str, queue: str, *permissions: Permission) -> None:
+        key = (principal, queue.lower())
+        self._grants.setdefault(key, set()).update(permissions)
+
+    def revoke(self, principal: str, queue: str, *permissions: Permission) -> None:
+        key = (principal, queue.lower())
+        if key in self._grants:
+            self._grants[key] -= set(permissions)
+
+    def allowed(self, principal: str, queue: str, permission: Permission) -> bool:
+        if queue.lower() not in self._protected:
+            return True
+        granted = self._grants.get((principal, queue.lower()), set())
+        return permission in granted or Permission.ADMIN in granted
+
+    def check(self, principal: str, queue: str, permission: Permission) -> None:
+        if not self.allowed(principal, queue, permission):
+            raise AccessDeniedError(
+                f"principal {principal!r} lacks {permission.value!r} on "
+                f"queue {queue!r}"
+            )
+
+
+class AuditTrail:
+    """Append-only audit log stored as a database table."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        if not db.catalog.has_table(AUDIT_TABLE):
+            db.create_table(
+                AUDIT_TABLE,
+                [
+                    Column("ts", TIMESTAMP, nullable=False),
+                    Column("principal", TEXT, nullable=False),
+                    Column("operation", TEXT, nullable=False),
+                    Column("queue", TEXT, nullable=False),
+                    Column("message_id", INT),
+                    Column("outcome", TEXT, nullable=False),
+                ],
+            )
+
+    def record(
+        self,
+        principal: str,
+        operation: str,
+        queue: str,
+        *,
+        message_id: int | None = None,
+        outcome: str = "ok",
+    ) -> None:
+        self.db.insert_row(
+            AUDIT_TABLE,
+            {
+                "ts": self.db.clock.now(),
+                "principal": principal,
+                "operation": operation,
+                "queue": queue.lower(),
+                "message_id": message_id,
+                "outcome": outcome,
+            },
+        )
+
+    def entries(
+        self,
+        *,
+        queue: str | None = None,
+        principal: str | None = None,
+    ) -> list[dict[str, Any]]:
+        """Read back audit entries, optionally filtered."""
+        conditions = []
+        if queue is not None:
+            conditions.append(f"queue = '{queue.lower()}'")
+        if principal is not None:
+            escaped = principal.replace("'", "''")
+            conditions.append(f"principal = '{escaped}'")
+        where = f" WHERE {' AND '.join(conditions)}" if conditions else ""
+        return self.db.query(f"SELECT * FROM {AUDIT_TABLE}{where} ORDER BY ts")

@@ -1,0 +1,96 @@
+"""Message envelope shared by queues, propagation, and pub/sub."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+class MessageState(Enum):
+    """Lifecycle of a stored message.
+
+    READY → LOCKED → CONSUMED is the normal path; EXPIRED messages were
+    never consumed before their deadline.  LOCKED messages return to
+    READY on requeue (consumer failure).
+    """
+
+    READY = "ready"
+    LOCKED = "locked"
+    CONSUMED = "consumed"
+    EXPIRED = "expired"
+
+
+@dataclass
+class Message:
+    """One message as seen by producers and consumers.
+
+    Attributes:
+        payload: JSON-serializable body.
+        priority: larger values dequeue first; ties broken FIFO.
+        visible_at: earliest dequeue time (delayed messages).
+        expires_at: after this time the message can no longer be
+            consumed; ``None`` means never expires.
+        correlation_id: application correlation key (e.g. order id).
+        headers: free-form metadata (also used for content filters).
+        attempts: delivery attempts so far (requeue increments).
+    """
+
+    payload: Any
+    queue: str = ""
+    message_id: int | None = None
+    priority: int = 0
+    enqueued_at: float = 0.0
+    visible_at: float = 0.0
+    expires_at: float | None = None
+    correlation_id: str | None = None
+    headers: dict[str, Any] = field(default_factory=dict)
+    attempts: int = 0
+    state: MessageState = MessageState.READY
+    consumer: str | None = None
+
+    def to_row(self) -> dict[str, Any]:
+        """Flatten into a queue-table row (payload/headers JSON-encoded
+        so the client SQL path and the fast path store identical rows)."""
+        return {
+            "payload": json.dumps(self.payload),
+            "priority": self.priority,
+            "enqueued_at": self.enqueued_at,
+            "visible_at": self.visible_at,
+            "expires_at": self.expires_at,
+            "correlation_id": self.correlation_id,
+            "headers": json.dumps(self.headers),
+            "attempts": self.attempts,
+            "state": self.state.value,
+            "consumer": self.consumer,
+        }
+
+    @classmethod
+    def from_row(cls, queue: str, rowid: int, row: dict[str, Any]) -> "Message":
+        return cls(
+            payload=json.loads(row["payload"]),
+            queue=queue,
+            message_id=rowid,
+            priority=row["priority"],
+            enqueued_at=row["enqueued_at"],
+            visible_at=row["visible_at"],
+            expires_at=row["expires_at"],
+            correlation_id=row["correlation_id"],
+            headers=json.loads(row["headers"]) if row["headers"] else {},
+            attempts=row["attempts"],
+            state=MessageState(row["state"]),
+            consumer=row["consumer"],
+        )
+
+    def filter_context(self) -> dict[str, Any]:
+        """Row-like view for rule/filter expressions: headers and (when
+        the payload is a mapping) payload keys at top level."""
+        context: dict[str, Any] = {}
+        if isinstance(self.payload, dict):
+            context.update(self.payload)
+        context.update(self.headers)
+        context.setdefault("priority", self.priority)
+        context.setdefault("correlation_id", self.correlation_id)
+        context.setdefault("queue", self.queue)
+        return context

@@ -1,0 +1,185 @@
+"""Message distribution: propagation between staging areas (§2.2.d.ii).
+
+A :class:`Propagator` drains a source queue and forwards each message
+to one or more destinations:
+
+* **Other staging areas** — a queue on another broker (possibly backed
+  by a different database), modeling queue-to-queue propagation.
+* **External services** — any object implementing
+  :class:`ExternalService` (e.g. an HTTP endpoint in production; a
+  callable stub in tests and benchmarks).
+
+Delivery is *reliable*: a message is acked on the source only after
+every destination accepted it; failed deliveries requeue the message
+with exponential backoff, and messages that exhaust ``max_attempts``
+move to the dead-letter queue.  Duplicate suppression at the
+destination uses the source message id carried in headers, giving
+effective exactly-once across retries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.errors import PropagationError
+from repro.queues.broker import QueueBroker
+from repro.queues.message import Message
+
+
+class ExternalService(Protocol):
+    """Destination outside the database world (§2.2.d.ii.2)."""
+
+    def deliver(self, message: Message) -> None:
+        """Accept one message; raise to signal failure."""
+        ...
+
+
+@dataclass
+class PropagationLink:
+    """One forwarding edge from the source queue.
+
+    Exactly one of ``broker``/``service`` is set.  ``transform`` may
+    rewrite the message (e.g. re-prioritize for the remote site).
+    """
+
+    name: str
+    broker: QueueBroker | None = None
+    queue_name: str | None = None
+    service: ExternalService | None = None
+    transform: Any = None
+    delivered: int = 0
+    failed: int = 0
+
+    def __post_init__(self) -> None:
+        if (self.broker is None) == (self.service is None):
+            raise PropagationError(
+                f"link {self.name!r} must target exactly one of "
+                "broker+queue_name or service"
+            )
+        if self.broker is not None and self.queue_name is None:
+            raise PropagationError(
+                f"link {self.name!r} targets a broker but names no queue"
+            )
+
+    def send(self, message: Message) -> None:
+        outgoing = Message(
+            payload=message.payload,
+            priority=message.priority,
+            correlation_id=message.correlation_id,
+            headers={
+                **message.headers,
+                "propagated_from": message.queue,
+                "origin_message_id": message.message_id,
+            },
+            expires_at=message.expires_at,
+        )
+        if self.transform is not None:
+            outgoing = self.transform(outgoing)
+        if self.broker is not None:
+            self.broker.publish(self.queue_name, outgoing)
+        else:
+            self.service.deliver(outgoing)
+        self.delivered += 1
+
+
+class Propagator:
+    """Drains one source queue into its propagation links."""
+
+    def __init__(
+        self,
+        broker: QueueBroker,
+        source_queue: str,
+        *,
+        max_attempts: int = 5,
+        base_backoff: float = 0.1,
+        dead_letter_queue: str | None = None,
+    ) -> None:
+        self.broker = broker
+        self.source_queue = source_queue
+        self.max_attempts = max_attempts
+        self.base_backoff = base_backoff
+        self.links: list[PropagationLink] = []
+        self.dead_letter_queue = dead_letter_queue
+        if dead_letter_queue and not broker.has_queue(dead_letter_queue):
+            broker.create_queue(dead_letter_queue)
+        self._delivered_ids: dict[str, set[int]] = {}
+        self.stats = {"forwarded": 0, "retried": 0, "dead_lettered": 0}
+
+    def add_link(self, link: PropagationLink) -> "Propagator":
+        """Attach a destination; returns self so links chain fluently."""
+        self.links.append(link)
+        self._delivered_ids.setdefault(link.name, set())
+        return self
+
+    def run_once(self, *, batch: int = 100) -> int:
+        """Forward up to ``batch`` messages; returns how many were
+        fully delivered (acked at the source)."""
+        if not self.links:
+            raise PropagationError("propagator has no links configured")
+        forwarded = 0
+        for _ in range(batch):
+            message = self.broker.consume(
+                self.source_queue, principal="propagator"
+            )
+            if message is None:
+                break
+            if self._forward(message):
+                forwarded += 1
+        return forwarded
+
+    def _forward(self, message: Message) -> bool:
+        failures: list[tuple[PropagationLink, Exception]] = []
+        for link in self.links:
+            seen = self._delivered_ids[link.name]
+            if message.message_id in seen:
+                continue  # Already delivered on a previous (partial) try.
+            try:
+                link.send(message)
+                seen.add(message.message_id)
+            except Exception as exc:  # failure boundary around foreign code
+                link.failed += 1
+                failures.append((link, exc))
+        if not failures:
+            self.broker.ack(
+                self.source_queue, message.message_id, principal="propagator"
+            )
+            self.stats["forwarded"] += 1
+            return True
+        if message.attempts >= self.max_attempts:
+            self._dead_letter(message, failures)
+            return False
+        backoff = self.base_backoff * (2 ** (message.attempts - 1))
+        self.broker.requeue(
+            self.source_queue,
+            message.message_id,
+            delay=backoff,
+            principal="propagator",
+        )
+        self.stats["retried"] += 1
+        return False
+
+    def _dead_letter(
+        self, message: Message, failures: list[tuple[PropagationLink, Exception]]
+    ) -> None:
+        self.stats["dead_lettered"] += 1
+        if self.dead_letter_queue:
+            dead = Message(
+                payload=message.payload,
+                priority=message.priority,
+                correlation_id=message.correlation_id,
+                headers={
+                    **message.headers,
+                    "dead_letter_reason": "; ".join(
+                        f"{link.name}: {exc}" for link, exc in failures
+                    ),
+                    "origin_queue": message.queue,
+                    "origin_message_id": message.message_id,
+                },
+            )
+            self.broker.publish(
+                self.dead_letter_queue, dead, principal="propagator"
+            )
+        self.broker.ack(
+            self.source_queue, message.message_id, principal="propagator"
+        )

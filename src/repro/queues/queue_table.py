@@ -1,0 +1,339 @@
+"""A persistent message queue backed by one database table (§2.2.b).
+
+Every queue operation is a database transaction, so queues inherit the
+database's operational characteristics verbatim:
+
+* **Recoverability** — enqueued messages survive crashes (they are rows
+  journaled through the WAL); an in-flight (locked) message whose
+  consumer dies is returned to READY by :meth:`recover_locked`.
+* **Transactional support** — enqueue/dequeue participate in the
+  caller's transaction: a rolled-back enqueue never becomes visible, a
+  rolled-back dequeue leaves the message READY.
+* **Ordering** — dequeue returns the highest-priority READY message,
+  FIFO within a priority.
+
+Two enqueue paths exist for EXP-3:
+:meth:`enqueue` is the internal fast path (programmatic row insert);
+:meth:`enqueue_via_insert` goes through the full SQL text interface the
+way an external client would ("extended INSERT interface",
+§2.2.b.i.1).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+
+from repro.clock import Clock
+from repro.db.database import Connection, Database
+from repro.db.schema import Column
+from repro.db.types import INT, TEXT, TIMESTAMP
+from repro.errors import MessageExpiredError, QueueError
+from repro.queues.message import Message, MessageState
+
+
+def queue_table_name(queue_name: str) -> str:
+    return f"q_{queue_name.lower()}"
+
+
+class QueueTable:
+    """One named queue stored in table ``q_<name>``."""
+
+    def __init__(
+        self,
+        db: Database,
+        name: str,
+        *,
+        keep_history: bool = False,
+        default_expiration: float | None = None,
+    ) -> None:
+        """Args:
+        keep_history: consumed messages stay as CONSUMED rows (full
+            tracking, §2.2.b.ii.1) instead of being deleted.
+        default_expiration: seconds until expiry applied to messages
+            enqueued without an explicit ``expires_at``.
+        """
+        self.db = db
+        self.name = name.lower()
+        self.table_name = queue_table_name(name)
+        self.keep_history = keep_history
+        self.default_expiration = default_expiration
+        self.stats = {
+            "enqueued": 0,
+            "dequeued": 0,
+            "acked": 0,
+            "requeued": 0,
+            "expired": 0,
+        }
+        if not db.catalog.has_table(self.table_name):
+            self._create_table()
+
+    @property
+    def clock(self) -> Clock:
+        return self.db.clock
+
+    def _create_table(self) -> None:
+        # payload/headers are stored JSON-encoded (TEXT) so the client
+        # SQL path and the internal fast path produce identical rows.
+        self.db.create_table(
+            self.table_name,
+            [
+                Column("payload", TEXT),
+                Column("priority", INT, nullable=False, default=0),
+                Column("enqueued_at", TIMESTAMP, nullable=False),
+                Column("visible_at", TIMESTAMP, nullable=False),
+                Column("expires_at", TIMESTAMP),
+                Column("correlation_id", TEXT),
+                Column("headers", TEXT),
+                Column("attempts", INT, nullable=False, default=0),
+                Column("state", TEXT, nullable=False),
+                Column("consumer", TEXT),
+            ],
+        )
+        # Dequeue scans filter on state; priority order is computed on
+        # the (small) READY candidate set.
+        self.db.create_index(
+            f"ix_{self.table_name}_state", self.table_name, "state", kind="hash"
+        )
+
+    # -- enqueue --------------------------------------------------------------
+
+    def _prepare(self, message: Message) -> Message:
+        now = self.clock.now()
+        message.queue = self.name
+        message.enqueued_at = now
+        if not message.visible_at:
+            message.visible_at = now
+        if message.expires_at is None and self.default_expiration is not None:
+            message.expires_at = now + self.default_expiration
+        message.state = MessageState.READY
+        return message
+
+    def enqueue(
+        self, message: Message | Any, *, conn: Connection | None = None
+    ) -> int:
+        """Internal fast-path enqueue (programmatic insert).
+
+        Accepts a :class:`Message` or a bare payload.  Returns the
+        message id.  Joins the caller's transaction when ``conn`` is
+        given.
+        """
+        if not isinstance(message, Message):
+            message = Message(payload=message)
+        message = self._prepare(message)
+        rowid = self.db.insert_row(self.table_name, message.to_row(), conn=conn)
+        message.message_id = rowid
+        self.stats["enqueued"] += 1
+        return rowid
+
+    def enqueue_via_insert(self, message: Message | Any) -> int:
+        """Client-style enqueue through the SQL INSERT interface.
+
+        Exercises the full lex/parse/plan path a foreign client would
+        use — the baseline EXP-3 compares against the fast path.
+        """
+        if not isinstance(message, Message):
+            message = Message(payload=message)
+        message = self._prepare(message)
+        row = message.to_row()
+        columns = ", ".join(row)
+        values = ", ".join(_sql_literal(value) for value in row.values())
+        result = self.db.execute(
+            f"INSERT INTO {self.table_name} ({columns}) VALUES ({values})"
+        )
+        self.stats["enqueued"] += 1
+        return result.lastrowid
+
+    # -- dequeue ----------------------------------------------------------------
+
+    def dequeue(
+        self,
+        *,
+        consumer: str = "anonymous",
+        conn: Connection | None = None,
+    ) -> Message | None:
+        """Lock and return the next READY message, or None when empty.
+
+        The returned message is LOCKED until :meth:`ack` (consume) or
+        :meth:`requeue` (failure).  Expired candidates encountered on
+        the way are marked EXPIRED.
+        """
+
+        def work(connection: Connection) -> Message | None:
+            self.db.lock_table_exclusive(connection, self.table_name)
+            now = self.clock.now()
+            table = self.db.catalog.table(self.table_name)
+            best: tuple[int, int] | None = None  # (-priority, rowid)
+            for rowid in table.lookup_rowids("state", MessageState.READY.value):
+                row = table.get(rowid)
+                if row is None or row["visible_at"] > now:
+                    continue
+                if row["expires_at"] is not None and row["expires_at"] <= now:
+                    self.db.update_row(
+                        self.table_name,
+                        rowid,
+                        {"state": MessageState.EXPIRED.value},
+                        conn=connection,
+                    )
+                    self.stats["expired"] += 1
+                    continue
+                candidate = (-row["priority"], rowid)
+                if best is None or candidate < best:
+                    best = candidate
+            if best is None:
+                return None
+            rowid = best[1]
+            self.db.update_row(
+                self.table_name,
+                rowid,
+                {
+                    "state": MessageState.LOCKED.value,
+                    "consumer": consumer,
+                    "attempts": table.get(rowid)["attempts"] + 1,
+                },
+                conn=connection,
+            )
+            row = table.get(rowid)
+            self.stats["dequeued"] += 1
+            return Message.from_row(self.name, rowid, row)
+
+        return self.db._with_transaction(conn, work)
+
+    def ack(self, message_id: int, *, conn: Connection | None = None) -> None:
+        """Consume a LOCKED message (delete, or mark CONSUMED when the
+        queue keeps history)."""
+
+        def work(connection: Connection) -> None:
+            self._require_state(message_id, MessageState.LOCKED, "ack")
+            if self.keep_history:
+                self.db.update_row(
+                    self.table_name,
+                    message_id,
+                    {"state": MessageState.CONSUMED.value},
+                    conn=connection,
+                )
+            else:
+                self.db.delete_row(self.table_name, message_id, conn=connection)
+            self.stats["acked"] += 1
+
+        self.db._with_transaction(conn, work)
+
+    def requeue(
+        self,
+        message_id: int,
+        *,
+        delay: float = 0.0,
+        conn: Connection | None = None,
+    ) -> None:
+        """Return a LOCKED message to READY (consumer failure path)."""
+
+        def work(connection: Connection) -> None:
+            self._require_state(message_id, MessageState.LOCKED, "requeue")
+            self.db.update_row(
+                self.table_name,
+                message_id,
+                {
+                    "state": MessageState.READY.value,
+                    "consumer": None,
+                    "visible_at": self.clock.now() + delay,
+                },
+                conn=connection,
+            )
+            self.stats["requeued"] += 1
+
+        self.db._with_transaction(conn, work)
+
+    def _require_state(
+        self, message_id: int, expected: MessageState, operation: str
+    ) -> dict[str, Any]:
+        table = self.db.catalog.table(self.table_name)
+        row = table.get(message_id)
+        if row is None:
+            raise QueueError(
+                f"{operation}: message {message_id} not found in {self.name!r}"
+            )
+        if row["state"] == MessageState.EXPIRED.value:
+            raise MessageExpiredError(
+                f"{operation}: message {message_id} expired"
+            )
+        if row["state"] != expected.value:
+            raise QueueError(
+                f"{operation}: message {message_id} is {row['state']}, "
+                f"expected {expected.value}"
+            )
+        return row
+
+    # -- maintenance & inspection -------------------------------------------------
+
+    def browse(self, *, include_locked: bool = False) -> Iterator[Message]:
+        """Peek at pending messages in dequeue order without locking."""
+        table = self.db.catalog.table(self.table_name)
+        states = {MessageState.READY.value}
+        if include_locked:
+            states.add(MessageState.LOCKED.value)
+        pending = [
+            (row["priority"], rowid, row)
+            for rowid, row in table.scan()
+            if row["state"] in states
+        ]
+        pending.sort(key=lambda item: (-item[0], item[1]))
+        for _priority, rowid, row in pending:
+            yield Message.from_row(self.name, rowid, row)
+
+    def depth(self) -> int:
+        """Number of READY messages."""
+        table = self.db.catalog.table(self.table_name)
+        return len(table.lookup_rowids("state", MessageState.READY.value))
+
+    def expire_messages(self) -> int:
+        """Sweep READY messages past their expiration; returns count."""
+        now = self.clock.now()
+        table = self.db.catalog.table(self.table_name)
+        expired = 0
+        for rowid in table.lookup_rowids("state", MessageState.READY.value):
+            row = table.get(rowid)
+            if row and row["expires_at"] is not None and row["expires_at"] <= now:
+                self.db.update_row(
+                    self.table_name, rowid, {"state": MessageState.EXPIRED.value}
+                )
+                expired += 1
+        self.stats["expired"] += expired
+        return expired
+
+    def recover_locked(self, *, consumer: str | None = None) -> int:
+        """Return LOCKED messages to READY after a consumer failure.
+
+        With ``consumer`` given, only that consumer's locks are
+        released.  Returns the number of messages recovered.
+        """
+        table = self.db.catalog.table(self.table_name)
+        recovered = 0
+        for rowid in table.lookup_rowids("state", MessageState.LOCKED.value):
+            row = table.get(rowid)
+            if row is None:
+                continue
+            if consumer is not None and row["consumer"] != consumer:
+                continue
+            self.db.update_row(
+                self.table_name,
+                rowid,
+                {"state": MessageState.READY.value, "consumer": None},
+            )
+            recovered += 1
+        return recovered
+
+
+def _sql_literal(value: Any) -> str:
+    """Render a Python value as a SQL literal for the client-path INSERT."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    # JSON columns accept structured values; embed as a JSON string the
+    # coercion layer will keep verbatim.
+    return "'" + json.dumps(value).replace("'", "''") + "'"

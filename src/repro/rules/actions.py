@@ -1,0 +1,106 @@
+"""Standard rule actions and the name→action registry.
+
+Actions are callables ``action(rule, context)``.  The registry maps the
+names stored in the ``_rules`` table back to live callables when rules
+are loaded (expressions persist as data; code rebinds by name).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.errors import RuleError
+from repro.queues.broker import QueueBroker
+from repro.rules.rule import Rule, RuleAction
+
+
+class ActionRegistry:
+    """Named actions available to stored rules."""
+
+    def __init__(self) -> None:
+        self._actions: dict[str, RuleAction] = {}
+
+    def register(self, name: str, action: RuleAction) -> RuleAction:
+        if name in self._actions:
+            raise RuleError(f"action {name!r} already registered")
+        self._actions[name] = action
+        return action
+
+    def get(self, name: str) -> RuleAction:
+        try:
+            return self._actions[name]
+        except KeyError:
+            raise RuleError(f"action {name!r} is not registered") from None
+
+    def as_mapping(self) -> Mapping[str, RuleAction]:
+        return dict(self._actions)
+
+
+class CollectAction:
+    """Test/demo action: remembers every (rule_id, context) it saw."""
+
+    def __init__(self) -> None:
+        self.seen: list[tuple[str, dict[str, Any]]] = []
+
+    def __call__(self, rule: Rule, context: Mapping[str, Any]) -> None:
+        self.seen.append((rule.rule_id, dict(context)))
+
+    def __len__(self) -> int:
+        return len(self.seen)
+
+
+class EnqueueAction:
+    """Publish the matched context as a message to a queue.
+
+    This is the §2.2.b.i.3 fast path in action: a rule match *is* an
+    internally created message.
+    """
+
+    def __init__(
+        self,
+        broker: QueueBroker,
+        queue_name: str,
+        *,
+        priority_key: str | None = None,
+    ) -> None:
+        self.broker = broker
+        self.queue_name = queue_name
+        self.priority_key = priority_key
+
+    def __call__(self, rule: Rule, context: Mapping[str, Any]) -> None:
+        from repro.queues.message import Message
+
+        priority = 0
+        if self.priority_key is not None:
+            value = context.get(self.priority_key)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                priority = int(value)
+        payload = {
+            "rule_id": rule.rule_id,
+            "context": {
+                key: value
+                for key, value in dict(context).items()
+                if _jsonable(value)
+            },
+        }
+        self.broker.publish(
+            self.queue_name, Message(payload=payload, priority=priority)
+        )
+
+
+def _jsonable(value: Any) -> bool:
+    return value is None or isinstance(value, (bool, int, float, str, list, dict))
+
+
+class NotifyAction:
+    """Deliver the match to in-process listeners (callbacks)."""
+
+    def __init__(self, *listeners: Callable[[Rule, Mapping[str, Any]], None]) -> None:
+        self.listeners = list(listeners)
+
+    def add(self, listener: Callable[[Rule, Mapping[str, Any]], None]) -> None:
+        self.listeners.append(listener)
+
+    def __call__(self, rule: Rule, context: Mapping[str, Any]) -> None:
+        for listener in self.listeners:
+            listener(rule, context)

@@ -1,0 +1,123 @@
+"""Publish/subscribe and subscribe-to-publish (§2.2.c.i.1).
+
+The tutorial notes that databases naturally support both directions:
+
+* **publish/subscribe** — consumers register interest (a condition);
+  published events are delivered to every subscriber whose condition
+  matches.  The matching is exactly the rule engine, so large
+  subscriber populations scale through the predicate index.
+* **subscribe-to-publish** — the producer asks *who would be
+  interested* before creating content
+  (:meth:`PubSubRules.interested_consumers`).  When nobody subscribes,
+  expensive message construction can be skipped entirely — the
+  ``suppressed`` statistic counts those saved publications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.errors import PubSubError
+from repro.events import Event
+from repro.rules.engine import RuleEngine, event_context
+from repro.rules.rule import Rule
+
+Deliver = Callable[[Event], None]
+
+
+@dataclass
+class Subscription:
+    """One consumer's registered interest."""
+
+    subscriber: str
+    condition: str
+    deliver: Deliver
+    event_types: tuple[str, ...] | None = None
+    delivered: int = field(default=0)
+
+
+class PubSubRules:
+    """Content-based pub/sub built directly on the rule engine."""
+
+    def __init__(self, *, mode: str = "indexed") -> None:
+        self._engine = RuleEngine(mode=mode)
+        self._subscriptions: dict[str, Subscription] = {}
+        self.stats = {"published": 0, "delivered": 0, "suppressed": 0}
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    def subscribe(
+        self,
+        subscriber: str,
+        condition: str,
+        deliver: Deliver,
+        *,
+        event_types: tuple[str, ...] | None = None,
+    ) -> Subscription:
+        """Register interest; ``condition`` uses the SQL expression
+        grammar over event attributes (``'TRUE'`` for everything)."""
+        if subscriber in self._subscriptions:
+            raise PubSubError(f"subscriber {subscriber!r} already registered")
+        subscription = Subscription(
+            subscriber=subscriber,
+            condition=condition,
+            deliver=deliver,
+            event_types=event_types,
+        )
+        self._subscriptions[subscriber] = subscription
+        rule = Rule.from_text(
+            subscriber, condition, event_types=event_types
+        )
+        rule.metadata["subscription"] = subscription
+        self._engine.add_rule(rule)
+        return subscription
+
+    def unsubscribe(self, subscriber: str) -> None:
+        if subscriber not in self._subscriptions:
+            raise PubSubError(f"subscriber {subscriber!r} is not registered")
+        del self._subscriptions[subscriber]
+        self._engine.remove_rule(subscriber)
+
+    def interested_consumers(self, event: Event) -> list[str]:
+        """Subscribe-to-publish: who would receive this event?
+
+        Evaluates conditions without delivering, so producers can probe
+        cheaply before building expensive content.
+        """
+        matches = self._engine.evaluate(event, run_actions=False)
+        return [match.rule.rule_id for match in matches]
+
+    def publish(self, event: Event) -> int:
+        """Deliver to every interested subscriber; returns the count."""
+        self.stats["published"] += 1
+        matches = self._engine.evaluate(event, run_actions=False)
+        for match in matches:
+            subscription = self._subscriptions[match.rule.rule_id]
+            subscription.deliver(event)
+            subscription.delivered += 1
+        self.stats["delivered"] += len(matches)
+        return len(matches)
+
+    def publish_lazy(
+        self,
+        event_type: str,
+        timestamp: float,
+        probe: Mapping[str, Any],
+        build: Callable[[], Event],
+    ) -> int:
+        """Subscribe-to-publish flow: probe with cheap attributes, build
+        the full event only if someone is interested.
+
+        ``probe`` carries the attributes conditions filter on; ``build``
+        constructs the complete (expensive) event.  Returns deliveries.
+        """
+        probe_event = Event(
+            event_type=event_type, timestamp=timestamp, payload=probe
+        )
+        interested = self.interested_consumers(probe_event)
+        if not interested:
+            self.stats["suppressed"] += 1
+            return 0
+        return self.publish(build())

@@ -1,0 +1,24 @@
+"""Synthetic workloads for the tutorial's use cases (§2.1.c, §2.2.e).
+
+Production traces are proprietary; these generators produce seeded,
+labelled streams with the statistical features the tutorial's argument
+relies on — high-volume background noise with rare, ground-truth-
+labelled critical episodes — so detection quality (false positives /
+false negatives) is measurable.
+"""
+
+from repro.workloads.finance import MarketDataGenerator, OrderFlowGenerator
+from repro.workloads.generators import LabeledStream, poisson_times
+from repro.workloads.hazmat import HazmatGenerator
+from repro.workloads.sensors import SensorGridGenerator
+from repro.workloads.utility import UtilityUsageGenerator
+
+__all__ = [
+    "LabeledStream",
+    "poisson_times",
+    "MarketDataGenerator",
+    "OrderFlowGenerator",
+    "SensorGridGenerator",
+    "HazmatGenerator",
+    "UtilityUsageGenerator",
+]

@@ -1,0 +1,152 @@
+"""Financial-services workloads (§2.2.e.i).
+
+* :class:`MarketDataGenerator` — per-symbol tick streams (geometric
+  random walk) with injected *spike-and-collapse* episodes: the price
+  jumps sharply and then falls below its pre-spike level within
+  seconds.  These are the "opportunities and threats" CEP patterns are
+  meant to catch (the EXP-6 pattern workload).
+* :class:`OrderFlowGenerator` — an order stream with injected bursts of
+  anomalously large orders from a single account (surveillance
+  workload: the EXP-9 VIRT sweep uses its labels).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.events import Event
+from repro.workloads.generators import LabeledStream, pick_episode_times, poisson_times
+
+
+class MarketDataGenerator:
+    """Seeded tick streams with labelled spike episodes."""
+
+    def __init__(
+        self,
+        *,
+        symbols: tuple[str, ...] = ("IBM", "ORCL", "MSFT", "HPQ"),
+        tick_rate: float = 10.0,
+        volatility: float = 0.0005,
+        episode_count: int = 5,
+        spike_magnitude: float = 0.08,
+        seed: int = 7,
+    ) -> None:
+        self.symbols = symbols
+        self.tick_rate = tick_rate
+        self.volatility = volatility
+        self.episode_count = episode_count
+        self.spike_magnitude = spike_magnitude
+        self.seed = seed
+
+    def generate(self, duration: float) -> LabeledStream:
+        rng = random.Random(self.seed)
+        stream = LabeledStream()
+        episodes = pick_episode_times(
+            rng, duration * 0.9, self.episode_count, min_gap=30.0,
+            start=duration * 0.1,
+        )
+        stream.episodes = episodes
+        # Each episode strikes one symbol.
+        episode_symbol = {t: rng.choice(self.symbols) for t in episodes}
+
+        for symbol in self.symbols:
+            price = rng.uniform(20.0, 200.0)
+            for timestamp in poisson_times(rng, self.tick_rate, duration):
+                price *= math.exp(rng.gauss(0.0, self.volatility))
+                tick_price = price
+                critical = False
+                for episode_time in episodes:
+                    if episode_symbol[episode_time] != symbol:
+                        continue
+                    offset = timestamp - episode_time
+                    if 0 <= offset < 5.0:  # spike phase
+                        tick_price = price * (1 + self.spike_magnitude)
+                        critical = True
+                    elif 5.0 <= offset < 10.0:  # collapse phase
+                        tick_price = price * (1 - self.spike_magnitude)
+                        critical = True
+                event = Event(
+                    "tick",
+                    timestamp,
+                    {
+                        "symbol": symbol,
+                        "price": round(tick_price, 4),
+                        "qty": rng.randrange(1, 500),
+                    },
+                    source="market",
+                )
+                stream.events.append(event)
+                if critical:
+                    stream.critical_event_ids.add(event.event_id)
+        return stream.sorted_by_time()
+
+
+class OrderFlowGenerator:
+    """Order events with labelled bursts of outsized orders."""
+
+    def __init__(
+        self,
+        *,
+        accounts: int = 50,
+        symbols: tuple[str, ...] = ("IBM", "ORCL", "MSFT", "HPQ"),
+        order_rate: float = 20.0,
+        normal_qty: tuple[int, int] = (1, 200),
+        burst_qty: tuple[int, int] = (5_000, 20_000),
+        episode_count: int = 4,
+        burst_length: int = 8,
+        seed: int = 11,
+    ) -> None:
+        self.accounts = accounts
+        self.symbols = symbols
+        self.order_rate = order_rate
+        self.normal_qty = normal_qty
+        self.burst_qty = burst_qty
+        self.episode_count = episode_count
+        self.burst_length = burst_length
+        self.seed = seed
+
+    def generate(self, duration: float) -> LabeledStream:
+        rng = random.Random(self.seed)
+        stream = LabeledStream()
+        episodes = pick_episode_times(
+            rng, duration * 0.9, self.episode_count, min_gap=20.0,
+            start=duration * 0.1,
+        )
+        stream.episodes = episodes
+
+        for timestamp in poisson_times(rng, self.order_rate, duration):
+            event = Event(
+                "orders.insert",
+                timestamp,
+                {
+                    "account": f"acct{rng.randrange(self.accounts)}",
+                    "symbol": rng.choice(self.symbols),
+                    "qty": rng.randrange(*self.normal_qty),
+                    "price": round(rng.uniform(10, 300), 2),
+                    "side": rng.choice(["buy", "sell"]),
+                },
+                source="orders",
+            )
+            stream.events.append(event)
+
+        # Bursts: one rogue account fires burst_length huge orders.
+        for episode_time in episodes:
+            account = f"acct{rng.randrange(self.accounts)}"
+            symbol = rng.choice(self.symbols)
+            for i in range(self.burst_length):
+                event = Event(
+                    "orders.insert",
+                    episode_time + i * 0.5,
+                    {
+                        "account": account,
+                        "symbol": symbol,
+                        "qty": rng.randrange(*self.burst_qty),
+                        "price": round(rng.uniform(10, 300), 2),
+                        "side": "buy",
+                    },
+                    source="orders",
+                )
+                stream.events.append(event)
+                stream.critical_event_ids.add(event.event_id)
+        return stream.sorted_by_time()

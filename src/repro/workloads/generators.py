@@ -1,0 +1,81 @@
+"""Shared generator machinery: labelled streams and arrival processes."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.events import Event
+
+
+@dataclass
+class LabeledStream:
+    """A finite event stream with ground-truth critical episodes.
+
+    ``episodes`` holds the start time of each injected critical
+    condition; ``critical_event_ids`` the ids of events that belong to
+    an episode — together they support both episode-level
+    (:class:`repro.core.metrics.EpisodeTracker`) and event-level
+    (:class:`repro.core.metrics.ConfusionTracker`) error accounting.
+    """
+
+    events: list[Event] = field(default_factory=list)
+    episodes: list[float] = field(default_factory=list)
+    critical_event_ids: set[int] = field(default_factory=set)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def is_critical(self, event: Event) -> bool:
+        return event.event_id in self.critical_event_ids
+
+    def sorted_by_time(self) -> "LabeledStream":
+        """Return a copy with events in timestamp order (stable)."""
+        ordered = sorted(self.events, key=lambda event: event.timestamp)
+        return LabeledStream(
+            events=ordered,
+            episodes=list(self.episodes),
+            critical_event_ids=set(self.critical_event_ids),
+        )
+
+
+def poisson_times(
+    rng: random.Random, rate: float, duration: float, start: float = 0.0
+) -> list[float]:
+    """Arrival times of a Poisson process of ``rate`` events/second."""
+    if rate <= 0:
+        return []
+    times: list[float] = []
+    now = start
+    while True:
+        now += rng.expovariate(rate)
+        if now >= start + duration:
+            return times
+        times.append(now)
+
+
+def pick_episode_times(
+    rng: random.Random,
+    end: float,
+    count: int,
+    *,
+    min_gap: float,
+    start: float = 0.0,
+) -> list[float]:
+    """``count`` episode start times in ``[start, end]`` separated by at
+    least ``min_gap`` (best effort: gives up after 100 tries each)."""
+    if end <= start:
+        return []
+    times: list[float] = []
+    attempts = 0
+    while len(times) < count and attempts < count * 100:
+        attempts += 1
+        candidate = rng.uniform(start, end)
+        if all(abs(candidate - existing) >= min_gap for existing in times):
+            times.append(candidate)
+    times.sort()
+    return times

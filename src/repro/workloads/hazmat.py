@@ -1,0 +1,134 @@
+"""ChemSecure workload (§2.2.e.iii): hazardous-material tracking.
+
+Containers of hazardous material move between zones, producing RFID
+read events with a temperature measurement.  Two labelled violation
+kinds are injected:
+
+* **zone violations** — a container appears in a zone its material
+  class is not authorized for;
+* **temperature excursions** — a container's temperature climbs past
+  its material's safe ceiling over several reads.
+
+The authorization matrix (material class → allowed zones) is emitted as
+reference data so examples can load it into a database table and catch
+zone violations with a stream-table join.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.events import Event
+from repro.workloads.generators import LabeledStream, pick_episode_times
+
+MATERIAL_CLASSES = ("flammable", "corrosive", "radioactive", "biohazard")
+ZONES = ("dock", "storage_a", "storage_b", "lab", "disposal", "transit")
+
+# Which zones each material class may legally occupy.
+AUTHORIZED_ZONES: dict[str, tuple[str, ...]] = {
+    "flammable": ("dock", "storage_a", "transit"),
+    "corrosive": ("dock", "storage_b", "transit"),
+    "radioactive": ("dock", "lab", "disposal", "transit"),
+    "biohazard": ("dock", "lab", "transit"),
+}
+
+SAFE_TEMPERATURE: dict[str, float] = {
+    "flammable": 40.0,
+    "corrosive": 60.0,
+    "radioactive": 50.0,
+    "biohazard": 30.0,
+}
+
+
+class HazmatGenerator:
+    """Seeded RFID reads with labelled zone/temperature violations."""
+
+    def __init__(
+        self,
+        *,
+        containers: int = 40,
+        read_interval: float = 10.0,
+        violation_count: int = 4,
+        seed: int = 31,
+    ) -> None:
+        self.containers = containers
+        self.read_interval = read_interval
+        self.violation_count = violation_count
+        self.seed = seed
+
+    def reference_rows(self) -> list[dict[str, Any]]:
+        """Authorization matrix as rows for a reference table."""
+        rows = []
+        for material, zones in AUTHORIZED_ZONES.items():
+            for zone in zones:
+                rows.append({"material": material, "zone": zone})
+        return rows
+
+    def container_material(self, container_id: int) -> str:
+        return MATERIAL_CLASSES[container_id % len(MATERIAL_CLASSES)]
+
+    def generate(self, duration: float) -> LabeledStream:
+        rng = random.Random(self.seed)
+        stream = LabeledStream()
+        episodes = pick_episode_times(
+            rng, duration * 0.9, self.violation_count, min_gap=60.0,
+            start=duration * 0.1,
+        )
+        stream.episodes = episodes
+        # Alternate violation kinds across episodes.
+        plans: dict[float, tuple[str, int]] = {}
+        for index, episode_time in enumerate(episodes):
+            kind = "zone" if index % 2 == 0 else "temperature"
+            plans[episode_time] = (kind, rng.randrange(self.containers))
+
+        zone_of = {
+            container: rng.choice(
+                AUTHORIZED_ZONES[self.container_material(container)]
+            )
+            for container in range(self.containers)
+        }
+
+        ticks = int(duration / self.read_interval)
+        for tick in range(ticks):
+            timestamp = tick * self.read_interval
+            for container in range(self.containers):
+                material = self.container_material(container)
+                # Containers occasionally move between authorized zones.
+                if rng.random() < 0.05:
+                    zone_of[container] = rng.choice(AUTHORIZED_ZONES[material])
+                zone = zone_of[container]
+                temperature = rng.gauss(
+                    SAFE_TEMPERATURE[material] - 15.0, 3.0
+                )
+                critical = False
+                for episode_time, (kind, culprit) in plans.items():
+                    age = timestamp - episode_time
+                    if container != culprit or not 0 <= age <= 60.0:
+                        continue
+                    if kind == "zone":
+                        forbidden = [
+                            z
+                            for z in ZONES
+                            if z not in AUTHORIZED_ZONES[material]
+                        ]
+                        zone = forbidden[container % len(forbidden)]
+                        critical = True
+                    else:
+                        temperature = SAFE_TEMPERATURE[material] + 5.0 + age / 6.0
+                        critical = True
+                event = Event(
+                    "rfid.read",
+                    timestamp,
+                    {
+                        "container": f"c{container}",
+                        "material": material,
+                        "zone": zone,
+                        "temperature": round(temperature, 2),
+                    },
+                    source="chemsecure",
+                )
+                stream.events.append(event)
+                if critical:
+                    stream.critical_event_ids.add(event.event_id)
+        return stream

@@ -1,0 +1,235 @@
+"""All four capture mechanisms (paper §2.2.a) and their contrasts."""
+
+import pytest
+
+from repro.capture import (
+    JournalCapture,
+    PatternCapture,
+    QueryCapture,
+    Transition,
+    TriggerCapture,
+)
+
+
+@pytest.fixture
+def mdb(db):
+    db.execute("CREATE TABLE meters (meter_id INT PRIMARY KEY, usage REAL)")
+    return db
+
+
+class TestTriggerCapture:
+    def test_captures_all_operations(self, mdb):
+        events = []
+        capture = TriggerCapture(mdb, ["meters"])
+        capture.subscribe(events.append)
+        mdb.execute("INSERT INTO meters VALUES (1, 10.0)")
+        mdb.execute("UPDATE meters SET usage = 20.0 WHERE meter_id = 1")
+        mdb.execute("DELETE FROM meters WHERE meter_id = 1")
+        assert [e.event_type for e in events] == [
+            "meters.insert", "meters.update", "meters.delete",
+        ]
+
+    def test_payload_carries_images_and_columns(self, mdb):
+        events = []
+        TriggerCapture(mdb, ["meters"]).subscribe(events.append)
+        mdb.execute("INSERT INTO meters VALUES (1, 10.0)")
+        event = events[0]
+        assert event["new"] == {"meter_id": 1, "usage": 10.0}
+        assert event["old"] is None
+        assert event["usage"] == 10.0  # flattened for rule filters
+        assert event["meter_id"] == 1
+
+    def test_transactional_mode_waits_for_commit(self, mdb):
+        events = []
+        TriggerCapture(mdb, ["meters"]).subscribe(events.append)
+        conn = mdb.connect()
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO meters VALUES (1, 10.0)")
+        assert events == []  # nothing published before commit
+        conn.execute("COMMIT")
+        assert len(events) == 1
+
+    def test_transactional_mode_discards_on_rollback(self, mdb):
+        events = []
+        TriggerCapture(mdb, ["meters"]).subscribe(events.append)
+        conn = mdb.connect()
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO meters VALUES (1, 10.0)")
+        conn.execute("ROLLBACK")
+        assert events == []
+
+    def test_immediate_mode_publishes_inside_transaction(self, mdb):
+        events = []
+        TriggerCapture(mdb, ["meters"], transactional=False, name="imm").subscribe(
+            events.append
+        )
+        conn = mdb.connect()
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO meters VALUES (1, 10.0)")
+        assert len(events) == 1  # phantom risk, by design
+        conn.execute("ROLLBACK")
+
+    def test_close_removes_triggers(self, mdb):
+        events = []
+        capture = TriggerCapture(mdb, ["meters"])
+        capture.subscribe(events.append)
+        capture.close()
+        mdb.execute("INSERT INTO meters VALUES (1, 1.0)")
+        assert events == []
+
+    def test_when_filter(self, mdb):
+        from repro.db.sql.parser import parse_expression
+
+        events = []
+        TriggerCapture(
+            mdb, ["meters"], when=parse_expression("usage > 100"), name="hot"
+        ).subscribe(events.append)
+        mdb.execute("INSERT INTO meters VALUES (1, 10.0)")
+        mdb.execute("INSERT INTO meters VALUES (2, 500.0)")
+        assert len(events) == 1
+
+
+class TestJournalCapture:
+    def test_poll_returns_committed_changes(self, mdb):
+        capture = JournalCapture(mdb, ["meters"])
+        mdb.execute("INSERT INTO meters VALUES (1, 10.0)")
+        mdb.execute("UPDATE meters SET usage = 11.0 WHERE meter_id = 1")
+        events = capture.poll()
+        assert [e.event_type for e in events] == ["meters.insert", "meters.update"]
+        assert events[1]["old"]["usage"] == 10.0
+
+    def test_uncommitted_invisible(self, mdb):
+        capture = JournalCapture(mdb, ["meters"])
+        conn = mdb.connect()
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO meters VALUES (1, 10.0)")
+        assert capture.poll() == []
+        conn.execute("COMMIT")
+        assert len(capture.poll()) == 1
+
+    def test_rolled_back_never_visible(self, mdb):
+        capture = JournalCapture(mdb, ["meters"])
+        conn = mdb.connect()
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO meters VALUES (1, 10.0)")
+        conn.execute("ROLLBACK")
+        assert capture.poll() == []
+
+    def test_table_filter(self, mdb):
+        mdb.execute("CREATE TABLE other (a INT)")
+        capture = JournalCapture(mdb, ["meters"])
+        mdb.execute("INSERT INTO other VALUES (1)")
+        mdb.execute("INSERT INTO meters VALUES (1, 1.0)")
+        events = capture.poll()
+        assert [e["table"] for e in events] == ["meters"]
+
+    def test_from_start_replays_history(self, mdb):
+        mdb.execute("INSERT INTO meters VALUES (1, 1.0)")
+        capture = JournalCapture(mdb, ["meters"], from_start=True)
+        assert len(capture.poll()) == 1
+
+    def test_no_foreground_work(self, mdb):
+        """The writer does no event work: events appear only at poll."""
+        capture = JournalCapture(mdb, ["meters"])
+        seen = []
+        capture.subscribe(seen.append)
+        mdb.execute("INSERT INTO meters VALUES (1, 1.0)")
+        assert seen == []  # nothing until the miner polls
+        capture.poll()
+        assert len(seen) == 1
+
+
+class TestQueryCapture:
+    def test_added_removed_changed(self, mdb):
+        capture = QueryCapture(
+            mdb,
+            "SELECT meter_id, usage FROM meters WHERE usage > 100",
+            name="hot",
+            key_columns=["meter_id"],
+        )
+        assert capture.poll() == []  # baseline
+        mdb.execute("INSERT INTO meters VALUES (1, 150.0)")
+        events = capture.poll()
+        assert [e.event_type for e in events] == ["query.hot.added"]
+        mdb.execute("UPDATE meters SET usage = 200.0 WHERE meter_id = 1")
+        events = capture.poll()
+        assert [e.event_type for e in events] == ["query.hot.changed"]
+        mdb.execute("UPDATE meters SET usage = 50.0 WHERE meter_id = 1")
+        events = capture.poll()
+        assert [e.event_type for e in events] == ["query.hot.removed"]
+
+    def test_no_change_no_events(self, mdb):
+        capture = QueryCapture(mdb, "SELECT * FROM meters", name="all")
+        mdb.execute("INSERT INTO meters VALUES (1, 1.0)")
+        capture.poll()
+        assert capture.poll() == []
+
+    def test_misses_transient_rows(self, mdb):
+        """The polling blind spot: appear+disappear between polls."""
+        capture = QueryCapture(mdb, "SELECT * FROM meters", name="all")
+        capture.poll()
+        mdb.execute("INSERT INTO meters VALUES (1, 1.0)")
+        mdb.execute("DELETE FROM meters WHERE meter_id = 1")
+        assert capture.poll() == []  # never seen — inherent false negative
+
+    def test_without_keys_changes_are_add_remove(self, mdb):
+        capture = QueryCapture(mdb, "SELECT meter_id, usage FROM meters", name="nk")
+        mdb.execute("INSERT INTO meters VALUES (1, 1.0)")
+        capture.poll()
+        mdb.execute("UPDATE meters SET usage = 2.0 WHERE meter_id = 1")
+        kinds = sorted(e.event_type for e in capture.poll())
+        assert kinds == ["query.nk.added", "query.nk.removed"]
+
+
+class TestPatternCapture:
+    def test_transition_pattern_fires(self, mdb):
+        capture = PatternCapture(
+            mdb,
+            Transition("meters", "new_usage > old_usage * 2", ["meter_id"]),
+            name="doubled",
+        )
+        mdb.execute("INSERT INTO meters VALUES (1, 10.0)")
+        capture.poll()
+        mdb.execute("UPDATE meters SET usage = 25.0 WHERE meter_id = 1")
+        events = capture.poll()
+        assert len(events) == 1
+        assert events[0]["new"]["usage"] == 25.0
+        assert events[0]["old"]["usage"] == 10.0
+
+    def test_small_change_does_not_fire(self, mdb):
+        capture = PatternCapture(
+            mdb,
+            Transition("meters", "new_usage > old_usage * 2", ["meter_id"]),
+        )
+        mdb.execute("INSERT INTO meters VALUES (1, 10.0)")
+        capture.poll()
+        mdb.execute("UPDATE meters SET usage = 12.0 WHERE meter_id = 1")
+        assert capture.poll() == []
+
+    def test_appearing_rows_skipped_by_default(self, mdb):
+        capture = PatternCapture(
+            mdb, Transition("meters", "new_usage > 0", ["meter_id"])
+        )
+        capture.poll()
+        mdb.execute("INSERT INTO meters VALUES (1, 10.0)")
+        assert capture.poll() == []  # no previous state: no transition
+
+    def test_include_appearing(self, mdb):
+        capture = PatternCapture(
+            mdb,
+            Transition(
+                "meters",
+                "old_usage IS NULL AND new_usage > 5",
+                ["meter_id"],
+                include_appearing=True,
+            ),
+        )
+        capture.poll()
+        mdb.execute("INSERT INTO meters VALUES (1, 10.0)")
+        assert len(capture.poll()) == 1
+
+    def test_query_form_expansion(self):
+        transition = Transition("meters", "TRUE", ["meter_id"])
+        assert transition.sql() == "SELECT * FROM meters"
+        explicit = Transition("SELECT a FROM t", "TRUE", ["a"])
+        assert explicit.sql() == "SELECT a FROM t"

@@ -1,0 +1,161 @@
+"""CQN-style query notification capture."""
+
+import pytest
+
+from repro.capture import QueryCapture, QueryNotificationCapture
+from repro.capture.notification_capture import query_dependencies
+from repro.errors import SqlSyntaxError
+
+
+@pytest.fixture
+def mdb(db):
+    db.execute("CREATE TABLE meters (meter_id INT PRIMARY KEY, usage REAL)")
+    return db
+
+
+class TestDependencies:
+    def test_single_table(self):
+        assert query_dependencies("SELECT * FROM meters") == {"meters"}
+
+    def test_join_tables(self):
+        deps = query_dependencies(
+            "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y"
+        )
+        assert deps == {"a", "b", "c"}
+
+    def test_tableless_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            query_dependencies("SELECT 1")
+
+    def test_non_select_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            query_dependencies("DELETE FROM t")
+
+
+class TestPushSemantics:
+    def test_events_at_commit_not_poll(self, mdb):
+        capture = QueryNotificationCapture(
+            mdb,
+            "SELECT meter_id, usage FROM meters WHERE usage > 100",
+            name="hot",
+            key_columns=["meter_id"],
+        )
+        events = []
+        capture.subscribe(events.append)
+        mdb.execute("INSERT INTO meters VALUES (1, 150.0)")
+        # No poll call — the commit pushed the notification.
+        assert [e.event_type for e in events] == ["query.hot.added"]
+
+    def test_uncommitted_changes_invisible(self, mdb):
+        capture = QueryNotificationCapture(
+            mdb, "SELECT * FROM meters", name="all", key_columns=["meter_id"]
+        )
+        events = []
+        capture.subscribe(events.append)
+        conn = mdb.connect()
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO meters VALUES (1, 1.0)")
+        assert events == []
+        conn.execute("COMMIT")
+        assert len(events) == 1
+
+    def test_rollback_produces_nothing(self, mdb):
+        capture = QueryNotificationCapture(
+            mdb, "SELECT * FROM meters", name="all"
+        )
+        events = []
+        capture.subscribe(events.append)
+        conn = mdb.connect()
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO meters VALUES (1, 1.0)")
+        conn.execute("ROLLBACK")
+        assert events == []
+        assert capture.reevaluations == 0
+
+    def test_sees_transients_across_transactions(self, mdb):
+        """The polling blind spot is gone: add-then-remove across two
+        commits is observed as added + removed."""
+        capture = QueryNotificationCapture(
+            mdb, "SELECT meter_id, usage FROM meters", name="all",
+            key_columns=["meter_id"],
+        )
+        events = []
+        capture.subscribe(events.append)
+        mdb.execute("INSERT INTO meters VALUES (1, 1.0)")
+        mdb.execute("DELETE FROM meters WHERE meter_id = 1")
+        assert [e.event_type for e in events] == [
+            "query.all.added", "query.all.removed",
+        ]
+
+    def test_changed_rows(self, mdb):
+        capture = QueryNotificationCapture(
+            mdb, "SELECT meter_id, usage FROM meters", name="all",
+            key_columns=["meter_id"],
+        )
+        events = []
+        capture.subscribe(events.append)
+        mdb.execute("INSERT INTO meters VALUES (1, 1.0)")
+        mdb.execute("UPDATE meters SET usage = 2.0 WHERE meter_id = 1")
+        assert events[-1].event_type == "query.all.changed"
+        assert events[-1]["old"]["usage"] == 1.0
+
+
+class TestSelectivity:
+    def test_unrelated_commits_skipped(self, mdb):
+        mdb.execute("CREATE TABLE other (a INT)")
+        capture = QueryNotificationCapture(
+            mdb, "SELECT * FROM meters", name="all"
+        )
+        for i in range(10):
+            mdb.execute(f"INSERT INTO other VALUES ({i})")
+        assert capture.reevaluations == 0
+        assert capture.commits_skipped >= 10
+
+    def test_filtered_changes_still_reevaluate_but_emit_nothing(self, mdb):
+        capture = QueryNotificationCapture(
+            mdb,
+            "SELECT meter_id FROM meters WHERE usage > 100",
+            name="hot",
+            key_columns=["meter_id"],
+        )
+        events = []
+        capture.subscribe(events.append)
+        mdb.execute("INSERT INTO meters VALUES (1, 5.0)")  # below threshold
+        assert capture.reevaluations == 1
+        assert events == []
+
+    def test_close_detaches(self, mdb):
+        capture = QueryNotificationCapture(
+            mdb, "SELECT * FROM meters", name="all"
+        )
+        events = []
+        capture.subscribe(events.append)
+        capture.close()
+        mdb.execute("INSERT INTO meters VALUES (1, 1.0)")
+        # The dirty-marking triggers are gone: no reevaluation.
+        assert capture.reevaluations == 0
+        assert events == []
+
+
+class TestVersusPolling:
+    def test_notification_beats_polling_on_latency_and_completeness(self, mdb, clock):
+        polled = QueryCapture(
+            mdb, "SELECT meter_id, usage FROM meters", name="poll",
+            key_columns=["meter_id"],
+        )
+        pushed = QueryNotificationCapture(
+            mdb, "SELECT meter_id, usage FROM meters", name="push",
+            key_columns=["meter_id"],
+        )
+        polled_events, pushed_events = [], []
+        polled.subscribe(polled_events.append)
+        pushed.subscribe(pushed_events.append)
+        polled.poll()  # baseline
+
+        mdb.execute("INSERT INTO meters VALUES (1, 1.0)")
+        mdb.execute("DELETE FROM meters WHERE meter_id = 1")
+        clock.advance(60.0)
+        polled.poll()
+
+        assert polled_events == []          # transient missed
+        assert len(pushed_events) == 2      # transient observed

@@ -1,0 +1,68 @@
+"""Shared fixtures: simulated clock, databases, populated tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.db import Database
+from repro.db.schema import Column
+from repro.db.types import INT, REAL, TEXT
+
+
+@pytest.fixture
+def clock() -> SimulatedClock:
+    return SimulatedClock(start=1000.0)
+
+
+@pytest.fixture
+def db(clock: SimulatedClock) -> Database:
+    return Database(clock=clock)
+
+
+@pytest.fixture
+def orders_db(db: Database) -> Database:
+    """A database with a populated ``orders`` table and indexes."""
+    db.execute(
+        "CREATE TABLE orders ("
+        " id INT PRIMARY KEY,"
+        " symbol TEXT NOT NULL,"
+        " qty INT,"
+        " price REAL,"
+        " account TEXT,"
+        " CHECK (qty > 0))"
+    )
+    db.execute("CREATE INDEX ix_orders_symbol ON orders(symbol) USING HASH")
+    db.execute("CREATE INDEX ix_orders_price ON orders(price)")
+    rows = [
+        (1, "IBM", 100, 98.5, "a1"),
+        (2, "ORCL", 50, 20.25, "a2"),
+        (3, "IBM", 30, 99.0, "a1"),
+        (4, "MSFT", 200, 55.0, "a3"),
+        (5, "ORCL", 75, 21.0, "a2"),
+        (6, "HPQ", 10, 30.0, "a4"),
+    ]
+    for row in rows:
+        db.execute(
+            "INSERT INTO orders (id, symbol, qty, price, account) "
+            f"VALUES ({row[0]}, '{row[1]}', {row[2]}, {row[3]}, '{row[4]}')"
+        )
+    return db
+
+
+@pytest.fixture
+def meters_db(db: Database) -> Database:
+    db.create_table(
+        "meters",
+        [
+            Column("meter_id", TEXT, primary_key=True),
+            Column("usage", REAL),
+            Column("zone", TEXT),
+        ],
+    )
+    for i in range(5):
+        db.insert_row(
+            "meters",
+            {"meter_id": f"m{i}", "usage": 10.0 + i, "zone": "west" if i < 3 else "east"},
+        )
+    return db

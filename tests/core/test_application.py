@@ -1,0 +1,138 @@
+"""EventDrivenApplication: the assembled pipeline."""
+
+import pytest
+
+from repro.core import (
+    EventDrivenApplication,
+    EwmaModel,
+    RecipientProfile,
+    UpdatePolicy,
+)
+from repro.cq import ContinuousQuery, Count
+from repro.errors import ReproError
+from repro.events import Event
+from repro.rules import Rule
+
+
+@pytest.fixture
+def app(db):
+    db.execute("CREATE TABLE meters (meter_id TEXT PRIMARY KEY, usage REAL)")
+    return EventDrivenApplication(db)
+
+
+class TestCaptureIntegration:
+    def test_trigger_capture_feeds_rules(self, app, db):
+        seen = []
+        app.capture_table("meters", method="trigger")
+        app.add_rule(Rule.from_text(
+            "hot", "usage > 100",
+            action=lambda rule, ctx: seen.append(ctx["meter_id"]),
+        ))
+        db.execute("INSERT INTO meters VALUES ('m1', 50.0)")
+        db.execute("INSERT INTO meters VALUES ('m2', 500.0)")
+        assert seen == ["m2"]
+
+    def test_journal_capture_needs_pump(self, app, db):
+        seen = []
+        app.capture_table("meters", method="journal")
+        app.add_rule(Rule.from_text(
+            "any", "TRUE", action=lambda rule, ctx: seen.append(1),
+        ))
+        db.execute("INSERT INTO meters VALUES ('m1', 1.0)")
+        assert seen == []
+        app.pump()
+        assert len(seen) == 1
+
+    def test_query_capture(self, app, db):
+        seen = []
+        app.capture_query(
+            "SELECT meter_id FROM meters WHERE usage > 100",
+            name="hot", key_columns=["meter_id"],
+        )
+        app.add_rule(Rule.from_text(
+            "added", "TRUE", event_types=("query.hot.added",),
+            action=lambda rule, ctx: seen.append(ctx["meter_id"]),
+        ))
+        app.pump()  # baseline
+        db.execute("INSERT INTO meters VALUES ('m9', 900.0)")
+        app.pump()
+        assert seen == ["m9"]
+
+    def test_unknown_method_rejected(self, app):
+        with pytest.raises(ReproError):
+            app.capture_table("meters", method="telepathy")
+
+
+class TestMonitoringPipeline:
+    def test_deviation_raises_alert_and_passes_virt(self, app, db, clock):
+        app.capture_table("meters", method="trigger")
+        app.monitor(
+            "usage_anomaly",
+            field="usage",
+            model_factory=lambda: EwmaModel(alpha=0.3, warmup=5),
+            threshold=4.0,
+            key_field="meter_id",
+            update_policy=UpdatePolicy.WHEN_NORMAL,
+            category="usage",
+        )
+        delivered = []
+        app.add_recipient(
+            RecipientProfile("ops", interests={"deviation.*": 1.0}),
+            threshold=0.6,
+            deliver=lambda event, score: delivered.append((event, score)),
+        )
+        db.execute("INSERT INTO meters VALUES ('m1', 10.0)")
+        for i in range(20):
+            clock.advance(1.0)
+            db.execute("UPDATE meters SET usage = 10.0 WHERE meter_id = 'm1'")
+        clock.advance(1.0)
+        db.execute("UPDATE meters SET usage = 9000.0 WHERE meter_id = 'm1'")
+        assert app.alerts.stats["raised"] == 1
+        assert len(delivered) == 1
+        event, score = delivered[0]
+        assert event["observed"] == 9000.0
+        assert score >= 0.6
+        stats = app.statistics()
+        assert stats["detectors"]["usage_anomaly"]["deviations"] == 1
+        assert stats["virt"]["ops"]["delivered"] == 1
+
+    def test_uninterested_recipient_filtered(self, app, db, clock):
+        app.capture_table("meters", method="trigger")
+        app.monitor(
+            "usage_anomaly", field="usage",
+            model_factory=lambda: EwmaModel(warmup=2), threshold=3.0,
+        )
+        suppressed = []
+        # Even an infinitely surprising event caps at
+        # 0.5 (surprise) + 0.2 (relevance) = 0.7 for a recipient with no
+        # actionability on this type; 0.75 filters them all out.
+        app.add_recipient(
+            RecipientProfile("finance", interests={"orders.*": 1.0}),
+            threshold=0.75,
+            deliver=lambda e, s: suppressed.append(e),
+        )
+        db.execute("INSERT INTO meters VALUES ('m1', 10.0)")
+        db.execute("UPDATE meters SET usage = 10.0 WHERE meter_id = 'm1'")
+        db.execute("UPDATE meters SET usage = 10.0 WHERE meter_id = 'm1'")
+        db.execute("UPDATE meters SET usage = 99999.0 WHERE meter_id = 'm1'")
+        virt = app.virt_filters["finance"]
+        assert virt.stats["seen"] >= 1
+        assert suppressed == []  # not their domain
+
+    def test_continuous_query_attached(self, app):
+        out = []
+        app.add_query(
+            ContinuousQuery("counts")
+            .window_tumbling(10.0)
+            .aggregate("counts.out", {"n": (None, Count)})
+            .sink(out.append)
+        )
+        for i in range(25):
+            app.process(Event("tick", float(i), {}))
+        assert [e["n"] for e in out] == [10, 10]
+
+    def test_statistics_shape(self, app):
+        stats = app.statistics()
+        assert set(stats) == {
+            "rules", "queries", "alerts", "detectors", "virt", "captures",
+        }

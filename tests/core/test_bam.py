@@ -1,0 +1,136 @@
+"""Business Activity Monitoring: KPIs, status transitions, dashboard."""
+
+import pytest
+
+from repro.core.bam import (
+    KPI_STATUS_BREACH,
+    KPI_STATUS_OK,
+    KPI_STATUS_WARNING,
+    BusinessActivityMonitor,
+    Kpi,
+)
+from repro.cq.aggregate import Avg, Count, Sum
+from repro.errors import StreamError
+from repro.events import Event
+
+
+def feed(monitor, values, *, start=0.0, spacing=1.0, event_type="order"):
+    for i, value in enumerate(values):
+        monitor.push(Event(event_type, start + i * spacing, {"amount": value}))
+
+
+class TestKpiClassification:
+    def make(self):
+        return Kpi(
+            name="k", field="amount", aggregate=Sum, window=10.0,
+            target_low=100.0, target_high=200.0, warning_band=0.1,
+        )
+
+    @pytest.mark.parametrize("value,expected", [
+        (150.0, KPI_STATUS_OK),
+        (105.0, KPI_STATUS_WARNING),   # within 10% of the low edge
+        (195.0, KPI_STATUS_WARNING),
+        (90.0, KPI_STATUS_BREACH),
+        (250.0, KPI_STATUS_BREACH),
+        (None, KPI_STATUS_BREACH),     # missing data is an exception
+    ])
+    def test_bands(self, value, expected):
+        assert self.make().classify(value) == expected
+
+    def test_one_sided_band(self):
+        kpi = Kpi(name="k", field="x", aggregate=Count, window=1.0,
+                  target_high=5.0)
+        assert kpi.classify(3.0) == KPI_STATUS_OK
+        assert kpi.classify(9.0) == KPI_STATUS_BREACH
+
+    def test_no_band_rejected(self):
+        with pytest.raises(StreamError):
+            Kpi(name="k", field="x", aggregate=Count, window=1.0)
+
+    def test_empty_band_rejected(self):
+        with pytest.raises(StreamError):
+            Kpi(name="k", field="x", aggregate=Count, window=1.0,
+                target_low=5.0, target_high=5.0)
+
+
+class TestMonitor:
+    def test_windowed_evaluation(self):
+        monitor = BusinessActivityMonitor()
+        monitor.add_kpi(
+            "revenue", field="amount", aggregate=Sum, window=10.0,
+            target_low=50.0, target_high=500.0,
+        )
+        feed(monitor, [10.0] * 25)  # 10/window for 2 full windows
+        readings = monitor.kpi("revenue").history
+        assert [r.value for r in readings] == [100.0, 100.0]
+        assert all(r.status == KPI_STATUS_OK for r in readings)
+
+    def test_breach_detected(self):
+        monitor = BusinessActivityMonitor()
+        monitor.add_kpi(
+            "revenue", field="amount", aggregate=Sum, window=10.0,
+            target_low=50.0,
+        )
+        feed(monitor, [1.0] * 15)  # 10/window << 50
+        assert monitor.kpi("revenue").current.status == KPI_STATUS_BREACH
+
+    def test_status_change_listener_fires_on_transitions_only(self):
+        monitor = BusinessActivityMonitor()
+        transitions = []
+        monitor.on_status_change(
+            lambda kpi, reading: transitions.append((kpi.name, reading.status))
+        )
+        monitor.add_kpi(
+            "rate", field=None, aggregate=Count, window=10.0,
+            target_low=5.0, target_high=100.0, warning_band=0.0,
+        )
+        # Window 1: 10 events (ok). Window 2: 10 events (ok, no event).
+        # Window 3: 2 events (breach).
+        feed(monitor, [1.0] * 10, start=0.0)
+        feed(monitor, [1.0] * 10, start=10.0)
+        feed(monitor, [1.0] * 2, start=20.0, spacing=4.0)
+        monitor.flush()
+        assert transitions == [("rate", KPI_STATUS_OK), ("rate", KPI_STATUS_BREACH)]
+
+    def test_event_filter_scopes_kpi(self):
+        monitor = BusinessActivityMonitor()
+        monitor.add_kpi(
+            "big_orders", field=None, aggregate=Count, window=10.0,
+            target_high=100.0, target_low=None,
+            event_filter="amount > 50",
+        )
+        feed(monitor, [10.0, 60.0, 70.0, 20.0, 90.0] * 3)
+        monitor.flush()
+        # 9 of 15 events pass the filter: 6 land in [0,10), 3 in [10,20).
+        assert [r.value for r in monitor.kpi("big_orders").history] == [6, 3]
+
+    def test_duplicate_kpi_rejected(self):
+        monitor = BusinessActivityMonitor()
+        monitor.add_kpi("k", field="x", aggregate=Sum, window=1.0, target_low=0.0)
+        with pytest.raises(StreamError):
+            monitor.add_kpi("k", field="x", aggregate=Sum, window=1.0, target_low=0.0)
+
+    def test_unknown_kpi(self):
+        with pytest.raises(StreamError):
+            BusinessActivityMonitor().kpi("ghost")
+
+    def test_dashboard_orders_breaches_first(self):
+        monitor = BusinessActivityMonitor()
+        monitor.add_kpi("healthy", field="amount", aggregate=Avg, window=10.0,
+                        target_low=0.0, target_high=100.0)
+        monitor.add_kpi("broken", field="amount", aggregate=Sum, window=10.0,
+                        target_low=1000.0)
+        feed(monitor, [10.0] * 15)
+        board = monitor.dashboard()
+        assert board[0]["kpi"] == "broken"
+        assert board[0]["status"] == KPI_STATUS_BREACH
+        assert board[0]["breaches"] >= 1
+        assert board[1]["kpi"] == "healthy"
+        assert board[1]["status"] == KPI_STATUS_OK
+
+    def test_dashboard_before_any_window(self):
+        monitor = BusinessActivityMonitor()
+        monitor.add_kpi("k", field="amount", aggregate=Sum, window=10.0,
+                        target_low=0.0)
+        board = monitor.dashboard()
+        assert board[0]["status"] == "no-data"

@@ -1,0 +1,197 @@
+"""Deviation detection and VIRT scoring/filtering."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core import (
+    DeviationDetector,
+    EwmaModel,
+    RangeModel,
+    RecipientProfile,
+    UpdatePolicy,
+    VirtFilter,
+    VirtScorer,
+)
+from repro.cq import Stream
+from repro.errors import ModelError
+from repro.events import Event
+
+
+def reading(t, value, meter="m1"):
+    return Event("meter.reading", float(t), {"usage": value, "meter_id": meter})
+
+
+class TestDeviationDetector:
+    def make(self, **kwargs):
+        source = Stream("s")
+        defaults = dict(
+            name="usage",
+            field="usage",
+            model_factory=lambda: RangeModel(0.0, 100.0),
+            threshold=0.1,
+        )
+        defaults.update(kwargs)
+        detector = DeviationDetector(source, **defaults)
+        out = []
+        detector.subscribe(out.append)
+        return source, detector, out
+
+    def test_emits_on_deviation(self):
+        source, detector, out = self.make()
+        source.push(reading(1, 50.0))
+        source.push(reading(2, 500.0))
+        assert len(out) == 1
+        event = out[0]
+        assert event.event_type == "deviation.usage"
+        assert event["observed"] == 500.0
+        assert event["score"] > 0.1
+        assert event["expected_low"] == 0.0
+
+    def test_per_key_models(self):
+        source, detector, out = self.make(
+            model_factory=lambda: EwmaModel(alpha=0.2, warmup=5),
+            threshold=4.0,
+            key_field="meter_id",
+        )
+        for t in range(30):
+            source.push(reading(t, 10.0, meter="m1"))
+            source.push(reading(t, 1000.0, meter="m2"))
+        assert out == []  # each meter normal in its own terms
+        assert detector.entities == 2
+        source.push(reading(99, 1000.0, meter="m1"))  # huge for m1
+        assert len(out) == 1
+        assert out[0]["key"] == "m1"
+
+    def test_missing_field_skipped(self):
+        source, detector, out = self.make()
+        source.push(Event("meter.reading", 1.0, {"other": 1}))
+        assert detector.stats["skipped"] == 1
+        assert out == []
+
+    def test_update_policy_when_normal_keeps_baseline_clean(self):
+        factory = lambda: EwmaModel(alpha=0.5, warmup=5)
+        source_a, _d1, out_always = self.make(
+            model_factory=factory, threshold=4.0,
+            update_policy=UpdatePolicy.ALWAYS,
+        )
+        source_b, _d2, out_clean = self.make(
+            model_factory=factory, threshold=4.0,
+            update_policy=UpdatePolicy.WHEN_NORMAL,
+        )
+        # Warm up both, then a sustained anomaly.
+        for t in range(20):
+            source_a.push(reading(t, 10.0))
+            source_b.push(reading(t, 10.0))
+        for t in range(20, 30):
+            source_a.push(reading(t, 100.0))
+            source_b.push(reading(t, 100.0))
+        # ALWAYS adapts and stops alerting; WHEN_NORMAL keeps alerting.
+        assert len(out_clean) > len(out_always)
+
+    def test_never_policy_freezes_model(self):
+        source, detector, out = self.make(
+            model_factory=lambda: EwmaModel(alpha=0.5, warmup=5),
+            threshold=4.0,
+            update_policy=UpdatePolicy.NEVER,
+        )
+        for t in range(100):
+            source.push(reading(t, 10.0))
+        model = detector.model_for(None)
+        assert model.stats.count == 0  # never trained
+
+    def test_threshold_validated(self):
+        with pytest.raises(ModelError):
+            self.make(threshold=0.0)
+
+
+class TestRecipientProfile:
+    def test_actionability_patterns(self):
+        profile = RecipientProfile(
+            "ops",
+            interests={"deviation.*": 0.9, "tick": 0.1, "*": 0.05},
+        )
+        assert profile.actionability("deviation.usage") == 0.9
+        assert profile.actionability("tick") == 0.1
+        assert profile.actionability("other") == 0.05
+
+    def test_scope_relevance(self):
+        profile = RecipientProfile("west_ops", scope={"zone": "west"})
+        match = Event("a", 0.0, {"zone": "west"})
+        clash = Event("a", 0.0, {"zone": "east"})
+        unknown = Event("a", 0.0, {"other": 1})
+        assert profile.relevance(match) == 1.0
+        assert profile.relevance(clash) == 0.0
+        assert profile.relevance(unknown) == 0.5
+
+    def test_empty_scope_fully_relevant(self):
+        assert RecipientProfile("x").relevance(Event("a", 0.0)) == 1.0
+
+
+class TestVirtScorer:
+    def test_surprise_saturates(self):
+        scorer = VirtScorer(SimulatedClock(), surprise_scale=3.0)
+        low = scorer.surprise(Event("d", 0.0, {"score": 0.5}))
+        high = scorer.surprise(Event("d", 0.0, {"score": 10.0}))
+        assert 0 < low < high < 1.0
+
+    def test_no_score_means_no_surprise(self):
+        scorer = VirtScorer(SimulatedClock())
+        assert scorer.surprise(Event("d", 0.0, {})) == 0.0
+
+    def test_timeliness_decay(self):
+        clock = SimulatedClock(start=1000.0)
+        scorer = VirtScorer(clock)
+        profile = RecipientProfile("r", interests={"*": 1.0}, half_life=100.0)
+        fresh = Event("d", 1000.0, {"score": 5.0})
+        fresh_score = scorer.score(fresh, profile)
+        clock.advance(100.0)  # one half-life
+        stale_score = scorer.score(fresh, profile)
+        assert stale_score == pytest.approx(fresh_score / 2, rel=0.01)
+
+    def test_timeliness_can_be_disabled(self):
+        clock = SimulatedClock(start=1000.0)
+        scorer = VirtScorer(clock, include_timeliness=False)
+        profile = RecipientProfile("r", interests={"*": 1.0})
+        event = Event("d", 0.0, {"score": 5.0})  # ancient
+        assert scorer.score(event, profile) > 0.3
+
+    def test_irrelevant_event_scores_lower(self):
+        clock = SimulatedClock()
+        scorer = VirtScorer(clock)
+        interested = RecipientProfile("a", interests={"deviation.*": 1.0})
+        uninterested = RecipientProfile("b", interests={"tick": 1.0})
+        event = Event("deviation.x", 0.0, {"score": 5.0})
+        assert scorer.score(event, interested) > scorer.score(event, uninterested)
+
+
+class TestVirtFilter:
+    def test_threshold_gates_delivery(self):
+        clock = SimulatedClock()
+        scorer = VirtScorer(clock)
+        delivered = []
+        # Actionability (0.3) + relevance (0.2) floor the score at 0.5
+        # for a fully interested recipient; the threshold must sit above
+        # that floor so only genuine surprise clears it.
+        virt = VirtFilter(
+            scorer,
+            RecipientProfile("ops", interests={"*": 1.0}),
+            threshold=0.75,
+            deliver=lambda e, s: delivered.append((e, s)),
+        )
+        assert virt.offer(Event("d", 0.0, {"score": 20.0})) is not None
+        assert virt.offer(Event("d", 0.0, {"score": 0.01})) is None
+        assert len(delivered) == 1
+        assert virt.stats == {"seen": 2, "delivered": 1, "suppressed": 1}
+
+    def test_volume_reduction(self):
+        clock = SimulatedClock()
+        virt = VirtFilter(
+            VirtScorer(clock),
+            RecipientProfile("ops", interests={"*": 0.1}),
+            threshold=0.6,
+        )
+        for i in range(100):
+            score = 10.0 if i % 10 == 0 else 0.0
+            virt.offer(Event("d", 0.0, {"score": score}))
+        assert virt.stats["delivered"] == 10
+        assert virt.volume_reduction == pytest.approx(10.0)

@@ -1,0 +1,239 @@
+"""Error accounting, alert lifecycle, responder selection."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core import (
+    AlertManager,
+    ConfusionTracker,
+    EpisodeTracker,
+    Responder,
+    ResponderRegistry,
+)
+from repro.errors import ResponderError
+from repro.events import Event
+
+
+class TestConfusionTracker:
+    def test_counts_and_rates(self):
+        tracker = ConfusionTracker()
+        for _ in range(8):
+            tracker.record(predicted=True, actual=True)
+        for _ in range(2):
+            tracker.record(predicted=True, actual=False)
+        for _ in range(4):
+            tracker.record(predicted=False, actual=True)
+        for _ in range(86):
+            tracker.record(predicted=False, actual=False)
+        assert tracker.total == 100
+        assert tracker.precision == 0.8
+        assert tracker.recall == pytest.approx(8 / 12)
+        assert tracker.false_positive_rate == pytest.approx(2 / 88)
+        assert tracker.false_negative_rate == pytest.approx(4 / 12)
+        assert 0 < tracker.f1 < 1
+
+    def test_empty_rates_are_zero(self):
+        tracker = ConfusionTracker()
+        assert tracker.precision == 0.0
+        assert tracker.recall == 0.0
+        assert tracker.f1 == 0.0
+
+    def test_summary_keys(self):
+        summary = ConfusionTracker().summary()
+        assert set(summary) == {
+            "tp", "fp", "fn", "tn", "precision", "recall", "fpr", "fnr", "f1",
+        }
+
+
+class TestEpisodeTracker:
+    def test_detection_and_delay(self):
+        tracker = EpisodeTracker([100.0, 500.0], window=60.0)
+        tracker.record_alert(110.0)   # detects first, delay 10
+        tracker.record_alert(130.0)   # duplicate true alert
+        tracker.record_alert(300.0)   # false alarm
+        result = tracker.result()
+        assert result.episodes == 2
+        assert result.detected == 1
+        assert result.recall == 0.5
+        assert result.false_negative_rate == 0.5
+        assert result.true_alerts == 2
+        assert result.false_alerts == 1
+        assert result.mean_delay == 10.0
+
+    def test_alert_before_episode_is_false(self):
+        tracker = EpisodeTracker([100.0], window=60.0)
+        tracker.record_alert(95.0)
+        result = tracker.result()
+        assert result.detected == 0
+        assert result.false_alerts == 1
+
+    def test_no_episodes(self):
+        tracker = EpisodeTracker([], window=10.0)
+        tracker.record_alert(1.0)
+        assert tracker.result().recall == 0.0
+
+
+@pytest.fixture
+def registry():
+    registry = ResponderRegistry()
+    registry.register(Responder(
+        "near_unqualified", authorizations={"fire"}, capabilities=set(),
+        location=(0.0, 0.0),
+    ))
+    registry.register(Responder(
+        "far_qualified", authorizations={"hazmat"},
+        capabilities={"chem_suit"}, location=(10.0, 10.0),
+    ))
+    registry.register(Responder(
+        "near_qualified", authorizations={"hazmat"},
+        capabilities={"chem_suit", "medic"}, location=(1.0, 1.0),
+    ))
+    return registry
+
+
+class TestResponderSelection:
+    def test_authorized_available_able_nearest(self, registry):
+        chosen = registry.select(
+            category="hazmat",
+            required_capabilities=["chem_suit"],
+            location=(0.0, 0.0),
+        )
+        assert [r.name for r in chosen] == ["near_qualified"]
+
+    def test_unavailable_skipped(self, registry):
+        registry.set_available("near_qualified", False)
+        chosen = registry.select(
+            category="hazmat", required_capabilities=["chem_suit"],
+            location=(0.0, 0.0),
+        )
+        assert [r.name for r in chosen] == ["far_qualified"]
+
+    def test_unauthorized_never_chosen(self, registry):
+        with pytest.raises(ResponderError):
+            registry.select(category="radiation")
+
+    def test_capability_required(self, registry):
+        with pytest.raises(ResponderError):
+            registry.select(
+                category="hazmat", required_capabilities=["submarine"],
+            )
+
+    def test_duty_windows(self):
+        registry = ResponderRegistry()
+        registry.register(Responder(
+            "night_shift", authorizations={"*"},
+            duty_windows=[(0.0, 8.0)],
+        ))
+        assert registry.select(category="x", now=4.0)
+        with pytest.raises(ResponderError):
+            registry.select(category="x", now=12.0)
+
+    def test_count_and_load_balancing(self, registry):
+        chosen = registry.select(
+            category="hazmat", required_capabilities=["chem_suit"], count=2,
+            location=(0.0, 0.0),
+        )
+        assert [r.name for r in chosen] == ["near_qualified", "far_qualified"]
+        # Without location, least-dispatched goes first.
+        again = registry.select(category="hazmat", count=1)
+        assert again[0].dispatched >= 1
+
+    def test_duplicate_registration(self, registry):
+        with pytest.raises(ResponderError):
+            registry.register(Responder("near_qualified"))
+
+
+class TestAlertManager:
+    def make(self, **kwargs):
+        clock = SimulatedClock(start=0.0)
+        registry = ResponderRegistry()
+        registry.register(Responder("ops", authorizations={"*"}))
+        manager = AlertManager(clock, responders=registry, **kwargs)
+        channel_log = []
+        manager.add_channel(lambda alert, responders: channel_log.append(
+            (alert.alert_id, alert.severity, [r.name for r in responders])
+        ))
+        return clock, manager, channel_log
+
+    def event(self):
+        return Event("deviation.usage", 0.0, {"score": 9.0})
+
+    def test_raise_dispatches_to_channel_and_responders(self):
+        _clock, manager, log = self.make()
+        alert = manager.raise_alert(
+            "usage", self.event(), entity="m1", category="usage",
+        )
+        assert alert is not None
+        assert log[0][2] == ["ops"]
+        assert alert.responders == ["ops"]
+
+    def test_dedup_within_cooldown(self):
+        clock, manager, log = self.make(cooldown=60.0)
+        first = manager.raise_alert("usage", self.event(), entity="m1")
+        duplicate = manager.raise_alert("usage", self.event(), entity="m1")
+        assert duplicate is None
+        assert first.repeats == 1
+        assert manager.stats["deduplicated"] == 1
+        # Different entity is not a duplicate.
+        other = manager.raise_alert("usage", self.event(), entity="m2")
+        assert other is not None
+
+    def test_dedup_expires_after_cooldown(self):
+        clock, manager, _log = self.make(cooldown=60.0)
+        manager.raise_alert("usage", self.event(), entity="m1")
+        clock.advance(61.0)
+        second = manager.raise_alert("usage", self.event(), entity="m1")
+        assert second is not None
+
+    def test_acknowledged_alert_allows_new_one(self):
+        clock, manager, _log = self.make(cooldown=1000.0)
+        first = manager.raise_alert("usage", self.event(), entity="m1")
+        manager.acknowledge(first.alert_id, by="oncall")
+        second = manager.raise_alert("usage", self.event(), entity="m1")
+        assert second is not None
+        assert first.acknowledged_by == "oncall"
+
+    def test_escalation_after_timeout(self):
+        clock, manager, log = self.make(escalation_timeout=300.0)
+        alert = manager.raise_alert(
+            "usage", self.event(), entity="m1", severity="warning",
+        )
+        clock.advance(301.0)
+        escalated = manager.check_escalations()
+        assert [a.alert_id for a in escalated] == [alert.alert_id]
+        assert alert.severity == "critical"
+        clock.advance(600.0)
+        manager.check_escalations()
+        assert alert.severity == "emergency"
+        # Top severity: no further escalation.
+        clock.advance(10_000.0)
+        assert manager.check_escalations() == []
+
+    def test_acknowledged_never_escalates(self):
+        clock, manager, _log = self.make(escalation_timeout=10.0)
+        alert = manager.raise_alert("usage", self.event(), entity="m1")
+        manager.acknowledge(alert.alert_id)
+        clock.advance(100.0)
+        assert manager.check_escalations() == []
+
+    def test_dispatch_failure_counted_not_raised(self):
+        clock = SimulatedClock()
+        registry = ResponderRegistry()  # nobody registered
+        manager = AlertManager(clock, responders=registry)
+        alert = manager.raise_alert(
+            "usage", self.event(), entity="m1", category="usage",
+        )
+        assert alert is not None
+        assert manager.stats["dispatch_failures"] == 1
+
+    def test_invalid_severity(self):
+        _clock, manager, _log = self.make()
+        with pytest.raises(ValueError):
+            manager.raise_alert("k", self.event(), severity="catastrophic")
+
+    def test_open_alerts(self):
+        _clock, manager, _log = self.make()
+        alert = manager.raise_alert("usage", self.event(), entity="m1")
+        assert manager.open_alerts() == [alert]
+        manager.acknowledge(alert.alert_id)
+        assert manager.open_alerts() == []

@@ -1,0 +1,152 @@
+"""Expectation models: ranges, EWMA, seasonal profiles, Markov."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    EwmaModel,
+    MarkovStateModel,
+    RangeModel,
+    SeasonalProfileModel,
+)
+from repro.errors import ModelError
+
+
+class TestRangeModel:
+    def test_inside_band_scores_zero(self):
+        model = RangeModel(10.0, 20.0)
+        assert model.score(15.0) == 0.0
+        assert model.score(10.0) == 0.0
+        assert model.score(20.0) == 0.0
+
+    def test_outside_scales_with_distance(self):
+        model = RangeModel(10.0, 20.0)
+        assert model.score(25.0) == pytest.approx(0.5)  # 5 / width 10
+        assert model.score(0.0) == pytest.approx(1.0)
+
+    def test_expectation_band(self):
+        expectation = RangeModel(10.0, 20.0).expect()
+        assert expectation.value == 15.0
+        assert expectation.contains(12.0)
+        assert not expectation.contains(21.0)
+
+    def test_invalid_band(self):
+        with pytest.raises(ModelError):
+            RangeModel(5.0, 5.0)
+
+    def test_always_ready(self):
+        assert RangeModel(0, 1).ready
+
+
+class TestEwmaModel:
+    def test_not_ready_before_warmup(self):
+        model = EwmaModel(warmup=10)
+        for _ in range(5):
+            model.observe(10.0)
+        assert not model.ready
+        assert model.score(1e9) == 0.0
+
+    def test_scores_outlier_in_sigmas(self):
+        rng = random.Random(3)
+        model = EwmaModel(alpha=0.1, warmup=10)
+        for _ in range(200):
+            model.observe(rng.gauss(50.0, 2.0))
+        assert model.score(50.0) < 2.0
+        assert model.score(70.0) > 5.0
+
+    def test_adapts_to_new_regime(self):
+        model = EwmaModel(alpha=0.3, warmup=5)
+        for _ in range(50):
+            model.observe(10.0)
+        for _ in range(50):
+            model.observe(100.0)
+        # Baseline followed the shift: 100 is no longer surprising
+        # relative to the EWMA.
+        expectation = model.expect()
+        assert expectation.value == pytest.approx(100.0, abs=1.0)
+
+    def test_expectation_before_data(self):
+        expectation = EwmaModel().expect()
+        assert expectation.value is None
+        assert expectation.confidence == 0.0
+
+
+class TestSeasonalProfileModel:
+    def make_trained(self):
+        model = SeasonalProfileModel(period=24.0, bins=24, warmup_per_bin=3)
+        rng = random.Random(5)
+        for day in range(10):
+            for hour in range(24):
+                timestamp = day * 24.0 + hour
+                base = 100.0 if 8 <= hour < 18 else 10.0
+                model.observe(
+                    base + rng.gauss(0, 1), {"timestamp": timestamp}
+                )
+        return model
+
+    def test_expectation_varies_by_phase(self):
+        model = self.make_trained()
+        day_expectation = model.expect({"timestamp": 250 * 24.0 + 12})
+        night_expectation = model.expect({"timestamp": 250 * 24.0 + 3})
+        assert day_expectation.value == pytest.approx(100.0, abs=2.0)
+        assert night_expectation.value == pytest.approx(10.0, abs=2.0)
+
+    def test_night_spike_is_deviation_even_below_day_mean(self):
+        model = self.make_trained()
+        # 50 at 3am: far below the daily mean (~47 avg) but way off the
+        # 3am profile of ~10.
+        assert model.score(50.0, {"timestamp": 11 * 24.0 + 3}) > 5.0
+        # The same 50 at noon is *low* but let's check a normal value:
+        assert model.score(100.0, {"timestamp": 11 * 24.0 + 12}) < 3.0
+
+    def test_requires_timestamp(self):
+        model = SeasonalProfileModel(period=24.0, bins=4)
+        with pytest.raises(ModelError):
+            model.score(1.0, {})
+
+    def test_parameter_validation(self):
+        with pytest.raises(ModelError):
+            SeasonalProfileModel(period=0, bins=4)
+        with pytest.raises(ModelError):
+            SeasonalProfileModel(period=10, bins=0)
+
+
+class TestMarkovStateModel:
+    def make_trained(self):
+        model = MarkovStateModel(warmup=10)
+        # A strongly periodic process: A -> B -> C -> A ...
+        for _ in range(50):
+            for state in ("A", "B", "C"):
+                model.observe(state)
+        return model
+
+    def test_expected_transition_unsurprising(self):
+        model = self.make_trained()
+        # After ...C comes A; then B is expected.
+        assert model.score("A") < 1.0
+
+    def test_rare_transition_surprising(self):
+        model = self.make_trained()
+        # After C the model expects A; C->C never happened.
+        surprise_expected = model.score("A")
+        surprise_rare = model.score("C")
+        assert surprise_rare > surprise_expected + 3.0
+
+    def test_probabilities_sum_to_one(self):
+        model = self.make_trained()
+        total = sum(
+            model.transition_probability("A", state) for state in ("A", "B", "C")
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_warmup(self):
+        model = MarkovStateModel(warmup=100)
+        model.observe("A")
+        assert model.score("B") == 0.0
+
+    def test_unseen_state_smoothed(self):
+        model = self.make_trained()
+        probability = model.transition_probability("A", "never_seen")
+        assert 0.0 < probability < 0.1

@@ -1,0 +1,92 @@
+"""Alert silences and push-mode query capture in the application."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core import AlertManager, EventDrivenApplication
+from repro.events import Event
+from repro.rules import Rule
+
+
+def event():
+    return Event("e", 0.0, {})
+
+
+class TestSilences:
+    def make(self):
+        clock = SimulatedClock()
+        return clock, AlertManager(clock, cooldown=0.0)
+
+    def test_exact_silence(self):
+        clock, manager = self.make()
+        manager.silence(kind="usage", entity="m1", duration=100.0)
+        assert manager.raise_alert("usage", event(), entity="m1") is None
+        assert manager.stats["silenced"] == 1
+        # Other entities and kinds unaffected.
+        assert manager.raise_alert("usage", event(), entity="m2") is not None
+        assert manager.raise_alert("other", event(), entity="m1") is not None
+
+    def test_kind_wide_silence(self):
+        clock, manager = self.make()
+        manager.silence(kind="usage", duration=100.0)
+        assert manager.raise_alert("usage", event(), entity="m1") is None
+        assert manager.raise_alert("usage", event(), entity="m2") is None
+
+    def test_global_silence(self):
+        clock, manager = self.make()
+        manager.silence(duration=100.0)
+        assert manager.raise_alert("anything", event(), entity="x") is None
+
+    def test_silence_expires(self):
+        clock, manager = self.make()
+        manager.silence(kind="usage", duration=50.0)
+        clock.advance(51.0)
+        assert manager.raise_alert("usage", event(), entity="m1") is not None
+
+    def test_clear_silence(self):
+        clock, manager = self.make()
+        manager.silence(kind="usage", duration=1000.0)
+        manager.clear_silence(kind="usage")
+        assert manager.raise_alert("usage", event(), entity="m1") is not None
+
+    def test_silenced_not_counted_as_dedup(self):
+        clock, manager = self.make()
+        manager.silence(duration=10.0)
+        manager.raise_alert("k", event(), entity="e")
+        assert manager.stats["deduplicated"] == 0
+        assert manager.stats["raised"] == 0
+
+
+class TestPushQueryCapture:
+    def test_push_mode_needs_no_pump(self, db):
+        db.execute("CREATE TABLE meters (meter_id TEXT PRIMARY KEY, usage REAL)")
+        app = EventDrivenApplication(db)
+        app.capture_query(
+            "SELECT meter_id FROM meters WHERE usage > 100",
+            name="hot", key_columns=["meter_id"], push=True,
+        )
+        seen = []
+        app.add_rule(Rule.from_text(
+            "hot_added", "TRUE", event_types=("query.hot.added",),
+            action=lambda rule, ctx: seen.append(ctx["meter_id"]),
+        ))
+        db.execute("INSERT INTO meters VALUES ('m1', 500.0)")
+        assert seen == ["m1"]  # no pump() call anywhere
+
+    def test_poll_mode_still_requires_pump(self, db):
+        db.execute("CREATE TABLE meters (meter_id TEXT PRIMARY KEY, usage REAL)")
+        app = EventDrivenApplication(db)
+        app.capture_query(
+            "SELECT meter_id FROM meters WHERE usage > 100",
+            name="hot", key_columns=["meter_id"], push=False,
+        )
+        seen = []
+        app.add_rule(Rule.from_text(
+            "hot_added", "TRUE", event_types=("query.hot.added",),
+            action=lambda rule, ctx: seen.append(1),
+        ))
+        app.pump()  # baseline
+        db.execute("INSERT INTO meters VALUES ('m1', 500.0)")
+        assert seen == []
+        app.pump()
+        assert seen == [1]

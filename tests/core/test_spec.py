@@ -1,0 +1,132 @@
+"""Application specification validation (§2.1.d)."""
+
+import pytest
+
+from repro.core import EventDrivenApplication, EwmaModel, RecipientProfile, Responder
+from repro.core.spec import (
+    ApplicationSpec,
+    CategorySpec,
+    ConditionSpec,
+    EventTypeSpec,
+    SpecificationError,
+    Violation,
+)
+from repro.rules import Rule
+
+
+@pytest.fixture
+def app(db):
+    db.execute("CREATE TABLE meters (meter_id TEXT PRIMARY KEY, usage REAL)")
+    return EventDrivenApplication(db)
+
+
+def spec(**overrides):
+    defaults = dict(
+        name="metering",
+        monitored_tables=("meters",),
+        event_types=(
+            EventTypeSpec("meters.insert", {"meter_id", "usage"}),
+            EventTypeSpec("meters.update", {"meter_id", "usage"}),
+        ),
+        conditions=(
+            ConditionSpec("usage_spike", implemented_by_detector="usage_anomaly"),
+        ),
+        categories=(
+            CategorySpec("usage", required_capabilities=(), recipients=("ops",)),
+        ),
+    )
+    defaults.update(overrides)
+    return ApplicationSpec(**defaults)
+
+
+def fully_wire(app):
+    app.capture_table("meters", method="trigger")
+    app.monitor(
+        "usage_anomaly", field="usage",
+        model_factory=lambda: EwmaModel(), threshold=3.0,
+    )
+    app.responders.register(Responder("oncall", authorizations={"usage"}))
+    app.add_recipient(
+        RecipientProfile("ops", interests={"deviation.*": 1.0}), threshold=0.6
+    )
+
+
+class TestValidation:
+    def test_fully_wired_app_passes(self, app):
+        fully_wire(app)
+        assert spec().validate(app) == []
+        spec().enforce(app)  # no raise
+
+    def test_uncaptured_table_flagged(self, app):
+        fully_wire(app)
+        bad = spec(monitored_tables=("meters", "orders"))
+        violations = bad.validate(app)
+        assert [v.kind for v in violations] == ["uncaptured-table"]
+        assert violations[0].subject == "orders"
+
+    def test_unimplemented_condition_flagged(self, app):
+        fully_wire(app)
+        bad = spec(conditions=(
+            ConditionSpec("usage_spike", implemented_by_detector="usage_anomaly"),
+            ConditionSpec("night_drain", implemented_by_rule="drain_rule"),
+        ))
+        violations = bad.validate(app)
+        assert [v.kind for v in violations] == ["unimplemented-condition"]
+
+    def test_condition_satisfied_by_rule(self, app):
+        fully_wire(app)
+        app.add_rule(Rule.from_text("drain_rule", "usage < 0.1"))
+        good = spec(conditions=(
+            ConditionSpec("night_drain", implemented_by_rule="drain_rule"),
+        ))
+        assert good.validate(app) == []
+
+    def test_unanswerable_category_flagged(self, app):
+        fully_wire(app)
+        bad = spec(categories=(
+            CategorySpec("hazmat", required_capabilities=("chem_suit",)),
+        ))
+        violations = bad.validate(app)
+        assert violations[0].kind == "unanswerable-category"
+
+    def test_capability_gap_flagged(self, app):
+        fully_wire(app)  # oncall has no capabilities
+        bad = spec(categories=(
+            CategorySpec("usage", required_capabilities=("forklift",)),
+        ))
+        assert bad.validate(app)[0].kind == "unanswerable-category"
+
+    def test_missing_recipient_flagged(self, app):
+        fully_wire(app)
+        bad = spec(categories=(
+            CategorySpec("usage", recipients=("ops", "exec_dashboard")),
+        ))
+        violations = bad.validate(app)
+        assert [v.kind for v in violations] == ["missing-recipient"]
+        assert violations[0].subject == "exec_dashboard"
+
+    def test_rule_with_unknown_attributes_flagged(self, app):
+        fully_wire(app)
+        app.add_rule(Rule.from_text("typo", "usgae > 100"))  # misspelled
+        violations = spec().validate(app)
+        assert [v.kind for v in violations] == ["unknown-attributes"]
+        assert "usgae" in violations[0].detail
+
+    def test_no_event_types_skips_attribute_check(self, app):
+        fully_wire(app)
+        app.add_rule(Rule.from_text("anything", "whatever > 1"))
+        lenient = spec(event_types=())
+        assert lenient.validate(app) == []
+
+    def test_enforce_raises_with_all_violations(self, app):
+        # Nothing wired at all: every check trips.
+        with pytest.raises(SpecificationError) as exc:
+            spec().enforce(app)
+        message = str(exc.value)
+        assert "uncaptured-table" in message
+        assert "unimplemented-condition" in message
+        assert "unanswerable-category" in message
+
+    def test_violation_str(self):
+        violation = Violation("kind", "subject", "detail")
+        assert str(violation) == "[kind] subject: detail"

@@ -1,0 +1,229 @@
+"""Aggregates over panes; filter/map/join operators."""
+
+import pytest
+
+from repro.cq import (
+    Avg,
+    Count,
+    First,
+    FilterOperator,
+    Last,
+    MapOperator,
+    Max,
+    Min,
+    Percentile,
+    Stddev,
+    Stream,
+    StreamJoin,
+    StreamTableJoin,
+    Sum,
+    TumblingWindow,
+    WindowAggregate,
+)
+from repro.errors import StreamError
+from repro.events import Event
+
+
+def run_aggregate(spec, rows):
+    source = Stream("s")
+    window = TumblingWindow(source, 100.0)
+    aggregate = WindowAggregate(window, "agg.out", spec)
+    out = []
+    aggregate.subscribe(out.append)
+    for i, row in enumerate(rows):
+        source.push(Event("tick", float(i), row))
+    window.flush()
+    return out
+
+
+class TestAggregateFunctions:
+    def test_full_spec(self):
+        rows = [{"v": 1.0}, {"v": 2.0}, {"v": 3.0}, {"v": 4.0}]
+        out = run_aggregate(
+            {
+                "n": (None, Count),
+                "total": ("v", Sum),
+                "mean": ("v", Avg),
+                "lo": ("v", Min),
+                "hi": ("v", Max),
+                "sd": ("v", Stddev),
+                "first": ("v", First),
+                "last": ("v", Last),
+            },
+            rows,
+        )
+        result = out[0]
+        assert result["n"] == 4
+        assert result["total"] == 10.0
+        assert result["mean"] == 2.5
+        assert (result["lo"], result["hi"]) == (1.0, 4.0)
+        assert result["sd"] == pytest.approx(1.29099, abs=1e-4)
+        assert (result["first"], result["last"]) == (1.0, 4.0)
+
+    def test_nulls_skipped(self):
+        out = run_aggregate(
+            {"n": ("v", Count), "total": ("v", Sum)},
+            [{"v": 1.0}, {"x": 9}, {"v": 2.0}],
+        )
+        assert out[0]["n"] == 2
+        assert out[0]["total"] == 3.0
+        assert out[0]["count"] == 3  # built-in pane event count
+
+    def test_empty_field_yields_none(self):
+        out = run_aggregate({"mean": ("v", Avg)}, [{"x": 1}])
+        assert out[0]["mean"] is None
+
+    def test_percentile(self):
+        rows = [{"v": float(i)} for i in range(1, 101)]
+        out = run_aggregate(
+            {"p50": ("v", lambda: Percentile(0.5)), "p99": ("v", lambda: Percentile(0.99))},
+            rows,
+        )
+        assert out[0]["p50"] == 50.0
+        assert out[0]["p99"] == 99.0
+
+    def test_percentile_bounds_validated(self):
+        with pytest.raises(StreamError):
+            Percentile(1.5)
+
+    def test_aggregate_requires_pane_input(self):
+        source = Stream("s")
+        aggregate = WindowAggregate(source, "out", {"n": (None, Count)})
+        with pytest.raises(StreamError):
+            source.push(Event("tick", 0.0, {}))
+
+    def test_window_metadata_carried(self):
+        out = run_aggregate({"n": (None, Count)}, [{"v": 1}])
+        assert out[0]["window_start"] == 0.0
+        assert out[0]["window_end"] == 100.0
+        assert out[0].source.startswith("aggregate")
+
+
+class TestFilterMap:
+    def test_filter_expression(self):
+        source = Stream("s")
+        out = []
+        FilterOperator(source, "price > 10").subscribe(out.append)
+        source.push(Event("t", 0.0, {"price": 5}))
+        source.push(Event("t", 0.0, {"price": 50}))
+        assert len(out) == 1
+
+    def test_filter_callable(self):
+        source = Stream("s")
+        out = []
+        op = FilterOperator(source, lambda e: e.event_type == "keep")
+        op.subscribe(out.append)
+        source.push(Event("keep", 0.0))
+        source.push(Event("drop", 0.0))
+        assert len(out) == 1
+        assert op.dropped == 1
+
+    def test_filter_missing_attribute_drops(self):
+        source = Stream("s")
+        out = []
+        FilterOperator(source, "price > 10").subscribe(out.append)
+        source.push(Event("t", 0.0, {"qty": 1}))
+        assert out == []
+
+    def test_map_payload_dict(self):
+        source = Stream("s")
+        out = []
+        MapOperator(
+            source,
+            lambda e: {"notional": e["price"] * e["qty"]},
+            output_type="enriched",
+        ).subscribe(out.append)
+        source.push(Event("t", 3.0, {"price": 2.0, "qty": 5}))
+        assert out[0].event_type == "enriched"
+        assert out[0]["notional"] == 10.0
+        assert out[0].causes  # provenance preserved
+
+    def test_map_none_drops(self):
+        source = Stream("s")
+        out = []
+        MapOperator(source, lambda e: None).subscribe(out.append)
+        source.push(Event("t", 0.0))
+        assert out == []
+
+
+class TestStreamJoin:
+    def make(self, window=5.0):
+        left, right = Stream("l"), Stream("r")
+        join = StreamJoin(
+            left, right, key_field="k", window=window, output_type="joined"
+        )
+        out = []
+        join.subscribe(out.append)
+        return left, right, join, out
+
+    def test_match_within_window(self):
+        left, right, _join, out = self.make()
+        left.push(Event("l", 1.0, {"k": 1, "a": "x"}))
+        right.push(Event("r", 3.0, {"k": 1, "b": "y"}))
+        assert len(out) == 1
+        assert out[0]["left_a"] == "x"
+        assert out[0]["right_b"] == "y"
+
+    def test_outside_window_no_match(self):
+        left, right, _join, out = self.make(window=5.0)
+        left.push(Event("l", 1.0, {"k": 1}))
+        right.push(Event("r", 100.0, {"k": 1}))
+        assert out == []
+
+    def test_key_mismatch_no_match(self):
+        left, right, _join, out = self.make()
+        left.push(Event("l", 1.0, {"k": 1}))
+        right.push(Event("r", 1.0, {"k": 2}))
+        assert out == []
+
+    def test_state_pruned(self):
+        left, right, join, _out = self.make(window=5.0)
+        for i in range(100):
+            left.push(Event("l", float(i), {"k": i}))
+        assert join.buffered() < 20  # old entries pruned by watermark
+
+    def test_null_key_ignored(self):
+        left, right, join, out = self.make()
+        left.push(Event("l", 1.0, {"x": 1}))
+        right.push(Event("r", 1.0, {"k": None}))
+        assert out == [] and join.buffered() == 0
+
+    def test_join_order_symmetric(self):
+        left, right, _join, out = self.make()
+        right.push(Event("r", 1.0, {"k": 1, "b": "y"}))
+        left.push(Event("l", 2.0, {"k": 1, "a": "x"}))
+        assert out[0]["left_a"] == "x" and out[0]["right_b"] == "y"
+
+
+class TestStreamTableJoin:
+    def test_enrichment(self, meters_db):
+        source = Stream("s")
+        out = []
+        StreamTableJoin(
+            source, meters_db, "meters",
+            event_key="meter_id", table_key="meter_id", prefix="ref_",
+        ).subscribe(out.append)
+        source.push(Event("reading", 1.0, {"meter_id": "m1", "usage": 5.0}))
+        assert out[0]["ref_zone"] == "west"
+        assert out[0]["usage"] == 5.0
+
+    def test_left_semantics_pass_through(self, meters_db):
+        source = Stream("s")
+        out = []
+        StreamTableJoin(
+            source, meters_db, "meters",
+            event_key="meter_id", table_key="meter_id",
+        ).subscribe(out.append)
+        source.push(Event("reading", 1.0, {"meter_id": "ghost"}))
+        assert len(out) == 1
+        assert "zone" not in out[0].payload
+
+    def test_inner_semantics_drop(self, meters_db):
+        source = Stream("s")
+        out = []
+        StreamTableJoin(
+            source, meters_db, "meters",
+            event_key="meter_id", table_key="meter_id", inner=True,
+        ).subscribe(out.append)
+        source.push(Event("reading", 1.0, {"meter_id": "ghost"}))
+        assert out == []

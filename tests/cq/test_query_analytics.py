@@ -1,0 +1,198 @@
+"""ContinuousQuery builder, CQEngine, and continuous analytics."""
+
+import random
+
+import pytest
+
+from repro.cq import (
+    AnomalyDetector,
+    Avg,
+    ContinuousQuery,
+    Count,
+    CQEngine,
+    QueryValueScorer,
+    Seq,
+    PatternElement,
+    StreamStatistics,
+    Sum,
+)
+from repro.errors import StreamError
+from repro.events import Event
+
+
+class TestContinuousQuery:
+    def test_filter_window_aggregate_pipeline(self):
+        out = []
+        cq = (
+            ContinuousQuery("q")
+            .filter("symbol = 'IBM'")
+            .window_tumbling(60.0)
+            .aggregate("q.out", {"n": (None, Count), "vol": ("qty", Sum)})
+            .sink(out.append)
+        )
+        for i in range(120):
+            cq.push(Event("tick", float(i), {
+                "symbol": "IBM" if i % 2 == 0 else "HPQ", "qty": 1,
+            }))
+        cq.flush()
+        assert [e["n"] for e in out] == [30, 30]
+
+    def test_pattern_stage(self):
+        out = []
+        cq = (
+            ContinuousQuery("p")
+            .pattern(
+                Seq(PatternElement("a", "tick", "v > 10"),
+                    PatternElement("b", "tick", "v < 5")),
+                output_type="spike_drop",
+            )
+            .sink(out.append)
+        )
+        for i, v in enumerate([20, 7, 3]):
+            cq.push(Event("tick", float(i), {"v": v}))
+        assert len(out) == 1
+
+    def test_lookup_stage(self, meters_db):
+        out = []
+        cq = (
+            ContinuousQuery("l")
+            .lookup(meters_db, "meters", event_key="meter_id",
+                    table_key="meter_id", prefix="ref_")
+            .filter("ref_zone = 'west'")
+            .sink(out.append)
+        )
+        cq.push(Event("r", 1.0, {"meter_id": "m0"}))
+        cq.push(Event("r", 1.0, {"meter_id": "m4"}))  # east
+        assert len(out) == 1
+
+    def test_collect(self):
+        cq = ContinuousQuery("c").filter("TRUE").collect()
+        cq.push(Event("t", 1.0, {}))
+        assert len(cq.outputs) == 1
+
+    def test_counters(self):
+        cq = ContinuousQuery("c").filter("v > 5")
+        cq.push(Event("t", 1.0, {"v": 1}))
+        cq.push(Event("t", 2.0, {"v": 10}))
+        assert cq.events_in == 2
+        assert cq.events_out == 1
+
+
+class TestCQEngine:
+    def test_fanout_to_all_queries(self):
+        engine = CQEngine()
+        a_out, b_out = [], []
+        engine.register(ContinuousQuery("a").filter("v > 5").sink(a_out.append))
+        engine.register(ContinuousQuery("b").filter("v < 5").sink(b_out.append))
+        engine.push(Event("t", 1.0, {"v": 10}))
+        engine.push(Event("t", 2.0, {"v": 1}))
+        assert len(a_out) == 1 and len(b_out) == 1
+
+    def test_duplicate_name_rejected(self):
+        engine = CQEngine()
+        engine.register(ContinuousQuery("q"))
+        with pytest.raises(StreamError):
+            engine.register(ContinuousQuery("q"))
+
+    def test_deregister(self):
+        engine = CQEngine()
+        engine.register(ContinuousQuery("q"))
+        engine.deregister("q")
+        assert engine.names() == []
+        with pytest.raises(StreamError):
+            engine.deregister("q")
+
+    def test_statistics(self):
+        engine = CQEngine()
+        engine.register(ContinuousQuery("q").filter("TRUE"))
+        engine.push(Event("t", 1.0, {}))
+        assert engine.statistics()["q"] == {"events_in": 1, "events_out": 1}
+
+
+class TestStreamStatistics:
+    def test_welford_matches_numpy(self):
+        import numpy
+
+        rng = random.Random(1)
+        values = [rng.gauss(5, 2) for _ in range(500)]
+        stats = StreamStatistics()
+        for value in values:
+            stats.add(value)
+        assert stats.mean == pytest.approx(numpy.mean(values))
+        assert stats.stddev == pytest.approx(numpy.std(values, ddof=1))
+        assert stats.minimum == min(values)
+        assert stats.maximum == max(values)
+
+    def test_ewma_tracks_shift(self):
+        stats = StreamStatistics(ewma_alpha=0.5)
+        for _ in range(20):
+            stats.add(0.0)
+        for _ in range(20):
+            stats.add(10.0)
+        assert stats.ewma > 9.9
+        assert stats.mean == pytest.approx(5.0)
+
+    def test_alpha_validated(self):
+        with pytest.raises(StreamError):
+            StreamStatistics(ewma_alpha=0.0)
+
+
+class TestAnomalyDetector:
+    def test_detects_outlier_after_warmup(self):
+        rng = random.Random(2)
+        detector = AnomalyDetector(threshold=4.0, warmup=20)
+        for _ in range(100):
+            detector.observe(rng.gauss(10, 1))
+        assert detector.anomalies <= 2  # near-zero false alarms
+        assert detector.observe(100.0) > 4.0
+
+    def test_warmup_suppresses_scores(self):
+        detector = AnomalyDetector(warmup=10)
+        assert detector.observe(1e9) == 0.0
+
+    def test_constant_stream_never_anomalous(self):
+        detector = AnomalyDetector(warmup=5)
+        for _ in range(50):
+            assert detector.observe(7.0) == 0.0
+
+
+class TestQueryValueScorer:
+    def test_perfect_query_outranks_noisy_and_blind(self):
+        truth = [100.0, 500.0, 900.0]
+        scorer = QueryValueScorer(truth, tolerance=50.0)
+        # Perfect: one prompt alert per episode.
+        for episode in truth:
+            scorer.record_alert("perfect", episode + 1.0)
+        # Noisy: fires constantly.
+        for t in range(0, 1000, 10):
+            scorer.record_alert("noisy", float(t))
+        # Blind: never fires (needs one bogus alert to be a candidate).
+        scorer.record_alert("blind", 9999.0)
+        ranked = scorer.scores()
+        assert ranked[0].name == "perfect"
+        assert ranked[0].precision == 1.0
+        assert ranked[0].recall == 1.0
+        assert ranked[-1].name == "blind"
+        assert ranked[-1].value == 0.0
+
+    def test_late_alerts_discounted(self):
+        truth = [100.0]
+        prompt = QueryValueScorer(truth, tolerance=100.0)
+        prompt.record_alert("q", 105.0)
+        tardy = QueryValueScorer(truth, tolerance=100.0)
+        tardy.record_alert("q", 195.0)
+        assert prompt.scores()[0].value > tardy.scores()[0].value
+
+    def test_top_k(self):
+        scorer = QueryValueScorer([10.0], tolerance=5.0)
+        scorer.record_alert("good", 11.0)
+        scorer.record_alert("bad", 999.0)
+        top = scorer.top(1)
+        assert [s.name for s in top] == ["good"]
+
+    def test_attach_to_query(self):
+        scorer = QueryValueScorer([5.0], tolerance=10.0)
+        cq = ContinuousQuery("watcher").filter("v > 100")
+        scorer.attach(cq)
+        cq.push(Event("t", 6.0, {"v": 500}))
+        assert scorer.scores()[0].recall == 1.0

@@ -1,0 +1,160 @@
+"""Window operators: pane assignment, watermarks, lateness, keys."""
+
+import pytest
+
+from repro.cq import (
+    CountWindow,
+    SessionWindow,
+    SlidingWindow,
+    Stream,
+    TumblingWindow,
+)
+from repro.errors import WindowError
+from repro.events import Event
+
+
+def feed(window_source, times_and_payloads):
+    for timestamp, payload in times_and_payloads:
+        window_source.push(Event("tick", float(timestamp), payload))
+
+
+def pane_summary(events):
+    return [
+        (e["start"], e["end"], len(e["pane"].events), e["key"]) for e in events
+    ]
+
+
+class TestTumbling:
+    def test_alignment_and_contents(self):
+        source = Stream("s")
+        window = TumblingWindow(source, 10.0)
+        panes = []
+        window.subscribe(panes.append)
+        feed(source, [(1, {}), (5, {}), (12, {}), (25, {})])
+        window.flush()
+        assert pane_summary(panes) == [
+            (0.0, 10.0, 2, None), (10.0, 20.0, 1, None), (20.0, 30.0, 1, None),
+        ]
+
+    def test_pane_closes_on_watermark(self):
+        source = Stream("s")
+        window = TumblingWindow(source, 10.0)
+        panes = []
+        window.subscribe(panes.append)
+        feed(source, [(1, {})])
+        assert panes == []  # still open
+        feed(source, [(10, {})])  # watermark passes 10
+        assert len(panes) == 1
+
+    def test_keyed_panes(self):
+        source = Stream("s")
+        window = TumblingWindow(source, 10.0, key_field="sym")
+        panes = []
+        window.subscribe(panes.append)
+        feed(source, [(1, {"sym": "A"}), (2, {"sym": "B"}), (3, {"sym": "A"})])
+        window.flush()
+        by_key = {p["key"]: len(p["pane"].events) for p in panes}
+        assert by_key == {"A": 2, "B": 1}
+
+    def test_late_event_dropped_and_counted(self):
+        source = Stream("s")
+        window = TumblingWindow(source, 10.0)
+        panes = []
+        window.subscribe(panes.append)
+        feed(source, [(5, {}), (20, {})])   # closes [0,10)
+        feed(source, [(3, {})])             # too late
+        assert window.late_dropped == 1
+
+    def test_allowed_lateness_accepts(self):
+        source = Stream("s")
+        window = TumblingWindow(source, 10.0, allowed_lateness=30.0)
+        panes = []
+        window.subscribe(panes.append)
+        feed(source, [(5, {}), (20, {}), (3, {})])
+        window.flush()
+        first_pane = [p for p in panes if p["start"] == 0.0][0]
+        assert len(first_pane["pane"].events) == 2
+
+    def test_invalid_size(self):
+        with pytest.raises(WindowError):
+            TumblingWindow(Stream("s"), 0)
+
+
+class TestSliding:
+    def test_event_lands_in_overlapping_panes(self):
+        source = Stream("s")
+        window = SlidingWindow(source, size=10.0, slide=5.0)
+        panes = []
+        window.subscribe(panes.append)
+        feed(source, [(7, {}), (30, {})])
+        window.flush()
+        containing = [p for p in panes if p["pane"].events and p["start"] <= 7 < p["end"]]
+        assert {p["start"] for p in containing} == {0.0, 5.0}
+
+    def test_counts_match_size_over_slide(self):
+        source = Stream("s")
+        window = SlidingWindow(source, size=6.0, slide=2.0)
+        panes = []
+        window.subscribe(panes.append)
+        feed(source, [(10, {"v": 1}), (50, {})])
+        window.flush()
+        hits = [p for p in panes if any(e.get("v") == 1 for e in p["pane"].events)]
+        assert len(hits) == 3  # size/slide = 3 panes per event
+
+    def test_slide_greater_than_size_rejected(self):
+        with pytest.raises(WindowError):
+            SlidingWindow(Stream("s"), size=5.0, slide=10.0)
+
+
+class TestCountWindow:
+    def test_every_n_events(self):
+        source = Stream("s")
+        window = CountWindow(source, 3)
+        panes = []
+        window.subscribe(panes.append)
+        feed(source, [(i, {}) for i in range(7)])
+        assert [len(p["pane"].events) for p in panes] == [3, 3]
+        window.flush()
+        assert [len(p["pane"].events) for p in panes] == [3, 3, 1]
+
+    def test_keyed_counts(self):
+        source = Stream("s")
+        window = CountWindow(source, 2, key_field="k")
+        panes = []
+        window.subscribe(panes.append)
+        feed(source, [(1, {"k": "a"}), (2, {"k": "b"}), (3, {"k": "a"})])
+        assert len(panes) == 1
+        assert panes[0]["key"] == "a"
+
+
+class TestSessionWindow:
+    def test_gap_closes_session(self):
+        source = Stream("s")
+        window = SessionWindow(source, gap=5.0)
+        panes = []
+        window.subscribe(panes.append)
+        feed(source, [(1, {}), (3, {}), (20, {})])  # 3→20 exceeds the gap
+        assert len(panes) == 1
+        assert len(panes[0]["pane"].events) == 2
+        window.flush()
+        assert len(panes) == 2
+
+    def test_activity_extends_session(self):
+        source = Stream("s")
+        window = SessionWindow(source, gap=5.0)
+        panes = []
+        window.subscribe(panes.append)
+        feed(source, [(0, {}), (4, {}), (8, {}), (12, {})])
+        assert panes == []  # one continuously extended session
+        window.flush()
+        assert len(panes[0]["pane"].events) == 4
+
+    def test_keyed_sessions_independent(self):
+        source = Stream("s")
+        window = SessionWindow(source, gap=5.0, key_field="k")
+        panes = []
+        window.subscribe(panes.append)
+        feed(source, [(0, {"k": "a"}), (1, {"k": "b"}), (20, {"k": "a"})])
+        # a's first session closed by the 20s event; b's idle session too.
+        closed_keys = {p["key"] for p in panes}
+        assert closed_keys == {"a", "b"}

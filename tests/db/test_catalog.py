@@ -1,0 +1,82 @@
+"""System catalog: object registry and introspection."""
+
+import pytest
+
+from repro.db.catalog import Catalog
+from repro.db.schema import Column, TableSchema
+from repro.db.types import INT, TEXT
+from repro.errors import SchemaError
+
+
+def make_catalog():
+    catalog = Catalog()
+    catalog.create_table(TableSchema("orders", [
+        Column("id", INT, primary_key=True), Column("sym", TEXT),
+    ]))
+    return catalog
+
+
+class TestTables:
+    def test_create_and_lookup(self):
+        catalog = make_catalog()
+        assert catalog.has_table("orders")
+        assert catalog.table("ORDERS").name == "orders"
+
+    def test_duplicate_rejected(self):
+        catalog = make_catalog()
+        with pytest.raises(SchemaError):
+            catalog.create_table(TableSchema("orders", [Column("a", INT)]))
+
+    def test_drop(self):
+        catalog = make_catalog()
+        catalog.drop_table("orders")
+        assert not catalog.has_table("orders")
+        with pytest.raises(SchemaError):
+            catalog.drop_table("orders")
+
+    def test_drop_removes_triggers(self):
+        from repro.db.triggers import Trigger, TriggerEvent, TriggerTiming
+
+        catalog = make_catalog()
+        catalog.triggers.create(Trigger(
+            name="t1", table="orders", timing=TriggerTiming.AFTER,
+            event=TriggerEvent.INSERT, action=lambda ctx: None,
+        ))
+        catalog.drop_table("orders")
+        assert catalog.triggers.names() == []
+
+    def test_names_sorted(self):
+        catalog = make_catalog()
+        catalog.create_table(TableSchema("aaa", [Column("x", INT)]))
+        assert catalog.table_names() == ["aaa", "orders"]
+
+
+class TestDescribe:
+    def test_information_schema_shape(self, orders_db):
+        rows = orders_db.catalog.describe()
+        kinds = {row["object_type"] for row in rows}
+        assert kinds == {"table", "index"}
+        table_row = next(r for r in rows if r["object_type"] == "table")
+        assert table_row["name"] == "orders"
+        assert table_row["row_count"] == 6
+        assert "id INT" in table_row["detail"]
+
+    def test_triggers_listed(self, orders_db):
+        from repro.db.triggers import TriggerEvent, TriggerTiming
+
+        orders_db.create_trigger(
+            "audit", "orders", timing=TriggerTiming.AFTER,
+            event=TriggerEvent.INSERT, action=lambda ctx: None,
+        )
+        rows = orders_db.catalog.describe()
+        trigger_rows = [r for r in rows if r["object_type"] == "trigger"]
+        assert trigger_rows[0]["name"] == "audit"
+        assert "after insert on orders" in trigger_rows[0]["detail"]
+
+    def test_unique_index_marked(self, orders_db):
+        rows = orders_db.catalog.describe()
+        unique_rows = [
+            r for r in rows
+            if r["object_type"] == "index" and "unique" in r["detail"]
+        ]
+        assert unique_rows  # the PK's backing index

@@ -1,0 +1,154 @@
+"""Facade odds and ends: results, statistics, errors, lexer edges."""
+
+import pytest
+
+from repro.db import Database
+from repro.db.sql.executor import Result
+from repro.db.sql.parser import parse_expression
+from repro.errors import DatabaseError, SqlSyntaxError, TransactionError
+
+
+class TestResultHelpers:
+    def test_iter_len_column(self, orders_db):
+        result = orders_db.execute("SELECT id, symbol FROM orders ORDER BY id")
+        assert len(result) == 6
+        assert [row["id"] for row in result] == [1, 2, 3, 4, 5, 6]
+        assert result.column("symbol")[0] == "IBM"
+
+    def test_scalar_empty(self, orders_db):
+        result = orders_db.execute("SELECT id FROM orders WHERE id = 999")
+        assert result.scalar() is None
+
+    def test_scalar_no_columns(self):
+        assert Result(rows=[{"x": 5}]).scalar() == 5
+        assert Result().scalar() is None
+
+
+class TestStatistics:
+    def test_dml_counters(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        db.execute("UPDATE t SET a = 3")
+        db.execute("DELETE FROM t WHERE a = 3")
+        assert db.statistics["inserts"] == 2
+        assert db.statistics["updates"] == 2
+        assert db.statistics["deletes"] == 2
+        assert db.statistics["commits"] >= 4
+
+    def test_rollback_counter(self, db):
+        conn = db.connect()
+        conn.execute("BEGIN")
+        conn.execute("ROLLBACK")
+        assert db.statistics["rollbacks"] == 1
+
+
+class TestErrorPaths:
+    def test_commit_without_transaction(self, db):
+        with pytest.raises(TransactionError):
+            db.connect().commit()
+
+    def test_rollback_without_transaction(self, db):
+        with pytest.raises(TransactionError):
+            db.connect().rollback()
+
+    def test_savepoint_without_transaction(self, db):
+        conn = db.connect()
+        with pytest.raises(TransactionError):
+            conn.execute("SAVEPOINT sp")
+
+    def test_nested_begin_rejected(self, db):
+        conn = db.connect()
+        conn.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            conn.execute("BEGIN")
+
+    def test_drop_index_sql(self, orders_db):
+        orders_db.execute("DROP INDEX ix_orders_price ON orders")
+        table = orders_db.catalog.table("orders")
+        assert "ix_orders_price" not in table.indexes
+
+    def test_default_connection_reused(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        first = db._default()
+        db.execute("INSERT INTO t VALUES (1)")
+        assert db._default() is first
+
+
+class TestLexerEdges:
+    def test_comment_only_statement_rejected(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("-- nothing here")
+
+    def test_multiline_statement(self, db):
+        db.execute(
+            """CREATE TABLE t (
+                 a INT,   -- trailing comment
+                 b TEXT
+               )"""
+        )
+        assert db.catalog.has_table("t")
+
+    def test_string_with_newline(self, db):
+        db.execute("CREATE TABLE t (s TEXT)")
+        db.execute("INSERT INTO t VALUES ('line1\nline2')")
+        assert db.query("SELECT s FROM t")[0]["s"] == "line1\nline2"
+
+    def test_like_against_column_pattern(self):
+        expression = parse_expression("name LIKE pat")
+        assert expression.evaluate({"name": "abc", "pat": "a%"}) is True
+        assert expression.evaluate({"name": "abc", "pat": None}) is None
+
+
+class TestReprs:
+    """Reprs exist for debugging; keep them stable and informative."""
+
+    @pytest.mark.parametrize("text", [
+        "a = 1 AND b > 2",
+        "x IN (1, 2)",
+        "y NOT BETWEEN 1 AND 5",
+        "name NOT LIKE 'x%'",
+        "z IS NOT NULL",
+        "CASE WHEN a > 0 THEN 'p' END",
+        "abs(a)",
+        "NOT a",
+        "t.col = 1",
+    ])
+    def test_expression_reprs_render(self, text):
+        rendered = repr(parse_expression(text))
+        assert rendered  # non-empty, no exception
+
+    def test_transaction_repr(self, db):
+        conn = db.connect()
+        transaction = conn.begin()
+        assert "active" in repr(transaction)
+        conn.commit()
+        assert "committed" in repr(transaction)
+
+
+class TestMapOperatorEventReturn:
+    def test_map_returning_event_passes_through(self):
+        from repro.cq import MapOperator, Stream
+        from repro.events import Event
+
+        source = Stream("s")
+        out = []
+        MapOperator(
+            source,
+            lambda e: Event("rewrapped", e.timestamp + 1, {"was": e.event_type}),
+        ).subscribe(out.append)
+        source.push(Event("orig", 1.0, {}))
+        assert out[0].event_type == "rewrapped"
+        assert out[0].timestamp == 2.0
+
+
+class TestJournalRunForever:
+    def test_bounded_polling_loop(self, db, clock):
+        from repro.capture import JournalCapture
+
+        db.execute("CREATE TABLE t (a INT)")
+        capture = JournalCapture(db, ["t"])
+        db.execute("INSERT INTO t VALUES (1)")
+        capture.run_forever(poll_interval=5.0, max_polls=3)
+        assert capture.polls == 3
+        assert capture.events_captured == 1
+        assert clock.now() == 1000.0 + 15.0

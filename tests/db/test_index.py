@@ -1,0 +1,111 @@
+"""Hash and ordered index behaviour."""
+
+import pytest
+
+from repro.db.index import HashIndex, OrderedIndex, build_index
+from repro.errors import ConstraintViolation, SchemaError
+
+
+class TestHashIndex:
+    def test_insert_lookup(self):
+        index = HashIndex("ix", "t", "c")
+        index.insert("a", 1)
+        index.insert("a", 2)
+        index.insert("b", 3)
+        assert sorted(index.lookup("a")) == [1, 2]
+        assert list(index.lookup("missing")) == []
+
+    def test_delete(self):
+        index = HashIndex("ix", "t", "c")
+        index.insert("a", 1)
+        index.delete("a", 1)
+        assert list(index.lookup("a")) == []
+        index.delete("a", 99)  # absent delete is a no-op
+
+    def test_unique_rejects_duplicate(self):
+        index = HashIndex("ix", "t", "c", unique=True)
+        index.insert("k", 1)
+        with pytest.raises(ConstraintViolation):
+            index.insert("k", 2)
+
+    def test_unique_allows_many_nulls(self):
+        index = HashIndex("ix", "t", "c", unique=True)
+        index.insert(None, 1)
+        index.insert(None, 2)
+
+    def test_numeric_key_folding(self):
+        index = HashIndex("ix", "t", "c")
+        index.insert(1, 10)
+        assert list(index.lookup(1.0)) == [10]
+        assert list(index.lookup(True)) == [10]
+
+    def test_len(self):
+        index = HashIndex("ix", "t", "c")
+        index.insert("a", 1)
+        index.insert("b", 2)
+        assert len(index) == 2
+
+
+class TestOrderedIndex:
+    def make(self):
+        index = OrderedIndex("ix", "t", "c")
+        for key, rowid in [(5, 1), (3, 2), (8, 3), (3, 4), (None, 5), (1, 6)]:
+            index.insert(key, rowid)
+        return index
+
+    def test_point_lookup(self):
+        index = self.make()
+        assert sorted(index.lookup(3)) == [2, 4]
+
+    def test_range_scan_inclusive(self):
+        index = self.make()
+        assert [rowid for _k, rowid in index.range_scan(3, 5)] == [2, 4, 1]
+
+    def test_range_scan_exclusive(self):
+        index = self.make()
+        result = [k for k, _r in index.range_scan(3, 8, low_inclusive=False, high_inclusive=False)]
+        assert result == [5]
+
+    def test_unbounded_scan_skips_nulls(self):
+        index = self.make()
+        keys = [k for k, _r in index.range_scan()]
+        assert keys == [1, 3, 3, 5, 8]
+        assert None not in keys
+
+    def test_min_max(self):
+        index = self.make()
+        assert index.min_key() == 1
+        assert index.max_key() == 8
+
+    def test_delete_specific_rowid(self):
+        index = self.make()
+        index.delete(3, 2)
+        assert sorted(index.lookup(3)) == [4]
+
+    def test_unique_rejects_duplicate(self):
+        index = OrderedIndex("ix", "t", "c", unique=True)
+        index.insert(1, 1)
+        with pytest.raises(ConstraintViolation):
+            index.insert(1, 2)
+
+    def test_supports_range_flag(self):
+        assert OrderedIndex("i", "t", "c").supports_range
+        assert not HashIndex("i", "t", "c").supports_range
+
+    def test_mixed_numeric_ordering(self):
+        index = OrderedIndex("ix", "t", "c")
+        index.insert(2, 1)
+        index.insert(1.5, 2)
+        index.insert(3, 3)
+        assert [k for k, _r in index.range_scan()] == [1.5, 2, 3]
+
+
+class TestBuildIndex:
+    def test_kinds(self):
+        assert isinstance(build_index("hash", "i", "t", "c"), HashIndex)
+        assert isinstance(build_index("ordered", "i", "t", "c"), OrderedIndex)
+        assert isinstance(build_index("btree", "i", "t", "c"), OrderedIndex)
+
+    def test_unknown_kind(self):
+        with pytest.raises(SchemaError):
+            build_index("bitmap", "i", "t", "c")

@@ -1,0 +1,214 @@
+"""Crash recovery: committed survives, uncommitted vanishes."""
+
+import pytest
+
+from repro.db import Database
+from repro.db.recovery import analyze, schema_from_dict, schema_to_dict
+from repro.db.schema import Column, TableSchema
+from repro.db.sql.parser import parse_expression
+from repro.db.types import INT, TEXT
+from repro.db.wal import OP_BEGIN, OP_COMMIT, OP_INSERT, WriteAheadLog
+
+
+class TestAnalyze:
+    def test_classifies_transactions(self):
+        wal = WriteAheadLog()
+        wal.append(1, OP_BEGIN)
+        wal.append(1, OP_INSERT, table="t", rowid=1, after={})
+        wal.append(1, OP_COMMIT)
+        wal.append(2, OP_BEGIN)
+        wal.append(2, OP_INSERT, table="t", rowid=2, after={})
+        wal.append(3, OP_BEGIN)
+        wal.append(3, "abort")
+        plan = analyze(wal.records())
+        assert plan.committed_txids == {1}
+        assert plan.aborted_txids == {3}
+        assert plan.inflight_txids == {2}
+        assert [r.rowid for r in plan.redo_records] == [1]
+        assert plan.max_txid == 3
+
+    def test_checkpoint_bounds_redo(self):
+        wal = WriteAheadLog()
+        wal.append(1, OP_BEGIN)
+        wal.append(1, OP_INSERT, table="t", rowid=1, after={})
+        wal.append(1, OP_COMMIT)
+        wal.append(0, "checkpoint", meta={"tables": {}})
+        wal.append(2, OP_BEGIN)
+        wal.append(2, OP_INSERT, table="t", rowid=2, after={})
+        wal.append(2, OP_COMMIT)
+        plan = analyze(wal.records())
+        assert plan.checkpoint is not None
+        assert [r.rowid for r in plan.redo_records] == [2]
+
+
+class TestSchemaSerialization:
+    def test_roundtrip(self):
+        schema = TableSchema(
+            "t",
+            [
+                Column("id", INT, primary_key=True),
+                Column("name", TEXT, nullable=False, default="x"),
+            ],
+            checks=[parse_expression("length(name) > 0")],
+        )
+        restored = schema_from_dict(schema_to_dict(schema))
+        assert restored.name == "t"
+        assert restored.primary_key == "id"
+        assert restored.column("name").default == "x"
+        assert len(restored.checks) == 1
+        assert restored.checks[0].evaluate({"name": ""}) is False
+
+
+class TestCrashRecovery:
+    def test_committed_rows_survive(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        db.simulate_crash()
+        assert sorted(r["a"] for r in db.query("SELECT a FROM t")) == [1, 2]
+
+    def test_inflight_transaction_lost(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        conn = db.connect()
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO t VALUES (99)")
+        # Crash with the transaction still open.
+        db.simulate_crash()
+        assert db.query("SELECT * FROM t") == []
+
+    def test_rolled_back_stays_gone(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        conn = db.connect()
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO t VALUES (1)")
+        conn.execute("ROLLBACK")
+        db.simulate_crash()
+        assert db.query("SELECT * FROM t") == []
+
+    def test_updates_and_deletes_replayed(self, db):
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        db.execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+        db.execute("UPDATE t SET v = 99 WHERE id = 2")
+        db.execute("DELETE FROM t WHERE id = 3")
+        db.simulate_crash()
+        rows = {r["id"]: r["v"] for r in db.query("SELECT * FROM t")}
+        assert rows == {1: 10, 2: 99}
+
+    def test_indexes_rebuilt(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("CREATE INDEX ix ON t(a)")
+        db.execute("INSERT INTO t VALUES (5)")
+        db.simulate_crash()
+        table = db.catalog.table("t")
+        assert "ix" in table.indexes
+        assert table.lookup_rowids("a", 5) == [1]
+
+    def test_constraints_still_enforced_after_recovery(self, db):
+        from repro.errors import ConstraintViolation
+
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.simulate_crash()
+        with pytest.raises(ConstraintViolation):
+            db.execute("INSERT INTO t VALUES (1)")
+
+    def test_rowids_stable_across_recovery(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("INSERT INTO t VALUES (2)")
+        db.execute("DELETE FROM t WHERE a = 1")
+        db.simulate_crash()
+        table = db.catalog.table("t")
+        assert table.get(2) == {"a": 2}
+        # New inserts never reuse journaled rowids.
+        assert db.insert_row("t", {"a": 3}) == 3
+
+    def test_unflushed_commit_lost_with_sync_none(self, clock):
+        db = Database(sync_policy="none", clock=clock)
+        db.execute("CREATE TABLE t (a INT)")
+        db.wal.flush()
+        db.execute("INSERT INTO t VALUES (1)")  # committed, not flushed
+        db.simulate_crash()
+        assert db.query("SELECT * FROM t") == []
+
+    def test_sync_commit_never_loses_committed(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        for i in range(10):
+            db.execute(f"INSERT INTO t VALUES ({i})")
+        db.simulate_crash()
+        assert db.execute("SELECT count(*) FROM t").scalar() == 10
+
+    def test_dropped_table_stays_dropped(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("DROP TABLE t")
+        db.simulate_crash()
+        assert not db.catalog.has_table("t")
+
+    def test_double_crash(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.simulate_crash()
+        db.execute("INSERT INTO t VALUES (2)")
+        db.simulate_crash()
+        assert sorted(r["a"] for r in db.query("SELECT a FROM t")) == [1, 2]
+
+
+class TestCheckpoint:
+    def test_checkpoint_then_recover(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.checkpoint()
+        db.execute("INSERT INTO t VALUES (2)")
+        db.simulate_crash()
+        assert sorted(r["a"] for r in db.query("SELECT a FROM t")) == [1, 2]
+
+    def test_checkpoint_truncate_shrinks_log(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        for i in range(20):
+            db.execute(f"INSERT INTO t VALUES ({i})")
+        before = len(db.wal)
+        db.checkpoint(truncate=True)
+        assert len(db.wal) < before
+        db.simulate_crash()
+        assert db.execute("SELECT count(*) FROM t").scalar() == 20
+
+    def test_checkpoint_requires_quiescence(self, db):
+        from repro.errors import TransactionError
+
+        conn = db.connect()
+        conn.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            db.checkpoint()
+        conn.execute("COMMIT")
+        db.checkpoint()
+
+    def test_checkpoint_preserves_secondary_indexes(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("CREATE INDEX ix ON t(a) USING HASH")
+        db.execute("INSERT INTO t VALUES (7)")
+        db.checkpoint(truncate=True)
+        db.simulate_crash()
+        assert "ix" in db.catalog.table("t").indexes
+        assert db.catalog.table("t").lookup_rowids("a", 7) == [1]
+
+
+class TestFileBasedRecovery:
+    def test_new_process_recovers_from_file(self, tmp_path, clock):
+        path = str(tmp_path / "wal.log")
+        db = Database(path=path, clock=clock)
+        db.execute("CREATE TABLE t (a INT, b TEXT)")
+        db.execute("INSERT INTO t VALUES (1, 'x')")
+        db.execute("UPDATE t SET b = 'y' WHERE a = 1")
+
+        # "New process": a fresh Database over the same journal file.
+        db2 = Database(path=path, clock=clock)
+        assert db2.query("SELECT * FROM t") == [{"a": 1, "b": "y"}]
+
+    def test_new_process_continues_writing(self, tmp_path, clock):
+        path = str(tmp_path / "wal.log")
+        db = Database(path=path, clock=clock)
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db2 = Database(path=path, clock=clock)
+        db2.execute("INSERT INTO t VALUES (2)")
+        db3 = Database(path=path, clock=clock)
+        assert db3.execute("SELECT count(*) FROM t").scalar() == 2

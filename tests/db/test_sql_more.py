@@ -1,0 +1,116 @@
+"""Additional SQL behaviours: join projections, NULL grouping, limits."""
+
+import pytest
+
+from repro.db import Database
+
+
+@pytest.fixture
+def jdb(db):
+    db.execute("CREATE TABLE a (id INT PRIMARY KEY, v TEXT)")
+    db.execute("CREATE TABLE b (id INT PRIMARY KEY, a_id INT, w TEXT)")
+    db.execute("INSERT INTO a VALUES (1, 'x'), (2, 'y')")
+    db.execute("INSERT INTO b VALUES (10, 1, 'p'), (11, 1, 'q'), (12, 9, 'r')")
+    return db
+
+
+class TestJoinProjection:
+    def test_star_over_join_exposes_bare_columns(self, jdb):
+        rows = jdb.query(
+            "SELECT * FROM a JOIN b ON a.id = b.a_id ORDER BY b.id"
+        )
+        assert len(rows) == 2
+        # Bare names resolve; the left side wins the `id` collision.
+        assert rows[0]["v"] == "x"
+        assert rows[0]["w"] == "p"
+        assert rows[0]["id"] == 1
+
+    def test_qualified_projection(self, jdb):
+        rows = jdb.query(
+            "SELECT a.id AS aid, b.id AS bid FROM a JOIN b ON a.id = b.a_id "
+            "ORDER BY bid"
+        )
+        assert [(r["aid"], r["bid"]) for r in rows] == [(1, 10), (1, 11)]
+
+    def test_self_join_with_aliases(self, jdb):
+        rows = jdb.query(
+            "SELECT x.id AS lo, y.id AS hi FROM a x JOIN a y ON x.id < y.id"
+        )
+        assert [(r["lo"], r["hi"]) for r in rows] == [(1, 2)]
+
+    def test_join_count(self, jdb):
+        assert (
+            jdb.execute(
+                "SELECT count(*) FROM a JOIN b ON a.id = b.a_id"
+            ).scalar()
+            == 2
+        )
+
+
+class TestNullHandling:
+    @pytest.fixture
+    def ndb(self, db):
+        db.execute("CREATE TABLE t (g TEXT, v INT)")
+        db.execute(
+            "INSERT INTO t VALUES ('a', 1), ('a', 2), (NULL, 3), (NULL, 4), ('b', NULL)"
+        )
+        return db
+
+    def test_group_by_null_forms_one_group(self, ndb):
+        rows = ndb.query(
+            "SELECT g, count(*) AS n FROM t GROUP BY g ORDER BY n DESC"
+        )
+        groups = {row["g"]: row["n"] for row in rows}
+        assert groups == {"a": 2, None: 2, "b": 1}
+
+    def test_where_null_comparison_excludes(self, ndb):
+        rows = ndb.query("SELECT v FROM t WHERE g = 'a'")
+        assert len(rows) == 2  # NULL groups are not 'a' and not != 'a'
+        rows = ndb.query("SELECT v FROM t WHERE g != 'a'")
+        assert len(rows) == 1  # only 'b'; NULL is UNKNOWN
+
+    def test_is_null_filter(self, ndb):
+        rows = ndb.query("SELECT v FROM t WHERE g IS NULL ORDER BY v")
+        assert [r["v"] for r in rows] == [3, 4]
+
+    def test_order_by_nulls_first(self, ndb):
+        rows = ndb.query("SELECT g FROM t ORDER BY g")
+        assert rows[0]["g"] is None and rows[1]["g"] is None
+
+    def test_distinct_with_nulls(self, ndb):
+        rows = ndb.query("SELECT DISTINCT g FROM t")
+        values = [row["g"] for row in rows]
+        assert values.count(None) == 1
+        assert len(values) == 3
+
+
+class TestLimitsAndOrdering:
+    def test_limit_zero(self, jdb):
+        assert jdb.query("SELECT * FROM a LIMIT 0") == []
+
+    def test_offset_past_end(self, jdb):
+        assert jdb.query("SELECT * FROM a OFFSET 10") == []
+
+    def test_order_by_alias(self, jdb):
+        rows = jdb.query(
+            "SELECT id * -1 AS neg FROM a ORDER BY neg"
+        )
+        assert [r["neg"] for r in rows] == [-2, -1]
+
+    def test_order_by_two_keys(self, db):
+        db.execute("CREATE TABLE t (a INT, b INT)")
+        db.execute("INSERT INTO t VALUES (1, 2), (1, 1), (0, 9)")
+        rows = db.query("SELECT a, b FROM t ORDER BY a, b DESC")
+        assert [(r["a"], r["b"]) for r in rows] == [(0, 9), (1, 2), (1, 1)]
+
+    def test_update_via_index_path(self, orders_db):
+        # price has an ordered index: the planner should use it and the
+        # update must still be correct.
+        orders_db.execute("UPDATE orders SET qty = 7 WHERE price > 90")
+        rows = orders_db.query("SELECT qty FROM orders WHERE price > 90")
+        assert all(r["qty"] == 7 for r in rows)
+
+    def test_select_star_empty_table_has_no_rows(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        result = db.execute("SELECT * FROM t")
+        assert result.rows == []

@@ -1,0 +1,224 @@
+"""Lexer and parser: token forms, statement shapes, error positions."""
+
+import pytest
+
+from repro.db.sql.ast import (
+    AggregateCall,
+    CreateIndex,
+    CreateTable,
+    CreateTrigger,
+    Delete,
+    DropTable,
+    Insert,
+    Select,
+    Update,
+)
+from repro.db.sql.lexer import tokenize
+from repro.db.sql.parser import parse_expression, parse_statement
+from repro.errors import SqlSyntaxError
+
+
+class TestLexer:
+    def test_kinds(self):
+        tokens = tokenize("SELECT a, 'txt', 1.5 FROM t -- comment")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["KEYWORD", "IDENT", "OP", "STRING", "OP", "NUMBER",
+                         "KEYWORD", "IDENT", "EOF"]
+
+    def test_string_escape(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_scientific_notation(self):
+        assert tokenize("1.5e-3")[0].value == "1.5e-3"
+
+    def test_diamond_normalized(self):
+        assert tokenize("a <> b")[1].value == "!="
+
+    def test_unknown_char_position(self):
+        with pytest.raises(SqlSyntaxError) as exc:
+            tokenize("a @ b")
+        assert exc.value.position == 2
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize("select")[0].kind == "KEYWORD"
+        assert tokenize("SeLeCt")[0].value == "SELECT"
+
+
+class TestCreateTableParse:
+    def test_full_form(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (id INT PRIMARY KEY, name TEXT NOT NULL, "
+            "score REAL DEFAULT 1.5, flag BOOL UNIQUE, CHECK (score >= 0))"
+        )
+        assert isinstance(stmt, CreateTable)
+        assert stmt.table == "t"
+        assert stmt.columns[0].primary_key
+        assert not stmt.columns[1].nullable
+        assert stmt.columns[2].default == 1.5
+        assert stmt.columns[3].unique
+        assert len(stmt.checks) == 1
+
+    def test_if_not_exists(self):
+        stmt = parse_statement("CREATE TABLE IF NOT EXISTS t (a INT)")
+        assert stmt.if_not_exists
+
+    def test_negative_default(self):
+        stmt = parse_statement("CREATE TABLE t (a INT DEFAULT -5)")
+        assert stmt.columns[0].default == -5
+
+    def test_null_default(self):
+        stmt = parse_statement("CREATE TABLE t (a INT DEFAULT NULL)")
+        assert stmt.columns[0].default is None
+        assert stmt.columns[0].has_default
+
+
+class TestOtherDdl:
+    def test_create_index(self):
+        stmt = parse_statement("CREATE UNIQUE INDEX ix ON t(col) USING HASH")
+        assert isinstance(stmt, CreateIndex)
+        assert stmt.unique and stmt.kind == "hash"
+
+    def test_create_trigger(self):
+        stmt = parse_statement(
+            "CREATE TRIGGER trg AFTER INSERT ON t FOR EACH ROW "
+            "WHEN (qty > 10) EXECUTE my_callback"
+        )
+        assert isinstance(stmt, CreateTrigger)
+        assert stmt.timing == "after"
+        assert stmt.event == "insert"
+        assert stmt.callback == "my_callback"
+        assert stmt.when is not None
+
+    def test_statement_trigger(self):
+        stmt = parse_statement(
+            "CREATE TRIGGER trg BEFORE DELETE ON t FOR EACH STATEMENT EXECUTE cb"
+        )
+        assert not stmt.for_each_row
+
+    def test_drop_table_if_exists(self):
+        stmt = parse_statement("DROP TABLE IF EXISTS t")
+        assert isinstance(stmt, DropTable) and stmt.if_exists
+
+
+class TestDmlParse:
+    def test_insert_multi_row(self):
+        stmt = parse_statement(
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')"
+        )
+        assert isinstance(stmt, Insert)
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 2
+
+    def test_insert_positional(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1, 2)")
+        assert stmt.columns is None
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3")
+        assert isinstance(stmt, Update)
+        assert [name for name, _ in stmt.assignments] == ["a", "b"]
+        assert stmt.where is not None
+
+    def test_delete_without_where(self):
+        stmt = parse_statement("DELETE FROM t")
+        assert isinstance(stmt, Delete)
+        assert stmt.where is None
+
+
+class TestSelectParse:
+    def test_full_clause_set(self):
+        stmt = parse_statement(
+            "SELECT symbol, sum(qty) AS total FROM orders "
+            "WHERE price > 10 GROUP BY symbol HAVING sum(qty) > 100 "
+            "ORDER BY total DESC LIMIT 5 OFFSET 2"
+        )
+        assert isinstance(stmt, Select)
+        assert stmt.items[1].alias == "total"
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending
+        assert stmt.limit == 5 and stmt.offset == 2
+
+    def test_star(self):
+        stmt = parse_statement("SELECT * FROM t")
+        assert stmt.items[0].is_star
+
+    def test_join(self):
+        stmt = parse_statement(
+            "SELECT * FROM a JOIN b ON a.id = b.a_id LEFT JOIN c ON b.id = c.b_id"
+        )
+        assert [j.kind for j in stmt.joins] == ["inner", "left"]
+
+    def test_table_alias(self):
+        stmt = parse_statement("SELECT o.id FROM orders o WHERE o.id = 1")
+        assert stmt.alias == "o"
+
+    def test_count_star(self):
+        stmt = parse_statement("SELECT count(*) FROM t")
+        agg = stmt.items[0].expression
+        assert isinstance(agg, AggregateCall)
+        assert agg.argument is None
+
+    def test_count_distinct(self):
+        stmt = parse_statement("SELECT count(DISTINCT a) FROM t")
+        assert stmt.items[0].expression.distinct
+
+    def test_aggregate_not_allowed_in_where(self):
+        # In WHERE context min/max parse as scalar functions; count(*)
+        # has no scalar form and must be rejected.
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT a FROM t WHERE count(*) > 1")
+
+    def test_tableless_select(self):
+        stmt = parse_statement("SELECT 1 + 1 AS two")
+        assert stmt.table is None
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+
+class TestErrors:
+    @pytest.mark.parametrize("sql", [
+        "SELECT FROM t",
+        "INSERT t VALUES (1)",
+        "CREATE TABLE t",
+        "SELECT a FROM t WHERE",
+        "UPDATE t WHERE a = 1",
+        "SELECT a FROM t LIMIT -1",
+        "DELETE t",
+        "SELECT a FROM t trailing garbage garbage",
+    ])
+    def test_rejected(self, sql):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement(sql)
+
+    def test_trailing_semicolon_ok(self):
+        parse_statement("SELECT 1;")
+
+    def test_expression_entry_rejects_trailing(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_expression("a = 1 bogus")
+
+
+class TestExpressionPrecedence:
+    def test_and_binds_tighter_than_or(self):
+        expression = parse_expression("a = 1 OR b = 2 AND c = 3")
+        # Should parse as a=1 OR (b=2 AND c=3).
+        assert expression.evaluate({"a": 0, "b": 2, "c": 3}) is True
+        assert expression.evaluate({"a": 0, "b": 2, "c": 0}) is False
+
+    def test_not_binds_tighter_than_and(self):
+        expression = parse_expression("NOT a = 1 AND b = 2")
+        assert expression.evaluate({"a": 2, "b": 2}) is True
+        assert expression.evaluate({"a": 1, "b": 2}) is False
+
+    def test_unary_minus(self):
+        assert parse_expression("-2 * 3").evaluate({}) == -6
+
+    def test_not_in(self):
+        assert parse_expression("2 NOT IN (1, 3)").evaluate({}) is True

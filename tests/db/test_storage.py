@@ -1,0 +1,179 @@
+"""Heap table storage: mutations, index maintenance, uniqueness."""
+
+import pytest
+
+from repro.db.schema import Column, TableSchema
+from repro.db.storage import HeapTable
+from repro.db.types import INT, TEXT
+from repro.errors import ConstraintViolation, SchemaError
+
+
+def make_table() -> HeapTable:
+    return HeapTable(
+        TableSchema(
+            "t",
+            [
+                Column("id", INT, primary_key=True),
+                Column("name", TEXT),
+            ],
+        )
+    )
+
+
+class TestInsert:
+    def test_rowids_monotonic(self):
+        table = make_table()
+        first = table.insert({"id": 1, "name": "a"})
+        second = table.insert({"id": 2, "name": "b"})
+        assert second == first + 1
+
+    def test_pk_uniqueness_auto_enforced(self):
+        table = make_table()
+        table.insert({"id": 1, "name": "a"})
+        with pytest.raises(ConstraintViolation):
+            table.insert({"id": 1, "name": "b"})
+
+    def test_failed_insert_leaves_no_trace(self):
+        table = make_table()
+        table.insert({"id": 1, "name": "a"})
+        with pytest.raises(ConstraintViolation):
+            table.insert({"id": 1, "name": "dup"})
+        assert len(table) == 1
+        # Index must not contain a phantom entry either.
+        assert len(table.lookup_rowids("id", 1)) == 1
+
+    def test_forced_rowid_for_recovery(self):
+        table = make_table()
+        table.insert({"id": 1, "name": "a"}, rowid=10)
+        assert table.get(10) == {"id": 1, "name": "a"}
+        # The counter skips past forced ids.
+        assert table.insert({"id": 2, "name": "b"}) > 10
+
+    def test_forced_duplicate_rowid_rejected(self):
+        table = make_table()
+        table.insert({"id": 1, "name": "a"}, rowid=5)
+        with pytest.raises(ConstraintViolation):
+            table.insert({"id": 2, "name": "b"}, rowid=5)
+
+
+class TestUpdate:
+    def test_update_returns_old_row(self):
+        table = make_table()
+        rowid = table.insert({"id": 1, "name": "a"})
+        old = table.update(rowid, {"name": "z"})
+        assert old["name"] == "a"
+        assert table.get(rowid)["name"] == "z"
+
+    def test_indexes_follow_update(self):
+        table = make_table()
+        rowid = table.insert({"id": 1, "name": "a"})
+        table.create_index("ix_name", "name", kind="hash")
+        table.update(rowid, {"name": "b"})
+        assert table.lookup_rowids("name", "b") == [rowid]
+        assert table.lookup_rowids("name", "a") == []
+
+    def test_unique_violation_on_update(self):
+        table = make_table()
+        table.insert({"id": 1, "name": "a"})
+        rowid = table.insert({"id": 2, "name": "b"})
+        with pytest.raises(ConstraintViolation):
+            table.update(rowid, {"id": 1})
+
+    def test_self_update_allowed(self):
+        table = make_table()
+        rowid = table.insert({"id": 1, "name": "a"})
+        table.update(rowid, {"id": 1})  # same value, same row: fine
+
+    def test_missing_rowid_raises(self):
+        with pytest.raises(SchemaError):
+            make_table().update(99, {"name": "x"})
+
+
+class TestDelete:
+    def test_delete_returns_row(self):
+        table = make_table()
+        rowid = table.insert({"id": 1, "name": "a"})
+        row = table.delete(rowid)
+        assert row["id"] == 1
+        assert table.get(rowid) is None
+        assert len(table) == 0
+
+    def test_indexes_cleaned(self):
+        table = make_table()
+        rowid = table.insert({"id": 1, "name": "a"})
+        table.delete(rowid)
+        assert table.lookup_rowids("id", 1) == []
+
+    def test_missing_rowid_raises(self):
+        with pytest.raises(SchemaError):
+            make_table().delete(42)
+
+
+class TestIndexManagement:
+    def test_backfill_on_create(self):
+        table = make_table()
+        table.insert({"id": 1, "name": "x"})
+        table.insert({"id": 2, "name": "x"})
+        table.create_index("ix_name", "name", kind="hash")
+        assert len(table.lookup_rowids("name", "x")) == 2
+
+    def test_duplicate_index_name_rejected(self):
+        table = make_table()
+        table.create_index("ix", "name")
+        with pytest.raises(SchemaError):
+            table.create_index("ix", "name")
+
+    def test_drop_index(self):
+        table = make_table()
+        table.create_index("ix", "name")
+        table.drop_index("ix")
+        with pytest.raises(SchemaError):
+            table.drop_index("ix")
+
+    def test_index_on_prefers_capability(self):
+        table = make_table()
+        table.create_index("ix_hash", "name", kind="hash")
+        assert table.index_on("name", require_range=True) is None
+        table.create_index("ix_ord", "name", kind="ordered")
+        assert table.index_on("name", require_range=True).name == "ix_ord"
+
+
+class TestScans:
+    def test_scan_returns_copies(self):
+        table = make_table()
+        rowid = table.insert({"id": 1, "name": "a"})
+        for _rowid, row in table.scan():
+            row["name"] = "mutated"
+        assert table.get(rowid)["name"] == "a"
+
+    def test_lookup_without_index_scans(self):
+        table = make_table()
+        rowid = table.insert({"id": 1, "name": "a"})
+        assert table.lookup_rowids("name", "a") == [rowid]
+
+    def test_lookup_null_returns_nothing(self):
+        table = make_table()
+        table.insert({"id": 1, "name": None})
+        assert table.lookup_rowids("name", None) == []
+
+
+class TestSnapshotRestore:
+    def test_roundtrip(self):
+        table = make_table()
+        table.insert({"id": 1, "name": "a"})
+        table.insert({"id": 2, "name": "b"})
+        snapshot = table.snapshot()
+        table.delete(1)
+        table.restore(snapshot)
+        assert len(table) == 2
+        assert table.get(1)["name"] == "a"
+        # Indexes rebuilt and consistent.
+        assert table.lookup_rowids("id", 2) == [2]
+
+    def test_restore_resets_rowid_counter(self):
+        table = make_table()
+        table.insert({"id": 1, "name": "a"})
+        snapshot = table.snapshot()
+        table.restore(snapshot)
+        new_rowid = table.insert({"id": 9, "name": "z"})
+        assert new_rowid == 2

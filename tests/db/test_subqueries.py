@@ -1,0 +1,145 @@
+"""Subqueries: IN (SELECT ...), EXISTS, INSERT INTO ... SELECT."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+
+
+@pytest.fixture
+def sdb(orders_db):
+    orders_db.execute("CREATE TABLE watchlist (symbol TEXT PRIMARY KEY)")
+    orders_db.execute("INSERT INTO watchlist VALUES ('IBM'), ('HPQ')")
+    return orders_db
+
+
+class TestInSelect:
+    def test_basic(self, sdb):
+        rows = sdb.query(
+            "SELECT id FROM orders WHERE symbol IN "
+            "(SELECT symbol FROM watchlist) ORDER BY id"
+        )
+        assert [r["id"] for r in rows] == [1, 3, 6]
+
+    def test_not_in(self, sdb):
+        rows = sdb.query(
+            "SELECT DISTINCT symbol FROM orders WHERE symbol NOT IN "
+            "(SELECT symbol FROM watchlist) ORDER BY symbol"
+        )
+        assert [r["symbol"] for r in rows] == ["MSFT", "ORCL"]
+
+    def test_empty_subquery(self, sdb):
+        sdb.execute("DELETE FROM watchlist")
+        rows = sdb.query(
+            "SELECT id FROM orders WHERE symbol IN (SELECT symbol FROM watchlist)"
+        )
+        assert rows == []
+
+    def test_subquery_with_filter(self, sdb):
+        rows = sdb.query(
+            "SELECT id FROM orders WHERE symbol IN "
+            "(SELECT symbol FROM watchlist WHERE symbol LIKE 'I%')"
+        )
+        assert sorted(r["id"] for r in rows) == [1, 3]
+
+    def test_multi_column_subquery_rejected(self, sdb):
+        with pytest.raises(SqlSyntaxError):
+            sdb.query(
+                "SELECT id FROM orders WHERE symbol IN "
+                "(SELECT symbol, id FROM orders)"
+            )
+
+    def test_in_select_in_update(self, sdb):
+        sdb.execute(
+            "UPDATE orders SET qty = 1 WHERE symbol IN "
+            "(SELECT symbol FROM watchlist)"
+        )
+        rows = sdb.query("SELECT qty FROM orders WHERE symbol = 'IBM'")
+        assert all(r["qty"] == 1 for r in rows)
+
+    def test_in_select_in_delete(self, sdb):
+        sdb.execute(
+            "DELETE FROM orders WHERE symbol IN (SELECT symbol FROM watchlist)"
+        )
+        assert sdb.execute("SELECT count(*) FROM orders").scalar() == 3
+
+
+class TestExists:
+    def test_exists_true(self, sdb):
+        rows = sdb.query(
+            "SELECT count(*) AS n FROM orders WHERE EXISTS "
+            "(SELECT * FROM watchlist WHERE symbol = 'IBM')"
+        )
+        assert rows[0]["n"] == 6  # uncorrelated TRUE: all rows pass
+
+    def test_exists_false(self, sdb):
+        rows = sdb.query(
+            "SELECT id FROM orders WHERE EXISTS "
+            "(SELECT * FROM watchlist WHERE symbol = 'ZZZ')"
+        )
+        assert rows == []
+
+    def test_not_exists(self, sdb):
+        rows = sdb.query(
+            "SELECT count(*) AS n FROM orders WHERE NOT EXISTS "
+            "(SELECT * FROM watchlist WHERE symbol = 'ZZZ')"
+        )
+        assert rows[0]["n"] == 6
+
+
+class TestInsertSelect:
+    def test_copy_table(self, sdb):
+        sdb.execute(
+            "CREATE TABLE order_archive (id INT, symbol TEXT, qty INT)"
+        )
+        result = sdb.execute(
+            "INSERT INTO order_archive SELECT id, symbol, qty FROM orders "
+            "WHERE qty >= 75"
+        )
+        assert result.rowcount == 3
+        rows = sdb.query("SELECT id FROM order_archive ORDER BY id")
+        assert [r["id"] for r in rows] == [1, 4, 5]
+
+    def test_with_explicit_columns(self, sdb):
+        sdb.execute("CREATE TABLE symbols (name TEXT, total INT DEFAULT 0)")
+        sdb.execute(
+            "INSERT INTO symbols (name) SELECT DISTINCT symbol FROM orders"
+        )
+        rows = sdb.query("SELECT name, total FROM symbols ORDER BY name")
+        assert len(rows) == 4
+        assert all(r["total"] == 0 for r in rows)
+
+    def test_aggregated_select_source(self, sdb):
+        sdb.execute("CREATE TABLE totals (symbol TEXT, qty INT)")
+        sdb.execute(
+            "INSERT INTO totals SELECT symbol, sum(qty) AS q FROM orders "
+            "GROUP BY symbol"
+        )
+        rows = {r["symbol"]: r["qty"] for r in sdb.query("SELECT * FROM totals")}
+        assert rows["IBM"] == 130
+
+    def test_arity_mismatch_rejected(self, sdb):
+        sdb.execute("CREATE TABLE narrow (a INT)")
+        with pytest.raises(SqlSyntaxError):
+            sdb.execute("INSERT INTO narrow SELECT id, qty FROM orders")
+
+    def test_constraints_apply(self, sdb):
+        from repro.errors import ConstraintViolation
+
+        sdb.execute("CREATE TABLE uniq (symbol TEXT PRIMARY KEY)")
+        with pytest.raises(ConstraintViolation):
+            # orders has duplicate symbols: the PK must reject the copy.
+            sdb.execute("INSERT INTO uniq SELECT symbol FROM orders")
+        # Statement atomicity: nothing survived the failed insert.
+        assert sdb.execute("SELECT count(*) FROM uniq").scalar() == 0
+
+    def test_insert_select_triggers_fire(self, sdb):
+        from repro.db.triggers import TriggerEvent, TriggerTiming
+
+        sdb.execute("CREATE TABLE copy_t (id INT)")
+        fired = []
+        sdb.create_trigger(
+            "trg", "copy_t", timing=TriggerTiming.AFTER,
+            event=TriggerEvent.INSERT, action=lambda ctx: fired.append(1),
+        )
+        sdb.execute("INSERT INTO copy_t SELECT id FROM orders")
+        assert len(fired) == 6

@@ -1,0 +1,186 @@
+"""Locks, undo, savepoints, deadlock detection."""
+
+import threading
+
+import pytest
+
+from repro.db.transactions import (
+    LockManager,
+    LockMode,
+    Transaction,
+    TransactionManager,
+    TransactionState,
+)
+from repro.errors import DeadlockError, LockTimeoutError, TransactionError
+
+
+class TestLockManager:
+    def test_shared_locks_compatible(self):
+        locks = LockManager()
+        locks.acquire(1, "r", LockMode.SHARED)
+        locks.acquire(2, "r", LockMode.SHARED)  # no block
+        assert set(locks.held_by(1)) == {"r"}
+
+    def test_exclusive_blocks_then_grants(self):
+        locks = LockManager(timeout=5.0)
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        acquired = threading.Event()
+
+        def contender():
+            locks.acquire(2, "r", LockMode.EXCLUSIVE)
+            acquired.set()
+
+        thread = threading.Thread(target=contender, daemon=True)
+        thread.start()
+        assert not acquired.wait(0.05)
+        locks.release_all(1)
+        assert acquired.wait(2.0)
+        thread.join()
+
+    def test_timeout(self):
+        locks = LockManager(timeout=0.05)
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        with pytest.raises(LockTimeoutError):
+            locks.acquire(2, "r", LockMode.EXCLUSIVE)
+
+    def test_reentrant_upgrade(self):
+        locks = LockManager()
+        locks.acquire(1, "r", LockMode.SHARED)
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)  # own S upgrades to X
+
+    def test_deadlock_detected(self):
+        locks = LockManager(timeout=5.0)
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+        failed = []
+
+        def t1_wants_b():
+            try:
+                locks.acquire(1, "b", LockMode.EXCLUSIVE)
+            except (DeadlockError, LockTimeoutError) as exc:
+                failed.append(type(exc).__name__)
+
+        thread = threading.Thread(target=t1_wants_b, daemon=True)
+        thread.start()
+        import time
+
+        time.sleep(0.05)  # let t1 start waiting
+        # t2 requesting "a" closes the cycle: it must get DeadlockError.
+        with pytest.raises(DeadlockError):
+            locks.acquire(2, "a", LockMode.EXCLUSIVE)
+        locks.release_all(2)
+        thread.join(timeout=2.0)
+
+    def test_release_wakes_waiters(self):
+        locks = LockManager(timeout=2.0)
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        results = []
+
+        def waiter():
+            locks.acquire(2, "r", LockMode.SHARED)
+            results.append("got it")
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        locks.release_all(1)
+        thread.join(timeout=2.0)
+        assert results == ["got it"]
+
+
+class TestTransactionLifecycle:
+    def test_commit_transitions(self):
+        manager = TransactionManager()
+        tx = manager.begin()
+        assert tx.state is TransactionState.ACTIVE
+        manager.commit(tx)
+        assert tx.state is TransactionState.COMMITTED
+
+    def test_double_commit_rejected(self):
+        manager = TransactionManager()
+        tx = manager.begin()
+        manager.commit(tx)
+        with pytest.raises(TransactionError):
+            manager.commit(tx)
+
+    def test_rollback_is_idempotent(self):
+        manager = TransactionManager()
+        tx = manager.begin()
+        manager.rollback(tx)
+        manager.rollback(tx)  # second call no-ops
+
+    def test_undo_runs_in_reverse_order(self):
+        manager = TransactionManager()
+        tx = manager.begin()
+        order = []
+        tx.record_undo(lambda: order.append("first"))
+        tx.record_undo(lambda: order.append("second"))
+        manager.rollback(tx)
+        assert order == ["second", "first"]
+
+    def test_commit_discards_undo(self):
+        manager = TransactionManager()
+        tx = manager.begin()
+        ran = []
+        tx.record_undo(lambda: ran.append(1))
+        manager.commit(tx)
+        assert ran == []
+
+    def test_locks_released_on_finish(self):
+        manager = TransactionManager()
+        tx = manager.begin()
+        manager.locks.acquire(tx.txid, "r", LockMode.EXCLUSIVE)
+        manager.commit(tx)
+        assert manager.locks.held_by(tx.txid) == []
+
+    def test_hooks_invoked(self):
+        manager = TransactionManager()
+        log = []
+        manager.on_commit = lambda tx: log.append(("commit", tx.txid))
+        manager.on_abort = lambda tx: log.append(("abort", tx.txid))
+        tx1 = manager.begin()
+        manager.commit(tx1)
+        tx2 = manager.begin()
+        manager.rollback(tx2)
+        assert log == [("commit", tx1.txid), ("abort", tx2.txid)]
+
+    def test_txid_fast_forward(self):
+        manager = TransactionManager()
+        manager.set_next_txid(100)
+        assert manager.begin().txid == 100
+
+
+class TestSavepoints:
+    def test_partial_rollback(self):
+        manager = TransactionManager()
+        tx = manager.begin()
+        state = []
+        state.append("a")
+        tx.record_undo(lambda: state.remove("a"))
+        tx.savepoint("sp")
+        state.append("b")
+        tx.record_undo(lambda: state.remove("b"))
+        tx.rollback_to_savepoint("sp")
+        assert state == ["a"]
+
+    def test_savepoint_survives_its_rollback(self):
+        manager = TransactionManager()
+        tx = manager.begin()
+        tx.savepoint("sp")
+        tx.rollback_to_savepoint("sp")
+        tx.rollback_to_savepoint("sp")  # still valid
+
+    def test_later_savepoints_invalidated(self):
+        manager = TransactionManager()
+        tx = manager.begin()
+        tx.savepoint("outer")
+        tx.record_undo(lambda: None)
+        tx.savepoint("inner")
+        tx.rollback_to_savepoint("outer")
+        with pytest.raises(TransactionError):
+            tx.rollback_to_savepoint("inner")
+
+    def test_unknown_savepoint(self):
+        manager = TransactionManager()
+        tx = manager.begin()
+        with pytest.raises(TransactionError):
+            tx.rollback_to_savepoint("nope")

@@ -1,0 +1,214 @@
+"""Trigger firing: timings, events, guards, rewriting, cascades."""
+
+import pytest
+
+from repro.db import Database
+from repro.db.triggers import TriggerEvent, TriggerTiming
+from repro.errors import TriggerError
+
+
+@pytest.fixture
+def tdb(db):
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    return db
+
+
+def add_trigger(db, log, *, timing=TriggerTiming.AFTER, event=TriggerEvent.INSERT,
+                name="trg", when=None, for_each_row=True):
+    def action(ctx):
+        log.append((ctx.timing.value, ctx.event.value, ctx.old_row, ctx.new_row,
+                    ctx.affected_rows, ctx.statement_level))
+
+    db.create_trigger(name, "t", timing=timing, event=event, action=action,
+                      when=when, for_each_row=for_each_row)
+
+
+class TestRowTriggers:
+    def test_after_insert_sees_new_row(self, tdb):
+        log = []
+        add_trigger(tdb, log)
+        tdb.execute("INSERT INTO t VALUES (1, 10)")
+        assert len(log) == 1
+        _timing, _event, old, new, _n, _stmt = log[0]
+        assert old is None and new == {"id": 1, "v": 10}
+
+    def test_after_update_sees_both_images(self, tdb):
+        log = []
+        add_trigger(tdb, log, event=TriggerEvent.UPDATE)
+        tdb.execute("INSERT INTO t VALUES (1, 10)")
+        tdb.execute("UPDATE t SET v = 20 WHERE id = 1")
+        _t, _e, old, new, _n, _s = log[0]
+        assert old["v"] == 10 and new["v"] == 20
+
+    def test_after_delete_sees_old_row(self, tdb):
+        log = []
+        add_trigger(tdb, log, event=TriggerEvent.DELETE)
+        tdb.execute("INSERT INTO t VALUES (1, 10)")
+        tdb.execute("DELETE FROM t WHERE id = 1")
+        _t, _e, old, new, _n, _s = log[0]
+        assert old["v"] == 10 and new is None
+
+    def test_fires_once_per_row(self, tdb):
+        log = []
+        add_trigger(tdb, log)
+        tdb.execute("INSERT INTO t VALUES (1, 1), (2, 2), (3, 3)")
+        assert len(log) == 3
+
+    def test_when_guard(self, tdb):
+        from repro.db.sql.parser import parse_expression
+
+        log = []
+        add_trigger(tdb, log, when=parse_expression("v > 100"))
+        tdb.execute("INSERT INTO t VALUES (1, 50)")
+        tdb.execute("INSERT INTO t VALUES (2, 500)")
+        assert len(log) == 1
+        assert log[0][3]["id"] == 2
+
+    def test_before_insert_rewrites_row(self, tdb):
+        def clamp(ctx):
+            row = dict(ctx.new_row)
+            row["v"] = min(row["v"], 99)
+            return row
+
+        tdb.create_trigger(
+            "clamp", "t", timing=TriggerTiming.BEFORE,
+            event=TriggerEvent.INSERT, action=clamp,
+        )
+        tdb.execute("INSERT INTO t VALUES (1, 12345)")
+        assert tdb.query("SELECT v FROM t")[0]["v"] == 99
+
+    def test_before_trigger_can_veto(self, tdb):
+        def veto(ctx):
+            raise TriggerError("not allowed")
+
+        tdb.create_trigger(
+            "veto", "t", timing=TriggerTiming.BEFORE,
+            event=TriggerEvent.DELETE, action=veto,
+        )
+        tdb.execute("INSERT INTO t VALUES (1, 1)")
+        with pytest.raises(TriggerError):
+            tdb.execute("DELETE FROM t WHERE id = 1")
+        # Veto aborted the statement: row still there.
+        assert tdb.execute("SELECT count(*) FROM t").scalar() == 1
+
+
+class TestStatementTriggers:
+    def test_fires_once_per_statement(self, tdb):
+        log = []
+        add_trigger(tdb, log, for_each_row=False)
+        tdb.execute("INSERT INTO t VALUES (1, 1), (2, 2), (3, 3)")
+        statement_entries = [entry for entry in log if entry[5]]
+        assert len(statement_entries) == 1
+        assert statement_entries[0][4] == 3  # affected_rows
+
+    def test_after_delete_statement_count(self, tdb):
+        log = []
+        tdb.execute("INSERT INTO t VALUES (1, 1), (2, 2)")
+        add_trigger(tdb, log, event=TriggerEvent.DELETE, for_each_row=False)
+        tdb.execute("DELETE FROM t")
+        assert log[-1][4] == 2
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self, tdb):
+        add_trigger(tdb, [])
+        with pytest.raises(TriggerError):
+            add_trigger(tdb, [])
+
+    def test_drop(self, tdb):
+        log = []
+        add_trigger(tdb, log)
+        tdb.drop_trigger("trg")
+        tdb.execute("INSERT INTO t VALUES (1, 1)")
+        assert log == []
+
+    def test_drop_missing(self, tdb):
+        with pytest.raises(TriggerError):
+            tdb.drop_trigger("ghost")
+
+    def test_disabled_trigger_does_not_fire(self, tdb):
+        log = []
+        add_trigger(tdb, log)
+        tdb.catalog.triggers.get("trg").enabled = False
+        tdb.execute("INSERT INTO t VALUES (1, 1)")
+        assert log == []
+
+    def test_trigger_on_missing_table(self, db):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            db.create_trigger(
+                "x", "ghost", timing=TriggerTiming.AFTER,
+                event=TriggerEvent.INSERT, action=lambda ctx: None,
+            )
+
+    def test_firing_order_is_creation_order(self, tdb):
+        order = []
+        tdb.create_trigger("b_second", "t", timing=TriggerTiming.AFTER,
+                           event=TriggerEvent.INSERT,
+                           action=lambda ctx: order.append("first"))
+        tdb.create_trigger("a_first", "t", timing=TriggerTiming.AFTER,
+                           event=TriggerEvent.INSERT,
+                           action=lambda ctx: order.append("second"))
+        tdb.execute("INSERT INTO t VALUES (1, 1)")
+        assert order == ["first", "second"]
+
+
+class TestCascades:
+    def test_cascading_trigger_dml(self, tdb):
+        tdb.execute("CREATE TABLE audit_t (id INT, v INT)")
+
+        def copy_to_audit(ctx):
+            tdb.insert_row(
+                "audit_t",
+                {"id": ctx.new_row["id"], "v": ctx.new_row["v"]},
+                conn=ctx.connection,
+            )
+
+        tdb.create_trigger("cp", "t", timing=TriggerTiming.AFTER,
+                           event=TriggerEvent.INSERT, action=copy_to_audit)
+        tdb.execute("INSERT INTO t VALUES (1, 10)")
+        assert tdb.execute("SELECT count(*) FROM audit_t").scalar() == 1
+
+    def test_infinite_cascade_stopped(self, tdb):
+        def recurse(ctx):
+            tdb.insert_row(
+                "t", {"id": ctx.new_row["id"] + 1, "v": 0}, conn=ctx.connection
+            )
+
+        tdb.create_trigger("rec", "t", timing=TriggerTiming.AFTER,
+                           event=TriggerEvent.INSERT, action=recurse)
+        with pytest.raises(TriggerError):
+            tdb.execute("INSERT INTO t VALUES (1, 1)")
+
+
+class TestSqlTriggers:
+    def test_create_via_sql_and_fire(self, tdb):
+        log = []
+        tdb.register_trigger_function("notify_fn", lambda ctx: log.append(ctx.new_row))
+        tdb.execute(
+            "CREATE TRIGGER sql_trg AFTER INSERT ON t FOR EACH ROW "
+            "WHEN (v > 5) EXECUTE notify_fn"
+        )
+        tdb.execute("INSERT INTO t VALUES (1, 3)")
+        tdb.execute("INSERT INTO t VALUES (2, 9)")
+        assert len(log) == 1
+
+    def test_unregistered_callback_rejected(self, tdb):
+        with pytest.raises(TriggerError):
+            tdb.execute("CREATE TRIGGER x AFTER INSERT ON t EXECUTE ghost_fn")
+
+    def test_sql_trigger_survives_crash(self, tdb):
+        log = []
+        tdb.register_trigger_function("notify_fn", lambda ctx: log.append(1))
+        tdb.execute("CREATE TRIGGER sql_trg AFTER INSERT ON t EXECUTE notify_fn")
+        tdb.simulate_crash()
+        tdb.execute("INSERT INTO t VALUES (1, 1)")
+        assert log == [1]
+
+    def test_unbindable_trigger_reported_after_crash(self, tdb):
+        tdb.register_trigger_function("notify_fn", lambda ctx: None)
+        tdb.execute("CREATE TRIGGER sql_trg AFTER INSERT ON t EXECUTE notify_fn")
+        tdb._trigger_functions.clear()
+        tdb.simulate_crash()
+        assert tdb.recovery_skipped_triggers == ["sql_trg"]

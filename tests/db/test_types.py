@@ -1,0 +1,145 @@
+"""Column type coercion and value comparison."""
+
+import pytest
+
+from repro.db.types import (
+    BOOL,
+    INT,
+    JSON,
+    REAL,
+    TEXT,
+    TIMESTAMP,
+    compare_values,
+    type_by_name,
+)
+from repro.errors import TypeMismatchError
+
+
+class TestIntCoercion:
+    def test_int_passes_through(self):
+        assert INT.coerce(42) == 42
+
+    def test_integral_float_folds(self):
+        assert INT.coerce(3.0) == 3
+
+    def test_fractional_float_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            INT.coerce(3.5)
+
+    def test_numeric_string_parses(self):
+        assert INT.coerce("17") == 17
+
+    def test_garbage_string_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            INT.coerce("abc")
+
+    def test_bool_folds_to_int(self):
+        assert INT.coerce(True) == 1
+
+    def test_null_passes(self):
+        assert INT.coerce(None) is None
+
+    def test_list_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            INT.coerce([1])
+
+
+class TestRealCoercion:
+    def test_int_widens(self):
+        assert REAL.coerce(2) == 2.0
+        assert isinstance(REAL.coerce(2), float)
+
+    def test_string_parses(self):
+        assert REAL.coerce("2.5") == 2.5
+
+    def test_nan_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            REAL.coerce(float("nan"))
+
+    def test_nan_string_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            REAL.coerce("nan")
+
+
+class TestTextCoercion:
+    def test_string_passes(self):
+        assert TEXT.coerce("hello") == "hello"
+
+    def test_number_stringifies(self):
+        assert TEXT.coerce(5) == "5"
+
+    def test_dict_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            TEXT.coerce({"a": 1})
+
+
+class TestBoolCoercion:
+    @pytest.mark.parametrize("value,expected", [
+        (True, True), (False, False), (1, True), (0, False),
+        ("true", True), ("f", False), ("1", True), ("FALSE", False),
+    ])
+    def test_accepted_forms(self, value, expected):
+        assert BOOL.coerce(value) is expected
+
+    def test_other_int_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            BOOL.coerce(2)
+
+    def test_garbage_string_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            BOOL.coerce("maybe")
+
+
+class TestTimestampCoercion:
+    def test_number_accepted(self):
+        assert TIMESTAMP.coerce(1234) == 1234.0
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            TIMESTAMP.coerce(True)
+
+
+class TestJsonCoercion:
+    def test_structures_accepted(self):
+        assert JSON.coerce({"a": [1, 2]}) == {"a": [1, 2]}
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            JSON.coerce(object())
+
+
+class TestTypeByName:
+    @pytest.mark.parametrize("name,expected", [
+        ("int", INT), ("INTEGER", INT), ("varchar", TEXT),
+        ("double", REAL), ("Boolean", BOOL), ("timestamp", TIMESTAMP),
+    ])
+    def test_aliases(self, name, expected):
+        assert type_by_name(name) is expected
+
+    def test_unknown_raises(self):
+        with pytest.raises(TypeMismatchError):
+            type_by_name("blob")
+
+
+class TestCompareValues:
+    def test_null_sorts_first(self):
+        assert compare_values(None, -10) == -1
+        assert compare_values(10, None) == 1
+        assert compare_values(None, None) == 0
+
+    def test_numeric_cross_type(self):
+        assert compare_values(1, 1.0) == 0
+        assert compare_values(2, 1.5) == 1
+
+    def test_strings(self):
+        assert compare_values("a", "b") == -1
+
+    def test_bool_compares_as_int(self):
+        assert compare_values(True, 1) == 0
+        assert compare_values(False, 1) == -1
+
+    def test_cross_type_is_total(self):
+        # Strings vs numbers: stable, deterministic order by type name.
+        first = compare_values("a", 1)
+        assert first in (-1, 1)
+        assert compare_values(1, "a") == -first

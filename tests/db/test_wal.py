@@ -1,0 +1,182 @@
+"""Write-ahead log: durability horizon, journal reading, persistence."""
+
+import os
+
+import pytest
+
+from repro.db.wal import (
+    OP_ABORT,
+    OP_BEGIN,
+    OP_COMMIT,
+    OP_INSERT,
+    OP_UPDATE,
+    JournalReader,
+    LogRecord,
+    WriteAheadLog,
+)
+
+
+def dml(wal, txid, n=1):
+    records = []
+    for i in range(n):
+        records.append(
+            wal.append(txid, OP_INSERT, table="t", rowid=i + 1, after={"a": i})
+        )
+    return records
+
+
+class TestAppendFlush:
+    def test_lsns_monotonic(self):
+        wal = WriteAheadLog()
+        first = wal.append(1, OP_BEGIN)
+        second = wal.append(1, OP_COMMIT)
+        assert second.lsn == first.lsn + 1
+
+    def test_durable_horizon(self):
+        wal = WriteAheadLog(sync_policy="none")
+        wal.append(1, OP_BEGIN)
+        assert wal.durable_lsn == 0
+        wal.flush()
+        assert wal.durable_lsn == 1
+
+    def test_sync_always_flushes_each_record(self):
+        wal = WriteAheadLog(sync_policy="always")
+        wal.append(1, OP_BEGIN)
+        assert wal.durable_lsn == 1
+
+    def test_flush_idempotent(self):
+        wal = WriteAheadLog()
+        wal.append(1, OP_BEGIN)
+        wal.flush()
+        count = wal.flush_count
+        wal.flush()  # nothing new: no extra fsync
+        assert wal.flush_count == count
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            WriteAheadLog(sync_policy="sometimes")
+
+
+class TestCrash:
+    def test_crash_drops_unflushed(self):
+        wal = WriteAheadLog(sync_policy="none")
+        wal.append(1, OP_BEGIN)
+        wal.flush()
+        wal.append(1, OP_COMMIT)  # not flushed
+        survivors = wal.crash()
+        assert [r.op for r in survivors] == [OP_BEGIN]
+        assert wal.last_lsn == 1
+
+    def test_crash_preserves_flushed(self):
+        wal = WriteAheadLog()
+        wal.append(1, OP_BEGIN)
+        wal.flush()
+        assert len(wal.crash()) == 1
+
+    def test_new_appends_continue_after_crash(self):
+        wal = WriteAheadLog(sync_policy="none")
+        wal.append(1, OP_BEGIN)
+        wal.flush()
+        wal.append(1, OP_COMMIT)
+        wal.crash()
+        record = wal.append(2, OP_BEGIN)
+        assert record.lsn == 2
+
+
+class TestRecordsFrom:
+    def test_reads_after_lsn(self):
+        wal = WriteAheadLog()
+        wal.append(1, OP_BEGIN)
+        marker = wal.last_lsn
+        wal.append(1, OP_COMMIT)
+        tail = list(wal.records_from(marker))
+        assert [r.op for r in tail] == [OP_COMMIT]
+
+    def test_truncate_before(self):
+        wal = WriteAheadLog()
+        dml(wal, 1, 5)
+        wal.flush()
+        dropped = wal.truncate_before(4)
+        assert dropped == 3
+        assert [r.lsn for r in wal.records()] == [4, 5]
+
+
+class TestJournalReader:
+    def test_only_committed_surfaces(self):
+        wal = WriteAheadLog()
+        reader = JournalReader(wal)
+        wal.append(1, OP_BEGIN)
+        dml(wal, 1, 2)
+        assert reader.poll() == []  # not yet committed
+        wal.append(1, OP_COMMIT)
+        records = reader.poll()
+        assert len(records) == 2
+        assert all(r.op == OP_INSERT for r in records)
+
+    def test_aborted_never_surfaces(self):
+        wal = WriteAheadLog()
+        reader = JournalReader(wal)
+        wal.append(1, OP_BEGIN)
+        dml(wal, 1, 3)
+        wal.append(1, OP_ABORT)
+        assert reader.poll() == []
+
+    def test_interleaved_transactions_in_commit_order(self):
+        wal = WriteAheadLog()
+        reader = JournalReader(wal)
+        wal.append(1, OP_BEGIN)
+        wal.append(2, OP_BEGIN)
+        wal.append(1, OP_INSERT, table="t", rowid=1, after={"tx": 1})
+        wal.append(2, OP_INSERT, table="t", rowid=2, after={"tx": 2})
+        wal.append(2, OP_COMMIT)  # tx2 commits first
+        wal.append(1, OP_COMMIT)
+        records = reader.poll()
+        assert [r.txid for r in records] == [2, 1]
+
+    def test_position_advances(self):
+        wal = WriteAheadLog()
+        reader = JournalReader(wal)
+        wal.append(1, OP_BEGIN)
+        wal.append(1, OP_COMMIT)
+        reader.poll()
+        assert reader.position == wal.last_lsn
+        assert reader.poll() == []  # nothing new
+
+    def test_update_records_carry_both_images(self):
+        wal = WriteAheadLog()
+        reader = JournalReader(wal)
+        wal.append(1, OP_BEGIN)
+        wal.append(1, OP_UPDATE, table="t", rowid=1, before={"a": 1}, after={"a": 2})
+        wal.append(1, OP_COMMIT)
+        record = reader.poll()[0]
+        assert record.before == {"a": 1}
+        assert record.after == {"a": 2}
+
+
+class TestFilePersistence:
+    def test_roundtrip_through_file(self, tmp_path):
+        path = str(tmp_path / "journal.log")
+        wal = WriteAheadLog(path=path)
+        wal.append(1, OP_BEGIN)
+        wal.append(1, OP_INSERT, table="t", rowid=1, after={"a": "x"})
+        wal.append(1, OP_COMMIT)
+        wal.flush()
+
+        reloaded = WriteAheadLog(path=path)
+        assert len(reloaded) == 3
+        assert reloaded.records()[1].after == {"a": "x"}
+        assert reloaded.last_lsn == 3
+
+    def test_unflushed_records_not_in_file(self, tmp_path):
+        path = str(tmp_path / "journal.log")
+        wal = WriteAheadLog(path=path, sync_policy="none")
+        wal.append(1, OP_BEGIN)
+        assert not os.path.exists(path) or os.path.getsize(path) == 0
+
+    def test_json_roundtrip(self):
+        record = LogRecord(
+            lsn=7, txid=3, op=OP_INSERT, table="t", rowid=9,
+            after={"s": "hi", "n": 1.5, "b": True, "z": None},
+        )
+        restored = LogRecord.from_json(record.to_json())
+        assert restored == record

@@ -1,0 +1,123 @@
+"""The tutorial's recurring 'operational characteristics' bullets,
+asserted as behaviours across subsystems (§2.2.b.ii / c.iv / d.iii)."""
+
+import pytest
+
+from repro.db import Database
+from repro.events import Event
+from repro.queues import Message, Permission, QueueBroker, SecurityManager
+from repro.rules import Rule, RuleEngine
+
+
+class TestSecurityAuditingTracking:
+    def test_provenance_chain_end_to_end(self, db, clock):
+        """Tracking: a derived alert can be traced back through event
+        causes to the original change event."""
+        from repro.capture import TriggerCapture
+        from repro.core.deviation import DeviationDetector
+        from repro.core.model import RangeModel
+        from repro.cq import Stream
+
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v REAL)")
+        capture = TriggerCapture(db, ["t"])
+        stream = Stream("s")
+        capture.subscribe(stream.push)
+        detector = DeviationDetector(
+            stream, name="v", field="v",
+            model_factory=lambda: RangeModel(0, 10), threshold=0.1,
+        )
+        deviations = []
+        detector.subscribe(deviations.append)
+
+        captured = []
+        capture.subscribe(captured.append)
+        db.execute("INSERT INTO t VALUES (1, 99.0)")
+
+        deviation = deviations[0]
+        origin = captured[0]
+        assert deviation.causes == (origin.event_id,)
+        assert origin["txid"] > 0  # traceable to the transaction
+
+    def test_audit_survives_crash_with_queues(self, db):
+        security = SecurityManager()
+        broker = QueueBroker(db, security=security, audit=True)
+        broker.create_queue("q")
+        broker.publish("q", "x", principal="alice")
+        message = broker.consume("q", principal="bob")
+        broker.ack("q", message.message_id, principal="bob")
+
+        db.simulate_crash()
+
+        rows = db.query(
+            "SELECT principal, operation FROM _queue_audit ORDER BY ts"
+        )
+        assert [(r["principal"], r["operation"]) for r in rows] == [
+            ("alice", "enqueue"), ("bob", "dequeue"), ("bob", "ack"),
+        ]
+
+
+class TestPerformanceScalability:
+    def test_internal_rule_evaluation_shares_parsing(self, orders_db):
+        """§2.2.c.iii: evaluating internal data is 'significantly
+        optimized' — the condition parses once, and the predicate index
+        prunes per row."""
+        engine = RuleEngine()
+        for i in range(200):
+            engine.add(f"r{i}", f"symbol = 'S{i}'")
+        engine.add("real", "symbol = 'IBM'")
+        engine.evaluate_table(orders_db, "orders")
+        # 6 rows, 201 rules: naive would be 1206 evaluations. The index
+        # confines work to type/anchor-matching rules.
+        assert engine.stats["conditions_evaluated"] <= 12
+
+    def test_queue_depth_scales_without_quadratic_drain(self, db):
+        """Dequeue must not degrade pathologically with depth."""
+        import time
+
+        queue_broker = QueueBroker(db)
+        queue_broker.create_queue("q")
+        for i in range(1500):
+            queue_broker.publish("q", {"n": i})
+        started = time.perf_counter()
+        drained = 0
+        while queue_broker.consume("q") is not None:
+            drained += 1
+            message_id = drained  # ack by consuming order is not needed
+            # (messages stay LOCKED; we only measure dequeue selection)
+            if drained >= 300:
+                break
+        elapsed = time.perf_counter() - started
+        assert drained == 300
+        assert elapsed < 5.0  # loose bound; guards against O(n^2) blowups
+
+
+class TestRecoverabilityAvailability:
+    def test_full_pipeline_state_recovers(self, clock):
+        """Rules (as data), queue contents, audit, and plain tables all
+        come back after a crash — the platform's state is the database's
+        state."""
+        from repro.rules import RuleStore
+
+        db = Database(clock=clock)
+        db.execute("CREATE TABLE readings (id INT PRIMARY KEY, v REAL)")
+        db.execute("INSERT INTO readings VALUES (1, 10.0)")
+        store = RuleStore(db)
+        store.save(Rule.from_text("hot", "v > 100"))
+        broker = QueueBroker(db, audit=True)
+        broker.create_queue("alerts", keep_history=True)
+        broker.publish("alerts", {"m": 1})
+
+        db.simulate_crash()
+
+        assert db.query("SELECT v FROM readings") == [{"v": 10.0}]
+        engine = RuleEngine()
+        assert engine.load(RuleStore(db)) == 1
+        recovered_broker = QueueBroker(db, audit=True)
+        queue = recovered_broker.create_queue_or_attach(
+            "alerts", keep_history=True
+        )
+        assert queue.depth() == 1
+        matches = engine.evaluate(
+            Event("e", 0.0, {"v": 500.0}), run_actions=False
+        )
+        assert [m.rule.rule_id for m in matches] == ["hot"]

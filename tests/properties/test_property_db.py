@@ -1,0 +1,162 @@
+"""Hypothesis property tests for the database substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.index import OrderedIndex, _sort_key
+from repro.db.schema import Column, TableSchema
+from repro.db.storage import HeapTable
+from repro.db.types import INT, REAL, TEXT, compare_values
+from repro.db.wal import OP_ABORT, OP_COMMIT, OP_INSERT, JournalReader, WriteAheadLog
+
+scalars = st.one_of(
+    st.none(),
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+    st.booleans(),
+)
+
+
+class TestCompareValues:
+    @given(scalars, scalars)
+    def test_antisymmetric(self, a, b):
+        assert compare_values(a, b) == -compare_values(b, a)
+
+    @given(scalars)
+    def test_reflexive(self, a):
+        assert compare_values(a, a) == 0
+
+    @given(st.lists(scalars, min_size=2, max_size=20))
+    def test_sort_key_consistent_with_compare(self, values):
+        """Sorting by _sort_key must agree pairwise with compare_values."""
+        ordered = sorted(values, key=_sort_key)
+        for left, right in zip(ordered, ordered[1:]):
+            assert compare_values(left, right) <= 0
+
+
+class TestOrderedIndexProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(-100, 100), st.integers(1, 10**6)),
+            max_size=100,
+            unique_by=lambda pair: pair[1],
+        )
+    )
+    def test_range_scan_equals_filter(self, entries):
+        index = OrderedIndex("ix", "t", "c")
+        for key, rowid in entries:
+            index.insert(key, rowid)
+        low, high = -30, 40
+        scanned = sorted(rowid for _k, rowid in index.range_scan(low, high))
+        expected = sorted(
+            rowid for key, rowid in entries if low <= key <= high
+        )
+        assert scanned == expected
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-50, 50), st.integers(1, 10**6)),
+            max_size=60,
+            unique_by=lambda pair: pair[1],
+        ),
+        st.data(),
+    )
+    def test_delete_then_lookup_consistent(self, entries, data):
+        index = OrderedIndex("ix", "t", "c")
+        for key, rowid in entries:
+            index.insert(key, rowid)
+        surviving = dict()
+        for key, rowid in entries:
+            surviving[rowid] = key
+        if entries:
+            victims = data.draw(
+                st.lists(st.sampled_from(entries), max_size=len(entries))
+            )
+            for key, rowid in victims:
+                if rowid in surviving:
+                    index.delete(key, rowid)
+                    del surviving[rowid]
+        for key, rowid in entries:
+            found = rowid in set(index.lookup(key))
+            assert found == (rowid in surviving)
+
+
+rows = st.fixed_dictionaries(
+    {
+        "a": st.integers(-1000, 1000),
+        "b": st.one_of(st.none(), st.text(max_size=8)),
+    }
+)
+
+
+class TestHeapTableProperties:
+    @given(st.lists(rows, max_size=50))
+    def test_insert_scan_roundtrip(self, inserted):
+        table = HeapTable(TableSchema("t", [Column("a", INT), Column("b", TEXT)]))
+        rowids = [table.insert(row) for row in inserted]
+        scanned = {rowid: row for rowid, row in table.scan()}
+        assert len(scanned) == len(inserted)
+        for rowid, original in zip(rowids, inserted):
+            assert scanned[rowid] == original
+
+    @given(st.lists(rows, min_size=1, max_size=30), st.data())
+    def test_snapshot_restore_identity(self, inserted, data):
+        table = HeapTable(TableSchema("t", [Column("a", INT), Column("b", TEXT)]))
+        table.create_index("ix_a", "a")
+        for row in inserted:
+            table.insert(row)
+        snapshot = table.snapshot()
+        # Arbitrary mutations afterwards...
+        victims = data.draw(
+            st.lists(st.sampled_from(sorted(snapshot)), max_size=10)
+        )
+        for rowid in set(victims):
+            table.delete(rowid)
+        # ...are fully undone by restore.
+        table.restore(snapshot)
+        assert table.snapshot() == snapshot
+        for rowid, row in snapshot.items():
+            assert rowid in set(table.indexes["ix_a"].lookup(row["a"]))
+
+
+@st.composite
+def wal_histories(draw):
+    """Random interleaved transaction histories."""
+    n_txns = draw(st.integers(1, 6))
+    operations = []
+    fates = {}
+    for txid in range(1, n_txns + 1):
+        count = draw(st.integers(1, 4))
+        for i in range(count):
+            operations.append((txid, i))
+        fates[txid] = draw(st.sampled_from(["commit", "abort", "inflight"]))
+    draw(st.randoms()).shuffle(operations)
+    return operations, fates
+
+
+class TestJournalProperties:
+    @given(wal_histories())
+    @settings(max_examples=60)
+    def test_reader_sees_exactly_committed_dml(self, history):
+        operations, fates = history
+        wal = WriteAheadLog()
+        reader = JournalReader(wal)
+        for txid, i in operations:
+            wal.append(txid, OP_INSERT, table="t", rowid=txid * 100 + i, after={})
+        for txid, fate in fates.items():
+            if fate == "commit":
+                wal.append(txid, OP_COMMIT)
+            elif fate == "abort":
+                wal.append(txid, OP_ABORT)
+        records = reader.poll()
+        seen_txids = {record.txid for record in records}
+        committed = {txid for txid, fate in fates.items() if fate == "commit"}
+        assert seen_txids == {t for t in committed
+                              if any(op[0] == t for op in operations)}
+        expected_count = sum(
+            1 for txid, _ in operations if fates[txid] == "commit"
+        )
+        assert len(records) == expected_count
+        # Polling again yields nothing new.
+        assert reader.poll() == []

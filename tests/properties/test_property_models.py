@@ -1,0 +1,126 @@
+"""Property tests for expectation models and session windows."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import EwmaModel, MarkovStateModel, RangeModel
+from repro.cq import SessionWindow, Stream
+from repro.events import Event
+
+
+class TestRangeModelProperties:
+    bands = st.tuples(
+        st.floats(-100, 100, allow_nan=False),
+        st.floats(0.1, 100, allow_nan=False),
+    )
+
+    @given(bands, st.floats(-500, 500, allow_nan=False))
+    def test_score_zero_iff_inside(self, band, value):
+        low, width = band
+        model = RangeModel(low, low + width)
+        inside = low <= value <= low + width
+        assert (model.score(value) == 0.0) == inside
+
+    @given(bands, st.floats(0.1, 100, allow_nan=False))
+    def test_score_increases_with_distance(self, band, step):
+        low, width = band
+        model = RangeModel(low, low + width)
+        near = model.score(low + width + step)
+        far = model.score(low + width + 2 * step)
+        assert far > near
+
+
+class TestEwmaModelProperties:
+    @given(st.lists(st.floats(-50, 50, allow_nan=False), min_size=25, max_size=80))
+    @settings(max_examples=60)
+    def test_score_nonnegative_and_null_safe(self, values):
+        model = EwmaModel(warmup=10)
+        for value in values:
+            score = model.score(value)
+            assert score >= 0.0
+            model.observe(value)
+
+    @given(st.floats(-50, 50, allow_nan=False))
+    def test_constant_history_then_same_value_scores_zero(self, constant):
+        model = EwmaModel(warmup=5)
+        for _ in range(20):
+            model.observe(constant)
+        assert model.score(constant) == 0.0
+        assert model.score(constant + 1.0) == float("inf")
+
+
+class TestMarkovProperties:
+    @given(st.lists(st.sampled_from("ABC"), min_size=30, max_size=120))
+    @settings(max_examples=60)
+    def test_transition_distribution_sums_to_one(self, states):
+        model = MarkovStateModel(warmup=5)
+        for state in states:
+            model.observe(state)
+        vocabulary = set(states)
+        for origin in vocabulary:
+            total = sum(
+                model.transition_probability(origin, target)
+                for target in vocabulary
+            )
+            assert abs(total - 1.0) < 1e-9
+
+    @given(st.lists(st.sampled_from("AB"), min_size=30, max_size=100))
+    @settings(max_examples=60)
+    def test_surprisal_orders_by_frequency(self, states):
+        model = MarkovStateModel(warmup=5)
+        for state in states:
+            model.observe(state)
+        last = states[-1]
+        outgoing = {}
+        for a, b in zip(states, states[1:]):
+            if a == last:
+                outgoing[b] = outgoing.get(b, 0) + 1
+        if len(outgoing) == 2:
+            frequent = max(outgoing, key=outgoing.get)
+            rare = min(outgoing, key=outgoing.get)
+            if outgoing[frequent] != outgoing[rare]:
+                assert model.score(frequent) < model.score(rare)
+
+
+class TestSessionWindowProperties:
+    @given(
+        st.lists(st.floats(0, 0.99, allow_nan=False), min_size=1, max_size=40),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=60)
+    def test_sessions_partition_events_and_respect_gap(self, jitter, gap):
+        # Build strictly increasing timestamps with gaps > or < `gap`.
+        rng = random.Random(7)
+        timestamps = []
+        now = 0.0
+        for j in jitter:
+            step = j if rng.random() < 0.6 else gap + 1.0 + j
+            now += step
+            timestamps.append(now)
+
+        source = Stream("s")
+        window = SessionWindow(source, gap=float(gap))
+        panes = []
+        window.subscribe(panes.append)
+        marked = [Event("e", ts, {"i": i}) for i, ts in enumerate(timestamps)]
+        for event in marked:
+            source.push(event)
+        window.flush()
+
+        seen = []
+        for pane_event in panes:
+            events = pane_event["pane"].events
+            seen.extend(e["i"] for e in events)
+            # Within a session, consecutive gaps never exceed `gap`.
+            times = [e.timestamp for e in events]
+            assert all(b - a <= gap for a, b in zip(times, times[1:]))
+        # Partition: every event in exactly one session.
+        assert sorted(seen) == list(range(len(marked)))
+        # Between consecutive sessions the gap is exceeded.
+        boundaries = sorted(
+            (p["pane"].start, p["pane"].end) for p in panes
+        )
+        for (_s1, e1), (s2, _e2) in zip(boundaries, boundaries[1:]):
+            assert s2 - e1 > gap

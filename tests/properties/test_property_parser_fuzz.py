@@ -1,0 +1,87 @@
+"""Parser robustness: arbitrary input must fail cleanly, never crash.
+
+The SQL surface is exposed to external clients (the extended-INSERT
+interface), so the lexer/parser must reject garbage with
+:class:`SqlSyntaxError` — never an unhandled exception — and accept
+everything it itself considers well-formed, idempotently.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database
+from repro.db.sql.lexer import tokenize
+from repro.db.sql.parser import parse_expression, parse_statement
+from repro.errors import SqlSyntaxError
+
+sql_fragments = st.lists(
+    st.sampled_from([
+        "SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "UPDATE",
+        "SET", "DELETE", "CREATE", "TABLE", "INDEX", "AND", "OR", "NOT",
+        "IN", "BETWEEN", "LIKE", "NULL", "GROUP", "BY", "ORDER", "LIMIT",
+        "t", "a", "b", "x1", "count", "sum", "(", ")", ",", "=", "<", ">",
+        "<=", ">=", "!=", "*", "+", "-", "/", "1", "2.5", "'str'", ";", ".",
+        "EXPLAIN", "JOIN", "ON", "AS", "EXISTS", "CASE", "WHEN", "THEN",
+        "END", "IS",
+    ]),
+    min_size=1,
+    max_size=15,
+)
+
+
+class TestFuzz:
+    @given(sql_fragments)
+    @settings(max_examples=400)
+    def test_statement_parser_never_crashes(self, fragments):
+        text = " ".join(fragments)
+        try:
+            parse_statement(text)
+        except SqlSyntaxError:
+            pass  # clean rejection is the contract
+
+    @given(sql_fragments)
+    @settings(max_examples=300)
+    def test_expression_parser_never_crashes(self, fragments):
+        text = " ".join(fragments)
+        try:
+            parse_expression(text)
+        except SqlSyntaxError:
+            pass
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=300)
+    def test_lexer_never_crashes_on_arbitrary_text(self, text):
+        try:
+            tokenize(text)
+        except SqlSyntaxError:
+            pass
+
+    @given(sql_fragments)
+    @settings(max_examples=150, deadline=None)
+    def test_execute_rejects_cleanly(self, fragments):
+        """The full execute path surfaces only library errors."""
+        from repro.errors import ReproError
+
+        db = Database()
+        db.execute("CREATE TABLE t (a INT, b TEXT)")
+        text = " ".join(fragments)
+        try:
+            db.execute(text)
+        except ReproError:
+            pass
+        # Whatever happened, the database remains usable.
+        assert db.execute("SELECT count(*) FROM t").scalar() is not None
+
+
+class TestRoundtripStability:
+    @pytest.mark.parametrize("sql", [
+        "SELECT a, b FROM t WHERE a = 1",
+        "INSERT INTO t (a) VALUES (1)",
+        "UPDATE t SET a = 2 WHERE b LIKE 'x%'",
+        "DELETE FROM t WHERE a IN (1, 2)",
+    ])
+    def test_parse_is_deterministic(self, sql):
+        first = parse_statement(sql)
+        second = parse_statement(sql)
+        assert type(first) is type(second)

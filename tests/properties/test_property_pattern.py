@@ -1,0 +1,146 @@
+"""The CEP matcher vs a brute-force reference implementation.
+
+The NFA is the part of the system easiest to get subtly wrong, so the
+key selection strategies are checked against an exhaustive reference on
+random symbol streams.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq import PatternElement, PatternMatcher, Seq, Stream
+from repro.events import Event
+
+SYMBOLS = "ABCX"
+
+
+def make_events(symbols: str) -> list[Event]:
+    return [
+        Event("sym", float(i), {"kind": kind, "i": i})
+        for i, kind in enumerate(symbols)
+    ]
+
+
+def seq2(within=None):
+    return Seq(
+        PatternElement("a", "sym", "kind = 'A'"),
+        PatternElement("b", "sym", "kind = 'B'"),
+        within=within,
+    )
+
+
+def run_matcher(pattern, events, selection):
+    source = Stream("s")
+    matcher = PatternMatcher(
+        source, pattern, output_type="m", selection=selection
+    )
+    matches = []
+    matcher.subscribe(lambda e: matches.append((e["a_i"], e["b_i"])))
+    for event in events:
+        source.push(event)
+    return sorted(matches)
+
+
+def reference_seq2(symbols: str, selection: str, within=None):
+    """Exhaustive SEQ(A, B) semantics per selection strategy."""
+    matches = []
+    n = len(symbols)
+    for i in range(n):
+        if symbols[i] != "A":
+            continue
+        if selection == "strict":
+            j = i + 1
+            if j < n and symbols[j] == "B":
+                if within is None or j - i <= within:
+                    matches.append((i, j))
+        elif selection == "skip_till_next":
+            for j in range(i + 1, n):
+                if symbols[j] == "B":
+                    if within is None or j - i <= within:
+                        matches.append((i, j))
+                    break
+        else:  # skip_till_any
+            for j in range(i + 1, n):
+                if symbols[j] == "B" and (within is None or j - i <= within):
+                    matches.append((i, j))
+    return sorted(matches)
+
+
+symbol_streams = st.text(alphabet=SYMBOLS, min_size=0, max_size=40)
+
+
+class TestAgainstReference:
+    @given(symbol_streams)
+    @settings(max_examples=150)
+    def test_skip_till_next(self, symbols):
+        events = make_events(symbols)
+        assert run_matcher(seq2(), events, "skip_till_next") == reference_seq2(
+            symbols, "skip_till_next"
+        )
+
+    @given(symbol_streams)
+    @settings(max_examples=150)
+    def test_skip_till_any(self, symbols):
+        events = make_events(symbols)
+        assert run_matcher(seq2(), events, "skip_till_any") == reference_seq2(
+            symbols, "skip_till_any"
+        )
+
+    @given(symbol_streams)
+    @settings(max_examples=150)
+    def test_strict(self, symbols):
+        events = make_events(symbols)
+        assert run_matcher(seq2(), events, "strict") == reference_seq2(
+            symbols, "strict"
+        )
+
+    @given(symbol_streams, st.integers(1, 10))
+    @settings(max_examples=150)
+    def test_within_bound(self, symbols, within):
+        events = make_events(symbols)
+        got = run_matcher(seq2(within=float(within)), events, "skip_till_any")
+        assert got == reference_seq2(symbols, "skip_till_any", within=within)
+
+    @given(symbol_streams)
+    @settings(max_examples=100)
+    def test_negation_reference(self, symbols):
+        """SEQ(A, ¬X, B) skip-till-next: first B after each A with no X
+        in between."""
+        pattern = Seq(
+            PatternElement("a", "sym", "kind = 'A'"),
+            PatternElement("x", "sym", "kind = 'X'", negated=True),
+            PatternElement("b", "sym", "kind = 'B'"),
+        )
+        events = make_events(symbols)
+        got = run_matcher(pattern, events, "skip_till_next")
+        expected = []
+        n = len(symbols)
+        for i in range(n):
+            if symbols[i] != "A":
+                continue
+            for j in range(i + 1, n):
+                if symbols[j] == "X":
+                    break  # run killed
+                if symbols[j] == "B":
+                    expected.append((i, j))
+                    break
+        assert got == sorted(expected)
+
+    @given(symbol_streams)
+    @settings(max_examples=100)
+    def test_pruning_never_changes_matches(self, symbols):
+        events = make_events(symbols)
+        pattern = seq2(within=5.0)
+
+        def run(prune):
+            source = Stream("s")
+            matcher = PatternMatcher(
+                source, pattern, output_type="m", prune_expired=prune
+            )
+            matches = []
+            matcher.subscribe(lambda e: matches.append((e["a_i"], e["b_i"])))
+            for event in events:
+                source.push(event)
+            return sorted(matches)
+
+        assert run(True) == run(False)

@@ -1,0 +1,180 @@
+"""Hypothesis property tests: windows, queues, SQL vs reference."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq import CountWindow, Stream, SlidingWindow, TumblingWindow
+from repro.db import Database
+from repro.events import Event
+from repro.queues import Message, QueueTable
+
+
+class TestWindowProperties:
+    @given(
+        st.lists(st.floats(0, 1000, allow_nan=False), min_size=1, max_size=80),
+        st.sampled_from([5.0, 10.0, 37.5]),
+    )
+    @settings(max_examples=80)
+    def test_tumbling_partition_no_loss_no_duplication(self, timestamps, size):
+        """Ordered input: every event lands in exactly one pane."""
+        timestamps = sorted(timestamps)
+        source = Stream("s")
+        window = TumblingWindow(source, size)
+        pane_events = []
+        window.subscribe(lambda e: pane_events.extend(e["pane"].events))
+        marked = [Event("t", ts, {"i": i}) for i, ts in enumerate(timestamps)]
+        for event in marked:
+            source.push(event)
+        window.flush()
+        assert sorted(e["i"] for e in pane_events) == list(range(len(marked)))
+
+    @given(
+        st.lists(st.floats(0, 500, allow_nan=False), min_size=1, max_size=60),
+    )
+    @settings(max_examples=60)
+    def test_tumbling_pane_bounds_contain_events(self, timestamps):
+        source = Stream("s")
+        window = TumblingWindow(source, 20.0)
+        panes = []
+        window.subscribe(panes.append)
+        for ts in sorted(timestamps):
+            source.push(Event("t", ts, {}))
+        window.flush()
+        for pane_event in panes:
+            pane = pane_event["pane"]
+            for event in pane.events:
+                assert pane.start <= event.timestamp < pane.end
+
+    @given(
+        st.lists(st.floats(0, 300, allow_nan=False), min_size=1, max_size=50),
+        st.sampled_from([(10.0, 5.0), (20.0, 4.0), (12.0, 12.0)]),
+    )
+    @settings(max_examples=60)
+    def test_sliding_multiplicity(self, timestamps, spec):
+        """Each event appears in exactly size/slide panes (when slide
+        divides size)."""
+        size, slide = spec
+        multiplicity = int(size / slide)
+        source = Stream("s")
+        window = SlidingWindow(source, size, slide)
+        counts = {}
+        window.subscribe(
+            lambda e: [
+                counts.__setitem__(ev["i"], counts.get(ev["i"], 0) + 1)
+                for ev in e["pane"].events
+            ]
+        )
+        for i, ts in enumerate(sorted(timestamps)):
+            source.push(Event("t", ts, {"i": i}))
+        window.flush()
+        assert all(count == multiplicity for count in counts.values())
+
+    @given(st.integers(1, 10), st.integers(0, 50))
+    def test_count_window_exact_batches(self, batch, total):
+        source = Stream("s")
+        window = CountWindow(source, batch)
+        sizes = []
+        window.subscribe(lambda e: sizes.append(len(e["pane"].events)))
+        for i in range(total):
+            source.push(Event("t", float(i), {}))
+        assert sizes == [batch] * (total // batch)
+        window.flush()
+        if total % batch:
+            assert sizes[-1] == total % batch
+
+
+class TestQueueProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 10**6)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_dequeue_order_is_priority_then_fifo(self, specs):
+        db = Database()
+        queue = QueueTable(db, "q")
+        enqueued = []
+        for order, (priority, marker) in enumerate(specs):
+            queue.enqueue(Message(payload=marker, priority=priority))
+            enqueued.append((-priority, order, marker))
+        drained = []
+        while True:
+            message = queue.dequeue()
+            if message is None:
+                break
+            queue.ack(message.message_id)
+            drained.append(message.payload)
+        expected = [marker for _p, _o, marker in sorted(enqueued)]
+        assert drained == expected
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=30), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_conservation_under_requeue(self, payloads, data):
+        """No message is ever lost or duplicated by dequeue/requeue/ack."""
+        db = Database()
+        queue = QueueTable(db, "q")
+        for payload in payloads:
+            queue.enqueue(payload)
+        consumed = []
+        for _ in range(len(payloads) * 3):
+            message = queue.dequeue()
+            if message is None:
+                break
+            if data.draw(st.booleans()):
+                queue.ack(message.message_id)
+                consumed.append(message.payload)
+            else:
+                queue.requeue(message.message_id)
+        # Drain the rest.
+        while True:
+            message = queue.dequeue()
+            if message is None:
+                break
+            queue.ack(message.message_id)
+            consumed.append(message.payload)
+        assert sorted(consumed) == sorted(payloads)
+
+
+class TestSqlAgainstReference:
+    @given(
+        st.lists(
+            st.tuples(st.integers(-50, 50), st.integers(0, 3)),
+            min_size=0,
+            max_size=40,
+        ),
+        st.integers(-40, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_where_and_group_by_match_python(self, rows, cutoff):
+        db = Database()
+        db.execute("CREATE TABLE t (v INT, g INT)")
+        for v, g in rows:
+            db.execute(f"INSERT INTO t VALUES ({v}, {g})")
+
+        selected = db.query(f"SELECT v FROM t WHERE v > {cutoff}")
+        assert sorted(r["v"] for r in selected) == sorted(
+            v for v, _g in rows if v > cutoff
+        )
+
+        grouped = db.query(
+            "SELECT g, count(*) AS n, sum(v) AS s FROM t GROUP BY g"
+        )
+        expected = {}
+        for v, g in rows:
+            count, total = expected.get(g, (0, 0))
+            expected[g] = (count + 1, total + v)
+        assert {
+            r["g"]: (r["n"], r["s"]) for r in grouped
+        } == expected
+
+    @given(st.lists(st.integers(-100, 100), min_size=0, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_order_by_matches_sorted(self, values):
+        db = Database()
+        db.execute("CREATE TABLE t (v INT)")
+        for v in values:
+            db.execute(f"INSERT INTO t VALUES ({v})")
+        result = db.query("SELECT v FROM t ORDER BY v DESC")
+        assert [r["v"] for r in result] == sorted(values, reverse=True)

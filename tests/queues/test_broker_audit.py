@@ -1,0 +1,143 @@
+"""Queue broker: acceptance paths, security, audit trail."""
+
+import pytest
+
+from repro.errors import AccessDeniedError, QueueError, QueueNotFoundError
+from repro.queues import Message, Permission, QueueBroker, SecurityManager
+
+
+@pytest.fixture
+def broker(db):
+    broker = QueueBroker(db, audit=True)
+    broker.create_queue("alerts")
+    return broker
+
+
+class TestLifecycle:
+    def test_duplicate_queue_rejected(self, broker):
+        with pytest.raises(QueueError):
+            broker.create_queue("alerts")
+
+    def test_unknown_queue(self, broker):
+        with pytest.raises(QueueNotFoundError):
+            broker.queue("ghost")
+
+    def test_drop_queue_drops_table(self, broker, db):
+        broker.create_queue("temp")
+        broker.drop_queue("temp")
+        assert not broker.has_queue("temp")
+        assert not db.catalog.has_table("q_temp")
+
+    def test_names_sorted(self, broker):
+        broker.create_queue("zq")
+        broker.create_queue("aq")
+        assert broker.queue_names() == ["alerts", "aq", "zq"]
+
+
+class TestAcceptancePaths:
+    def test_publish_internal(self, broker):
+        broker.publish("alerts", {"sev": 1})
+        assert broker.queue("alerts").depth() == 1
+
+    def test_enqueue_via_sql(self, broker):
+        broker.enqueue_via_sql("alerts", {"sev": 2})
+        message = broker.consume("alerts")
+        assert message.payload == {"sev": 2}
+
+    def test_ingest_foreign_maps_known_fields(self, broker, clock):
+        broker.ingest_foreign(
+            "alerts",
+            {
+                "payload": {"reading": 7},
+                "priority": 3,
+                "correlation_id": "ext-1",
+                "vendor_field": "opaque",
+                "delay": 10.0,
+            },
+            source_system="scada",
+        )
+        assert broker.consume("alerts") is None  # delayed
+        clock.advance(11)
+        message = broker.consume("alerts")
+        assert message.priority == 3
+        assert message.correlation_id == "ext-1"
+        assert message.headers["source_system"] == "scada"
+        assert message.headers["foreign_vendor_field"] == "opaque"
+
+    def test_consume_ack_requeue(self, broker):
+        broker.publish("alerts", "x")
+        message = broker.consume("alerts", principal="me")
+        broker.requeue("alerts", message.message_id)
+        message = broker.consume("alerts")
+        broker.ack("alerts", message.message_id)
+        assert broker.queue("alerts").depth() == 0
+
+
+class TestSecurity:
+    def test_open_by_default(self, broker):
+        broker.publish("alerts", "x", principal="anyone")
+
+    def test_protected_queue_denies(self, db):
+        security = SecurityManager()
+        broker = QueueBroker(db, security=security)
+        broker.create_queue("secure")
+        security.protect("secure")
+        with pytest.raises(AccessDeniedError):
+            broker.publish("secure", "x", principal="stranger")
+
+    def test_grant_allows(self, db):
+        security = SecurityManager()
+        broker = QueueBroker(db, security=security)
+        broker.create_queue("secure")
+        security.protect("secure")
+        security.grant("writer", "secure", Permission.ENQUEUE)
+        broker.publish("secure", "x", principal="writer")
+        with pytest.raises(AccessDeniedError):
+            broker.consume("secure", principal="writer")  # enqueue-only
+
+    def test_admin_implies_all(self, db):
+        security = SecurityManager()
+        broker = QueueBroker(db, security=security)
+        broker.create_queue("secure")
+        security.protect("secure")
+        security.grant("boss", "secure", Permission.ADMIN)
+        broker.publish("secure", "x", principal="boss")
+        message = broker.consume("secure", principal="boss")
+        assert message is not None
+
+    def test_revoke(self):
+        security = SecurityManager()
+        security.protect("q")
+        security.grant("u", "q", Permission.ENQUEUE)
+        security.revoke("u", "q", Permission.ENQUEUE)
+        assert not security.allowed("u", "q", Permission.ENQUEUE)
+
+
+class TestAudit:
+    def test_operations_recorded(self, broker):
+        broker.publish("alerts", "x", principal="producer")
+        message = broker.consume("alerts", principal="worker")
+        broker.ack("alerts", message.message_id, principal="worker")
+        entries = broker.audit.entries(queue="alerts")
+        operations = [e["operation"] for e in entries]
+        assert operations == ["enqueue", "dequeue", "ack"]
+        assert entries[0]["principal"] == "producer"
+
+    def test_filter_by_principal(self, broker):
+        broker.publish("alerts", "x", principal="alice")
+        broker.publish("alerts", "y", principal="bob")
+        assert len(broker.audit.entries(principal="alice")) == 1
+
+    def test_audit_is_sql_queryable(self, broker, db):
+        broker.publish("alerts", "x", principal="alice")
+        rows = db.query(
+            "SELECT count(*) AS n FROM _queue_audit WHERE principal = 'alice'"
+        )
+        assert rows[0]["n"] == 1
+
+    def test_stats_aggregate(self, broker):
+        broker.publish("alerts", "x")
+        broker.consume("alerts")
+        stats = broker.stats()
+        assert stats["alerts"]["enqueued"] == 1
+        assert stats["alerts"]["dequeued"] == 1

@@ -1,0 +1,159 @@
+"""Propagation between staging areas and to external services."""
+
+import pytest
+
+from repro.errors import PropagationError
+from repro.queues import (
+    Message,
+    PropagationLink,
+    Propagator,
+    QueueBroker,
+)
+
+
+class FlakyService:
+    """External service failing the first ``failures`` deliveries."""
+
+    def __init__(self, failures: int = 0) -> None:
+        self.failures = failures
+        self.received: list[Message] = []
+
+    def deliver(self, message: Message) -> None:
+        if self.failures > 0:
+            self.failures -= 1
+            raise ConnectionError("service unavailable")
+        self.received.append(message)
+
+
+@pytest.fixture
+def source(db):
+    broker = QueueBroker(db)
+    broker.create_queue("outbox")
+    return broker
+
+
+@pytest.fixture
+def remote(clock):
+    from repro.db import Database
+
+    broker = QueueBroker(Database(clock=clock), name="remote")
+    broker.create_queue("inbox")
+    return broker
+
+
+class TestLinkValidation:
+    def test_needs_exactly_one_target(self, remote):
+        with pytest.raises(PropagationError):
+            PropagationLink("bad")
+        with pytest.raises(PropagationError):
+            PropagationLink(
+                "bad", broker=remote, queue_name="inbox", service=FlakyService()
+            )
+        with pytest.raises(PropagationError):
+            PropagationLink("bad", broker=remote)  # no queue name
+
+    def test_run_without_links_rejected(self, source):
+        with pytest.raises(PropagationError):
+            Propagator(source, "outbox").run_once()
+
+
+class TestForwarding:
+    def test_broker_to_broker(self, source, remote):
+        propagator = Propagator(source, "outbox").add_link(
+            PropagationLink("r", broker=remote, queue_name="inbox")
+        )
+        source.publish("outbox", {"k": 1})
+        assert propagator.run_once() == 1
+        message = remote.consume("inbox")
+        assert message.payload == {"k": 1}
+        assert message.headers["propagated_from"] == "outbox"
+        assert source.queue("outbox").depth() == 0
+
+    def test_external_service(self, source):
+        service = FlakyService()
+        propagator = Propagator(source, "outbox").add_link(
+            PropagationLink("svc", service=service)
+        )
+        source.publish("outbox", "hello")
+        propagator.run_once()
+        assert [m.payload for m in service.received] == ["hello"]
+
+    def test_fan_out_to_multiple_links(self, source, remote):
+        service = FlakyService()
+        propagator = (
+            Propagator(source, "outbox")
+            .add_link(PropagationLink("r", broker=remote, queue_name="inbox"))
+            .add_link(PropagationLink("svc", service=service))
+        )
+        source.publish("outbox", "x")
+        propagator.run_once()
+        assert remote.queue("inbox").depth() == 1
+        assert len(service.received) == 1
+
+    def test_transform_applied(self, source, remote):
+        def escalate(message: Message) -> Message:
+            message.priority = 9
+            return message
+
+        propagator = Propagator(source, "outbox").add_link(
+            PropagationLink("r", broker=remote, queue_name="inbox", transform=escalate)
+        )
+        source.publish("outbox", "x")
+        propagator.run_once()
+        assert remote.consume("inbox").priority == 9
+
+    def test_batch_bound(self, source, remote):
+        propagator = Propagator(source, "outbox").add_link(
+            PropagationLink("r", broker=remote, queue_name="inbox")
+        )
+        for i in range(10):
+            source.publish("outbox", i)
+        assert propagator.run_once(batch=4) == 4
+        assert source.queue("outbox").depth() == 6
+
+
+class TestRetryAndDeadLetter:
+    def test_failure_retries_with_backoff(self, source, clock):
+        service = FlakyService(failures=2)
+        propagator = Propagator(
+            source, "outbox", base_backoff=1.0
+        ).add_link(PropagationLink("svc", service=service))
+        source.publish("outbox", "x")
+        assert propagator.run_once() == 0  # first attempt fails
+        clock.advance(2.0)
+        assert propagator.run_once() == 0  # second fails
+        clock.advance(4.0)
+        assert propagator.run_once() == 1  # third succeeds
+        assert propagator.stats["retried"] == 2
+        assert len(service.received) == 1
+
+    def test_exhausted_goes_to_dead_letter(self, source, clock):
+        service = FlakyService(failures=100)
+        propagator = Propagator(
+            source, "outbox", max_attempts=3, base_backoff=0.1,
+            dead_letter_queue="dlq",
+        ).add_link(PropagationLink("svc", service=service))
+        source.publish("outbox", {"doomed": True})
+        for _ in range(5):
+            propagator.run_once()
+            clock.advance(10.0)
+        assert propagator.stats["dead_lettered"] == 1
+        assert source.queue("outbox").depth() == 0
+        dead = source.consume("dlq")
+        assert dead.payload == {"doomed": True}
+        assert "svc" in dead.headers["dead_letter_reason"]
+
+    def test_partial_failure_no_duplicate_on_retry(self, source, remote, clock):
+        """Link A succeeds, link B fails: on retry only B re-sends."""
+        service = FlakyService(failures=1)
+        propagator = (
+            Propagator(source, "outbox", base_backoff=0.1)
+            .add_link(PropagationLink("ok", broker=remote, queue_name="inbox"))
+            .add_link(PropagationLink("flaky", service=service))
+        )
+        source.publish("outbox", "x")
+        propagator.run_once()  # ok delivers, flaky fails
+        clock.advance(1.0)
+        propagator.run_once()  # retry: only flaky delivers
+        assert remote.queue("inbox").depth() == 1  # no duplicate
+        assert len(service.received) == 1

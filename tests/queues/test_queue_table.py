@@ -1,0 +1,201 @@
+"""Queue-table semantics: ordering, locking, expiry, transactions."""
+
+import pytest
+
+from repro.errors import MessageExpiredError, QueueError
+from repro.queues import Message, MessageState, QueueTable
+
+
+@pytest.fixture
+def queue(db):
+    return QueueTable(db, "work")
+
+
+class TestEnqueueDequeue:
+    def test_fifo_within_priority(self, queue):
+        ids = [queue.enqueue({"n": i}) for i in range(3)]
+        got = [queue.dequeue().message_id for _ in range(3)]
+        assert got == ids
+
+    def test_priority_order(self, queue):
+        queue.enqueue(Message(payload="low", priority=1))
+        queue.enqueue(Message(payload="high", priority=9))
+        queue.enqueue(Message(payload="mid", priority=5))
+        assert [queue.dequeue().payload for _ in range(3)] == ["high", "mid", "low"]
+
+    def test_empty_returns_none(self, queue):
+        assert queue.dequeue() is None
+
+    def test_payload_roundtrip(self, queue):
+        payload = {"nested": {"a": [1, 2, None]}, "s": "x'y"}
+        queue.enqueue(Message(payload=payload, headers={"h": 1}, correlation_id="c9"))
+        message = queue.dequeue()
+        assert message.payload == payload
+        assert message.headers == {"h": 1}
+        assert message.correlation_id == "c9"
+
+    def test_bare_payload_wrapped(self, queue):
+        queue.enqueue("just a string")
+        assert queue.dequeue().payload == "just a string"
+
+    def test_sql_path_equivalent_to_fast_path(self, queue):
+        queue.enqueue({"via": "fast"})
+        queue.enqueue_via_insert({"via": "sql"})
+        first, second = queue.dequeue(), queue.dequeue()
+        assert first.payload == {"via": "fast"}
+        assert second.payload == {"via": "sql"}
+
+    def test_dequeue_locks(self, queue):
+        queue.enqueue("only")
+        message = queue.dequeue(consumer="c1")
+        assert message.state is MessageState.LOCKED
+        assert queue.dequeue(consumer="c2") is None  # locked, not visible
+
+    def test_attempts_increment(self, queue):
+        queue.enqueue("x")
+        message = queue.dequeue()
+        assert message.attempts == 1
+        queue.requeue(message.message_id)
+        assert queue.dequeue().attempts == 2
+
+
+class TestAckRequeue:
+    def test_ack_removes_by_default(self, queue, db):
+        queue.enqueue("x")
+        message = queue.dequeue()
+        queue.ack(message.message_id)
+        assert queue.depth() == 0
+        assert len(db.catalog.table(queue.table_name)) == 0
+
+    def test_keep_history_marks_consumed(self, db):
+        queue = QueueTable(db, "hist", keep_history=True)
+        queue.enqueue("x")
+        message = queue.dequeue()
+        queue.ack(message.message_id)
+        table = db.catalog.table(queue.table_name)
+        assert table.get(message.message_id)["state"] == "consumed"
+
+    def test_requeue_makes_visible_again(self, queue):
+        queue.enqueue("x")
+        message = queue.dequeue()
+        queue.requeue(message.message_id)
+        assert queue.dequeue() is not None
+
+    def test_requeue_with_delay(self, queue, clock):
+        queue.enqueue("x")
+        message = queue.dequeue()
+        queue.requeue(message.message_id, delay=30.0)
+        assert queue.dequeue() is None
+        clock.advance(31.0)
+        assert queue.dequeue() is not None
+
+    def test_ack_requires_locked(self, queue):
+        mid = queue.enqueue("x")
+        with pytest.raises(QueueError):
+            queue.ack(mid)
+
+    def test_ack_unknown_message(self, queue):
+        with pytest.raises(QueueError):
+            queue.ack(12345)
+
+
+class TestVisibilityAndExpiry:
+    def test_delayed_message_invisible(self, queue, clock):
+        message = Message(payload="later", visible_at=clock.now() + 60)
+        queue.enqueue(message)
+        assert queue.dequeue() is None
+        clock.advance(61)
+        assert queue.dequeue() is not None
+
+    def test_expired_not_delivered(self, queue, clock):
+        queue.enqueue(Message(payload="x", expires_at=clock.now() + 10))
+        clock.advance(11)
+        assert queue.dequeue() is None
+        assert queue.stats["expired"] == 1
+
+    def test_default_expiration_applied(self, db, clock):
+        queue = QueueTable(db, "exp", default_expiration=5.0)
+        queue.enqueue("x")
+        clock.advance(6.0)
+        assert queue.dequeue() is None
+
+    def test_expire_sweep(self, queue, clock):
+        for _ in range(3):
+            queue.enqueue(Message(payload="x", expires_at=clock.now() + 1))
+        queue.enqueue("fresh")
+        clock.advance(2)
+        assert queue.expire_messages() == 3
+        assert queue.depth() == 1
+
+    def test_expired_ack_raises(self, queue, clock):
+        mid = queue.enqueue(Message(payload="x", expires_at=clock.now() + 100))
+        message = queue.dequeue()
+        clock.advance(200)
+        queue.expire_messages()  # sweep only touches READY; this is LOCKED
+        queue.ack(message.message_id)  # still ackable while locked
+
+
+class TestTransactionalBehaviour:
+    def test_rolled_back_enqueue_invisible(self, queue, db):
+        conn = db.connect()
+        conn.begin()
+        queue.enqueue("phantom", conn=conn)
+        conn.rollback()
+        assert queue.depth() == 0
+
+    def test_rolled_back_dequeue_releases(self, queue, db):
+        queue.enqueue("x")
+        conn = db.connect()
+        conn.begin()
+        message = queue.dequeue(conn=conn)
+        assert message is not None
+        conn.rollback()
+        # The lock update was undone: message is READY again.
+        assert queue.dequeue() is not None
+
+    def test_atomic_consume_produce(self, db):
+        source = QueueTable(db, "src")
+        sink = QueueTable(db, "dst")
+        source.enqueue("job")
+        conn = db.connect()
+        conn.begin()
+        message = source.dequeue(conn=conn)
+        sink.enqueue({"result": message.payload}, conn=conn)
+        source.ack(message.message_id, conn=conn)
+        conn.commit()
+        assert source.depth() == 0
+        assert sink.depth() == 1
+
+    def test_queue_survives_crash(self, queue, db):
+        queue.enqueue({"durable": True})
+        db.simulate_crash()
+        restored = QueueTable(db, "work")
+        message = restored.dequeue()
+        assert message.payload == {"durable": True}
+
+    def test_locked_messages_recoverable(self, queue):
+        queue.enqueue("a")
+        queue.enqueue("b")
+        queue.dequeue(consumer="crashed")
+        queue.dequeue(consumer="alive")
+        assert queue.recover_locked(consumer="crashed") == 1
+        assert queue.depth() == 1
+
+
+class TestBrowse:
+    def test_browse_does_not_lock(self, queue):
+        queue.enqueue("x")
+        items = list(queue.browse())
+        assert len(items) == 1
+        assert queue.dequeue() is not None
+
+    def test_browse_order_matches_dequeue(self, queue):
+        queue.enqueue(Message(payload="low", priority=1))
+        queue.enqueue(Message(payload="high", priority=9))
+        assert [m.payload for m in queue.browse()] == ["high", "low"]
+
+    def test_depth_counts_ready_only(self, queue):
+        queue.enqueue("a")
+        queue.enqueue("b")
+        queue.dequeue()
+        assert queue.depth() == 1

@@ -1,0 +1,83 @@
+"""Engine ↔ store integration: persisted rules load into a live engine."""
+
+import pytest
+
+from repro.events import Event
+from repro.rules import CollectAction, Rule, RuleEngine, RuleStore
+
+
+class TestEngineLoad:
+    def test_load_binds_actions_and_evaluates(self, db):
+        store = RuleStore(db)
+        collect = CollectAction()
+        rule = Rule.from_text("hot", "price > 100", event_types=("tick",))
+        rule.action_name = "collect"
+        store.save(rule)
+
+        engine = RuleEngine()
+        assert engine.load(store, {"collect": collect}) == 1
+        engine.evaluate(Event("tick", 0.0, {"price": 500}))
+        assert len(collect) == 1
+
+    def test_load_is_idempotent(self, db):
+        store = RuleStore(db)
+        store.save(Rule.from_text("r", "a = 1"))
+        engine = RuleEngine()
+        engine.load(store)
+        engine.load(store)  # replaces, does not raise
+        assert len(engine) == 1
+
+    def test_load_replaces_updated_condition(self, db):
+        store = RuleStore(db)
+        store.save(Rule.from_text("r", "a = 1"))
+        engine = RuleEngine()
+        engine.load(store)
+        store.save(Rule.from_text("r", "a = 2"))  # upsert
+        engine.load(store)
+        matches = engine.evaluate(Event("e", 0.0, {"a": 2}), run_actions=False)
+        assert [m.rule.rule_id for m in matches] == ["r"]
+
+    def test_crash_recovery_cycle(self, db):
+        """The full 'expressions as data' story: rules persist in the
+        database, survive a crash, and reload into a fresh engine."""
+        store = RuleStore(db)
+        collect = CollectAction()
+        for i in range(5):
+            rule = Rule.from_text(f"r{i}", f"region = 'z{i}'")
+            rule.action_name = "collect"
+            store.save(rule)
+
+        db.simulate_crash()
+
+        engine = RuleEngine()
+        loaded = engine.load(RuleStore(db), {"collect": collect})
+        assert loaded == 5
+        engine.evaluate(Event("e", 0.0, {"region": "z3"}))
+        assert collect.seen[0][0] == "r3"
+
+
+class TestStreamPlumbing:
+    def test_operator_detach(self):
+        from repro.cq import FilterOperator, Stream
+        from repro.events import Event
+
+        source = Stream("s")
+        out = []
+        operator = FilterOperator(source, "TRUE")
+        operator.subscribe(out.append)
+        source.push(Event("e", 0.0, {}))
+        operator.detach()
+        source.push(Event("e", 1.0, {}))
+        assert len(out) == 1
+
+    def test_capture_unsubscribe(self, db):
+        from repro.capture import TriggerCapture
+
+        db.execute("CREATE TABLE t (a INT)")
+        capture = TriggerCapture(db, ["t"])
+        out = []
+        capture.subscribe(out.append)
+        capture.unsubscribe(out.append)
+        db.execute("INSERT INTO t VALUES (1)")
+        assert out == []
+        assert capture.events_captured == 1  # captured, nobody listening

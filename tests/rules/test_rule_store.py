@@ -1,0 +1,90 @@
+"""Rules as data: definition and database persistence."""
+
+import pytest
+
+from repro.errors import RuleError, RuleNotFoundError
+from repro.rules import CollectAction, Rule, RuleStore
+
+
+class TestRule:
+    def test_from_text_parses_condition(self):
+        rule = Rule.from_text("r1", "price > 100 AND symbol = 'IBM'")
+        assert rule.condition.evaluate({"price": 200, "symbol": "IBM"}) is True
+
+    def test_string_condition_in_constructor(self):
+        rule = Rule(rule_id="r", condition="a = 1")
+        assert rule.condition.evaluate({"a": 1}) is True
+
+    @pytest.mark.parametrize("pattern,event_type,expected", [
+        (("orders.insert",), "orders.insert", True),
+        (("orders.*",), "orders.delete", True),
+        (("*",), "anything", True),
+        (("orders.insert",), "orders.update", False),
+        (None, "whatever", True),
+    ])
+    def test_event_type_matching(self, pattern, event_type, expected):
+        rule = Rule.from_text("r", "TRUE", event_types=pattern)
+        assert rule.matches_event_type(event_type) is expected
+
+    def test_metadata_kwargs(self):
+        rule = Rule.from_text("r", "TRUE", owner="ops", ticket=42)
+        assert rule.metadata == {"owner": "ops", "ticket": 42}
+
+
+class TestRuleStore:
+    def test_save_load_roundtrip(self, db):
+        store = RuleStore(db)
+        action = CollectAction()
+        rule = Rule.from_text(
+            "big", "qty * price > 10000", event_types=("orders.*",), priority=5
+        )
+        rule.action_name = "collect"
+        rule.metadata["owner"] = "desk1"
+        store.save(rule)
+        loaded = store.load_all({"collect": action})
+        assert len(loaded) == 1
+        restored = loaded[0]
+        assert restored.rule_id == "big"
+        assert restored.priority == 5
+        assert restored.event_types == ("orders.*",)
+        assert restored.metadata == {"owner": "desk1"}
+        assert restored.action is action
+        assert restored.condition.evaluate({"qty": 200, "price": 100}) is True
+
+    def test_save_is_upsert(self, db):
+        store = RuleStore(db)
+        store.save(Rule.from_text("r", "a = 1"))
+        store.save(Rule.from_text("r", "a = 2"))
+        loaded = store.load_all()
+        assert len(loaded) == 1
+        assert loaded[0].condition.evaluate({"a": 2}) is True
+
+    def test_delete(self, db):
+        store = RuleStore(db)
+        store.save(Rule.from_text("r", "TRUE"))
+        store.delete("r")
+        assert store.load_all() == []
+        with pytest.raises(RuleNotFoundError):
+            store.delete("r")
+
+    def test_missing_action_raises(self, db):
+        store = RuleStore(db)
+        rule = Rule.from_text("r", "TRUE")
+        rule.action_name = "ghost"
+        store.save(rule)
+        with pytest.raises(RuleError):
+            store.load_all({})
+
+    def test_rules_survive_crash(self, db):
+        store = RuleStore(db)
+        store.save(Rule.from_text("durable", "price > 1"))
+        db.simulate_crash()
+        reloaded = RuleStore(db).load_all()
+        assert [r.rule_id for r in reloaded] == ["durable"]
+
+    def test_rules_queryable_as_data(self, db):
+        store = RuleStore(db)
+        store.save(Rule.from_text("a", "x = 1", priority=1))
+        store.save(Rule.from_text("b", "x = 2", priority=9))
+        rows = db.query("SELECT rule_id FROM _rules WHERE priority > 5")
+        assert [r["rule_id"] for r in rows] == ["b"]

@@ -1,0 +1,105 @@
+"""The CLI entry point and benchmark-harness infrastructure."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args, stdin=""):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        input=stdin,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+
+
+class TestCli:
+    def test_version(self):
+        result = run_cli("version")
+        assert result.returncode == 0
+        assert result.stdout.strip() == "1.0.0"
+
+    def test_help_when_no_command(self):
+        result = run_cli()
+        assert result.returncode == 2
+        assert "Event processing" in result.stdout
+
+    def test_sql_shell_roundtrip(self):
+        script = (
+            "CREATE TABLE t (a INT)\n"
+            "INSERT INTO t VALUES (1), (2), (3)\n"
+            "SELECT count(*) AS n FROM t\n"
+            "EXPLAIN SELECT * FROM t WHERE a = 1\n"
+            "BOGUS SYNTAX\n"
+            "\n"
+        )
+        result = run_cli("sql", stdin=script)
+        assert result.returncode == 0
+        assert "ok (3 rows affected)" in result.stdout
+        assert "3" in result.stdout
+        assert "SCAN t" in result.stdout
+        assert "error:" in result.stdout  # clean rejection, shell survives
+
+    def test_sql_shell_wal_persistence(self, tmp_path):
+        wal = str(tmp_path / "state.log")
+        first = run_cli(
+            "sql", "--wal", wal,
+            stdin="CREATE TABLE t (a INT)\nINSERT INTO t VALUES (42)\n\n",
+        )
+        assert first.returncode == 0
+        second = run_cli(
+            "sql", "--wal", wal, stdin="SELECT a FROM t\n\n"
+        )
+        assert "42" in second.stdout
+        assert "recovered" in second.stdout
+
+
+class TestReporting:
+    def test_print_table_alignment(self, capsys):
+        from benchmarks.reporting import print_table
+
+        print_table(
+            "title",
+            [
+                {"name": "a", "value": 1234567.0, "note": None},
+                {"name": "long-name", "value": 0.12345, "note": "x"},
+            ],
+        )
+        output = capsys.readouterr().out
+        assert "title" in output
+        assert "1,234,567" in output
+        assert "0.1235" in output or "0.1234" in output
+        assert "-" in output  # None renders as dash
+
+    def test_print_table_empty(self, capsys):
+        from benchmarks.reporting import print_table
+
+        print_table("empty", [])
+        assert "(no rows)" in capsys.readouterr().out
+
+    def test_run_all_only_selection(self):
+        from benchmarks import run_all
+
+        wanted = {"bench_exp3_"}
+        selected = [
+            name for name in run_all.EXPERIMENTS
+            if any(name.startswith(prefix) for prefix in wanted)
+        ]
+        assert selected == ["bench_exp3_internal_opt"]
+
+    def test_every_experiment_module_has_main_and_shape_test(self):
+        import importlib
+
+        from benchmarks import run_all
+
+        for name in run_all.EXPERIMENTS:
+            module = importlib.import_module(f"benchmarks.{name}")
+            assert callable(getattr(module, "main"))
+            shape_tests = [
+                attr for attr in dir(module)
+                if attr.startswith("test_") and attr.endswith("_shape")
+            ]
+            assert shape_tests, f"{name} lacks a shape-assertion test"

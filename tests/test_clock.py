@@ -1,0 +1,72 @@
+"""Clock behaviour, especially the deterministic simulated clock."""
+
+import pytest
+
+from repro.clock import SimulatedClock, WallClock
+
+
+class TestSimulatedClock:
+    def test_starts_where_told(self):
+        assert SimulatedClock(start=42.0).now() == 42.0
+
+    def test_advance(self):
+        clock = SimulatedClock()
+        clock.advance(5.0)
+        assert clock.now() == 5.0
+
+    def test_sleep_is_advance(self):
+        clock = SimulatedClock()
+        clock.sleep(3.0)
+        assert clock.now() == 3.0
+
+    def test_no_backwards(self):
+        clock = SimulatedClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+    def test_timers_fire_in_order(self):
+        clock = SimulatedClock()
+        fired = []
+        clock.schedule(5.0, lambda: fired.append("b"))
+        clock.schedule(2.0, lambda: fired.append("a"))
+        clock.schedule(9.0, lambda: fired.append("c"))
+        clock.advance(6.0)
+        assert fired == ["a", "b"]
+        clock.advance(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_timer_sees_due_time(self):
+        clock = SimulatedClock()
+        seen = []
+        clock.schedule(3.0, lambda: seen.append(clock.now()))
+        clock.advance(10.0)
+        assert seen == [3.0]
+        assert clock.now() == 10.0
+
+    def test_ties_fire_fifo(self):
+        clock = SimulatedClock()
+        fired = []
+        clock.schedule(1.0, lambda: fired.append("first"))
+        clock.schedule(1.0, lambda: fired.append("second"))
+        clock.advance(1.0)
+        assert fired == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().schedule(-1.0, lambda: None)
+
+
+class TestWallClock:
+    def test_monotone_nondecreasing(self):
+        clock = WallClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first
+
+    def test_sleep_advances(self):
+        clock = WallClock()
+        before = clock.now()
+        clock.sleep(0.01)
+        assert clock.now() - before >= 0.005

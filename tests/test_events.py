@@ -1,0 +1,69 @@
+"""Event envelope: immutability, typing, provenance."""
+
+import pytest
+
+from repro.events import Event, correlate
+
+
+class TestEvent:
+    def test_ids_unique_and_increasing(self):
+        first = Event("a", 1.0)
+        second = Event("a", 1.0)
+        assert second.event_id > first.event_id
+
+    def test_payload_isolated_from_source_dict(self):
+        payload = {"x": 1}
+        event = Event("a", 1.0, payload)
+        payload["x"] = 99
+        assert event["x"] == 1
+
+    def test_empty_type_rejected(self):
+        with pytest.raises(ValueError):
+            Event("", 1.0)
+
+    def test_get_with_default(self):
+        event = Event("a", 1.0, {"x": 1})
+        assert event.get("x") == 1
+        assert event.get("y", "d") == "d"
+
+    @pytest.mark.parametrize("pattern,expected", [
+        ("orders.insert", True),
+        ("orders.*", True),
+        ("*", True),
+        ("orders", False),
+        ("orders.update", False),
+        ("ord.*", False),
+    ])
+    def test_matches_type(self, pattern, expected):
+        assert Event("orders.insert", 0.0).matches_type(pattern) is expected
+
+
+class TestDerive:
+    def test_provenance_recorded(self):
+        base = Event("a", 5.0, {"x": 1})
+        derived = base.derive("b", {"y": 2}, source="op")
+        assert derived.causes == (base.event_id,)
+        assert derived.timestamp == 5.0
+        assert derived.source == "op"
+
+    def test_explicit_timestamp(self):
+        base = Event("a", 5.0)
+        assert base.derive("b", timestamp=9.0).timestamp == 9.0
+
+    def test_with_payload_merges(self):
+        event = Event("a", 1.0, {"x": 1}).with_payload(y=2, x=3)
+        assert event.payload == {"x": 3, "y": 2}
+        assert event.event_type == "a"
+
+
+class TestCorrelate:
+    def test_causes_and_timestamp(self):
+        a = Event("a", 1.0)
+        b = Event("b", 3.0)
+        composite = correlate([a, b], "ab", {"n": 2})
+        assert composite.causes == (a.event_id, b.event_id)
+        assert composite.timestamp == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            correlate([], "x", {})

@@ -1,0 +1,176 @@
+"""Workload generators: determinism, labels, statistical shape."""
+
+import random
+
+import pytest
+
+from repro.workloads import (
+    HazmatGenerator,
+    MarketDataGenerator,
+    OrderFlowGenerator,
+    SensorGridGenerator,
+    UtilityUsageGenerator,
+    poisson_times,
+)
+from repro.workloads.hazmat import AUTHORIZED_ZONES, SAFE_TEMPERATURE
+from repro.workloads.generators import pick_episode_times
+
+
+class TestPrimitives:
+    def test_poisson_rate(self):
+        rng = random.Random(1)
+        times = poisson_times(rng, rate=10.0, duration=1000.0)
+        assert len(times) == pytest.approx(10_000, rel=0.05)
+        assert all(0 <= t < 1000.0 for t in times)
+        assert times == sorted(times)
+
+    def test_poisson_zero_rate(self):
+        assert poisson_times(random.Random(1), 0.0, 100.0) == []
+
+    def test_episode_times_bounds_and_gaps(self):
+        rng = random.Random(2)
+        times = pick_episode_times(rng, 900.0, 5, min_gap=50.0, start=100.0)
+        assert len(times) == 5
+        assert all(100.0 <= t <= 900.0 for t in times)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g >= 50.0 for g in gaps)
+
+    def test_episode_times_empty_interval(self):
+        assert pick_episode_times(random.Random(1), 10.0, 3, min_gap=1, start=20.0) == []
+
+
+ALL_GENERATORS = [
+    (MarketDataGenerator(episode_count=2, seed=1), 300.0),
+    (OrderFlowGenerator(episode_count=2, seed=1), 300.0),
+    (SensorGridGenerator(rows=4, cols=4, plume_count=2, seed=1), 600.0),
+    (HazmatGenerator(containers=8, violation_count=2, seed=1), 600.0),
+    (UtilityUsageGenerator(meters=4, anomaly_count=2, seed=1,
+                           anomaly_duration=3600.0), 4 * 86400.0),
+]
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("generator,duration", ALL_GENERATORS)
+    def test_deterministic_given_seed(self, generator, duration):
+        first = type(generator)(**_params(generator)).generate(duration)
+        second = type(generator)(**_params(generator)).generate(duration)
+        assert len(first) == len(second)
+        assert [e.payload for e in first.events[:50]] == [
+            e.payload for e in second.events[:50]
+        ]
+        assert first.episodes == second.episodes
+
+    @pytest.mark.parametrize("generator,duration", ALL_GENERATORS)
+    def test_episodes_within_duration(self, generator, duration):
+        stream = generator.generate(duration)
+        assert all(0 <= t <= duration for t in stream.episodes)
+        assert len(stream.episodes) > 0
+
+    @pytest.mark.parametrize("generator,duration", ALL_GENERATORS)
+    def test_critical_events_are_minority(self, generator, duration):
+        stream = generator.generate(duration)
+        assert 0 < len(stream.critical_event_ids) < 0.2 * len(stream)
+
+    @pytest.mark.parametrize("generator,duration", ALL_GENERATORS)
+    def test_events_time_ordered_or_sortable(self, generator, duration):
+        stream = generator.generate(duration).sorted_by_time()
+        timestamps = [e.timestamp for e in stream.events]
+        assert timestamps == sorted(timestamps)
+
+    @pytest.mark.parametrize("generator,duration", ALL_GENERATORS)
+    def test_is_critical_helper(self, generator, duration):
+        stream = generator.generate(duration)
+        critical = [e for e in stream if stream.is_critical(e)]
+        assert len(critical) == len(stream.critical_event_ids)
+
+
+def _params(generator):
+    """Re-extract constructor parameters from a generator instance."""
+    import inspect
+
+    signature = inspect.signature(type(generator).__init__)
+    return {
+        name: getattr(generator, name)
+        for name in signature.parameters
+        if name != "self" and hasattr(generator, name)
+    }
+
+
+class TestFinanceSpecifics:
+    def test_spike_episodes_move_price(self):
+        generator = MarketDataGenerator(episode_count=3, seed=9)
+        stream = generator.generate(400.0)
+        critical = [e for e in stream if stream.is_critical(e)]
+        assert critical
+        # Critical ticks are the episode ticks; their symbols cluster.
+        symbols = {e["symbol"] for e in critical}
+        assert len(symbols) <= 3
+
+    def test_order_bursts_are_large(self):
+        generator = OrderFlowGenerator(episode_count=2, seed=9)
+        stream = generator.generate(300.0)
+        normal_max = max(
+            e["qty"] for e in stream if not stream.is_critical(e)
+        )
+        burst_min = min(e["qty"] for e in stream if stream.is_critical(e))
+        assert burst_min > normal_max
+
+
+class TestSensorSpecifics:
+    def test_plume_elevates_origin_readings(self):
+        generator = SensorGridGenerator(rows=4, cols=4, plume_count=1, seed=3)
+        stream = generator.generate(600.0)
+        critical_readings = [
+            e["reading"] for e in stream if stream.is_critical(e)
+        ]
+        normal_readings = [
+            e["reading"] for e in stream if not stream.is_critical(e)
+        ]
+        assert min(critical_readings) > generator.baseline
+        mean_normal = sum(normal_readings) / len(normal_readings)
+        mean_critical = sum(critical_readings) / len(critical_readings)
+        assert mean_critical > mean_normal + 5
+
+
+class TestHazmatSpecifics:
+    def test_zone_violations_are_unauthorized(self):
+        generator = HazmatGenerator(containers=8, violation_count=2, seed=7)
+        stream = generator.generate(600.0)
+        zone_violations = [
+            e for e in stream
+            if stream.is_critical(e)
+            and e["zone"] not in AUTHORIZED_ZONES[e["material"]]
+        ]
+        temp_violations = [
+            e for e in stream
+            if stream.is_critical(e)
+            and e["temperature"] > SAFE_TEMPERATURE[e["material"]]
+        ]
+        assert zone_violations or temp_violations
+        # Non-critical events are always in authorized zones.
+        for event in stream:
+            if not stream.is_critical(event):
+                assert event["zone"] in AUTHORIZED_ZONES[event["material"]]
+
+    def test_reference_rows_cover_all_materials(self):
+        rows = HazmatGenerator().reference_rows()
+        materials = {row["material"] for row in rows}
+        assert materials == set(AUTHORIZED_ZONES)
+
+
+class TestUtilitySpecifics:
+    def test_seasonal_shape(self):
+        generator = UtilityUsageGenerator(meters=1, anomaly_count=0, seed=2,
+                                          noise=0.01)
+        peak = generator.expected_usage(0, 0.8 * 86400.0)
+        trough = generator.expected_usage(0, 0.3 * 86400.0)
+        assert peak > 2 * trough
+
+    def test_anomalies_multiply_usage(self):
+        generator = UtilityUsageGenerator(meters=3, anomaly_count=1, seed=2)
+        stream = generator.generate(5 * 86400.0)
+        for event in stream:
+            if stream.is_critical(event):
+                meter = int(event["meter_id"][1:])
+                expected = generator.expected_usage(meter, event.timestamp)
+                assert event["usage"] > expected * 2
