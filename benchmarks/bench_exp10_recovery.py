@@ -170,10 +170,10 @@ def test_exp10_crash_during_consumption_loses_nothing():
     assert len(remaining) == 15
 
 
-def main() -> None:
+def main(quick: bool = False) -> None:
     print_table(
         "EXP-10: crash-recovery time vs journal size",
-        run_experiment(),
+        run_experiment(op_counts=(200,) if quick else OP_COUNTS),
         ["ops", "config", "journal_records", "recovery_ms", "rows_recovered"],
     )
 

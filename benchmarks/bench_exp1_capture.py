@@ -267,11 +267,12 @@ def test_exp1_shape():
     )
 
 
-def main() -> None:
-    rows = run_experiment()
+def main(quick: bool = False) -> None:
+    n = 200 if quick else N_INSERTS
+    rows = run_experiment(n=n)
     print_table(
         "EXP-1: capture-method comparison "
-        f"({N_INSERTS} inserts, 1 insert/sim-second)",
+        f"({n} inserts, 1 insert/sim-second)",
         rows,
         ["method", "inserts_per_s", "overhead_vs_baseline", "events",
          "mean_latency_s"],

@@ -29,6 +29,8 @@ from repro.db import Database
 from repro.queues import Message, QueueTable
 
 N_MESSAGES = 1000
+N_SWEEP = 10_000
+BATCH_SIZES = (1, 8, 64, 256)
 
 
 def make_queue(sync_policy: str = "none") -> QueueTable:
@@ -122,6 +124,126 @@ def run_experiment(n: int = N_MESSAGES) -> list[dict]:
     return rows
 
 
+def run_batch_sweep(
+    n: int = N_SWEEP, batch_sizes: tuple[int, ...] = BATCH_SIZES
+) -> list[dict]:
+    """Batch-size sweep over the batch APIs proper: enqueue_batch /
+    dequeue_batch / ack_batch against a file-backed durable journal, so
+    every commit pays a real fsync.  batch=1 degenerates to the
+    single-message path and is the baseline the ≥3x amortization claim
+    is measured against — the win comes precisely from one fsync
+    covering the whole batch."""
+    rows: list[dict] = []
+    for batch in batch_sizes:
+        with tempfile.TemporaryDirectory() as tmp:
+            rows.append(_batch_sweep_arm(tmp, n, batch))
+    return rows
+
+
+def _batch_sweep_arm(tmp: str, n: int, batch: int) -> dict:
+    db = Database(
+        path=os.path.join(tmp, "wal.log"),
+        clock=SimulatedClock(),
+        sync_policy="commit",
+    )
+    queue = QueueTable(db, "bench")
+    payloads = [{"n": i} for i in range(n)]
+
+    def fill():
+        if batch == 1:
+            for payload in payloads:
+                queue.enqueue(payload)
+        else:
+            for start in range(0, n, batch):
+                queue.enqueue_batch(payloads[start : start + batch])
+
+    enqueue_s = timed(fill)
+
+    def drain():
+        if batch == 1:
+            while True:
+                message = queue.dequeue()
+                if message is None:
+                    return
+                queue.ack(message.message_id)
+        else:
+            while True:
+                messages = queue.dequeue_batch(batch)
+                if not messages:
+                    return
+                queue.ack_batch([m.message_id for m in messages])
+
+    dequeue_s = timed(drain)
+    return {
+        "batch": batch,
+        "enqueue_msgs_per_s": n / enqueue_s,
+        "dequeue_msgs_per_s": n / dequeue_s,
+        "total_msgs_per_s": n / (enqueue_s + dequeue_s),
+        "journal_flushes": queue.db.wal.flush_count,
+    }
+
+
+def run_group_commit_sweep(
+    n: int = 2_000, sizes: tuple[int, ...] = BATCH_SIZES
+) -> list[dict]:
+    """Group-commit sweep: single-message enqueues (one transaction
+    each) against a file-backed journal, varying ``group_commit_size``
+    so one fsync covers up to N committed transactions."""
+    rows: list[dict] = []
+    for size in sizes:
+        with tempfile.TemporaryDirectory() as tmp:
+            db = Database(
+                path=os.path.join(tmp, "wal.log"),
+                clock=SimulatedClock(),
+                sync_policy="commit",
+                group_commit_size=size,
+            )
+            queue = QueueTable(db, "bench")
+            elapsed = timed(lambda: [queue.enqueue({"n": i}) for i in range(n)])
+            rows.append({
+                "group_commit_size": size,
+                "enqueue_msgs_per_s": n / elapsed,
+                "journal_flushes": db.wal.flush_count,
+            })
+    return rows
+
+
+def run_depth_sweep(
+    depths: tuple[int, ...] = (1_000, 10_000),
+    *,
+    drain: int = 1_000,
+    trials: int = 3,
+) -> list[dict]:
+    """Dequeue cost vs queue depth: drain ``drain`` messages off queues
+    of different depths.  With the in-memory READY heap this is
+    O(log n) per pop, so throughput should be nearly depth-independent
+    (the ≤2x acceptance bound).  Best of ``trials`` runs per depth, as
+    usual for allocator/GC-noisy microbenchmarks."""
+    rows: list[dict] = []
+    for depth in depths:
+        best = 0.0
+        for _ in range(trials):
+            queue = make_queue("none")
+            queue.enqueue_batch([{"n": i} for i in range(depth)])
+
+            def drain_some():
+                taken = 0
+                while taken < drain:
+                    messages = queue.dequeue_batch(64)
+                    if not messages:
+                        return
+                    queue.ack_batch([m.message_id for m in messages])
+                    taken += len(messages)
+
+            best = max(best, drain / timed(drain_some))
+        rows.append({
+            "queue_depth": depth,
+            "drained": drain,
+            "dequeue_msgs_per_s": best,
+        })
+    return rows
+
+
 # -- pytest-benchmark micro-measurements -------------------------------------
 
 
@@ -171,11 +293,76 @@ def test_exp2_shape():
     assert prio > fifo / 4
 
 
-def main() -> None:
+def test_exp2_batch_sweep_shape():
+    for attempt in (1, 2):  # one retry: first-fsync warmup can be noisy
+        rows = run_batch_sweep(n=800, batch_sizes=(1, 64))
+        by_batch = {row["batch"]: row for row in rows}
+        assert (
+            by_batch[64]["journal_flushes"]
+            < by_batch[1]["journal_flushes"] / 10
+        )
+        # Batching amortizes the per-transaction fsync by >= 3x end to end.
+        speedup = (
+            by_batch[64]["total_msgs_per_s"] / by_batch[1]["total_msgs_per_s"]
+        )
+        if speedup >= 3 or attempt == 2:
+            assert speedup >= 3
+            return
+
+
+def test_exp2_group_commit_sweep_shape():
+    for attempt in (1, 2):  # one retry: first-fsync warmup can be noisy
+        rows = run_group_commit_sweep(n=600, sizes=(1, 64))
+        by_size = {row["group_commit_size"]: row for row in rows}
+        assert (
+            by_size[64]["journal_flushes"] < by_size[1]["journal_flushes"] / 10
+        )
+        speedup = (
+            by_size[64]["enqueue_msgs_per_s"]
+            / by_size[1]["enqueue_msgs_per_s"]
+        )
+        if speedup > 1.5 or attempt == 2:
+            assert speedup > 1.5
+            return
+
+
+def test_exp2_depth_sweep_shape():
+    rows = run_depth_sweep(depths=(1_000, 10_000), drain=1_000)
+    slow = min(row["dequeue_msgs_per_s"] for row in rows)
+    fast = max(row["dequeue_msgs_per_s"] for row in rows)
+    # Heap dequeue is O(log n): depth barely moves the needle.
+    assert fast <= slow * 2
+
+
+def main(quick: bool = False) -> None:
+    n = 200 if quick else N_MESSAGES
+    sweep_n = 1000 if quick else N_SWEEP
+    depths = (200, 1000) if quick else (1_000, 10_000)
     print_table(
-        f"EXP-2: queue operational characteristics ({N_MESSAGES} messages)",
-        run_experiment(),
+        f"EXP-2: queue operational characteristics ({n} messages)",
+        run_experiment(n=n),
         ["operation", "sync_policy", "ops_per_s", "journal_flushes"],
+    )
+    print_table(
+        f"EXP-2: batch-size sweep ({sweep_n} messages, file WAL, fsync/commit)",
+        run_batch_sweep(n=sweep_n),
+        [
+            "batch",
+            "enqueue_msgs_per_s",
+            "dequeue_msgs_per_s",
+            "total_msgs_per_s",
+            "journal_flushes",
+        ],
+    )
+    print_table(
+        f"EXP-2: group-commit sweep (single enqueues, file WAL)",
+        run_group_commit_sweep(n=400 if quick else 2_000),
+        ["group_commit_size", "enqueue_msgs_per_s", "journal_flushes"],
+    )
+    print_table(
+        "EXP-2: dequeue throughput vs queue depth",
+        run_depth_sweep(depths=depths, drain=min(depths)),
+        ["queue_depth", "drained", "dequeue_msgs_per_s"],
     )
 
 

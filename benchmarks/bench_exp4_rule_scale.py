@@ -167,8 +167,11 @@ def test_exp4_correctness_at_scale():
         assert a == b
 
 
-def main() -> None:
-    rows = run_experiment()
+def main(quick: bool = False) -> None:
+    if quick:
+        rows = run_experiment(rule_counts=(100, 1_000), events_per_point=10)
+    else:
+        rows = run_experiment()
     print_table(
         "EXP-4: rule-set scalability (naive* = extrapolated from 10k)",
         rows,

@@ -101,7 +101,10 @@ def run_churn(
     }
 
 
-def run_experiment() -> list[dict]:
+def run_experiment(quick: bool = False) -> list[dict]:
+    if quick:
+        kwargs = dict(base=1_000, rounds=10, churn=40)
+        return [run_churn(eager=False, **kwargs), run_churn(eager=True, **kwargs)]
     return [run_churn(eager=False), run_churn(eager=True)]
 
 
@@ -178,11 +181,13 @@ def test_exp5_shape():
         assert indexed == brute
 
 
-def main() -> None:
+def main(quick: bool = False) -> None:
+    base = 1_000 if quick else BASE_RULES
+    churn = 40 if quick else 50
     print_table(
-        f"EXP-5: rule churn ({BASE_RULES} rules, 50 replaced/round, "
+        f"EXP-5: rule churn ({base} rules, {churn} replaced/round, "
         f"{EVENTS_PER_ROUND} events/round)",
-        run_experiment(),
+        run_experiment(quick=quick),
         ["policy", "rounds_per_s", "mutation_ms_per_round",
          "eval_ms_per_round", "tree_rebuilds"],
     )

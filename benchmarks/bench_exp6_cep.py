@@ -135,10 +135,11 @@ def test_exp6_shape():
     assert pruned["pruned"] > 0
 
 
-def main() -> None:
+def main(quick: bool = False) -> None:
+    n = 800 if quick else N_TICKS
     print_table(
-        f"EXP-6: CEP pattern matching over {N_TICKS} ticks",
-        run_experiment(),
+        f"EXP-6: CEP pattern matching over {n} ticks",
+        run_experiment(n=n),
         ["pattern", "within_s", "events_per_s", "matches", "peak_runs", "pruned"],
     )
 

@@ -115,8 +115,8 @@ def test_exp7_shape():
         assert by_name[name]["value"] < worst_good
 
 
-def main() -> None:
-    rows, throughput = run_experiment()
+def main(quick: bool = False) -> None:
+    rows, throughput = run_experiment(duration=60.0 if quick else 400.0)
     print_table(
         "EXP-7: value scoring of candidate continuous queries "
         f"(pool of {len(build_candidates())}, {throughput:,.0f} "

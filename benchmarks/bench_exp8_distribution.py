@@ -97,9 +97,14 @@ def run_hops(hops: int, n: int = 200) -> dict:
     }
 
 
-def run_experiment() -> tuple[list[dict], list[dict]]:
-    fanout_rows = [run_fanout(f) for f in (1, 2, 4, 8)]
-    hop_rows = [run_hops(h) for h in (1, 2, 4, 8)]
+def run_experiment(
+    fanouts: tuple[int, ...] = (1, 2, 4, 8),
+    hop_counts: tuple[int, ...] = (1, 2, 4, 8),
+    *,
+    n: int = N_MESSAGES,
+) -> tuple[list[dict], list[dict]]:
+    fanout_rows = [run_fanout(f, n=n) for f in fanouts]
+    hop_rows = [run_hops(h, n=min(n, 200)) for h in hop_counts]
     return fanout_rows, hop_rows
 
 
@@ -189,15 +194,18 @@ def test_exp8_failure_injection_no_loss():
     assert info["path"] == ["src", "mid_a", "dst"]
 
 
-def main() -> None:
-    fanout_rows, hop_rows = run_experiment()
+def main(quick: bool = False) -> None:
+    if quick:
+        fanout_rows, hop_rows = run_experiment((1, 4), (1, 4), n=100)
+    else:
+        fanout_rows, hop_rows = run_experiment()
     print_table(
-        f"EXP-8a: propagation fan-out ({N_MESSAGES} messages)",
+        f"EXP-8a: propagation fan-out ({100 if quick else N_MESSAGES} messages)",
         fanout_rows,
         ["fanout", "msgs_per_s", "deliveries", "deliveries_per_s"],
     )
     print_table(
-        "EXP-8b: multi-hop routing (200 messages per point)",
+        f"EXP-8b: multi-hop routing ({100 if quick else 200} messages per point)",
         hop_rows,
         ["hops", "msgs_per_s", "received", "total_hops"],
     )

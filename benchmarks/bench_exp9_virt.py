@@ -57,9 +57,10 @@ def scored_stream(duration: float = 400.0, seed: int = 71):
 
 
 def run_experiment(
-    thresholds=THRESHOLDS, *, weights=None, label="full score"
+    thresholds=THRESHOLDS, *, weights=None, label="full score",
+    duration: float = 400.0,
 ) -> list[dict]:
-    events, episodes, critical_ids = scored_stream()
+    events, episodes, critical_ids = scored_stream(duration)
     rows = []
     for threshold in thresholds:
         clock = SimulatedClock()
@@ -91,12 +92,13 @@ def run_experiment(
     return rows
 
 
-def run_ablation() -> list[dict]:
+def run_ablation(*, duration: float = 400.0) -> list[dict]:
     """Surprise-only scoring (actionability/relevance weights zeroed)."""
     return run_experiment(
         thresholds=(0.3, 0.5, 0.7),
         weights=(1.0, 0.0, 0.0),
         label="surprise only",
+        duration=duration,
     )
 
 
@@ -166,8 +168,11 @@ def test_exp9_ablation_shape():
     assert s_in == s_out
 
 
-def main() -> None:
-    rows = run_experiment()
+def main(quick: bool = False) -> None:
+    duration = 60.0 if quick else 400.0
+    rows = run_experiment(
+        thresholds=(0.3, 0.7) if quick else THRESHOLDS, duration=duration
+    )
     print_table(
         "EXP-9: VIRT threshold sweep (order-flow workload, "
         "4 critical bursts in noise)",
@@ -177,7 +182,7 @@ def main() -> None:
     )
     print_table(
         "EXP-9 ablation: surprise-only scoring",
-        run_ablation(),
+        run_ablation(duration=duration),
         ["scoring", "threshold", "delivered", "volume_reduction",
          "episode_recall", "fn_rate", "critical_kept"],
     )

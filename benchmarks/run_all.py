@@ -1,9 +1,12 @@
 """Regenerate every experiment's harness table in one run.
 
-Usage:  python benchmarks/run_all.py [--out FILE]
+Usage:  python benchmarks/run_all.py [--out FILE] [--quick]
 
 Runs EXP-1 … EXP-10 in order and writes the combined tables to stdout
 (and optionally a file) — the artifact summarized in EXPERIMENTS.md.
+``--quick`` shrinks every experiment to a tiny sweep (seconds total):
+a smoke mode for CI and for checking the harness still runs end to end;
+its numbers are NOT meaningful measurements.
 """
 
 from __future__ import annotations
@@ -36,6 +39,10 @@ def main(argv: list[str] | None = None) -> int:
         "--only", default=None,
         help="comma-separated experiment numbers, e.g. --only 1,4,9",
     )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny sweeps, smoke-test mode (numbers not meaningful)",
+    )
     arguments = parser.parse_args(argv)
 
     selected = EXPERIMENTS
@@ -54,7 +61,7 @@ def main(argv: list[str] | None = None) -> int:
         buffer = io.StringIO()
         started = time.perf_counter()
         with contextlib.redirect_stdout(buffer):
-            module.main()
+            module.main(quick=True) if arguments.quick else module.main()
         elapsed = time.perf_counter() - started
         section = buffer.getvalue().rstrip()
         sections.append(f"{section}\n  [harness wall time: {elapsed:.1f}s]")

@@ -197,6 +197,11 @@ class Database:
             default), ``"always"`` (flush on every record), or
             ``"none"`` (flush only on demand — fastest, may lose
             committed work on crash).
+        group_commit_size: with ``sync_policy="commit"``, coalesce
+            journal flushes so one fsync covers up to this many
+            committed transactions (default 1 = flush every commit).
+        group_commit_window: optional bound, in clock seconds, on how
+            long the oldest unflushed commit may wait for its group.
         clock: time source used for default timestamps.
     """
 
@@ -205,12 +210,20 @@ class Database:
         path: str | None = None,
         *,
         sync_policy: str = "commit",
+        group_commit_size: int = 1,
+        group_commit_window: float | None = None,
         lock_timeout: float = 5.0,
         clock: Clock | None = None,
     ) -> None:
         self.clock = clock or WallClock()
         self.catalog = Catalog()
-        self.wal = WriteAheadLog(path=path, sync_policy=sync_policy, clock=self.clock)
+        self.wal = WriteAheadLog(
+            path=path,
+            sync_policy=sync_policy,
+            clock=self.clock,
+            group_commit_size=group_commit_size,
+            group_commit_window=group_commit_window,
+        )
         self.locks = LockManager(timeout=lock_timeout)
         self.transactions = TransactionManager(self.locks)
         self.transactions.on_commit = self._on_commit
@@ -255,7 +268,7 @@ class Database:
         if transaction.attributes.get("wrote"):
             self.wal.append(transaction.txid, OP_COMMIT)
             if self.wal.sync_policy == "commit":
-                self.wal.flush()
+                self.wal.commit_point()
         self.statistics["commits"] += 1
 
     def _after_commit(self, transaction: Transaction) -> None:
@@ -564,6 +577,55 @@ class Database:
 
     # -- DML core -----------------------------------------------------------------
 
+    def _insert_locked(
+        self,
+        connection: Connection,
+        transaction: Transaction,
+        table: HeapTable,
+        values: Mapping[str, Any],
+    ) -> int:
+        """Insert one row into an already-locked table (shared by the
+        single-row and batched paths)."""
+        incoming = dict(values)
+        rewritten = self._fire_row_triggers(
+            table.name,
+            TriggerEvent.INSERT,
+            TriggerTiming.BEFORE,
+            transaction.txid,
+            None,
+            incoming,
+            connection=connection,
+        )
+        if rewritten is not None:
+            incoming = rewritten
+        row = table.schema.coerce_row(
+            incoming,
+            check_evaluator=lambda check, r: check.evaluate(r),
+        )
+        rowid = table.insert(row)
+        # Undo is registered before the journal append so that a failed
+        # append (e.g. an unserializable value) rolls back cleanly.
+        transaction.record_undo(lambda: table.delete(rowid))
+        self._mark_write(transaction)
+        self.wal.append(
+            transaction.txid,
+            OP_INSERT,
+            table=table.name,
+            rowid=rowid,
+            after=dict(row),
+        )
+        self.statistics["inserts"] += 1
+        self._fire_row_triggers(
+            table.name,
+            TriggerEvent.INSERT,
+            TriggerTiming.AFTER,
+            transaction.txid,
+            None,
+            dict(row),
+            connection=connection,
+        )
+        return rowid
+
     def insert_row(
         self,
         table_name: str,
@@ -577,45 +639,105 @@ class Database:
             transaction = connection.require_transaction()
             self.lock_table_exclusive(connection, table_name)
             table = self.catalog.table(table_name)
-            incoming = dict(values)
-            rewritten = self._fire_row_triggers(
-                table.name,
-                TriggerEvent.INSERT,
-                TriggerTiming.BEFORE,
-                transaction.txid,
-                None,
-                incoming,
-                connection=connection,
-            )
-            if rewritten is not None:
-                incoming = rewritten
-            row = table.schema.coerce_row(
-                incoming,
-                check_evaluator=lambda check, r: check.evaluate(r),
-            )
-            rowid = table.insert(row)
-            self._mark_write(transaction)
-            self.wal.append(
-                transaction.txid,
-                OP_INSERT,
-                table=table.name,
-                rowid=rowid,
-                after=dict(row),
-            )
-            transaction.record_undo(lambda: table.delete(rowid))
-            self.statistics["inserts"] += 1
-            self._fire_row_triggers(
-                table.name,
-                TriggerEvent.INSERT,
-                TriggerTiming.AFTER,
-                transaction.txid,
-                None,
-                dict(row),
-                connection=connection,
-            )
-            return rowid
+            return self._insert_locked(connection, transaction, table, values)
 
         return self._with_transaction(conn, work)
+
+    def insert_many(
+        self,
+        table_name: str,
+        rows: Iterable[Mapping[str, Any]],
+        *,
+        conn: Connection | None = None,
+    ) -> list[int]:
+        """Insert a batch of rows in ONE transaction; returns rowids.
+
+        The lock is acquired once and — under ``sync_policy="commit"``
+        — the whole batch shares a single journal flush, so per-message
+        commit cost is amortized over the batch (§2.2.b.i.3).  Triggers
+        and constraint checks still run per row, identically to
+        :meth:`insert_row`.
+        """
+        batch = [dict(values) for values in rows]
+        if not batch:
+            return []
+
+        def work(connection: Connection) -> list[int]:
+            transaction = connection.require_transaction()
+            self.lock_table_exclusive(connection, table_name)
+            table = self.catalog.table(table_name)
+            return [
+                self._insert_locked(connection, transaction, table, values)
+                for values in batch
+            ]
+
+        return self._with_transaction(conn, work)
+
+    def _update_locked(
+        self,
+        connection: Connection,
+        transaction: Transaction,
+        table: HeapTable,
+        rowid: int,
+        updates: Mapping[str, Any],
+    ) -> None:
+        """Update one row of an already-locked table (shared by the
+        single-row and batched paths)."""
+        current = table.get(rowid)
+        if current is None:
+            raise SchemaError(
+                f"table {table.name!r} has no row with rowid {rowid}"
+            )
+        proposed = dict(current)
+        proposed.update(updates)
+        rewritten = self._fire_row_triggers(
+            table.name,
+            TriggerEvent.UPDATE,
+            TriggerTiming.BEFORE,
+            transaction.txid,
+            current,
+            proposed,
+            connection=connection,
+        )
+        if rewritten is not None:
+            proposed = rewritten
+        effective_updates = {
+            key: value
+            for key, value in proposed.items()
+            if key not in current or current[key] != value
+            or type(current[key]) is not type(value)
+        }
+        coerced = table.schema.coerce_update(effective_updates)
+        merged = dict(current)
+        merged.update(coerced)
+        for check in table.schema.checks:
+            if check.evaluate(merged) is False:
+                raise ConstraintViolation(
+                    f"CHECK on {table.name}", detail=str(check)
+                )
+        old_row = table.update(rowid, coerced)
+        transaction.record_undo(
+            lambda: table.update(rowid, old_row)
+        )
+        self._mark_write(transaction)
+        self.wal.append(
+            transaction.txid,
+            OP_UPDATE,
+            table=table.name,
+            rowid=rowid,
+            before=dict(old_row),
+            after=merged,
+        )
+        self.statistics["updates"] += 1
+        self._fire_row_triggers(
+            table.name,
+            TriggerEvent.UPDATE,
+            TriggerTiming.AFTER,
+            transaction.txid,
+            old_row,
+            merged,
+            connection=connection,
+        )
 
     def update_row(
         self,
@@ -631,63 +753,39 @@ class Database:
             transaction = connection.require_transaction()
             self.lock_table_exclusive(connection, table_name)
             table = self.catalog.table(table_name)
-            current = table.get(rowid)
-            if current is None:
-                raise SchemaError(
-                    f"table {table.name!r} has no row with rowid {rowid}"
-                )
-            proposed = dict(current)
-            proposed.update(updates)
-            rewritten = self._fire_row_triggers(
-                table.name,
-                TriggerEvent.UPDATE,
-                TriggerTiming.BEFORE,
-                transaction.txid,
-                current,
-                proposed,
-                connection=connection,
-            )
-            if rewritten is not None:
-                proposed = rewritten
-            effective_updates = {
-                key: value
-                for key, value in proposed.items()
-                if key not in current or current[key] != value
-                or type(current[key]) is not type(value)
-            }
-            coerced = table.schema.coerce_update(effective_updates)
-            merged = dict(current)
-            merged.update(coerced)
-            for check in table.schema.checks:
-                if check.evaluate(merged) is False:
-                    raise ConstraintViolation(
-                        f"CHECK on {table.name}", detail=str(check)
-                    )
-            old_row = table.update(rowid, coerced)
-            self._mark_write(transaction)
-            self.wal.append(
-                transaction.txid,
-                OP_UPDATE,
-                table=table.name,
-                rowid=rowid,
-                before=dict(old_row),
-                after=merged,
-            )
-            transaction.record_undo(
-                lambda: table.update(rowid, old_row)
-            )
-            self.statistics["updates"] += 1
-            self._fire_row_triggers(
-                table.name,
-                TriggerEvent.UPDATE,
-                TriggerTiming.AFTER,
-                transaction.txid,
-                old_row,
-                merged,
-                connection=connection,
-            )
+            self._update_locked(connection, transaction, table, rowid, updates)
 
         self._with_transaction(conn, work)
+
+    def update_rows(
+        self,
+        table_name: str,
+        updates: Iterable[tuple[int, Mapping[str, Any]]],
+        *,
+        conn: Connection | None = None,
+    ) -> int:
+        """Apply ``(rowid, column updates)`` pairs in ONE transaction.
+
+        Like :meth:`insert_many`, this acquires the table lock once and
+        shares a single commit (and journal flush) across the whole
+        batch; triggers and checks run per row.  Returns the number of
+        rows updated.
+        """
+        batch = [(rowid, dict(columns)) for rowid, columns in updates]
+        if not batch:
+            return 0
+
+        def work(connection: Connection) -> int:
+            transaction = connection.require_transaction()
+            self.lock_table_exclusive(connection, table_name)
+            table = self.catalog.table(table_name)
+            for rowid, columns in batch:
+                self._update_locked(
+                    connection, transaction, table, rowid, columns
+                )
+            return len(batch)
+
+        return self._with_transaction(conn, work)
 
     def delete_row(
         self,
@@ -715,6 +813,9 @@ class Database:
                 connection=connection,
             )
             old_row = table.delete(rowid)
+            transaction.record_undo(
+                lambda: table.insert(old_row, rowid=rowid)
+            )
             self._mark_write(transaction)
             self.wal.append(
                 transaction.txid,
@@ -722,9 +823,6 @@ class Database:
                 table=table.name,
                 rowid=rowid,
                 before=dict(old_row),
-            )
-            transaction.record_undo(
-                lambda: table.insert(old_row, rowid=rowid)
             )
             self.statistics["deletes"] += 1
             self._fire_row_triggers(

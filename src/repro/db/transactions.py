@@ -68,6 +68,12 @@ class LockManager:
         """
         with self._condition:
             state = self._locks.setdefault(resource, _LockState())
+            # Re-acquisition fast path: batched DML re-requests the same
+            # table lock once per row; an EXCLUSIVE holder (or a SHARED
+            # holder asking for SHARED again) can skip the grant scan.
+            held = state.holders.get(txid)
+            if held is LockMode.EXCLUSIVE or held is mode:
+                return
             if self._grantable(state, txid, mode):
                 self._grant(state, txid, mode)
                 return

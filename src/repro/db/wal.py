@@ -26,7 +26,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
-from repro.errors import RecoveryError
+from repro.errors import RecoveryError, WALError
 
 # Record operation names.
 OP_BEGIN = "begin"
@@ -75,6 +75,21 @@ class LogRecord:
     ts: float = 0.0
 
     def to_json(self) -> str:
+        """Serialize for the on-disk journal.
+
+        Values must round-trip through JSON *faithfully*: stringifying
+        unserializable values (``default=str``) would let recovery
+        resurrect rows whose types silently differ from what was
+        committed, so unserializable values are rejected instead.
+        """
+
+        def reject(value: Any) -> Any:
+            raise WALError(
+                f"cannot journal {self.op} on {self.table!r} rowid "
+                f"{self.rowid}: value of type {type(value).__name__} "
+                f"({value!r}) does not round-trip through JSON"
+            )
+
         return json.dumps(
             {
                 "lsn": self.lsn,
@@ -88,7 +103,7 @@ class LogRecord:
                 "ts": self.ts,
             },
             separators=(",", ":"),
-            default=str,
+            default=reject,
         )
 
     @classmethod
@@ -116,6 +131,17 @@ class WriteAheadLog:
     In-memory by default; pass ``path`` to also persist records to a
     JSON-lines file on each :meth:`flush` (used by the cross-process
     recovery tests).
+
+    **Group commit** (``group_commit_size`` / ``group_commit_window``):
+    with ``sync_policy="commit"`` the database calls
+    :meth:`commit_point` at every commit.  By default each commit
+    flushes immediately (one fsync per transaction — fully durable).
+    Raising ``group_commit_size`` to N coalesces flushes so one fsync
+    covers up to N committed transactions; ``group_commit_window``
+    additionally bounds how long (in clock seconds) the oldest pending
+    commit may wait before a flush is forced.  The trade is explicit
+    and bounded: a crash may lose at most the last ``N-1`` committed
+    transactions (call :meth:`flush` to drain the tail at any barrier).
     """
 
     def __init__(
@@ -123,13 +149,26 @@ class WriteAheadLog:
         path: str | None = None,
         sync_policy: str = "commit",
         clock: Any = None,
+        *,
+        group_commit_size: int = 1,
+        group_commit_window: float | None = None,
     ) -> None:
         if sync_policy not in ("commit", "none", "always"):
             raise ValueError(f"unknown sync_policy {sync_policy!r}")
+        if group_commit_size < 1:
+            raise ValueError("group_commit_size must be >= 1")
         self.path = path
         self.sync_policy = sync_policy
         self.clock = clock  # optional; records get ts=0.0 without one
+        self.group_commit_size = group_commit_size
+        self.group_commit_window = group_commit_window
+        self._pending_commits = 0
+        self._oldest_pending_ts: float | None = None
         self._records: list[LogRecord] = []
+        # JSON lines pre-rendered at append time (file-backed WAL only):
+        # validates serializability *before* the record enters the log
+        # and moves encoding cost out of the flush critical section.
+        self._encoded: dict[int, str] = {}
         self._next_lsn = 1
         self._durable_count = 0
         self.flush_count = 0  # observable fsync count, used by benchmarks
@@ -183,20 +222,50 @@ class WriteAheadLog:
             meta=meta or {},
             ts=self.clock.now() if self.clock is not None else 0.0,
         )
+        if self.path is not None:
+            # Append-time validation: a record that cannot be journaled
+            # faithfully must fail *now*, inside the owning transaction,
+            # not later at an unrelated commit's flush.
+            self._encoded[record.lsn] = record.to_json()
         self._next_lsn += 1
         self._records.append(record)
         if self.sync_policy == "always":
             self.flush()
         return record
 
+    def commit_point(self) -> None:
+        """Register one committed transaction; flush per group-commit
+        policy (called by the database when ``sync_policy="commit"``)."""
+        self._pending_commits += 1
+        if self._oldest_pending_ts is None and self.clock is not None:
+            self._oldest_pending_ts = self.clock.now()
+        if self._pending_commits >= self.group_commit_size:
+            self.flush()
+        elif (
+            self.group_commit_window is not None
+            and self._oldest_pending_ts is not None
+            and self.clock is not None
+            and self.clock.now() - self._oldest_pending_ts
+            >= self.group_commit_window
+        ):
+            self.flush()
+
+    @property
+    def pending_commits(self) -> int:
+        """Committed transactions not yet covered by a flush."""
+        return self._pending_commits
+
     def flush(self) -> None:
         """Make every appended record durable (simulated fsync)."""
+        self._pending_commits = 0
+        self._oldest_pending_ts = None
         if self._durable_count == len(self._records):
             return
         if self.path:
             with open(self.path, "a", encoding="utf-8") as handle:
                 for record in self._records[self._durable_count :]:
-                    handle.write(record.to_json() + "\n")
+                    line = self._encoded.pop(record.lsn, None)
+                    handle.write((line or record.to_json()) + "\n")
                 handle.flush()
                 os.fsync(handle.fileno())
         self._durable_count = len(self._records)
@@ -206,6 +275,9 @@ class WriteAheadLog:
         """Simulate a crash: drop non-durable records and return the
         durable prefix (what recovery will see)."""
         self._records = self._records[: self._durable_count]
+        self._encoded = {}
+        self._pending_commits = 0
+        self._oldest_pending_ts = None
         if self._records:
             self._next_lsn = self._records[-1].lsn + 1
         else:

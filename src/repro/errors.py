@@ -71,6 +71,14 @@ class RecoveryError(DatabaseError):
     """The write-ahead log could not be replayed consistently."""
 
 
+class WALError(DatabaseError):
+    """A journal record could not be serialized faithfully.
+
+    Raised at append time (not at flush time) when a persistent WAL is
+    asked to journal a value JSON cannot round-trip, so the offending
+    transaction fails cleanly instead of poisoning crash recovery."""
+
+
 class TriggerError(DatabaseError):
     """A trigger definition is invalid or its action raised."""
 

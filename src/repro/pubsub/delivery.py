@@ -33,7 +33,18 @@ class _PendingAck:
 
 
 class DeliveryManager:
-    """Reliable consumption loop over one queue."""
+    """Reliable consumption loop over one queue.
+
+    **Driving contract**: ack deadlines are only enforced when this
+    manager runs — :meth:`check_timeouts` executes at the top of every
+    :meth:`deliver`, :meth:`process`, and :meth:`process_batch` call.
+    There is no background thread, so if delivery stops (no new
+    messages, dead consumer), a host loop must keep calling
+    :meth:`process_batch` (or :meth:`check_timeouts` directly) on a
+    timer; otherwise a crashed consumer's un-acked message is never
+    redelivered.  :meth:`process_batch` is safe to drive on an empty
+    queue precisely for this reason.
+    """
 
     def __init__(
         self,
@@ -148,7 +159,9 @@ class DeliveryManager:
         """Deliver up to ``batch`` messages to ``consumer``.
 
         Successful returns ack automatically; exceptions nack (retry).
-        Returns the number successfully consumed.
+        Returns the number successfully consumed.  One transaction per
+        dequeue and per ack; prefer :meth:`process_batch` for the
+        amortized path.
         """
         consumed = 0
         for _ in range(batch):
@@ -164,3 +177,43 @@ class DeliveryManager:
             self.ack(message.message_id)
             consumed += 1
         return consumed
+
+    def process_batch(
+        self, consumer: Consumer, *, batch: int = 100, consumer_name: str = "consumer"
+    ) -> int:
+        """Batched delivery pump: dequeue up to ``batch`` messages in
+        one transaction, run ``consumer`` on each, then ack every
+        success with ONE batch ack (failures nack individually).
+
+        Always starts by enforcing ack deadlines, so driving this on an
+        idle queue still redelivers timed-out messages from dead
+        consumers (see the class docstring's driving contract).
+        Returns the number successfully consumed.
+        """
+        self.check_timeouts()
+        messages = self.broker.consume_batch(
+            self.queue_name, batch, principal=consumer_name
+        )
+        deadline = self.clock.now() + self.ack_timeout
+        for message in messages:
+            self._pending[message.message_id] = _PendingAck(
+                message_id=message.message_id, deadline=deadline
+            )
+        self.stats["delivered"] += len(messages)
+        succeeded: list[int] = []
+        for message in messages:
+            try:
+                consumer(message)
+            except Exception:
+                self.stats["consumer_errors"] += 1
+                self.nack(message.message_id)
+                continue
+            succeeded.append(message.message_id)
+        if succeeded:
+            for message_id in succeeded:
+                del self._pending[message_id]
+            self.broker.ack_batch(
+                self.queue_name, succeeded, principal="delivery"
+            )
+            self.stats["acked"] += len(succeeded)
+        return len(succeeded)

@@ -110,6 +110,21 @@ class QueueBroker:
         self._audit(principal, "enqueue", queue_name, message_id)
         return message_id
 
+    def publish_batch(
+        self,
+        queue_name: str,
+        messages: Iterable[Message | Any],
+        *,
+        principal: str = "internal",
+    ) -> list[int]:
+        """Publish a batch of internally created messages in ONE
+        transaction (security checked once, audited per message)."""
+        self.security.check(principal, queue_name, Permission.ENQUEUE)
+        message_ids = self.queue(queue_name).enqueue_batch(messages)
+        for message_id in message_ids:
+            self._audit(principal, "enqueue", queue_name, message_id)
+        return message_ids
+
     def enqueue_via_sql(
         self,
         queue_name: str,
@@ -172,10 +187,43 @@ class QueueBroker:
             self._audit(principal, "dequeue", queue_name, message.message_id)
         return message
 
+    def consume_batch(
+        self,
+        queue_name: str,
+        max_messages: int,
+        *,
+        principal: str = "consumer",
+    ) -> list[Message]:
+        """Dequeue up to ``max_messages`` in ONE transaction (all
+        LOCKED until ack/requeue)."""
+        self.security.check(principal, queue_name, Permission.DEQUEUE)
+        messages = self.queue(queue_name).dequeue_batch(
+            max_messages, consumer=principal
+        )
+        for message in messages:
+            self._audit(principal, "dequeue", queue_name, message.message_id)
+        return messages
+
     def ack(self, queue_name: str, message_id: int, *, principal: str = "consumer") -> None:
         self.security.check(principal, queue_name, Permission.DEQUEUE)
         self.queue(queue_name).ack(message_id)
         self._audit(principal, "ack", queue_name, message_id)
+
+    def ack_batch(
+        self,
+        queue_name: str,
+        message_ids: Iterable[int],
+        *,
+        principal: str = "consumer",
+    ) -> int:
+        """Acknowledge a batch of LOCKED messages with ONE transaction
+        (one commit, one journal flush for the whole batch)."""
+        ids = list(message_ids)
+        self.security.check(principal, queue_name, Permission.DEQUEUE)
+        acked = self.queue(queue_name).ack_batch(ids)
+        for message_id in ids:
+            self._audit(principal, "ack", queue_name, message_id)
+        return acked
 
     def requeue(
         self,

@@ -29,7 +29,9 @@ class Message:
     Attributes:
         payload: JSON-serializable body.
         priority: larger values dequeue first; ties broken FIFO.
-        visible_at: earliest dequeue time (delayed messages).
+        visible_at: earliest dequeue time (delayed messages); ``None``
+            until enqueue stamps it.  An explicit ``0.0`` is a real
+            timestamp (epoch under a simulated clock), not "unset".
         expires_at: after this time the message can no longer be
             consumed; ``None`` means never expires.
         correlation_id: application correlation key (e.g. order id).
@@ -42,7 +44,7 @@ class Message:
     message_id: int | None = None
     priority: int = 0
     enqueued_at: float = 0.0
-    visible_at: float = 0.0
+    visible_at: float | None = None
     expires_at: float | None = None
     correlation_id: str | None = None
     headers: dict[str, Any] = field(default_factory=dict)

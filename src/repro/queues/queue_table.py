@@ -10,19 +10,37 @@ database's operational characteristics verbatim:
   caller's transaction: a rolled-back enqueue never becomes visible, a
   rolled-back dequeue leaves the message READY.
 * **Ordering** — dequeue returns the highest-priority READY message,
-  FIFO within a priority.
+  FIFO within a priority.  FIFO position is the *original enqueue*
+  position (the rowid): a message requeued after a failed delivery
+  keeps its place ahead of messages enqueued while it was locked.
 
 Two enqueue paths exist for EXP-3:
 :meth:`enqueue` is the internal fast path (programmatic row insert);
 :meth:`enqueue_via_insert` goes through the full SQL text interface the
 way an external client would ("extended INSERT interface",
 §2.2.b.i.1).
+
+Dequeue is O(log n): each queue keeps an in-memory min-heap over its
+READY rows keyed ``(-priority, rowid)``, maintained by the enqueue /
+requeue / recover paths and validated lazily against the table on pop
+(stale entries — rolled-back enqueues, expired sweeps — are simply
+discarded; rowids are never reused, so an entry can never alias a
+different message).  The heap is rebuilt from the table when a
+:class:`QueueTable` attaches to an existing table (restart/recovery)
+and on demand via :meth:`rebuild_ready_index` after out-of-band SQL
+writes to the queue table.
+
+Batch operations (:meth:`enqueue_batch`, :meth:`dequeue_batch`,
+:meth:`ack_batch`) cover the whole batch with ONE transaction — one
+lock acquisition, one commit, one journal flush — which is where the
+"significant optimization opportunities" of §2.2.b.i.3 come from.
 """
 
 from __future__ import annotations
 
+import heapq
 import json
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.clock import Clock
 from repro.db.database import Connection, Database
@@ -65,8 +83,14 @@ class QueueTable:
             "requeued": 0,
             "expired": 0,
         }
+        # Priority-ordered READY index: min-heap of (-priority, rowid).
+        # rowid is the tie-break, so FIFO-within-priority follows the
+        # original enqueue order even across requeues.
+        self._ready: list[tuple[int, int]] = []
         if not db.catalog.has_table(self.table_name):
             self._create_table()
+        else:
+            self.rebuild_ready_index()
 
     @property
     def clock(self) -> Clock:
@@ -102,7 +126,10 @@ class QueueTable:
         now = self.clock.now()
         message.queue = self.name
         message.enqueued_at = now
-        if not message.visible_at:
+        # Only None means "unset": an explicit visible_at=0.0 is a real
+        # timestamp (epoch under a simulated clock), not a request to be
+        # visible "now".
+        if message.visible_at is None:
             message.visible_at = now
         if message.expires_at is None and self.default_expiration is not None:
             message.expires_at = now + self.default_expiration
@@ -123,8 +150,41 @@ class QueueTable:
         message = self._prepare(message)
         rowid = self.db.insert_row(self.table_name, message.to_row(), conn=conn)
         message.message_id = rowid
+        heapq.heappush(self._ready, (-message.priority, rowid))
         self.stats["enqueued"] += 1
         return rowid
+
+    def enqueue_batch(
+        self,
+        messages: Iterable[Message | Any],
+        *,
+        conn: Connection | None = None,
+    ) -> list[int]:
+        """Enqueue a batch of messages in ONE transaction.
+
+        The whole batch shares a single table lock, commit, and journal
+        flush (group commit degenerate case: the batch *is* the group),
+        so per-message cost drops sharply with batch size — the EXP-2
+        batch-size sweep quantifies it.  Returns the message ids, in
+        input order; each input :class:`Message` gets its
+        ``message_id`` assigned, exactly like :meth:`enqueue`.
+        """
+        prepared = [
+            self._prepare(
+                message if isinstance(message, Message) else Message(payload=message)
+            )
+            for message in messages
+        ]
+        if not prepared:
+            return []
+        rowids = self.db.insert_many(
+            self.table_name, [message.to_row() for message in prepared], conn=conn
+        )
+        for message, rowid in zip(prepared, rowids):
+            message.message_id = rowid
+            heapq.heappush(self._ready, (-message.priority, rowid))
+        self.stats["enqueued"] += len(rowids)
+        return rowids
 
     def enqueue_via_insert(self, message: Message | Any) -> int:
         """Client-style enqueue through the SQL INSERT interface.
@@ -141,10 +201,85 @@ class QueueTable:
         result = self.db.execute(
             f"INSERT INTO {self.table_name} ({columns}) VALUES ({values})"
         )
+        # Leave the caller's Message in the same state as the fast
+        # path: the SQL path returns the assigned id via lastrowid.
+        message.message_id = result.lastrowid
+        heapq.heappush(self._ready, (-message.priority, result.lastrowid))
         self.stats["enqueued"] += 1
         return result.lastrowid
 
     # -- dequeue ----------------------------------------------------------------
+
+    def _dequeue_ready(
+        self, connection: Connection, consumer: str, limit: int
+    ) -> list[Message]:
+        """Pop up to ``limit`` dequeueable messages off the READY heap
+        and lock them, inside the caller's (already open) transaction.
+
+        Heap entries are validated against the table on pop: entries
+        whose row is gone or no longer READY are discarded, not-yet-
+        visible entries are deferred (pushed back), and expired entries
+        are marked EXPIRED.  All state transitions of the batch are
+        applied through one :meth:`Database.update_rows` call.
+        """
+        self.db.lock_table_exclusive(connection, self.table_name)
+        transaction = connection.require_transaction()
+        now = self.clock.now()
+        table = self.db.catalog.table(self.table_name)
+        heap = self._ready
+        if not heap and self.depth():
+            # Safety net: the table has READY rows the heap does not
+            # know about (recovery replay, out-of-band SQL writes, a
+            # rolled-back dequeue).  Re-derive the index from the table.
+            self.rebuild_ready_index()
+            heap = self._ready
+        deferred: list[tuple[int, int]] = []
+        taken: list[tuple[int, int]] = []
+        updates: list[tuple[int, dict[str, Any]]] = []
+        messages: list[Message] = []
+        seen: set[int] = set()
+        expired = 0
+        while heap and len(messages) < limit:
+            entry = heapq.heappop(heap)
+            rowid = entry[1]
+            if rowid in seen:
+                continue  # duplicate entry (requeue + rollback races)
+            row = table.get(rowid)
+            if row is None or row["state"] != MessageState.READY.value:
+                continue  # stale entry — lazily discarded
+            if row["visible_at"] > now:
+                deferred.append(entry)
+                continue
+            seen.add(rowid)
+            if row["expires_at"] is not None and row["expires_at"] <= now:
+                updates.append((rowid, {"state": MessageState.EXPIRED.value}))
+                taken.append(entry)
+                expired += 1
+                continue
+            columns = {
+                "state": MessageState.LOCKED.value,
+                "consumer": consumer,
+                "attempts": row["attempts"] + 1,
+            }
+            updates.append((rowid, columns))
+            taken.append(entry)
+            row.update(columns)
+            messages.append(Message.from_row(self.name, rowid, row))
+        for entry in deferred:
+            heapq.heappush(heap, entry)
+        if updates:
+            self.db.update_rows(self.table_name, updates, conn=connection)
+        if taken:
+            # A rolled-back dequeue restores the rows to READY via the
+            # row-level undo; restore their heap entries alongside.
+            transaction.record_undo(
+                lambda entries=tuple(taken): [
+                    heapq.heappush(self._ready, entry) for entry in entries
+                ]
+            )
+        self.stats["expired"] += expired
+        self.stats["dequeued"] += len(messages)
+        return messages
 
     def dequeue(
         self,
@@ -160,42 +295,30 @@ class QueueTable:
         """
 
         def work(connection: Connection) -> Message | None:
-            self.db.lock_table_exclusive(connection, self.table_name)
-            now = self.clock.now()
-            table = self.db.catalog.table(self.table_name)
-            best: tuple[int, int] | None = None  # (-priority, rowid)
-            for rowid in table.lookup_rowids("state", MessageState.READY.value):
-                row = table.get(rowid)
-                if row is None or row["visible_at"] > now:
-                    continue
-                if row["expires_at"] is not None and row["expires_at"] <= now:
-                    self.db.update_row(
-                        self.table_name,
-                        rowid,
-                        {"state": MessageState.EXPIRED.value},
-                        conn=connection,
-                    )
-                    self.stats["expired"] += 1
-                    continue
-                candidate = (-row["priority"], rowid)
-                if best is None or candidate < best:
-                    best = candidate
-            if best is None:
-                return None
-            rowid = best[1]
-            self.db.update_row(
-                self.table_name,
-                rowid,
-                {
-                    "state": MessageState.LOCKED.value,
-                    "consumer": consumer,
-                    "attempts": table.get(rowid)["attempts"] + 1,
-                },
-                conn=connection,
-            )
-            row = table.get(rowid)
-            self.stats["dequeued"] += 1
-            return Message.from_row(self.name, rowid, row)
+            messages = self._dequeue_ready(connection, consumer, 1)
+            return messages[0] if messages else None
+
+        return self.db._with_transaction(conn, work)
+
+    def dequeue_batch(
+        self,
+        max_messages: int,
+        *,
+        consumer: str = "anonymous",
+        conn: Connection | None = None,
+    ) -> list[Message]:
+        """Lock and return up to ``max_messages`` READY messages in ONE
+        transaction, in dequeue order (priority desc, FIFO within).
+
+        Returns fewer (possibly zero) messages when the queue runs dry.
+        Each returned message is LOCKED until acked/requeued, exactly as
+        with :meth:`dequeue`.
+        """
+        if max_messages < 1:
+            return []
+
+        def work(connection: Connection) -> list[Message]:
+            return self._dequeue_ready(connection, consumer, max_messages)
 
         return self.db._with_transaction(conn, work)
 
@@ -218,6 +341,43 @@ class QueueTable:
 
         self.db._with_transaction(conn, work)
 
+    def ack_batch(
+        self,
+        message_ids: Sequence[int],
+        *,
+        conn: Connection | None = None,
+    ) -> int:
+        """Consume a batch of LOCKED messages in ONE transaction.
+
+        All-or-nothing: every id must name a LOCKED message or the
+        whole batch fails (and rolls back).  Returns the number acked.
+        """
+        ids = list(message_ids)
+        if not ids:
+            return 0
+
+        def work(connection: Connection) -> int:
+            for message_id in ids:
+                self._require_state(message_id, MessageState.LOCKED, "ack")
+            if self.keep_history:
+                self.db.update_rows(
+                    self.table_name,
+                    [
+                        (message_id, {"state": MessageState.CONSUMED.value})
+                        for message_id in ids
+                    ],
+                    conn=connection,
+                )
+            else:
+                for message_id in ids:
+                    self.db.delete_row(
+                        self.table_name, message_id, conn=connection
+                    )
+            self.stats["acked"] += len(ids)
+            return len(ids)
+
+        return self.db._with_transaction(conn, work)
+
     def requeue(
         self,
         message_id: int,
@@ -225,10 +385,15 @@ class QueueTable:
         delay: float = 0.0,
         conn: Connection | None = None,
     ) -> None:
-        """Return a LOCKED message to READY (consumer failure path)."""
+        """Return a LOCKED message to READY (consumer failure path).
+
+        The message keeps its original rowid and therefore its original
+        FIFO position within its priority: redelivery is not penalized
+        by messages that arrived while it was locked.
+        """
 
         def work(connection: Connection) -> None:
-            self._require_state(message_id, MessageState.LOCKED, "requeue")
+            row = self._require_state(message_id, MessageState.LOCKED, "requeue")
             self.db.update_row(
                 self.table_name,
                 message_id,
@@ -239,6 +404,7 @@ class QueueTable:
                 },
                 conn=connection,
             )
+            heapq.heappush(self._ready, (-row["priority"], message_id))
             self.stats["requeued"] += 1
 
         self.db._with_transaction(conn, work)
@@ -319,8 +485,27 @@ class QueueTable:
                 rowid,
                 {"state": MessageState.READY.value, "consumer": None},
             )
+            heapq.heappush(self._ready, (-row["priority"], rowid))
             recovered += 1
         return recovered
+
+    def rebuild_ready_index(self) -> int:
+        """Re-derive the in-memory READY heap from the table.
+
+        Called automatically when attaching to an existing table and by
+        the dequeue safety net; call it manually after mutating the
+        queue table through raw SQL.  Returns the number of READY rows
+        indexed.
+        """
+        table = self.db.catalog.table(self.table_name)
+        entries = []
+        for rowid in table.lookup_rowids("state", MessageState.READY.value):
+            row = table.get(rowid)
+            if row is not None:
+                entries.append((-row["priority"], rowid))
+        heapq.heapify(entries)
+        self._ready = entries
+        return len(entries)
 
 
 def _sql_literal(value: Any) -> str:

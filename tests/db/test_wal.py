@@ -4,6 +4,8 @@ import os
 
 import pytest
 
+from repro.clock import SimulatedClock
+from repro.errors import WALError
 from repro.db.wal import (
     OP_ABORT,
     OP_BEGIN,
@@ -151,6 +153,115 @@ class TestJournalReader:
         record = reader.poll()[0]
         assert record.before == {"a": 1}
         assert record.after == {"a": 2}
+
+
+class TestGroupCommit:
+    def test_default_size_flushes_every_commit(self):
+        wal = WriteAheadLog()
+        wal.append(1, OP_BEGIN)
+        wal.append(1, OP_COMMIT)
+        wal.commit_point()
+        assert wal.pending_commits == 0
+        assert wal.durable_lsn == 2
+
+    def test_flush_deferred_until_group_fills(self):
+        wal = WriteAheadLog(group_commit_size=3)
+        for txid in (1, 2):
+            dml(wal, txid)
+            wal.append(txid, OP_COMMIT)
+            wal.commit_point()
+        assert wal.pending_commits == 2
+        assert wal.durable_lsn == 0  # nothing fsynced yet
+        dml(wal, 3)
+        wal.append(3, OP_COMMIT)
+        wal.commit_point()  # third commit fills the group
+        assert wal.pending_commits == 0
+        assert wal.durable_lsn == wal.last_lsn
+
+    def test_window_forces_flush_for_stale_pending_commit(self):
+        clock = SimulatedClock(start=0.0)
+        wal = WriteAheadLog(
+            clock=clock, group_commit_size=100, group_commit_window=2.0
+        )
+        wal.append(1, OP_COMMIT)
+        wal.commit_point()
+        assert wal.pending_commits == 1
+        clock.advance(3.0)
+        wal.append(2, OP_COMMIT)
+        wal.commit_point()  # oldest pending exceeded the window
+        assert wal.pending_commits == 0
+        assert wal.durable_lsn == wal.last_lsn
+
+    def test_crash_loses_at_most_pending_tail(self):
+        wal = WriteAheadLog(group_commit_size=4)
+        for txid in range(1, 6):  # 5 commits: group of 4 flushed, 1 pending
+            wal.append(txid, OP_COMMIT)
+            wal.commit_point()
+        assert wal.pending_commits == 1
+        survivors = wal.crash()
+        assert [r.txid for r in survivors] == [1, 2, 3, 4]
+        assert wal.pending_commits == 0
+
+    def test_explicit_flush_drains_pending(self):
+        wal = WriteAheadLog(group_commit_size=10)
+        wal.append(1, OP_COMMIT)
+        wal.commit_point()
+        wal.flush()
+        assert wal.pending_commits == 0
+        assert wal.durable_lsn == wal.last_lsn
+
+    def test_invalid_group_size_rejected(self):
+        with pytest.raises(ValueError):
+            WriteAheadLog(group_commit_size=0)
+
+
+class TestSerializationFidelity:
+    def test_unserializable_value_rejected_at_append(self, tmp_path):
+        """Regression: to_json used ``default=str``, silently journaling
+        e.g. sets as strings; replay then resurrected rows with the
+        wrong types.  A file-backed WAL must reject at append time."""
+        wal = WriteAheadLog(path=str(tmp_path / "journal.log"))
+        before_len, before_lsn = len(wal), wal.last_lsn
+        with pytest.raises(WALError, match="does not round-trip"):
+            wal.append(1, OP_INSERT, table="t", rowid=1, after={"x": {1, 2}})
+        # The failed append left the log untouched and usable.
+        assert (len(wal), wal.last_lsn) == (before_len, before_lsn)
+        wal.append(1, OP_INSERT, table="t", rowid=1, after={"x": "ok"})
+        wal.flush()
+        assert wal.durable_lsn == wal.last_lsn
+
+    def test_in_memory_wal_keeps_objects_verbatim(self):
+        # Without a file, replay consumes the records as Python objects;
+        # no serialization happens, so nothing needs rejecting.
+        wal = WriteAheadLog()
+        record = wal.append(1, OP_INSERT, table="t", rowid=1, after={"x": {1, 2}})
+        assert record.after == {"x": {1, 2}}
+
+    def test_recovery_preserves_payload_types(self, tmp_path):
+        """Enqueue a structured payload, crash, replay from the on-disk
+        journal, and compare types value-for-value."""
+        from repro.clock import SimulatedClock as Clock
+        from repro.db import Database
+        from repro.queues import QueueTable
+
+        path = str(tmp_path / "db.wal")
+        payload = {
+            "count": 3,
+            "ratio": 2.5,
+            "flag": True,
+            "none": None,
+            "items": [1, "two", 3.0],
+            "nested": {"k": 0},
+        }
+        db = Database(path=path, clock=Clock(start=1000.0))
+        QueueTable(db, "jobs").enqueue(payload)
+
+        reborn = Database(path=path, clock=Clock(start=2000.0))
+        message = QueueTable(reborn, "jobs").dequeue()
+        assert message.payload == payload
+        for key, value in payload.items():
+            assert type(message.payload[key]) is type(value), key
+        assert [type(v) for v in message.payload["items"]] == [int, str, float]
 
 
 class TestFilePersistence:

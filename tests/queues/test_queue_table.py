@@ -182,6 +182,59 @@ class TestTransactionalBehaviour:
         assert queue.depth() == 1
 
 
+class TestEnqueuePathParity:
+    def test_sql_path_sets_message_id(self, queue):
+        """Regression: enqueue_via_insert returned lastrowid but never
+        assigned it to the Message, leaving ``message_id`` None."""
+        message = Message(payload={"via": "sql"})
+        mid = queue.enqueue_via_insert(message)
+        assert message.message_id == mid
+
+    def test_both_paths_leave_message_in_same_state(self, queue, clock):
+        fast = Message(payload="x", priority=3)
+        sql = Message(payload="x", priority=3)
+        queue.enqueue(fast)
+        queue.enqueue_via_insert(sql)
+        assert sql.message_id == fast.message_id + 1
+        for attr in ("queue", "state", "enqueued_at", "visible_at",
+                     "expires_at", "priority", "attempts"):
+            assert getattr(sql, attr) == getattr(fast, attr), attr
+        assert fast.state is MessageState.READY
+
+    def test_sql_path_message_usable_for_ack(self, queue):
+        """The id must be real: ack through it round-trips."""
+        message = Message(payload="job")
+        queue.enqueue_via_insert(message)
+        locked = queue.dequeue()
+        assert locked.message_id == message.message_id
+        queue.ack(message.message_id)
+        assert queue.depth() == 0
+
+
+class TestExplicitZeroVisibleAt:
+    def test_visible_at_zero_is_preserved(self, queue, clock):
+        """Regression: ``if not message.visible_at`` treated an explicit
+        0.0 (a real epoch timestamp) as unset and overwrote it with
+        now()."""
+        message = Message(payload="epoch", visible_at=0.0)
+        mid = queue.enqueue(message)
+        assert message.visible_at == 0.0
+        row = queue.db.catalog.table(queue.table_name).get(mid)
+        assert row["visible_at"] == 0.0
+
+    def test_visible_at_zero_is_immediately_visible(self, queue, clock):
+        # conftest clock starts at 1000.0, so 0.0 is in the past.
+        queue.enqueue(Message(payload="epoch", visible_at=0.0))
+        got = queue.dequeue()
+        assert got is not None
+        assert got.visible_at == 0.0
+
+    def test_unset_visible_at_still_defaults_to_now(self, queue, clock):
+        message = Message(payload="plain")
+        queue.enqueue(message)
+        assert message.visible_at == clock.now()
+
+
 class TestBrowse:
     def test_browse_does_not_lock(self, queue):
         queue.enqueue("x")

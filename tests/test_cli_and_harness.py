@@ -90,6 +90,37 @@ class TestReporting:
         ]
         assert selected == ["bench_exp3_internal_opt"]
 
+    def test_run_all_quick_smoke(self, tmp_path):
+        """--quick shrinks every experiment to a tiny sweep; smoke-run a
+        subset end to end through the real CLI."""
+        out = str(tmp_path / "tables.txt")
+        result = subprocess.run(
+            [
+                sys.executable, "benchmarks/run_all.py",
+                "--quick", "--only", "1,3,8,10", "--out", out,
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "EXP-1" in result.stdout
+        assert "EXP-10" in result.stdout
+        assert "harness wall time" in result.stdout
+        with open(out, encoding="utf-8") as handle:
+            assert "EXP-3" in handle.read()
+
+    def test_every_experiment_module_main_accepts_quick(self):
+        import importlib
+        import inspect
+
+        from benchmarks import run_all
+
+        for name in run_all.EXPERIMENTS:
+            module = importlib.import_module(f"benchmarks.{name}")
+            signature = inspect.signature(module.main)
+            assert "quick" in signature.parameters, name
+
     def test_every_experiment_module_has_main_and_shape_test(self):
         import importlib
 
