@@ -67,6 +67,7 @@ from repro.db.wal import (
 from repro.errors import (
     ConstraintViolation,
     DatabaseError,
+    RecoveryError,
     SchemaError,
     TransactionError,
     TriggerError,
@@ -203,6 +204,9 @@ class Database:
         group_commit_window: optional bound, in clock seconds, on how
             long the oldest unflushed commit may wait for its group.
         clock: time source used for default timestamps.
+        faults: optional :class:`repro.faults.FaultInjector`; forwarded
+            to the WAL and visible to brokers/delivery managers built
+            on this database, so one injector arms the whole pipeline.
     """
 
     def __init__(
@@ -214,15 +218,18 @@ class Database:
         group_commit_window: float | None = None,
         lock_timeout: float = 5.0,
         clock: Clock | None = None,
+        faults: Any = None,
     ) -> None:
         self.clock = clock or WallClock()
         self.catalog = Catalog()
+        self._faults = faults
         self.wal = WriteAheadLog(
             path=path,
             sync_policy=sync_policy,
             clock=self.clock,
             group_commit_size=group_commit_size,
             group_commit_window=group_commit_window,
+            faults=faults,
         )
         self.locks = LockManager(timeout=lock_timeout)
         self.transactions = TransactionManager(self.locks)
@@ -244,6 +251,18 @@ class Database:
         }
         if path and len(self.wal):
             self._rebuild_from_records(self.wal.records(durable_only=True))
+
+    @property
+    def faults(self) -> Any:
+        """The attached fault injector (or ``None``)."""
+        return self._faults
+
+    @faults.setter
+    def faults(self, injector: Any) -> None:
+        # Keep the WAL's reference in lockstep so arming after
+        # construction still reaches every failpoint.
+        self._faults = injector
+        self.wal.faults = injector
 
     # -- connections -------------------------------------------------------
 
@@ -939,51 +958,71 @@ class Database:
         skipped_triggers: list[str] = []
         for record in plan.redo_records:
             verify_redo_record(record)
-            if record.op == OP_CREATE_TABLE:
-                self.catalog.create_table(schema_from_dict(record.meta["schema"]))
-            elif record.op == OP_DROP_TABLE:
-                if self.catalog.has_table(record.table):
-                    self.catalog.drop_table(record.table)
-            elif record.op == OP_CREATE_INDEX:
-                table = self.catalog.table(record.table)
-                meta = record.meta
-                if meta["name"] not in table.indexes:
-                    table.create_index(
-                        meta["name"],
-                        meta["column"],
-                        kind=meta["kind"],
-                        unique=meta["unique"],
-                    )
-            elif record.op == OP_CREATE_TRIGGER:
-                meta = record.meta
-                callback = self._trigger_functions.get(meta["callback"])
-                if callback is None:
-                    skipped_triggers.append(meta["name"])
-                    continue
-                self.create_trigger(
-                    meta["name"],
-                    record.table,
-                    timing=TriggerTiming(meta["timing"]),
-                    event=TriggerEvent(meta["event"]),
-                    action=callback,
-                    when=(
-                        expression_from_dict(meta["when"])
-                        if meta.get("when") is not None
-                        else None
-                    ),
-                    for_each_row=meta["for_each_row"],
-                )
-            elif record.op == OP_INSERT:
-                self.catalog.table(record.table).insert(
-                    record.after, rowid=record.rowid
-                )
-            elif record.op == OP_UPDATE:
-                self.catalog.table(record.table).update(
-                    record.rowid, record.after
-                )
-            elif record.op == OP_DELETE:
-                self.catalog.table(record.table).delete(record.rowid)
+            try:
+                skipped = self._redo_one(record)
+            except RecoveryError:
+                raise
+            except DatabaseError as exc:
+                # Surface redo failures with the offending record's
+                # coordinates instead of a bare storage-layer message.
+                raise RecoveryError(
+                    f"redo failed: {exc}",
+                    lsn=record.lsn,
+                    op=record.op,
+                    table=record.table,
+                    rowid=record.rowid,
+                ) from exc
+            if skipped is not None:
+                skipped_triggers.append(skipped)
         self.recovery_skipped_triggers = skipped_triggers
+
+    def _redo_one(self, record: Any) -> str | None:
+        """Apply one redo record; returns a skipped-trigger name when a
+        journaled trigger's function is not registered."""
+        if record.op == OP_CREATE_TABLE:
+            self.catalog.create_table(schema_from_dict(record.meta["schema"]))
+        elif record.op == OP_DROP_TABLE:
+            if self.catalog.has_table(record.table):
+                self.catalog.drop_table(record.table)
+        elif record.op == OP_CREATE_INDEX:
+            table = self.catalog.table(record.table)
+            meta = record.meta
+            if meta["name"] not in table.indexes:
+                table.create_index(
+                    meta["name"],
+                    meta["column"],
+                    kind=meta["kind"],
+                    unique=meta["unique"],
+                )
+        elif record.op == OP_CREATE_TRIGGER:
+            meta = record.meta
+            callback = self._trigger_functions.get(meta["callback"])
+            if callback is None:
+                return meta["name"]
+            self.create_trigger(
+                meta["name"],
+                record.table,
+                timing=TriggerTiming(meta["timing"]),
+                event=TriggerEvent(meta["event"]),
+                action=callback,
+                when=(
+                    expression_from_dict(meta["when"])
+                    if meta.get("when") is not None
+                    else None
+                ),
+                for_each_row=meta["for_each_row"],
+            )
+        elif record.op == OP_INSERT:
+            self.catalog.table(record.table).insert(
+                record.after, rowid=record.rowid
+            )
+        elif record.op == OP_UPDATE:
+            self.catalog.table(record.table).update(
+                record.rowid, record.after
+            )
+        elif record.op == OP_DELETE:
+            self.catalog.table(record.table).delete(record.rowid)
+        return None
 
 
 def make_timestamp_default(clock: Clock) -> Callable[[], float]:

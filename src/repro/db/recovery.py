@@ -129,18 +129,33 @@ def analyze(records: list[LogRecord]) -> RecoveryPlan:
 
 
 def verify_redo_record(record: LogRecord) -> None:
-    """Sanity-check a redo record before applying it."""
+    """Sanity-check a redo record before applying it.
+
+    Raised errors carry structured context (``lsn``/``op``/``table``/
+    ``rowid``) so harnesses can assert on *which* record was rejected.
+    """
     if record.op in DML_OPS:
         if record.table is None or record.rowid is None:
             raise RecoveryError(
-                f"malformed DML record lsn={record.lsn}: missing table/rowid"
+                "malformed DML record: missing table/rowid",
+                lsn=record.lsn,
+                op=record.op,
+                table=record.table,
+                rowid=record.rowid,
             )
         if record.op != "delete" and record.after is None:
             raise RecoveryError(
-                f"malformed {record.op} record lsn={record.lsn}: missing row image"
+                "malformed record: missing row image",
+                lsn=record.lsn,
+                op=record.op,
+                table=record.table,
+                rowid=record.rowid,
             )
     elif record.op in DDL_OPS:
         if record.op == "create_table" and "schema" not in record.meta:
             raise RecoveryError(
-                f"malformed create_table record lsn={record.lsn}: missing schema"
+                "malformed create_table record: missing schema",
+                lsn=record.lsn,
+                op=record.op,
+                table=record.table,
             )

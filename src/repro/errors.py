@@ -12,6 +12,27 @@ class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
 
+class FaultInjectedError(ReproError, IOError):
+    """An armed failpoint fired (see :mod:`repro.faults`).
+
+    Subclasses ``IOError`` so code under test that handles real I/O
+    failures handles injected ones identically; subclasses
+    :class:`ReproError` so harnesses can catch exactly the injected
+    faults and treat them as a simulated process death.
+    """
+
+    def __init__(self, message: str, *, failpoint: str | None = None) -> None:
+        self.failpoint = failpoint
+        if failpoint:
+            message = f"{message} (failpoint {failpoint!r})"
+        super().__init__(message)
+
+
+class TornTailWarning(RuntimeWarning):
+    """A WAL scan found (and truncated) invalid bytes after the last
+    durable commit — the expected aftermath of a crash mid-append."""
+
+
 # --------------------------------------------------------------------------
 # Database substrate
 # --------------------------------------------------------------------------
@@ -19,6 +40,46 @@ class ReproError(Exception):
 
 class DatabaseError(ReproError):
     """Base class for errors raised by the embedded database."""
+
+
+class JournalContext:
+    """Mixin giving journal errors uniform structured context.
+
+    ``lsn``/``op``/``table``/``rowid``/``byte_offset`` are attributes
+    the fault suite asserts on directly, instead of parsing ad-hoc
+    message strings; whichever are known are also appended to the
+    message for humans.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        lsn: int | None = None,
+        op: str | None = None,
+        table: str | None = None,
+        rowid: int | None = None,
+        byte_offset: int | None = None,
+    ) -> None:
+        self.lsn = lsn
+        self.op = op
+        self.table = table
+        self.rowid = rowid
+        self.byte_offset = byte_offset
+        context = ", ".join(
+            f"{name}={value!r}"
+            for name, value in (
+                ("lsn", lsn),
+                ("op", op),
+                ("table", table),
+                ("rowid", rowid),
+                ("byte_offset", byte_offset),
+            )
+            if value is not None
+        )
+        if context:
+            message = f"{message} [{context}]"
+        super().__init__(message)
 
 
 class SchemaError(DatabaseError):
@@ -67,16 +128,22 @@ class LockTimeoutError(TransactionError):
     """A lock could not be acquired within the configured timeout."""
 
 
-class RecoveryError(DatabaseError):
-    """The write-ahead log could not be replayed consistently."""
+class RecoveryError(JournalContext, DatabaseError):
+    """The write-ahead log could not be replayed consistently.
+
+    Carries structured context (``lsn``, ``op``, ``table``, ``rowid``,
+    ``byte_offset``) identifying *which* record failed — a
+    mid-log checksum failure names the LSN it expected at the corrupt
+    frame's byte offset."""
 
 
-class WALError(DatabaseError):
+class WALError(JournalContext, DatabaseError):
     """A journal record could not be serialized faithfully.
 
     Raised at append time (not at flush time) when a persistent WAL is
     asked to journal a value JSON cannot round-trip, so the offending
-    transaction fails cleanly instead of poisoning crash recovery."""
+    transaction fails cleanly instead of poisoning crash recovery.
+    Carries the same structured context as :class:`RecoveryError`."""
 
 
 class TriggerError(DatabaseError):

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import DeliveryError
+from repro.faults import DELIVERY_CONSUMER
 from repro.queues.broker import QueueBroker
 from repro.queues.message import Message
 
@@ -75,6 +76,21 @@ class DeliveryManager:
     def clock(self):
         return self.broker.db.clock
 
+    def _run_consumer(self, consumer: Consumer, message: Message) -> None:
+        """Invoke the consumer, giving an armed ``delivery.consumer``
+        failpoint first shot — an injected raise is indistinguishable
+        from a consumer exception, so it flows into the nack/retry/DLQ
+        machinery like any real failure."""
+        faults = self.broker.db.faults
+        if faults is not None:
+            faults.fire(
+                DELIVERY_CONSUMER,
+                queue=self.queue_name,
+                message=message,
+                delivery=self,
+            )
+        consumer(message)
+
     # -- explicit ack protocol -----------------------------------------------
 
     def deliver(self, *, consumer_name: str = "consumer") -> Message | None:
@@ -128,23 +144,38 @@ class DeliveryManager:
         row = table.get(message_id)
         attempts = row["attempts"] if row else self.max_attempts
         if attempts >= self.max_attempts:
-            if self.dead_letter_queue and row is not None:
-                message = Message.from_row(self.queue_name, message_id, row)
-                self.broker.publish(
-                    self.dead_letter_queue,
-                    Message(
+            if self.dead_letter_queue:
+                if row is not None:
+                    message = Message.from_row(self.queue_name, message_id, row)
+                    dead = Message(
                         payload=message.payload,
                         correlation_id=message.correlation_id,
                         headers={
                             **message.headers,
                             "dead_letter_reason": "max delivery attempts",
                             "origin_queue": self.queue_name,
+                            "origin_message_id": message_id,
                         },
-                    ),
-                    principal="delivery",
-                )
+                    )
+                else:
+                    # The row vanished (e.g. the queue table was damaged
+                    # or the message expired out from under us).  The
+                    # payload is gone, but the *fact of the loss* must
+                    # not be — dead-letter a tombstone naming the id so
+                    # no message silently disappears.
+                    dead = Message(
+                        payload=None,
+                        headers={
+                            "dead_letter_reason": "message row unreadable",
+                            "origin_queue": self.queue_name,
+                            "origin_message_id": message_id,
+                            "tombstone": True,
+                        },
+                    )
+                self.broker.publish(self.dead_letter_queue, dead, principal="delivery")
                 self.stats["dead_lettered"] += 1
-            self.broker.ack(self.queue_name, message_id, principal="delivery")
+            if row is not None:
+                self.broker.ack(self.queue_name, message_id, principal="delivery")
         else:
             self.broker.requeue(
                 self.queue_name, message_id, delay=delay, principal="delivery"
@@ -169,7 +200,7 @@ class DeliveryManager:
             if message is None:
                 break
             try:
-                consumer(message)
+                self._run_consumer(consumer, message)
             except Exception:
                 self.stats["consumer_errors"] += 1
                 self.nack(message.message_id)
@@ -203,7 +234,7 @@ class DeliveryManager:
         succeeded: list[int] = []
         for message in messages:
             try:
-                consumer(message)
+                self._run_consumer(consumer, message)
             except Exception:
                 self.stats["consumer_errors"] += 1
                 self.nack(message.message_id)

@@ -17,6 +17,7 @@ from typing import Any, Iterable
 
 from repro.db.database import Database
 from repro.errors import QueueError, QueueNotFoundError
+from repro.faults import BROKER_ACK, BROKER_CONSUME, BROKER_PUBLISH
 from repro.queues.audit import AuditTrail, Permission, SecurityManager
 from repro.queues.message import Message
 from repro.queues.queue_table import QueueTable
@@ -38,6 +39,15 @@ class QueueBroker:
         self.security = security or SecurityManager()
         self.audit = AuditTrail(db) if audit else None
         self._queues: dict[str, QueueTable] = {}
+
+    def _fire(self, name: str, **site: Any) -> None:
+        """Hit a failpoint through the database's injector (if any).
+
+        Fired *before* the guarded operation mutates anything, so an
+        injected fault leaves the queue table untouched."""
+        faults = self.db.faults
+        if faults is not None:
+            faults.fire(name, broker=self, **site)
 
     # -- queue lifecycle ----------------------------------------------------
 
@@ -106,6 +116,7 @@ class QueueBroker:
     ) -> int:
         """Internally created message — the optimized path (§2.2.b.i.3)."""
         self.security.check(principal, queue_name, Permission.ENQUEUE)
+        self._fire(BROKER_PUBLISH, queue=queue_name, principal=principal)
         message_id = self.queue(queue_name).enqueue(message)
         self._audit(principal, "enqueue", queue_name, message_id)
         return message_id
@@ -120,6 +131,7 @@ class QueueBroker:
         """Publish a batch of internally created messages in ONE
         transaction (security checked once, audited per message)."""
         self.security.check(principal, queue_name, Permission.ENQUEUE)
+        self._fire(BROKER_PUBLISH, queue=queue_name, principal=principal)
         message_ids = self.queue(queue_name).enqueue_batch(messages)
         for message_id in message_ids:
             self._audit(principal, "enqueue", queue_name, message_id)
@@ -182,6 +194,7 @@ class QueueBroker:
     ) -> Message | None:
         """Dequeue the next message (LOCKED until ack/requeue)."""
         self.security.check(principal, queue_name, Permission.DEQUEUE)
+        self._fire(BROKER_CONSUME, queue=queue_name, principal=principal)
         message = self.queue(queue_name).dequeue(consumer=principal)
         if message is not None:
             self._audit(principal, "dequeue", queue_name, message.message_id)
@@ -197,6 +210,7 @@ class QueueBroker:
         """Dequeue up to ``max_messages`` in ONE transaction (all
         LOCKED until ack/requeue)."""
         self.security.check(principal, queue_name, Permission.DEQUEUE)
+        self._fire(BROKER_CONSUME, queue=queue_name, principal=principal)
         messages = self.queue(queue_name).dequeue_batch(
             max_messages, consumer=principal
         )
@@ -206,6 +220,7 @@ class QueueBroker:
 
     def ack(self, queue_name: str, message_id: int, *, principal: str = "consumer") -> None:
         self.security.check(principal, queue_name, Permission.DEQUEUE)
+        self._fire(BROKER_ACK, queue=queue_name, message_id=message_id, principal=principal)
         self.queue(queue_name).ack(message_id)
         self._audit(principal, "ack", queue_name, message_id)
 
@@ -220,6 +235,7 @@ class QueueBroker:
         (one commit, one journal flush for the whole batch)."""
         ids = list(message_ids)
         self.security.check(principal, queue_name, Permission.DEQUEUE)
+        self._fire(BROKER_ACK, queue=queue_name, message_ids=ids, principal=principal)
         acked = self.queue(queue_name).ack_batch(ids)
         for message_id in ids:
             self._audit(principal, "ack", queue_name, message_id)

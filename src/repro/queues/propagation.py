@@ -11,8 +11,9 @@ to one or more destinations:
 
 Delivery is *reliable*: a message is acked on the source only after
 every destination accepted it; failed deliveries requeue the message
-with exponential backoff, and messages that exhaust ``max_attempts``
-move to the dead-letter queue.  Duplicate suppression at the
+with capped exponential backoff and deterministic jitter (see
+:meth:`Propagator.backoff_for`), and messages that exhaust
+``max_attempts`` move to the dead-letter queue.  Duplicate suppression at the
 destination uses the source message id carried in headers, giving
 effective exactly-once across retries.
 """
@@ -93,12 +94,14 @@ class Propagator:
         *,
         max_attempts: int = 5,
         base_backoff: float = 0.1,
+        max_backoff: float = 30.0,
         dead_letter_queue: str | None = None,
     ) -> None:
         self.broker = broker
         self.source_queue = source_queue
         self.max_attempts = max_attempts
         self.base_backoff = base_backoff
+        self.max_backoff = max_backoff
         self.links: list[PropagationLink] = []
         self.dead_letter_queue = dead_letter_queue
         if dead_letter_queue and not broker.has_queue(dead_letter_queue):
@@ -111,6 +114,23 @@ class Propagator:
         self.links.append(link)
         self._delivered_ids.setdefault(link.name, set())
         return self
+
+    def backoff_for(self, message_id: int, attempts: int) -> float:
+        """Requeue delay before retry ``attempts + 1``.
+
+        Schedule: exponential ``base_backoff * 2**(attempts-1)`` capped
+        at ``max_backoff``, then jittered *downward* by up to 25% so a
+        burst of same-batch failures doesn't retry in lockstep.  The
+        jitter is deterministic — a hash of ``(message_id, attempts)``,
+        no ambient RNG — so a given retry always lands at the same
+        delay, and ``max_backoff`` is a hard upper bound.
+        """
+        raw = self.base_backoff * (2 ** max(0, attempts - 1))
+        capped = min(raw, self.max_backoff)
+        # Weyl-style integer hash -> [0, 1) fraction; stable across runs.
+        mix = (message_id * 2654435761 + attempts * 0x9E3779B9) % 4096
+        jitter = (mix / 4096.0) * 0.25
+        return capped * (1.0 - jitter)
 
     def run_once(self, *, batch: int = 100) -> int:
         """Forward up to ``batch`` messages one at a time; returns how
@@ -179,7 +199,7 @@ class Propagator:
         if message.attempts >= self.max_attempts:
             self._dead_letter(message, failures)
             return False
-        backoff = self.base_backoff * (2 ** (message.attempts - 1))
+        backoff = self.backoff_for(message.message_id, message.attempts)
         self.broker.requeue(
             self.source_queue,
             message.message_id,

@@ -187,3 +187,44 @@ class TestDeliveryManager:
                 break
             dead.append(message.payload["n"])
         assert sorted(consumed + dead) == list(range(20))
+
+    def test_dead_letter_carries_origin_message_id(self, work_queue):
+        manager = DeliveryManager(
+            work_queue, "work", max_attempts=1, dead_letter_queue="dead"
+        )
+        origin_id = work_queue.publish("work", {"poison": True})
+
+        def consumer(message):
+            raise ValueError("cannot process")
+
+        manager.process(consumer)
+        dead = work_queue.consume("dead")
+        assert dead.headers["origin_message_id"] == origin_id
+        assert dead.headers["origin_queue"] == "work"
+
+    def test_unreadable_row_dead_letters_a_tombstone(self, work_queue):
+        """Regression: a message whose row vanished out from under the
+        delivery manager must leave a tombstone in the DLQ, not vanish
+        silently."""
+        manager = DeliveryManager(
+            work_queue, "work", max_attempts=2, dead_letter_queue="dead"
+        )
+        message_id = work_queue.publish("work", {"n": 1})
+        delivered = manager.deliver()
+        assert delivered.message_id == message_id
+        # Sabotage: delete the backing row while the delivery is
+        # outstanding (models table damage / manual intervention).
+        queue = work_queue.queue("work")
+        work_queue.db.delete_row(queue.table_name, message_id)
+
+        manager.nack(message_id)
+        tombstone = work_queue.consume("dead")
+        assert tombstone is not None, "loss was not recorded"
+        assert tombstone.payload is None
+        assert tombstone.headers["tombstone"] is True
+        assert tombstone.headers["origin_message_id"] == message_id
+        assert tombstone.headers["origin_queue"] == "work"
+        assert tombstone.headers["dead_letter_reason"] == "message row unreadable"
+        assert manager.stats["dead_lettered"] == 1
+        # The delivery manager is healthy afterwards: nothing pending.
+        assert manager.deliver() is None

@@ -157,3 +157,65 @@ class TestRetryAndDeadLetter:
         propagator.run_once()  # retry: only flaky delivers
         assert remote.queue("inbox").depth() == 1  # no duplicate
         assert len(service.received) == 1
+
+
+class TestBackoffSchedule:
+    def test_exponential_growth_until_cap(self, source):
+        propagator = Propagator(
+            source, "outbox", base_backoff=1.0, max_backoff=8.0
+        )
+        delays = [propagator.backoff_for(1, attempts) for attempts in range(1, 8)]
+        # Monotonically non-decreasing in the uncapped region is NOT
+        # guaranteed (jitter), but the uncapped envelope doubles...
+        raw = [1.0 * 2 ** (a - 1) for a in range(1, 8)]
+        for delay, ceiling in zip(delays, raw):
+            assert delay <= min(ceiling, 8.0)
+
+    def test_max_backoff_is_a_hard_ceiling(self, source):
+        propagator = Propagator(
+            source, "outbox", base_backoff=1.0, max_backoff=5.0
+        )
+        for message_id in range(1, 50):
+            for attempts in range(1, 20):
+                assert propagator.backoff_for(message_id, attempts) <= 5.0
+
+    def test_jitter_is_deterministic(self, source):
+        propagator = Propagator(source, "outbox", base_backoff=0.5)
+        a = propagator.backoff_for(7, 3)
+        b = propagator.backoff_for(7, 3)
+        assert a == b
+
+    def test_jitter_spreads_same_attempt_across_messages(self, source):
+        propagator = Propagator(
+            source, "outbox", base_backoff=1.0, max_backoff=100.0
+        )
+        delays = {propagator.backoff_for(mid, 4) for mid in range(1, 20)}
+        assert len(delays) > 1, "same-batch retries would thunder in lockstep"
+
+    def test_jitter_never_exceeds_quarter(self, source):
+        propagator = Propagator(
+            source, "outbox", base_backoff=2.0, max_backoff=1000.0
+        )
+        for message_id in range(1, 30):
+            for attempts in range(1, 8):
+                capped = min(2.0 * 2 ** (attempts - 1), 1000.0)
+                delay = propagator.backoff_for(message_id, attempts)
+                assert capped * 0.75 <= delay <= capped
+
+    def test_requeue_uses_capped_backoff(self, source, clock):
+        """A high-attempt failure retries after max_backoff, not after
+        the uncapped exponential (which would be ~minutes)."""
+        service = FlakyService(failures=6)
+        propagator = Propagator(
+            source, "outbox", max_attempts=10, base_backoff=1.0,
+            max_backoff=2.0,
+        ).add_link(PropagationLink("svc", service=service))
+        source.publish("outbox", "x")
+        attempts = 0
+        while len(service.received) == 0 and attempts < 20:
+            propagator.run_once()
+            clock.advance(2.0)  # max_backoff is always enough to retry
+            attempts += 1
+        assert len(service.received) == 1
+        # Uncapped 2**5 = 32s would have needed far more than 2s steps:
+        assert attempts <= 8
