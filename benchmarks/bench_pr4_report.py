@@ -1,0 +1,129 @@
+"""PR-4 report: statement cache + compiled expressions, machine-readable.
+
+Runs the EXP-3 enqueue-path arms (internal / client / prepared /
+batched) and the EXP-4 rule-evaluation arms (naive / indexed /
+compiled) and writes ``BENCH_PR4.json`` at the repo root with per-arm
+throughput and statement-cache hit rates, so perf regressions in the
+cache or the expression compiler are diffable across commits.
+
+Run:  python benchmarks/bench_pr4_report.py [--quick]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+try:
+    from benchmarks.bench_exp3_internal_opt import (
+        run_experiment as run_exp3,
+    )
+    from benchmarks.bench_exp4_rule_scale import (
+        run_experiment as run_exp4,
+    )
+except ImportError:
+    from bench_exp3_internal_opt import run_experiment as run_exp3
+    from bench_exp4_rule_scale import run_experiment as run_exp4
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
+
+
+def _best_of(runs: list[list[dict]], cost) -> list[dict]:
+    """The run with the lowest total cost — one internally consistent
+    sweep from the least-loaded repetition, not a mix of runs."""
+    return min(runs, key=lambda rows: sum(cost(row) for row in rows))
+
+
+def build_report(quick: bool = False) -> dict:
+    exp3_n = 300 if quick else 1500
+    repeats = 1 if quick else 3
+    exp3_rows = _best_of(
+        [run_exp3(n=exp3_n) for _ in range(repeats)],
+        lambda row: 1.0 / row["msgs_per_s"],
+    )
+    if quick:
+        exp4_runs = [
+            run_exp4(rule_counts=(100, 1_000), events_per_point=50)
+            for _ in range(repeats)
+        ]
+    else:
+        exp4_runs = [
+            run_exp4(rule_counts=(100, 1_000, 10_000), events_per_point=200)
+            for _ in range(repeats)
+        ]
+    # EXP-4 arms are independent absolute measurements (no intra-run
+    # ratios), so take the per-arm minimum across repetitions — on a
+    # single-vCPU box scheduler noise otherwise swamps the ~10-20%
+    # compiled-vs-interpreted signal.
+    best_by_arm: dict = {}
+    for rows in exp4_runs:
+        for row in rows:
+            key = (row["rules"], row["mode"])
+            if (
+                key not in best_by_arm
+                or row["us_per_event"] < best_by_arm[key]["us_per_event"]
+            ):
+                best_by_arm[key] = row
+    arm_order = {"naive": 0, "naive*": 0, "indexed": 1, "compiled": 2}
+    exp4_rows = [
+        best_by_arm[key]
+        for key in sorted(
+            best_by_arm, key=lambda k: (k[0], arm_order.get(k[1], 9))
+        )
+    ]
+    return {
+        "experiment": "PR-4 statement cache + compiled expressions",
+        "quick": quick,
+        "exp3": {
+            "n_messages": exp3_n,
+            "arms": [
+                {
+                    "path": row["path"].strip(),
+                    "msgs_per_s": round(row["msgs_per_s"], 1),
+                    "relative_to_internal": round(row["relative"], 3),
+                    **(
+                        {"statement_cache_hit_rate": round(row["hit_rate"], 4)}
+                        if "hit_rate" in row
+                        else {}
+                    ),
+                }
+                for row in exp3_rows
+            ],
+        },
+        "exp4": {
+            "events_per_point": 50 if quick else 200,
+            "arms": [
+                {
+                    "rules": row["rules"],
+                    "mode": row["mode"],
+                    "us_per_event": round(row["us_per_event"], 2),
+                    "conditions_per_event": round(
+                        row["conditions_per_event"], 2
+                    ),
+                    "events_per_s": round(row["events_per_s"], 1),
+                }
+                for row in exp4_rows
+            ],
+        },
+    }
+
+
+def main(quick: bool = False) -> None:
+    report = build_report(quick=quick)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    prepared = next(
+        arm
+        for arm in report["exp3"]["arms"]
+        if arm["path"] == "client prepared INSERT"
+    )
+    print(
+        "  prepared arm: "
+        f"{prepared['relative_to_internal']}x internal, "
+        f"hit rate {prepared['statement_cache_hit_rate']:.1%}"
+    )
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

@@ -23,7 +23,7 @@ from typing import Any, Hashable, Sequence
 from repro.capture.base import CaptureSource
 from repro.capture.query_capture import _freeze
 from repro.db.database import Database
-from repro.db.expr import Expression, evaluate_predicate
+from repro.db.expr import Expression, compile_predicate
 from repro.db.sql.parser import parse_expression
 from repro.events import Event
 
@@ -105,7 +105,7 @@ class PatternCapture(CaptureSource):
             else:
                 for column in row:
                     context[f"old_{column}"] = None
-            if evaluate_predicate(self._condition, context):
+            if compile_predicate(self._condition)(context):
                 events.append(
                     Event(
                         event_type=f"pattern.{self.name}",

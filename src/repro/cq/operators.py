@@ -6,7 +6,7 @@ from typing import Any, Callable
 
 from repro.cq.stream import Operator, Stream
 from repro.db.database import Database
-from repro.db.expr import Expression, evaluate_predicate
+from repro.db.expr import Expression, compile_predicate
 from repro.db.sql.parser import parse_expression
 from repro.errors import StreamError
 from repro.events import Event, correlate
@@ -38,7 +38,7 @@ class FilterOperator(Operator):
         if isinstance(self.condition, Expression):
             context = EventContext(event.payload)
             context.setdefault("event_type", event.event_type)
-            passed = evaluate_predicate(self.condition, context)
+            passed = compile_predicate(self.condition)(context)
         else:
             passed = bool(self.condition(event))
         if passed:

@@ -43,7 +43,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from repro.cq.stream import Operator, Stream
-from repro.db.expr import Expression, evaluate_predicate
+from repro.db.expr import Expression, compile_predicate
 from repro.db.sql.parser import parse_expression
 from repro.errors import PatternError
 from repro.events import Event, correlate
@@ -75,7 +75,7 @@ class PatternElement:
         context.update(event.payload)
         context.setdefault("event_type", event.event_type)
         context.setdefault("timestamp", event.timestamp)
-        return evaluate_predicate(self.condition, context)
+        return compile_predicate(self.condition)(context)
 
 
 def Kleene(

@@ -17,11 +17,16 @@ evaluation happen), not about fine-grained concurrency control.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.clock import Clock, WallClock
 from repro.db.catalog import Catalog
-from repro.db.expr import Expression, expression_from_dict, expression_to_dict
+from repro.db.expr import (
+    Expression,
+    compile_expression,
+    expression_from_dict,
+    expression_to_dict,
+)
 from repro.db.index import HashIndex
 from repro.db.recovery import analyze, schema_from_dict, schema_to_dict, verify_redo_record
 from repro.db.schema import Column, TableSchema
@@ -34,8 +39,12 @@ from repro.db.sql.ast import (
     RollbackStatement,
     SavepointStatement,
 )
+from repro.db.sql.cache import (
+    DEFAULT_CAPACITY as STATEMENT_CACHE_CAPACITY,
+    PreparedStatement,
+    StatementCache,
+)
 from repro.db.sql.executor import Result
-from repro.db.sql.parser import parse_statement
 from repro.db.storage import HeapTable
 from repro.db.transactions import (
     LockManager,
@@ -146,9 +155,23 @@ class Connection:
 
     # -- statement execution ---------------------------------------------------
 
-    def execute(self, sql: str) -> Result:
-        """Parse and execute one SQL statement."""
-        statement = parse_statement(sql)
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] | None = None,
+        *,
+        _normalized: str | None = None,
+    ) -> Result:
+        """Execute one SQL statement, optionally binding ``?`` params.
+
+        Statement text is resolved through the database's shared
+        statement cache: repeated statements (same normalized text,
+        same schema version) skip lexing and parsing entirely.
+        """
+        entry = self.db.statement_cache.lookup(
+            sql, self.db.schema_version, normalized=_normalized
+        )
+        statement = entry.bind(params)
         if isinstance(statement, BeginStatement):
             self.begin()
             return Result()
@@ -178,9 +201,11 @@ class Connection:
             self.commit()
         return result
 
-    def query(self, sql: str) -> list[dict[str, Any]]:
+    def query(
+        self, sql: str, params: Sequence[Any] | None = None
+    ) -> list[dict[str, Any]]:
         """Execute and return rows (convenience for SELECT)."""
-        return self.execute(sql).rows
+        return self.execute(sql, params).rows
 
     def require_transaction(self) -> Transaction:
         if self.transaction is None or not self.transaction.is_active:
@@ -219,9 +244,15 @@ class Database:
         lock_timeout: float = 5.0,
         clock: Clock | None = None,
         faults: Any = None,
+        statement_cache_size: int = STATEMENT_CACHE_CAPACITY,
     ) -> None:
         self.clock = clock or WallClock()
         self.catalog = Catalog()
+        # Shared statement cache (the "cursor cache"): parse results are
+        # keyed by (normalized SQL, schema_version); every DDL bumps the
+        # version so stale plans can never be served.
+        self.schema_version = 0
+        self.statement_cache = StatementCache(capacity=statement_cache_size)
         self._faults = faults
         self.wal = WriteAheadLog(
             path=path,
@@ -274,12 +305,35 @@ class Database:
             self._default_connection = self.connect()
         return self._default_connection
 
-    def execute(self, sql: str) -> Result:
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] | None = None,
+        *,
+        _normalized: str | None = None,
+    ) -> Result:
         """Execute SQL on the database's default connection."""
-        return self._default().execute(sql)
+        return self._default().execute(sql, params, _normalized=_normalized)
 
-    def query(self, sql: str) -> list[dict[str, Any]]:
-        return self._default().query(sql)
+    def query(
+        self, sql: str, params: Sequence[Any] | None = None
+    ) -> list[dict[str, Any]]:
+        return self._default().query(sql, params)
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Prepare a (possibly ``?``-parameterized) statement for
+        repeated execution; parse errors surface here, not at execute."""
+        return PreparedStatement(self, sql)
+
+    def _bump_schema_version(self) -> None:
+        """Invalidate cached plans after any DDL.
+
+        Extra bumps are always safe — they cause cache misses, never
+        stale hits — so every DDL path calls this unconditionally, even
+        when the change could not affect existing plans.
+        """
+        self.schema_version += 1
+        self.statement_cache.drop_stale(self.schema_version)
 
     # -- commit/abort hooks ---------------------------------------------------
 
@@ -376,6 +430,7 @@ class Database:
             transaction = connection.require_transaction()
             self.lock_table_exclusive(connection, schema.name)
             table = self.catalog.create_table(schema)
+            self._bump_schema_version()
             self._mark_write(transaction)
             self.wal.append(
                 transaction.txid,
@@ -425,6 +480,7 @@ class Database:
             transaction = connection.require_transaction()
             self.lock_table_exclusive(connection, name)
             table = self.catalog.drop_table(name)
+            self._bump_schema_version()
             self._mark_write(transaction)
             self.wal.append(transaction.txid, OP_DROP_TABLE, table=name.lower())
 
@@ -451,6 +507,7 @@ class Database:
             self.lock_table_exclusive(connection, table_name)
             table = self.catalog.table(table_name)
             table.create_index(name, column, kind=kind, unique=unique)
+            self._bump_schema_version()
             self._mark_write(transaction)
             self.wal.append(
                 transaction.txid,
@@ -469,6 +526,7 @@ class Database:
 
     def drop_index(self, name: str, table_name: str) -> None:
         self.catalog.table(table_name).drop_index(name)
+        self._bump_schema_version()
 
     # -- triggers ------------------------------------------------------------
 
@@ -619,7 +677,7 @@ class Database:
             incoming = rewritten
         row = table.schema.coerce_row(
             incoming,
-            check_evaluator=lambda check, r: check.evaluate(r),
+            check_evaluator=lambda check, r: compile_expression(check)(r),
         )
         rowid = table.insert(row)
         # Undo is registered before the journal append so that a failed
@@ -729,8 +787,8 @@ class Database:
         coerced = table.schema.coerce_update(effective_updates)
         merged = dict(current)
         merged.update(coerced)
-        for check in table.schema.checks:
-            if check.evaluate(merged) is False:
+        for check, check_fn in table.schema.compiled_checks:
+            if check_fn(merged) is False:
                 raise ConstraintViolation(
                     f"CHECK on {table.name}", detail=str(check)
                 )
@@ -975,6 +1033,9 @@ class Database:
             if skipped is not None:
                 skipped_triggers.append(skipped)
         self.recovery_skipped_triggers = skipped_triggers
+        # The whole catalog was just rebuilt; plans cached before the
+        # crash/attach must not survive it.
+        self._bump_schema_version()
 
     def _redo_one(self, record: Any) -> str | None:
         """Apply one redo record; returns a skipped-trigger name when a

@@ -24,19 +24,37 @@ from repro.errors import ExpressionError
 
 
 class Expression:
-    """Base class for expression AST nodes."""
+    """Base class for expression AST nodes.
+
+    Subclasses declare ``__slots__`` but the base class does not, so every
+    node carries a ``__dict__`` — used for per-node memos (referenced
+    columns, compiled closures) without touching each subclass.
+    """
 
     def evaluate(self, row: Mapping[str, Any]) -> Any:
         """Evaluate against a row (mapping of column name to value)."""
         raise NotImplementedError
 
-    def referenced_columns(self) -> set[str]:
-        """All column names this expression reads."""
-        result: set[str] = set()
-        self._collect_columns(result)
-        return result
+    def referenced_columns(self) -> frozenset[str]:
+        """All column names this expression reads (memoized per node).
+
+        The result is a frozenset: it is cached on the node and shared
+        between callers, so it must never be mutated.  Shared sub-trees
+        contribute their own memo instead of being re-walked.
+        """
+        cached = self.__dict__.get("_columns_memo")
+        if cached is None:
+            result: set[str] = set()
+            self._collect_columns(result)
+            cached = frozenset(result)
+            self._columns_memo = cached
+        return cached
 
     def _collect_columns(self, into: set[str]) -> None:
+        cached = self.__dict__.get("_columns_memo")
+        if cached is not None:
+            into.update(cached)
+            return
         for child in self.children():
             child._collect_columns(into)
 
@@ -107,6 +125,27 @@ class ColumnRef(Expression):
 
     def _collect_columns(self, into: set[str]) -> None:
         into.add(self.name)
+
+
+class Parameter(Expression):
+    """A ``?`` placeholder, bound to a literal at execution time.
+
+    Parameters exist only inside cached statement templates; binding
+    (:func:`substitute_parameters`) rewrites them into :class:`Literal`
+    nodes so the planner still sees constants for index selection.
+    Evaluating an unbound parameter is an error.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"?{self.index + 1}"
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        raise ExpressionError(f"unbound parameter ?{self.index + 1}")
 
 
 def _is_unknown(value: Any) -> bool:
@@ -695,3 +734,511 @@ def conjuncts(expression: Expression) -> list[Expression]:
 def evaluate_predicate(expression: Expression, row: Mapping[str, Any]) -> bool:
     """Evaluate a boolean expression, mapping UNKNOWN to False."""
     return _truthy(expression.evaluate(row))
+
+
+# --------------------------------------------------------------------------
+# Parameter binding
+# --------------------------------------------------------------------------
+
+
+def contains_parameters(expression: Expression) -> bool:
+    """Whether any :class:`Parameter` appears in this tree (memoized).
+
+    Walks via :meth:`Expression.children`, so parameters inside
+    ``IN (SELECT ...)`` / ``EXISTS`` subqueries are *not* seen here —
+    the statement cache rejects those at bind time.
+    """
+    flag = expression.__dict__.get("_params_memo")
+    if flag is None:
+        if isinstance(expression, Parameter):
+            flag = True
+        else:
+            flag = any(contains_parameters(child) for child in expression.children())
+        expression._params_memo = flag
+    return flag
+
+
+def substitute_parameters(
+    expression: Expression, params: tuple[Any, ...]
+) -> Expression:
+    """Rewrite ``?`` placeholders into literals, sharing param-free subtrees.
+
+    Unchanged subtrees are returned by identity so their compiled-closure
+    and referenced-column memos keep paying off across executions.
+    """
+    if not contains_parameters(expression):
+        return expression
+    if isinstance(expression, Parameter):
+        if expression.index >= len(params):
+            raise ExpressionError(f"unbound parameter ?{expression.index + 1}")
+        return Literal(params[expression.index])
+    sub = substitute_parameters
+    if isinstance(expression, BinaryOp):
+        return BinaryOp(
+            expression.op,
+            sub(expression.left, params),
+            sub(expression.right, params),
+        )
+    if isinstance(expression, UnaryOp):
+        return UnaryOp(expression.op, sub(expression.operand, params))
+    if isinstance(expression, IsNull):
+        return IsNull(sub(expression.operand, params), expression.negated)
+    if isinstance(expression, InList):
+        return InList(
+            sub(expression.operand, params),
+            [sub(item, params) for item in expression.items],
+            expression.negated,
+        )
+    if isinstance(expression, Between):
+        return Between(
+            sub(expression.operand, params),
+            sub(expression.low, params),
+            sub(expression.high, params),
+            expression.negated,
+        )
+    if isinstance(expression, Like):
+        return Like(
+            sub(expression.operand, params),
+            sub(expression.pattern, params),
+            expression.negated,
+        )
+    if isinstance(expression, Case):
+        return Case(
+            [
+                (sub(condition, params), sub(value, params))
+                for condition, value in expression.branches
+            ],
+            (
+                sub(expression.default, params)
+                if expression.default is not None
+                else None
+            ),
+        )
+    if isinstance(expression, FunctionCall):
+        return FunctionCall(
+            expression.name, [sub(arg, params) for arg in expression.args]
+        )
+    raise ExpressionError(
+        f"parameters are not supported inside {type(expression).__name__}"
+    )
+
+
+# --------------------------------------------------------------------------
+# Expression compilation
+# --------------------------------------------------------------------------
+#
+# ``compile_expression`` lowers an AST into a single Python closure:
+# constant subtrees are folded at compile time, AND/OR keep Kleene
+# short-circuit semantics, column lookups are pre-resolved, and constant
+# LIKE patterns reuse their pre-built regex.  Node types the compiler
+# does not cover (aggregates, subquery placeholders, user extensions)
+# fall back to the interpreted ``evaluate`` bound method, so compiled
+# and interpreted evaluation always agree.
+#
+# Closures are memoized per node (``_compiled_memo``), so shared
+# sub-trees — and rule conditions evaluated millions of times — compile
+# exactly once.  Trees must not be mutated in place after compilation;
+# build a new tree (or call the owner's ``recompile()``) instead.
+
+_CompiledFn = Callable[[Mapping[str, Any]], Any]
+
+
+def compile_expression(expression: Expression) -> _CompiledFn:
+    """Return a closure equivalent to ``expression.evaluate`` (memoized)."""
+    info = expression.__dict__.get("_compiled_memo")
+    if info is None:
+        info = _compile_node(expression)
+        expression._compiled_memo = info
+    return info[0]
+
+
+def compile_predicate(
+    expression: Expression,
+) -> Callable[[Mapping[str, Any]], bool]:
+    """Compiled :func:`evaluate_predicate`: UNKNOWN maps to False."""
+    pred = expression.__dict__.get("_predicate_memo")
+    if pred is None:
+        fn = compile_expression(expression)
+
+        def pred(row: Mapping[str, Any], _fn: _CompiledFn = fn) -> bool:
+            value = _fn(row)
+            return value is not None and bool(value)
+
+        expression._predicate_memo = pred
+    return pred
+
+
+def _compile_child(node: Expression) -> tuple[_CompiledFn, bool]:
+    info = node.__dict__.get("_compiled_memo")
+    if info is None:
+        info = _compile_node(node)
+        node._compiled_memo = info
+    return info
+
+
+def _fold_constant(fn: _CompiledFn) -> tuple[_CompiledFn, bool]:
+    """Evaluate a closure with all-constant inputs once, at compile time.
+
+    Errors (division by zero, type mismatches) are left to evaluation
+    time so compiled trees raise exactly where interpreted ones do.
+    """
+    try:
+        value = fn({})
+    except ExpressionError:
+        return fn, False
+    return (lambda row: value), True
+
+
+def _compile_node(node: Expression) -> tuple[_CompiledFn, bool]:
+    """Lower one node; returns ``(closure, is_constant)``."""
+    if isinstance(node, Literal):
+        value = node.value
+        return (lambda row: value), True
+
+    if isinstance(node, ColumnRef):
+        # Mirrors ColumnRef.evaluate exactly: ``in`` + ``[]`` so mapping
+        # types with __contains__/__missing__ overrides (EventContext)
+        # behave identically under compiled evaluation.
+        name = node.name
+        if node.qualifier:
+            qualified = node.full_name
+
+            def column_fn(row: Mapping[str, Any]) -> Any:
+                if qualified in row:
+                    return row[qualified]
+                if name in row:
+                    return row[name]
+                raise ExpressionError(f"unknown column {qualified!r}")
+
+        else:
+
+            def column_fn(row: Mapping[str, Any]) -> Any:
+                if name in row:
+                    return row[name]
+                raise ExpressionError(f"unknown column {name!r}")
+
+        return column_fn, False
+
+    if isinstance(node, Parameter):
+        index = node.index
+
+        def unbound_fn(row: Mapping[str, Any]) -> Any:
+            raise ExpressionError(f"unbound parameter ?{index + 1}")
+
+        return unbound_fn, False
+
+    if isinstance(node, BinaryOp):
+        return _compile_binary(node)
+
+    if isinstance(node, UnaryOp):
+        operand_fn, const = _compile_child(node.operand)
+        if node.op == "NOT":
+
+            def not_fn(row: Mapping[str, Any]) -> Any:
+                value = operand_fn(row)
+                if value is None:
+                    return None
+                return not value
+
+        elif node.op == "-":
+
+            def not_fn(row: Mapping[str, Any]) -> Any:
+                value = operand_fn(row)
+                if value is None:
+                    return None
+                return -value
+
+        else:
+            return node.evaluate, False
+        return _fold_constant(not_fn) if const else (not_fn, False)
+
+    if isinstance(node, IsNull):
+        operand_fn, const = _compile_child(node.operand)
+        if node.negated:
+
+            def isnull_fn(row: Mapping[str, Any]) -> Any:
+                return operand_fn(row) is not None
+
+        else:
+
+            def isnull_fn(row: Mapping[str, Any]) -> Any:
+                return operand_fn(row) is None
+
+        return _fold_constant(isnull_fn) if const else (isnull_fn, False)
+
+    if isinstance(node, InList):
+        operand_fn, operand_const = _compile_child(node.operand)
+        item_infos = [_compile_child(item) for item in node.items]
+        negated = node.negated
+        items_const = all(const for _, const in item_infos)
+        if items_const:
+            candidates = [fn({}) for fn, _ in item_infos]
+
+            def in_fn(row: Mapping[str, Any]) -> Any:
+                value = operand_fn(row)
+                if value is None:
+                    return None
+                saw_null = False
+                for candidate in candidates:
+                    if candidate is None:
+                        saw_null = True
+                    elif compare_values(value, candidate) == 0:
+                        return not negated
+                if saw_null:
+                    return None
+                return negated
+
+        else:
+            item_fns = [fn for fn, _ in item_infos]
+
+            def in_fn(row: Mapping[str, Any]) -> Any:
+                value = operand_fn(row)
+                if value is None:
+                    return None
+                saw_null = False
+                for item_fn in item_fns:
+                    candidate = item_fn(row)
+                    if candidate is None:
+                        saw_null = True
+                    elif compare_values(value, candidate) == 0:
+                        return not negated
+                if saw_null:
+                    return None
+                return negated
+
+        if operand_const and items_const:
+            return _fold_constant(in_fn)
+        return in_fn, False
+
+    if isinstance(node, Between):
+        value_fn, value_const = _compile_child(node.operand)
+        low_fn, low_const = _compile_child(node.low)
+        high_fn, high_const = _compile_child(node.high)
+        negated = node.negated
+
+        def between_fn(row: Mapping[str, Any]) -> Any:
+            value = value_fn(row)
+            low = low_fn(row)
+            high = high_fn(row)
+            if value is None or low is None or high is None:
+                return None
+            inside = (
+                compare_values(value, low) >= 0 and compare_values(value, high) <= 0
+            )
+            return not inside if negated else inside
+
+        if value_const and low_const and high_const:
+            return _fold_constant(between_fn)
+        return between_fn, False
+
+    if isinstance(node, Like):
+        operand_fn, operand_const = _compile_child(node.operand)
+        negated = node.negated
+        if node._regex is not None:
+            regex = node._regex
+
+            def like_fn(row: Mapping[str, Any]) -> Any:
+                value = operand_fn(row)
+                if value is None:
+                    return None
+                matched = regex.fullmatch(str(value)) is not None
+                return not matched if negated else matched
+
+            if operand_const:
+                return _fold_constant(like_fn)
+        else:
+            pattern_fn, _ = _compile_child(node.pattern)
+
+            def like_fn(row: Mapping[str, Any]) -> Any:
+                value = operand_fn(row)
+                if value is None:
+                    return None
+                pattern_value = pattern_fn(row)
+                if pattern_value is None:
+                    return None
+                matched = (
+                    _like_to_regex(str(pattern_value)).fullmatch(str(value))
+                    is not None
+                )
+                return not matched if negated else matched
+
+        return like_fn, False
+
+    if isinstance(node, Case):
+        branch_fns = [
+            (_compile_child(condition), _compile_child(value))
+            for condition, value in node.branches
+        ]
+        compiled_branches = [
+            (condition_info[0], value_info[0])
+            for condition_info, value_info in branch_fns
+        ]
+        default_info = (
+            _compile_child(node.default) if node.default is not None else None
+        )
+        default_fn = default_info[0] if default_info is not None else None
+
+        def case_fn(row: Mapping[str, Any]) -> Any:
+            for condition_fn, value_fn in compiled_branches:
+                if condition_fn(row):
+                    return value_fn(row)
+            if default_fn is not None:
+                return default_fn(row)
+            return None
+
+        all_const = all(
+            condition_info[1] and value_info[1]
+            for condition_info, value_info in branch_fns
+        ) and (default_info is None or default_info[1])
+        return _fold_constant(case_fn) if all_const else (case_fn, False)
+
+    if isinstance(node, FunctionCall):
+        # Never folded: registered functions may be impure, and
+        # re-registration under the same name must take effect — so the
+        # registry is consulted per call, exactly like evaluate().
+        name = node.name
+        arg_fns = [_compile_child(arg)[0] for arg in node.args]
+
+        def call_fn(row: Mapping[str, Any]) -> Any:
+            values = [arg_fn(row) for arg_fn in arg_fns]
+            try:
+                return _FUNCTIONS[name](*values)
+            except (ValueError, TypeError) as exc:
+                raise ExpressionError(f"{name}(): {exc}") from None
+
+        return call_fn, False
+
+    # Aggregates, subquery placeholders, user-defined nodes: interpreted.
+    return node.evaluate, False
+
+
+def _compile_binary(node: BinaryOp) -> tuple[_CompiledFn, bool]:
+    op = node.op
+    left_fn, left_const = _compile_child(node.left)
+    right_fn, right_const = _compile_child(node.right)
+    both_const = left_const and right_const
+
+    if op == "AND":
+
+        def bin_fn(row: Mapping[str, Any]) -> Any:
+            left = left_fn(row)
+            if left is not None and not left:
+                return False
+            right = right_fn(row)
+            if right is not None and not right:
+                return False
+            if left is None or right is None:
+                return None
+            return True
+
+    elif op == "OR":
+
+        def bin_fn(row: Mapping[str, Any]) -> Any:
+            left = left_fn(row)
+            if left:
+                return True
+            right = right_fn(row)
+            if right:
+                return True
+            if left is None or right is None:
+                return None
+            return False
+
+    elif op in _COMPARISONS:
+        # One dedicated closure per operator: the comparison check is
+        # inlined rather than dispatched through a second callable,
+        # since comparisons dominate rule/WHERE evaluation.
+        if op == "=":
+
+            def bin_fn(row: Mapping[str, Any]) -> Any:
+                left = left_fn(row)
+                right = right_fn(row)
+                if left is None or right is None:
+                    return None
+                return compare_values(left, right) == 0
+
+        elif op == "!=":
+
+            def bin_fn(row: Mapping[str, Any]) -> Any:
+                left = left_fn(row)
+                right = right_fn(row)
+                if left is None or right is None:
+                    return None
+                return compare_values(left, right) != 0
+
+        elif op == "<":
+
+            def bin_fn(row: Mapping[str, Any]) -> Any:
+                left = left_fn(row)
+                right = right_fn(row)
+                if left is None or right is None:
+                    return None
+                return compare_values(left, right) < 0
+
+        elif op == "<=":
+
+            def bin_fn(row: Mapping[str, Any]) -> Any:
+                left = left_fn(row)
+                right = right_fn(row)
+                if left is None or right is None:
+                    return None
+                return compare_values(left, right) <= 0
+
+        elif op == ">":
+
+            def bin_fn(row: Mapping[str, Any]) -> Any:
+                left = left_fn(row)
+                right = right_fn(row)
+                if left is None or right is None:
+                    return None
+                return compare_values(left, right) > 0
+
+        else:  # ">="
+
+            def bin_fn(row: Mapping[str, Any]) -> Any:
+                left = left_fn(row)
+                right = right_fn(row)
+                if left is None or right is None:
+                    return None
+                return compare_values(left, right) >= 0
+
+    elif op == "||":
+
+        def bin_fn(row: Mapping[str, Any]) -> Any:
+            left = left_fn(row)
+            right = right_fn(row)
+            if left is None or right is None:
+                return None
+            return str(left) + str(right)
+
+    elif op == "/":
+
+        def bin_fn(row: Mapping[str, Any]) -> Any:
+            left = left_fn(row)
+            right = right_fn(row)
+            if left is None or right is None:
+                return None
+            if right == 0:
+                raise ExpressionError("division by zero")
+            return left / right
+
+    elif op in _ARITHMETIC:
+        arith = _ARITHMETIC[op]
+
+        def bin_fn(row: Mapping[str, Any]) -> Any:
+            left = left_fn(row)
+            right = right_fn(row)
+            if left is None or right is None:
+                return None
+            try:
+                return arith(left, right)
+            except TypeError:
+                raise ExpressionError(
+                    f"operator {op!r} not applicable to "
+                    f"{type(left).__name__} and {type(right).__name__}"
+                ) from None
+
+    else:
+        return node.evaluate, False
+
+    return _fold_constant(bin_fn) if both_const else (bin_fn, False)

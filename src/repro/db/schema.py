@@ -89,6 +89,26 @@ class TableSchema:
                 f"table {self.name!r} declares multiple primary keys: {pk}"
             )
         self.primary_key: str | None = pk[0] if pk else None
+        self._compiled_checks: list[tuple["Expression", Any]] | None = None
+
+    @property
+    def compiled_checks(self) -> list[tuple["Expression", Any]]:
+        """``(check, compiled evaluator)`` pairs, compiled lazily once.
+
+        CHECK constraints run on every insert/update, so they share one
+        closure per expression instead of re-walking the AST per row.
+        The import is deferred because :mod:`repro.db.expr` must not be
+        a hard dependency of schema validation.
+        """
+        if self._compiled_checks is None or len(self._compiled_checks) != len(
+            self.checks
+        ):
+            from repro.db.expr import compile_expression
+
+            self._compiled_checks = [
+                (check, compile_expression(check)) for check in self.checks
+            ]
+        return self._compiled_checks
 
     def __repr__(self) -> str:
         cols = ", ".join(f"{c.name} {c.col_type}" for c in self.columns)

@@ -9,7 +9,14 @@ from repro.db.expr import Expression
 
 
 class Statement:
-    """Base class for parsed SQL statements."""
+    """Base class for parsed SQL statements.
+
+    ``parameter_count`` is the number of ``?`` placeholders the parser
+    saw (set by :func:`repro.db.sql.parser.parse_statement`); cached
+    statement templates use it to validate bind arguments.
+    """
+
+    parameter_count = 0
 
 
 @dataclass

@@ -25,6 +25,8 @@ from repro.db.expr import (
     Like,
     Literal,
     UnaryOp,
+    compile_expression,
+    compile_predicate,
     evaluate_predicate,
 )
 from repro.db.index import _sort_key
@@ -234,7 +236,8 @@ def _execute_insert(db: "Database", conn: "Connection", stmt: Insert) -> Result:
                 )
             names = schema.column_names
         values = {
-            name: expression.evaluate({}) for name, expression in zip(names, value_exprs)
+            name: compile_expression(expression)({})
+            for name, expression in zip(names, value_exprs)
         }
         result.lastrowid = db.insert_row(stmt.table, values, conn=conn)
         result.rowcount += 1
@@ -261,11 +264,15 @@ def _execute_update(db: "Database", conn: "Connection", stmt: Update) -> Result:
     stmt = Update(stmt.table, assignments, where)
     path = plan_access(table, stmt.where)
     targets = [(rowid, row) for rowid, row in path.rows()]
+    compiled_assignments = [
+        (column, compile_expression(expression))
+        for column, expression in stmt.assignments
+    ]
     count = 0
     for rowid, row in targets:
         updates = {
-            column: expression.evaluate(row)
-            for column, expression in stmt.assignments
+            column: assignment_fn(row)
+            for column, assignment_fn in compiled_assignments
         }
         db.update_row(stmt.table, rowid, updates, conn=conn)
         count += 1
@@ -326,9 +333,8 @@ def _execute_select(db: "Database", conn: "Connection", stmt: Select) -> Result:
     else:
         source_rows = list(_scan_from_clause(db, stmt))
         if where is not None:
-            source_rows = [
-                row for row in source_rows if evaluate_predicate(where, row)
-            ]
+            where_predicate = compile_predicate(where)
+            source_rows = [row for row in source_rows if where_predicate(row)]
 
     aggregate_nodes = _collect_aggregates(stmt)
     if stmt.group_by or aggregate_nodes:
@@ -431,11 +437,13 @@ def _apply_join(
     right_table = db.catalog.table(join.table)
     right_alias = join.alias or join.table
     right_rows = [_qualify(row, right_alias) for _rowid, row in right_table.scan()]
+    on_predicate = compile_predicate(join.on)
 
     # Equi-join fast path: build a hash table on the right side.
     equi = _equi_join_columns(join.on, right_alias)
     if equi is not None:
         left_expr, right_key = equi
+        left_key_fn = compile_expression(left_expr)
         buckets: dict[Any, list[dict[str, Any]]] = {}
         for row in right_rows:
             key = row.get(right_key)
@@ -443,14 +451,14 @@ def _apply_join(
                 buckets.setdefault(_hash_fold(key), []).append(row)
         for left in left_rows:
             try:
-                key = left_expr.evaluate(left)
+                key = left_key_fn(left)
             except ExpressionError:
                 key = None
             matches = buckets.get(_hash_fold(key), []) if key is not None else []
             emitted = False
             for right in matches:
                 merged = _merge_join_row(left, right)
-                if evaluate_predicate(join.on, merged):
+                if on_predicate(merged):
                     emitted = True
                     yield merged
             if not emitted and join.kind == "left":
@@ -461,7 +469,7 @@ def _apply_join(
         emitted = False
         for right in right_rows:
             merged = _merge_join_row(left, right)
-            if evaluate_predicate(join.on, merged):
+            if on_predicate(merged):
                 emitted = True
                 yield merged
         if not emitted and join.kind == "left":

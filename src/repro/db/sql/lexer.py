@@ -29,7 +29,7 @@ KEYWORDS = frozenset(
 
 _OPERATORS = (
     "<>", "<=", ">=", "!=", "||",
-    "=", "<", ">", "+", "-", "*", "/", "%", "(", ")", ",", ".", ";",
+    "=", "<", ">", "+", "-", "*", "/", "%", "(", ")", ",", ".", ";", "?",
 )
 
 

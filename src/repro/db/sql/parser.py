@@ -31,6 +31,7 @@ from repro.db.expr import (
     IsNull,
     Like,
     Literal,
+    Parameter,
     UnaryOp,
 )
 from repro.db.sql.ast import (
@@ -71,6 +72,7 @@ class _Parser:
         self.tokens = tokenize(text)
         self.position = 0
         self.allow_aggregates = allow_aggregates
+        self.parameters = 0  # count of ? placeholders, in lexical order
 
     # -- token helpers ----------------------------------------------------
 
@@ -652,6 +654,10 @@ class _Parser:
             expression = self.parse_expression()
             self.expect_op(")")
             return expression
+        if self.accept_op("?"):
+            index = self.parameters
+            self.parameters += 1
+            return Parameter(index)
         raise SqlSyntaxError(
             f"unexpected token {token.value or 'end of input'!r}", token.position
         )
@@ -701,7 +707,10 @@ def _number_value(text: str) -> int | float:
 
 def parse_statement(text: str) -> Statement:
     """Parse one SQL statement (a trailing ``;`` is allowed)."""
-    return _Parser(text).parse_statement()
+    parser = _Parser(text)
+    statement = parser.parse_statement()
+    statement.parameter_count = parser.parameters
+    return statement
 
 
 def parse_expression(text: str) -> Expression:

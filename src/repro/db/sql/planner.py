@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterator
 
-from repro.db.expr import Expression, conjuncts, evaluate_predicate
+from repro.db.expr import Expression, compile_predicate, conjuncts
 from repro.db.index import OrderedIndex
 from repro.db.storage import HeapTable
 
@@ -58,9 +58,18 @@ class AccessPath:
         )
 
     def rows(self) -> Iterator[tuple[int, dict[str, Any]]]:
-        """Yield candidate rows, applying the residual WHERE filter."""
+        """Yield candidate rows, applying the residual WHERE filter.
+
+        The residual predicate is compiled once per statement execution
+        (and memoized on the expression node, so cached statement
+        templates compile once *ever*).
+        """
+        if self.where is None:
+            yield from self._candidates()
+            return
+        predicate = compile_predicate(self.where)
         for rowid, row in self._candidates():
-            if self.where is None or evaluate_predicate(self.where, row):
+            if predicate(row):
                 yield rowid, row
 
     def _candidates(self) -> Iterator[tuple[int, dict[str, Any]]]:

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable
 
-from repro.db.expr import Expression, evaluate_predicate
+from repro.db.expr import Expression, compile_predicate
 from repro.errors import TriggerError
 
 
@@ -92,7 +92,9 @@ class Trigger:
                 if context.new_row is not None
                 else context.old_row
             )
-            if guard_row is None or not evaluate_predicate(self.when, guard_row):
+            # Compiled once per WHEN expression (memoized on the node);
+            # triggers fire per row, so the guard is a hot path.
+            if guard_row is None or not compile_predicate(self.when)(guard_row):
                 return False
         return True
 

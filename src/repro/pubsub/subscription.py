@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.db.expr import Expression, evaluate_predicate
+from repro.db.expr import Expression, compile_predicate
 from repro.db.sql.parser import parse_expression
 from repro.events import Event
 from repro.rules.engine import EventContext
@@ -61,7 +61,9 @@ class TopicSubscription:
         context = EventContext(event.payload)
         context.setdefault("event_type", event.event_type)
         context.setdefault("timestamp", event.timestamp)
-        if evaluate_predicate(self.content_filter, context):
+        # compile_predicate memoizes the closure on the expression tree,
+        # so repeated deliveries pay no per-event AST walk.
+        if compile_predicate(self.content_filter)(context):
             return True
         self.filtered_out += 1
         return False

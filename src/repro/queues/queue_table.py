@@ -87,6 +87,10 @@ class QueueTable:
         # rowid is the tie-break, so FIFO-within-priority follows the
         # original enqueue order even across requeues.
         self._ready: list[tuple[int, int]] = []
+        # Lazily-built prepared INSERT for enqueue_via_prepared (EXP-3's
+        # client path with the parse amortized away).
+        self._prepared_insert = None
+        self._prepared_columns: tuple[str, ...] | None = None
         if not db.catalog.has_table(self.table_name):
             self._create_table()
         else:
@@ -203,6 +207,35 @@ class QueueTable:
         )
         # Leave the caller's Message in the same state as the fast
         # path: the SQL path returns the assigned id via lastrowid.
+        message.message_id = result.lastrowid
+        heapq.heappush(self._ready, (-message.priority, result.lastrowid))
+        self.stats["enqueued"] += 1
+        return result.lastrowid
+
+    def enqueue_via_prepared(self, message: Message | Any) -> int:
+        """Client-style enqueue through a prepared parameterized INSERT.
+
+        Same SQL interface as :meth:`enqueue_via_insert`, but the
+        statement text is constant (``?`` placeholders), so after the
+        first call every enqueue is a statement-cache hit: bind + plan +
+        execute with no lexing or parsing — the EXP-3 ``prepared`` arm.
+        """
+        if not isinstance(message, Message):
+            message = Message(payload=message)
+        message = self._prepare(message)
+        row = message.to_row()
+        if (
+            self._prepared_insert is None
+            or self._prepared_columns != tuple(row)
+        ):
+            columns = ", ".join(row)
+            placeholders = ", ".join("?" for _ in row)
+            self._prepared_insert = self.db.prepare(
+                f"INSERT INTO {self.table_name} ({columns}) "
+                f"VALUES ({placeholders})"
+            )
+            self._prepared_columns = tuple(row)
+        result = self._prepared_insert.execute(tuple(row.values()))
         message.message_id = result.lastrowid
         heapq.heappush(self._ready, (-message.priority, result.lastrowid))
         self.stats["enqueued"] += 1

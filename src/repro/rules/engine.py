@@ -69,10 +69,13 @@ class RuleMatch:
 class RuleEngine:
     """Registered rules + evaluation strategies."""
 
-    def __init__(self, *, mode: str = "indexed") -> None:
+    def __init__(self, *, mode: str = "indexed", compiled: bool = True) -> None:
         if mode not in ("indexed", "naive"):
             raise RuleError(f"unknown evaluation mode {mode!r}")
         self.mode = mode
+        # compiled=False keeps the interpreted AST walk — the EXP-4
+        # ablation baseline; both paths evaluate identical conditions.
+        self.compiled = bool(compiled)
         self._rules: dict[str, Rule] = {}
         self._index = PredicateIndex()
         # Type routing: exact-type buckets plus wildcard-pattern rules.
@@ -98,6 +101,11 @@ class RuleEngine:
             raise RuleError(f"rule {rule.rule_id!r} already registered")
         self._rules[rule.rule_id] = rule
         self._index.add(rule)
+        if self.compiled:
+            # Compile at registration so evaluation never pays the
+            # lowering cost; re-adding after churn recompiles because a
+            # replaced rule carries a fresh condition tree.
+            rule.recompile()
         if rule.event_types is None:
             self._wildcard_rules.add(rule.rule_id)
         else:
@@ -163,14 +171,6 @@ class RuleEngine:
 
     # -- evaluation ----------------------------------------------------------
 
-    def _type_candidates(self, event_type: str | None) -> set[str] | None:
-        """Rule ids passing the type filter; None means "all rules"."""
-        if event_type is None:
-            return None
-        allowed = set(self._wildcard_rules)
-        allowed.update(self._by_exact_type.get(event_type, ()))
-        return allowed
-
     def evaluate_context(
         self,
         context: Mapping[str, Any],
@@ -181,7 +181,16 @@ class RuleEngine:
         """Evaluate all applicable rules against one context."""
         self.stats["events_evaluated"] += 1
         event_type = event.event_type if event is not None else None
-        type_allowed = self._type_candidates(event_type)
+        # Type filtering probes the wildcard/exact-type sets per
+        # candidate instead of materializing their union per event —
+        # with mostly-wildcard rule sets that union is O(rules), paid
+        # even when the index admits only a handful of candidates.
+        wildcard = self._wildcard_rules
+        exact: set[str] | tuple = (
+            self._by_exact_type.get(event_type, ())
+            if event_type is not None
+            else ()
+        )
 
         if self.mode == "indexed":
             candidates: Iterable[Rule] = self._index.candidates(context)
@@ -192,12 +201,17 @@ class RuleEngine:
         for rule in candidates:
             if not rule.enabled:
                 continue
-            if type_allowed is not None and rule.rule_id not in type_allowed:
-                continue
-            if event_type is not None and not rule.matches_event_type(event_type):
-                continue
+            if event_type is not None:
+                if rule.rule_id not in wildcard and rule.rule_id not in exact:
+                    continue
+                if not rule.matches_event_type(event_type):
+                    continue
             self.stats["conditions_evaluated"] += 1
-            if evaluate_predicate(rule.condition, context):
+            if (
+                rule.compiled_condition(context)
+                if self.compiled
+                else evaluate_predicate(rule.condition, context)
+            ):
                 matches.append(RuleMatch(rule=rule, context=context, event=event))
         matches.sort(key=lambda m: (-m.rule.priority, m.rule.rule_id))
         self.stats["matches"] += len(matches)

@@ -29,7 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Hashable, Iterator
 
-from repro.db.expr import conjuncts
+from repro.db.expr import conjuncts, evaluate_predicate
+from repro.errors import ExpressionError
 from repro.rules.rule import Rule
 
 
@@ -239,6 +240,14 @@ class PredicateIndex:
         self._residual: set[str] = set()
         self._rules: dict[str, Rule] = {}
         self._eager = eager_interval_rebuild
+        # Memoized referenced-column sets, captured once at add() time
+        # (Expression.referenced_columns is itself memoized per node).
+        self._rule_columns: dict[str, frozenset[str]] = {}
+        # Constant conditions (no column references) are decided once at
+        # registration: always-true rules are permanent candidates,
+        # always-false/UNKNOWN rules are never candidates at all.
+        self._always: set[str] = set()
+        self._never: set[str] = set()
 
     def __len__(self) -> int:
         return len(self._rules)
@@ -248,8 +257,24 @@ class PredicateIndex:
         """Rules with no indexable anchor (always fully evaluated)."""
         return len(self._residual)
 
+    def referenced_columns(self, rule_id: str) -> frozenset[str]:
+        """The column set captured for a registered rule."""
+        return self._rule_columns.get(rule_id, frozenset())
+
     def add(self, rule: Rule) -> None:
         self._rules[rule.rule_id] = rule
+        columns = rule.condition.referenced_columns()
+        self._rule_columns[rule.rule_id] = columns
+        if not columns:
+            try:
+                always = evaluate_predicate(rule.condition, {})
+            except ExpressionError:
+                # Evaluation errors must surface at evaluation time,
+                # exactly as naive mode would raise them.
+                self._residual.add(rule.rule_id)
+                return
+            (self._always if always else self._never).add(rule.rule_id)
+            return
         anchor = self._choose_anchor(rule)
         if anchor is None:
             self._residual.add(rule.rule_id)
@@ -272,6 +297,11 @@ class PredicateIndex:
 
     def remove(self, rule_id: str) -> None:
         self._rules.pop(rule_id, None)
+        self._rule_columns.pop(rule_id, None)
+        if rule_id in self._always or rule_id in self._never:
+            self._always.discard(rule_id)
+            self._never.discard(rule_id)
+            return
         if rule_id in self._residual:
             self._residual.discard(rule_id)
             return
@@ -330,6 +360,9 @@ class PredicateIndex:
         ``context`` is any mapping-like with ``.get``.
         """
         found: set[str] = set(self._residual)
+        # Constant-true rules match regardless of context; constant-
+        # false/UNKNOWN rules were excluded for good at add() time.
+        found.update(self._always)
         # Equality: one probe per distinct anchored column, regardless
         # of how many (column, value) buckets exist.
         for column in self._equality_columns:

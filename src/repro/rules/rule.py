@@ -17,6 +17,7 @@ from typing import Any, Callable, Mapping
 from repro.db.database import Database
 from repro.db.expr import (
     Expression,
+    compile_predicate,
     expression_from_dict,
     expression_to_dict,
 )
@@ -61,6 +62,25 @@ class Rule:
             self.condition = parse_expression(self.condition)
         if self.event_types is not None:
             self.event_types = tuple(self.event_types)
+        self._compiled_condition: Callable[[Mapping[str, Any]], bool] | None = None
+
+    @property
+    def compiled_condition(self) -> Callable[[Mapping[str, Any]], bool]:
+        """The condition lowered to a single closure (compiled lazily,
+        once per rule — engines force it at registration time)."""
+        if self._compiled_condition is None:
+            self._compiled_condition = compile_predicate(self.condition)
+        return self._compiled_condition
+
+    def recompile(self) -> Callable[[Mapping[str, Any]], bool]:
+        """Re-lower the condition after it was replaced.
+
+        Assign a *new* expression tree to ``condition`` (per-node memos
+        make mutating a compiled tree in place unsupported), then call
+        this; engines do so automatically on rule churn.
+        """
+        self._compiled_condition = None
+        return self.compiled_condition
 
     @classmethod
     def from_text(

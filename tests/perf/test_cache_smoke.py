@@ -1,0 +1,116 @@
+"""Perf smoke tests: the statement cache and the expression compiler
+must actually remove repeated work, not just exist.
+
+These patch the parse entry points with counting wrappers (the names
+bound at import time are ``repro.db.sql.cache.parse_statement`` and
+``repro.db.sql.parser.tokenize`` — patching ``lexer.tokenize`` would
+miss the parser's direct reference) and assert parses happen once, not
+per execution / per row / per event.
+"""
+
+import pytest
+
+import repro.db.sql.cache as cache_module
+from repro.clock import SimulatedClock
+from repro.db import Database
+from repro.db.schema import Column
+from repro.db.types import INT, TEXT
+from repro.queues import Message, QueueTable
+from repro.rules import RuleEngine
+
+
+@pytest.fixture
+def db():
+    return Database(clock=SimulatedClock(start=1000.0))
+
+
+@pytest.fixture
+def counted_parse(monkeypatch):
+    """Count calls to the statement-cache's parse entry point."""
+    calls = {"n": 0}
+    real = cache_module.parse_statement
+
+    def wrapper(text):
+        calls["n"] += 1
+        return real(text)
+
+    monkeypatch.setattr(cache_module, "parse_statement", wrapper)
+    return calls
+
+
+def _make_table(db):
+    db.create_table(
+        "t", [Column("id", INT, primary_key=True), Column("name", TEXT)]
+    )
+
+
+class TestStatementCacheHitRate:
+    def test_repeated_parameterized_statement_hits_over_90_percent(self, db):
+        _make_table(db)
+        insert = db.prepare("INSERT INTO t (id, name) VALUES (?, ?)")
+        for i in range(100):
+            insert.execute([i, f"n{i}"])
+        select = db.prepare("SELECT name FROM t WHERE id = ?")
+        for i in range(100):
+            assert select.query([i]) == [{"name": f"n{i}"}]
+        assert db.statement_cache.hit_rate > 0.9
+
+    def test_prepared_enqueue_hit_rate(self, db):
+        queue = QueueTable(db, "smoke")
+        for i in range(50):
+            queue.enqueue_via_prepared(Message(payload={"i": i}))
+        assert db.statement_cache.hit_rate > 0.9
+        assert queue.depth() == 50
+
+
+class TestNoRepeatedParsing:
+    def test_prepared_statement_parses_once(self, db, counted_parse):
+        _make_table(db)
+        insert = db.prepare("INSERT INTO t (id, name) VALUES (?, ?)")
+        baseline = counted_parse["n"]  # prepare() parses eagerly
+        for i in range(50):
+            insert.execute([i, "x"])
+        assert counted_parse["n"] == baseline
+
+    def test_repeated_text_parses_once(self, db, counted_parse):
+        _make_table(db)
+        db.execute("INSERT INTO t (id, name) VALUES (1, 'a')")
+        baseline = counted_parse["n"]
+        for _ in range(20):
+            db.query("SELECT * FROM t WHERE id = 1")
+        assert counted_parse["n"] == baseline + 1
+
+    def test_compiled_rule_evaluation_never_tokenizes(self, monkeypatch):
+        """After registration, per-event evaluation is pure closure
+        calls: no lexing, no parsing, no per-event AST lowering."""
+        import repro.db.sql.parser as parser_module
+        from repro.events import Event
+
+        engine = RuleEngine(compiled=True)
+        engine.add("r1", "qty > 5 AND region = 'emea'")
+        engine.add("r2", "price BETWEEN 1 AND 2")
+
+        def forbidden(text):
+            raise AssertionError(
+                "tokenize called during compiled rule evaluation"
+            )
+
+        monkeypatch.setattr(parser_module, "tokenize", forbidden)
+        for i in range(100):
+            engine.evaluate(
+                Event("tick", float(i), {"qty": i, "region": "emea"}),
+                run_actions=False,
+            )
+        assert engine.stats["events_evaluated"] == 100
+
+    def test_compiled_where_evaluation_is_not_per_row(self, db, counted_parse):
+        """One SELECT over many rows parses once; the WHERE predicate is
+        compiled once and applied per row as a closure."""
+        _make_table(db)
+        insert = db.prepare("INSERT INTO t (id, name) VALUES (?, ?)")
+        for i in range(200):
+            insert.execute([i, f"n{i % 7}"])
+        baseline = counted_parse["n"]
+        rows = db.query("SELECT id FROM t WHERE name = 'n3'")
+        assert len(rows) > 20
+        assert counted_parse["n"] == baseline + 1

@@ -1,0 +1,160 @@
+"""Compiled vs interpreted expression evaluation must agree exactly.
+
+The expression compiler (:func:`repro.db.expr.compile_expression`)
+lowers an AST to one closure; every hot path that adopted it (WHERE
+loops, CHECKs, trigger WHEN guards, rules, pub/sub filters, CQ
+operators) relies on the two evaluators being observably identical —
+including three-valued logic (NULL → UNKNOWN), LIKE, ranges, CASE,
+functions, and the errors they raise.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.expr import (
+    compile_expression,
+    compile_predicate,
+    evaluate_predicate,
+)
+from repro.db.sql.parser import parse_expression
+from repro.errors import ExpressionError
+from repro.rules.engine import EventContext
+
+
+@st.composite
+def expression_texts(draw):
+    """Random value expressions over a (int), b (float), c (str)."""
+    kind = draw(st.integers(0, 9))
+    if kind == 0:
+        return f"a + {draw(st.integers(-5, 5))} * b"
+    if kind == 1:
+        return f"b / {draw(st.sampled_from([2, 4, 0.5]))}"
+    if kind == 2:
+        return f"coalesce(a, {draw(st.integers(0, 9))})"
+    if kind == 3:
+        return f"upper(c) || '-{draw(st.integers(0, 9))}'"
+    if kind == 4:
+        return (
+            f"CASE WHEN a > {draw(st.integers(0, 20))} THEN 'big' "
+            f"WHEN a IS NULL THEN 'null' ELSE 'small' END"
+        )
+    if kind == 5:
+        return f"length(c) + {draw(st.integers(0, 3))}"
+    if kind == 6:
+        return f"round(b, {draw(st.integers(0, 2))})"
+    if kind == 7:
+        return f"nullif(a, {draw(st.integers(0, 25))})"
+    if kind == 8:
+        return f"-a + abs(b - {draw(st.integers(0, 50))})"
+    return f"{draw(st.integers(0, 9))} + {draw(st.integers(0, 9))}"
+
+
+@st.composite
+def predicate_texts(draw):
+    """Random predicates covering every compiled node type."""
+    clauses = draw(st.integers(1, 4))
+    parts = []
+    for _ in range(clauses):
+        kind = draw(st.integers(0, 9))
+        if kind == 0:
+            op = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+            parts.append(f"a {op} {draw(st.integers(0, 25))}")
+        elif kind == 1:
+            low = draw(st.integers(0, 50))
+            high = low + draw(st.integers(0, 30))
+            neg = draw(st.sampled_from(["", "NOT "]))
+            parts.append(f"b {neg}BETWEEN {low} AND {high}")
+        elif kind == 2:
+            pattern = draw(
+                st.sampled_from(["k%", "%1", "k_", "%", "_", "k1", "%k%"])
+            )
+            neg = draw(st.sampled_from(["", "NOT "]))
+            parts.append(f"c {neg}LIKE '{pattern}'")
+        elif kind == 3:
+            neg = draw(st.sampled_from(["", "NOT "]))
+            parts.append(f"a IS {neg}NULL")
+        elif kind == 4:
+            values = ", ".join(
+                str(draw(st.integers(0, 25))) for _ in range(draw(st.integers(1, 3)))
+            )
+            neg = draw(st.sampled_from(["", "NOT "]))
+            parts.append(f"a {neg}IN ({values})")
+        elif kind == 5:
+            parts.append(f"c = 'k{draw(st.integers(0, 8))}'")
+        elif kind == 6:
+            parts.append(f"NOT (b < {draw(st.integers(0, 80))})")
+        elif kind == 7:
+            parts.append(f"a + b > {draw(st.integers(0, 50))}")
+        elif kind == 8:
+            parts.append(
+                "CASE WHEN c IS NULL THEN FALSE ELSE length(c) = 2 END"
+            )
+        else:
+            parts.append(draw(st.sampled_from(["TRUE", "FALSE", "NULL"])))
+    connector = draw(st.sampled_from([" AND ", " OR "]))
+    return connector.join(parts)
+
+
+rows = st.fixed_dictionaries(
+    {
+        "a": st.one_of(st.none(), st.integers(0, 25)),
+        "b": st.one_of(st.none(), st.floats(0, 100, allow_nan=False)),
+        "c": st.one_of(st.none(), st.sampled_from([f"k{i}" for i in range(10)])),
+    }
+)
+
+
+def _outcome(fn, *args):
+    """Value or (sentinel, message) of the raised ExpressionError."""
+    try:
+        return ("value", fn(*args))
+    except ExpressionError as exc:
+        return ("error", str(exc))
+
+
+class TestCompiledEquivalence:
+    @given(predicate_texts(), rows)
+    @settings(max_examples=300, deadline=None)
+    def test_predicates_agree_on_plain_dicts(self, text, row):
+        expression = parse_expression(text)
+        interpreted = _outcome(evaluate_predicate, expression, row)
+        compiled = _outcome(compile_predicate(expression), row)
+        assert interpreted == compiled
+
+    @given(predicate_texts(), rows)
+    @settings(max_examples=300, deadline=None)
+    def test_predicates_agree_on_event_contexts(self, text, row):
+        """EventContext reads absent keys as NULL; both evaluators must
+        honor that (the compiled column lookup may not use .get)."""
+        expression = parse_expression(text)
+        context = EventContext({k: v for k, v in row.items() if v is not None})
+        interpreted = _outcome(evaluate_predicate, expression, context)
+        compiled = _outcome(compile_predicate(expression), context)
+        assert interpreted == compiled
+
+    @given(predicate_texts(), rows)
+    @settings(max_examples=200, deadline=None)
+    def test_raw_evaluation_is_three_valued_and_identical(self, text, row):
+        expression = parse_expression(text)
+        interpreted = _outcome(expression.evaluate, row)
+        compiled = _outcome(compile_expression(expression), row)
+        assert interpreted == compiled
+        if interpreted[0] == "value":
+            assert interpreted[1] in (True, False, None)
+
+    @given(expression_texts(), rows)
+    @settings(max_examples=300, deadline=None)
+    def test_value_expressions_agree(self, text, row):
+        """Arithmetic, functions, CASE, concatenation — including the
+        errors they raise (division by zero, bad argument types)."""
+        expression = parse_expression(text)
+        interpreted = _outcome(expression.evaluate, row)
+        compiled = _outcome(compile_expression(expression), row)
+        assert interpreted == compiled
+
+    @given(predicate_texts())
+    @settings(max_examples=100, deadline=None)
+    def test_compiled_closure_is_memoized_per_node(self, text):
+        expression = parse_expression(text)
+        assert compile_expression(expression) is compile_expression(expression)
+        assert compile_predicate(expression) is compile_predicate(expression)
