@@ -6,17 +6,23 @@ Runs EXP-1 … EXP-10 in order and writes the combined tables to stdout
 (and optionally a file) — the artifact summarized in EXPERIMENTS.md.
 ``--quick`` shrinks every experiment to a tiny sweep (seconds total):
 a smoke mode for CI and for checking the harness still runs end to end;
-its numbers are NOT meaningful measurements.
+its numbers are NOT meaningful measurements.  In quick mode each
+experiment's table is followed by a metrics snapshot — the process-wide
+counter totals the run produced (see :mod:`repro.obs.metrics`), so the
+smoke run also checks that instrumentation is alive end to end.
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import gc
 import importlib
 import io
 import sys
 import time
+
+from repro.obs.metrics import aggregate_counters, reset_aggregate
 
 EXPERIMENTS = [
     "bench_exp1_capture",
@@ -30,6 +36,24 @@ EXPERIMENTS = [
     "bench_exp9_virt",
     "bench_exp10_recovery",
 ]
+
+
+def _metrics_section() -> str:
+    """Process-wide counter totals for the experiment that just ran.
+
+    Registries owned by a finished experiment's Database objects fold
+    their counts into the process totals on garbage collection, so
+    collect first to make the aggregate complete.
+    """
+    gc.collect()
+    totals = aggregate_counters(by_name=True)
+    if not totals:
+        return "  [metrics: none recorded]"
+    rendered = ", ".join(
+        f"{name}={int(value) if float(value).is_integer() else value}"
+        for name, value in sorted(totals.items())
+    )
+    return f"  [metrics: {rendered}]"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -59,12 +83,17 @@ def main(argv: list[str] | None = None) -> int:
             name if __package__ in (None, "") else f"benchmarks.{name}"
         )
         buffer = io.StringIO()
+        if arguments.quick:
+            reset_aggregate()
         started = time.perf_counter()
         with contextlib.redirect_stdout(buffer):
             module.main(quick=True) if arguments.quick else module.main()
         elapsed = time.perf_counter() - started
         section = buffer.getvalue().rstrip()
-        sections.append(f"{section}\n  [harness wall time: {elapsed:.1f}s]")
+        section = f"{section}\n  [harness wall time: {elapsed:.1f}s]"
+        if arguments.quick:
+            section = f"{section}\n{_metrics_section()}"
+        sections.append(section)
         print(sections[-1])
         sys.stdout.flush()
 

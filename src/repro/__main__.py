@@ -6,6 +6,11 @@ Offers a small operational surface without writing any code:
     python -m repro sql               # interactive SQL shell on a
                                       # scratch database
     python -m repro sql --wal FILE    # ... persisted to a journal file
+    python -m repro stats             # run the observability demo
+                                      # pipeline and dump its metrics
+    python -m repro stats --json      # ... as machine-readable JSON
+    python -m repro stats --faults    # ... with failure boundaries
+                                      # exercised by fault injection
     python -m repro version
 """
 
@@ -67,6 +72,19 @@ def run_demo() -> int:
     return 0
 
 
+def run_stats(*, events: int, as_json: bool, faults: bool) -> int:
+    from repro.obs.report import format_report, run_stats_workload
+
+    report = run_stats_workload(events=events, faults=faults)
+    if as_json:
+        import json
+
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+    else:
+        print(format_report(report))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -81,6 +99,23 @@ def main(argv: list[str] | None = None) -> int:
         "--wal", metavar="FILE", default=None,
         help="journal file: state persists and recovers across runs",
     )
+    stats_parser = subparsers.add_parser(
+        "stats",
+        help="run the end-to-end demo pipeline and dump its metrics, "
+        "suppressed-error accounting, and a sample event trace",
+    )
+    stats_parser.add_argument(
+        "--events", type=int, default=60,
+        help="number of source rows to push through the pipeline",
+    )
+    stats_parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    stats_parser.add_argument(
+        "--faults", action="store_true",
+        help="arm failure-boundary failpoints so suppressed errors "
+        "(consumer crashes, trigger-drop failures) appear in the report",
+    )
     arguments = parser.parse_args(argv)
     if arguments.command == "version":
         print(__version__)
@@ -89,6 +124,12 @@ def main(argv: list[str] | None = None) -> int:
         return run_demo()
     if arguments.command == "sql":
         return run_sql_shell(arguments.wal)
+    if arguments.command == "stats":
+        return run_stats(
+            events=arguments.events,
+            as_json=arguments.json,
+            faults=arguments.faults,
+        )
     parser.print_help()
     return 2
 

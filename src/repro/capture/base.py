@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.events import Event
+from repro.obs.trace import new_trace_id, record_hop
 
 EventSink = Callable[[Event], None]
 
@@ -68,6 +69,18 @@ class CaptureSource:
 
     def _emit(self, event: Event) -> None:
         self.events_captured += 1
+        if event.trace_id is None:
+            # The capture boundary is where a trace is born.  Event is a
+            # frozen dataclass; the capture source is the one writer
+            # allowed to stamp the id before the event escapes.
+            object.__setattr__(event, "trace_id", new_trace_id())
+        record_hop(
+            event.trace_id,
+            "capture",
+            event.timestamp,
+            source=self.name,
+            event_type=event.event_type,
+        )
         for sink in self._sinks:
             sink(event)
 

@@ -31,6 +31,7 @@ from repro.db.transactions import Transaction
 from repro.db.triggers import TriggerEvent, TriggerTiming
 from repro.errors import SqlSyntaxError
 from repro.events import Event
+from repro.faults import CAPTURE_DROP_TRIGGER
 
 
 def query_dependencies(query: str) -> set[str]:
@@ -147,9 +148,16 @@ class QueryNotificationCapture(CaptureSource):
         )
 
     def close(self) -> None:
+        # Best-effort teardown, but never silent: every suppressed drop
+        # failure is counted (with the exception retained) in the
+        # registry's errors_suppressed accounting.
         for trigger_name in self._trigger_names:
             try:
+                if self.db.faults is not None:
+                    self.db.faults.fire(
+                        CAPTURE_DROP_TRIGGER, capture=self, trigger=trigger_name
+                    )
                 self.db.drop_trigger(trigger_name)
-            except Exception:
-                pass
+            except Exception as exc:
+                self.db.obs.record_error("capture.notification.close", exc)
         self._trigger_names.clear()

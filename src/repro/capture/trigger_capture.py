@@ -26,6 +26,7 @@ from repro.db.expr import Expression
 from repro.db.transactions import Transaction
 from repro.db.triggers import TriggerContext, TriggerEvent, TriggerTiming
 from repro.events import Event
+from repro.faults import CAPTURE_DROP_TRIGGER
 
 _OPERATIONS = (TriggerEvent.INSERT, TriggerEvent.UPDATE, TriggerEvent.DELETE)
 
@@ -88,10 +89,20 @@ class TriggerCapture(CaptureSource):
         self._buffers.pop(transaction.txid, None)
 
     def close(self) -> None:
-        """Drop the capture triggers from the database."""
+        """Drop the capture triggers from the database.
+
+        Teardown is best-effort — a trigger that is already gone must
+        not abort closing the rest — but every suppressed failure is
+        counted and retained in the metrics registry so a close that
+        silently left triggers behind is detectable.
+        """
         for trigger_name in self._trigger_names:
             try:
+                if self.db.faults is not None:
+                    self.db.faults.fire(
+                        CAPTURE_DROP_TRIGGER, capture=self, trigger=trigger_name
+                    )
                 self.db.drop_trigger(trigger_name)
-            except Exception:
-                pass
+            except Exception as exc:
+                self.db.obs.record_error("capture.trigger.close", exc)
         self._trigger_names.clear()

@@ -8,9 +8,10 @@ one primitive.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 from repro.events import Event
+from repro.obs.metrics import NULL_COUNTER
 
 EventSink = Callable[[Event], None]
 
@@ -23,9 +24,24 @@ class Stream:
         self._sinks: list[EventSink] = []
         self.events_in = 0
         self.events_out = 0
+        # No-op instruments until a registry is bound; the hot path
+        # always pays the same one-attribute-load-plus-inc either way.
+        self._m_in = NULL_COUNTER
+        self._m_out = NULL_COUNTER
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"
+
+    def bind_metrics(self, metrics: Any) -> "Stream":
+        """Export this stream's in/out counts through a registry,
+        labelled by stream name; returns self for chaining."""
+        self._m_in = metrics.counter("cq.events_in", stream=self.name)
+        self._m_out = metrics.counter("cq.events_out", stream=self.name)
+        if self.events_in:
+            self._m_in.inc(self.events_in)
+        if self.events_out:
+            self._m_out.inc(self.events_out)
+        return self
 
     def subscribe(self, sink: EventSink) -> "Stream":
         """Attach a downstream consumer; returns self for chaining."""
@@ -38,11 +54,13 @@ class Stream:
     def push(self, event: Event) -> None:
         """Inject an event; the default stream forwards unchanged."""
         self.events_in += 1
+        self._m_in.inc()
         self.emit(event)
 
     def emit(self, event: Event) -> None:
         """Deliver an event to every subscriber."""
         self.events_out += 1
+        self._m_out.inc()
         for sink in self._sinks:
             sink(event)
 
@@ -61,6 +79,7 @@ class Operator(Stream):
 
     def push(self, event: Event) -> None:
         self.events_in += 1
+        self._m_in.inc()
         self.process(event)
 
     def process(self, event: Event) -> None:

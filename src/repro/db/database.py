@@ -81,6 +81,7 @@ from repro.errors import (
     TransactionError,
     TriggerError,
 )
+from repro.obs.metrics import MetricsRegistry
 
 from repro.db.wal import OP_CREATE_TRIGGER, OP_DROP_TRIGGER
 
@@ -232,6 +233,13 @@ class Database:
         faults: optional :class:`repro.faults.FaultInjector`; forwarded
             to the WAL and visible to brokers/delivery managers built
             on this database, so one injector arms the whole pipeline.
+        metrics: optional shared :class:`repro.obs.MetricsRegistry`;
+            when omitted the database builds its own (driven by its
+            clock).  Pass one registry to several databases/brokers to
+            get a single pipeline-wide snapshot.
+        metrics_enabled: build the owned registry disabled (all hot-path
+            instruments become no-ops; error accounting stays live).
+            Ignored when an explicit ``metrics`` registry is passed.
     """
 
     def __init__(
@@ -245,6 +253,8 @@ class Database:
         clock: Clock | None = None,
         faults: Any = None,
         statement_cache_size: int = STATEMENT_CACHE_CAPACITY,
+        metrics: MetricsRegistry | None = None,
+        metrics_enabled: bool = True,
     ) -> None:
         self.clock = clock or WallClock()
         self.catalog = Catalog()
@@ -254,6 +264,9 @@ class Database:
         self.schema_version = 0
         self.statement_cache = StatementCache(capacity=statement_cache_size)
         self._faults = faults
+        self.obs = metrics or MetricsRegistry(
+            clock=self.clock, enabled=metrics_enabled
+        )
         self.wal = WriteAheadLog(
             path=path,
             sync_policy=sync_policy,
@@ -261,6 +274,7 @@ class Database:
             group_commit_size=group_commit_size,
             group_commit_window=group_commit_window,
             faults=faults,
+            metrics=self.obs,
         )
         self.locks = LockManager(timeout=lock_timeout)
         self.transactions = TransactionManager(self.locks)
@@ -282,6 +296,28 @@ class Database:
         }
         if path and len(self.wal):
             self._rebuild_from_records(self.wal.records(durable_only=True))
+
+    def metrics(self) -> dict[str, Any]:
+        """One coherent observability snapshot for this database.
+
+        Merges the shared registry's instruments with the statement
+        cache's hit/miss accounting and the legacy ``statistics``
+        counters, so callers get every number from one place.
+        """
+        snapshot = self.obs.snapshot()
+        cache = self.statement_cache.stats
+        for key, value in cache.items():
+            snapshot["counters"][f"statement_cache.{key}"] = value
+        snapshot["gauges"]["statement_cache.hit_rate"] = (
+            self.statement_cache.hit_rate
+        )
+        for key, value in self.statistics.items():
+            snapshot["counters"][f"db.{key}"] = value
+        snapshot["counters"].setdefault("wal.fsyncs", 0)
+        snapshot["counters"]["wal.fsyncs"] = max(
+            snapshot["counters"]["wal.fsyncs"], self.wal.flush_count
+        )
+        return snapshot
 
     @property
     def faults(self) -> Any:

@@ -53,9 +53,11 @@ from repro.errors import (
     TornTailWarning,
     WALError,
 )
+from repro.obs.metrics import NULL_COUNTER, NULL_HISTOGRAM
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.faults import FaultContext, FaultInjector
+    from repro.obs.metrics import MetricsRegistry
 
 # Record operation names.
 OP_BEGIN = "begin"
@@ -339,6 +341,7 @@ class WriteAheadLog:
         group_commit_size: int = 1,
         group_commit_window: float | None = None,
         faults: "FaultInjector | None" = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         if sync_policy not in ("commit", "none", "always"):
             raise ValueError(f"unknown sync_policy {sync_policy!r}")
@@ -364,6 +367,19 @@ class WriteAheadLog:
         # file adopts its version so one file never mixes formats.
         self._format_version = WAL_FORMAT_VERSION
         self.load_report: WalLoadReport | None = None
+        # Instruments resolved once; each hot-path touch is one attribute
+        # load plus an add (no-ops when no registry is attached).
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_appends = metrics.counter("wal.appends")
+            self._m_fsyncs = metrics.counter("wal.fsyncs")
+            self._m_bytes = metrics.counter("wal.bytes")
+            self._m_batch = metrics.histogram("wal.group_commit_batch")
+        else:
+            self._m_appends = NULL_COUNTER
+            self._m_fsyncs = NULL_COUNTER
+            self._m_bytes = NULL_COUNTER
+            self._m_batch = NULL_HISTOGRAM
         if path and os.path.exists(path):
             self._load_existing(path)
 
@@ -425,6 +441,7 @@ class WriteAheadLog:
     ) -> LogRecord:
         """Append one record; returns it with its assigned LSN."""
         self._fire("wal.append", op=op, txid=txid, table=table, rowid=rowid)
+        self._m_appends.inc()
         record = LogRecord(
             lsn=self._next_lsn,
             txid=txid,
@@ -485,6 +502,7 @@ class WriteAheadLog:
         and raise, modeling a crash mid-write; the in-memory instance
         must then be abandoned and recovery run from the file.
         """
+        batch = self._pending_commits
         self._pending_commits = 0
         self._oldest_pending_ts = None
         if self._durable_count == len(self._records):
@@ -505,6 +523,7 @@ class WriteAheadLog:
                 handle.write(data)
                 handle.flush()
                 os.fsync(handle.fileno())
+            self._m_bytes.inc(len(data))
             if torn is not None and torn.result is not None:
                 raise FaultInjectedError(
                     f"torn write ({torn.result['mode']}) during flush",
@@ -512,6 +531,11 @@ class WriteAheadLog:
                 )
         self._durable_count = len(self._records)
         self.flush_count += 1
+        self._m_fsyncs.inc()
+        if batch:
+            # Commits covered by this one fsync — the group-commit
+            # amortization EXP-2 sweeps; 1 means no coalescing happened.
+            self._m_batch.observe(batch)
         self._fire("wal.post_flush")
 
     @staticmethod

@@ -39,6 +39,11 @@ class Event:
             (``"trigger:orders"``, ``"journal"``, ``"cq:vwap"`` ...).
         causes: Ids of the events this event was derived from; empty
             for primitive events.  Gives full provenance for audit.
+        trace_id: End-to-end tracking id (see :mod:`repro.obs.trace`).
+            Stamped at the capture boundary and inherited by every
+            derived/correlated event, so one observation's full path
+            through rules, queues, propagation, and delivery can be
+            reconstructed.  ``None`` for events nothing is tracking.
     """
 
     event_type: str
@@ -47,6 +52,7 @@ class Event:
     event_id: int = field(default_factory=_next_event_id)
     source: str = ""
     causes: tuple[int, ...] = ()
+    trace_id: str | None = None
 
     def __post_init__(self) -> None:
         if not self.event_type:
@@ -91,6 +97,7 @@ class Event:
             payload=self.payload if payload is None else payload,
             source=source,
             causes=(self.event_id,),
+            trace_id=self.trace_id,
         )
 
     def with_payload(self, **updates: Any) -> "Event":
@@ -103,6 +110,7 @@ class Event:
             payload=merged,
             source=self.source,
             causes=self.causes,
+            trace_id=self.trace_id,
         )
 
 
@@ -125,10 +133,17 @@ def correlate(
         raise ValueError("correlate requires at least one input event")
     if timestamp is None:
         timestamp = max(event.timestamp for event in events)
+    # A composite inherits the first tracked constituent's trace id —
+    # the pattern's anchor — so end-to-end tracking survives correlation.
+    trace_id = next(
+        (event.trace_id for event in events if event.trace_id is not None),
+        None,
+    )
     return Event(
         event_type=event_type,
         timestamp=timestamp,
         payload=payload,
         source=source,
         causes=tuple(event.event_id for event in events),
+        trace_id=trace_id,
     )

@@ -23,6 +23,10 @@ name                    fired
 ``broker.ack``          before an acknowledgement through the broker
 ``delivery.consumer``   before a consumer callback runs (inside the
                         nack/retry failure boundary)
+``pubsub.consumer``     before an activated durable subscriber's
+                        listener runs (inside the requeue boundary)
+``capture.drop_trigger``  inside capture-source teardown, before each
+                        trigger is dropped (the swallowed-close path)
 ======================  =====================================================
 
 Custom names are allowed (the catalog is a convention, not a schema) so
@@ -61,6 +65,8 @@ BROKER_PUBLISH = "broker.publish"
 BROKER_CONSUME = "broker.consume"
 BROKER_ACK = "broker.ack"
 DELIVERY_CONSUMER = "delivery.consumer"
+PUBSUB_CONSUMER = "pubsub.consumer"
+CAPTURE_DROP_TRIGGER = "capture.drop_trigger"
 
 FAILPOINT_CATALOG = frozenset(
     {
@@ -72,6 +78,8 @@ FAILPOINT_CATALOG = frozenset(
         BROKER_CONSUME,
         BROKER_ACK,
         DELIVERY_CONSUMER,
+        PUBSUB_CONSUMER,
+        CAPTURE_DROP_TRIGGER,
     }
 )
 

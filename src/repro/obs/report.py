@@ -1,0 +1,249 @@
+"""The ``python -m repro stats`` workload and report renderer.
+
+Runs a compact end-to-end pipeline — trigger capture → rules → staging
+queue → cross-broker propagation → reliable delivery, with pub/sub and
+a CQ stream riding along — entirely on a :class:`SimulatedClock`, then
+renders one observability report: the metrics snapshots of both
+databases, per-stage stats dicts, and a sample end-to-end trace
+reconstructed from the :class:`repro.obs.trace.TraceLog`.
+
+With ``faults=True`` the workload arms the failure-boundary failpoints
+(consumer crashes, trigger-drop failures) so every former
+silent-swallow site shows up in ``errors_suppressed`` — the point of
+the exercise is that nothing fails invisibly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.clock import SimulatedClock
+from repro.db.database import Database
+from repro.faults import (
+    CAPTURE_DROP_TRIGGER,
+    DELIVERY_CONSUMER,
+    PUBSUB_CONSUMER,
+    FaultInjector,
+    every,
+    on_hit,
+    raise_fault,
+)
+from repro.obs.trace import TraceLog, set_default_trace_log
+
+#: Hop order of a fully delivered message, used to pick the sample trace.
+_FULL_PATH_STAGES = ("capture", "rule.match", "queue.enqueue", "delivery.consumed")
+
+
+def run_stats_workload(
+    *, events: int = 60, faults: bool = False
+) -> dict[str, Any]:
+    """Run the demonstration pipeline and return the report dict."""
+    from repro.capture.notification_capture import QueryNotificationCapture
+    from repro.capture.trigger_capture import TriggerCapture
+    from repro.cq.stream import Stream
+    from repro.pubsub.broker import PubSubBroker
+    from repro.queues.broker import QueueBroker
+    from repro.queues.propagation import PropagationLink, Propagator
+    from repro.pubsub.delivery import DeliveryManager
+    from repro.rules.actions import EnqueueAction
+    from repro.rules.engine import RuleEngine
+
+    clock = SimulatedClock(start=1_000.0)
+    trace_log = TraceLog(capacity=16_384)
+    previous_log = set_default_trace_log(trace_log)
+    injector = FaultInjector(seed=7) if faults else None
+    try:
+        db = Database(clock=clock, sync_policy="commit", faults=injector)
+        db.execute(
+            "CREATE TABLE orders ("
+            " order_id INT PRIMARY KEY,"
+            " amount REAL NOT NULL,"
+            " region TEXT)"
+        )
+        broker = QueueBroker(db)
+        broker.create_queue("matched")
+
+        engine = RuleEngine(metrics=db.obs)
+        engine.add(
+            "hot-order",
+            "amount > 50",
+            action=EnqueueAction(broker, "matched", priority_key="amount"),
+            event_types=("orders.insert",),
+        )
+
+        capture = TriggerCapture(db, ["orders"], name="orders-capture")
+        capture.subscribe(engine.evaluate)
+
+        # CQ operators and pub/sub ride on the same captured stream.
+        stream = Stream("orders-changes").bind_metrics(db.obs)
+        capture.subscribe(stream.push)
+        pubsub = PubSubBroker(db)
+        pubsub.create_topic("orders")
+        pubsub.subscribe("dashboard", "orders", durable=True)
+        capture.subscribe(lambda event: pubsub.publish("orders", event))
+
+        notification = QueryNotificationCapture(
+            db, "SELECT * FROM orders WHERE amount > 90", name="big-orders"
+        )
+
+        # Second broker: the propagation destination plus its delivery
+        # loop — the §2.2.d "local consumption elsewhere" leg.
+        remote_db = Database(clock=clock, sync_policy="commit", faults=injector)
+        remote = QueueBroker(remote_db, name="remote")
+        remote.create_queue("remote")
+        propagator = Propagator(
+            broker, "matched", dead_letter_queue="matched_dlq"
+        ).add_link(
+            PropagationLink(name="to-remote", broker=remote, queue_name="remote")
+        )
+        delivery = DeliveryManager(
+            remote,
+            "remote",
+            ack_timeout=5.0,
+            max_attempts=3,
+            dead_letter_queue="remote_dlq",
+        )
+
+        if injector is not None:
+            # A consumer that crashes on every 5th delivery: failures
+            # flow through nack → retry → (occasionally) dead-letter.
+            injector.arm(
+                DELIVERY_CONSUMER, raise_fault("injected consumer crash"),
+                policy=every(5),
+            )
+
+        for i in range(events):
+            db.execute(
+                "INSERT INTO orders (order_id, amount, region) "
+                f"VALUES ({i}, {10 + (i * 7) % 100}, "
+                f"'{'west' if i % 2 else 'east'}')"
+            )
+            clock.advance(0.05)
+
+        consumed = 0
+        for _ in range(events + 10):  # drain: propagation + retries
+            propagator.pump()
+            # Exercise both consumption pumps so the process() and
+            # process_batch() failure boundaries each see traffic.
+            consumed += delivery.process(lambda message: None, batch=4)
+            consumed += delivery.process_batch(lambda message: None, batch=16)
+            clock.advance(1.0)
+            if broker.queue("matched").depth() == 0 and (
+                remote.queue("remote").depth() == 0
+            ):
+                break
+
+        # Activate the durable pub/sub subscriber; under fault injection
+        # the first activation crashes (counted, message kept) and the
+        # second drains cleanly.
+        if injector is not None:
+            injector.arm(
+                PUBSUB_CONSUMER, raise_fault("injected subscriber crash"),
+                policy=on_hit(1), max_fires=1,
+            )
+            try:
+                pubsub.attach_listener("dashboard", lambda event: None)
+            except Exception:
+                pubsub.detach_listener("dashboard")
+        pubsub.attach_listener("dashboard", lambda event: None)
+
+        if injector is not None:
+            # Teardown failures: every trigger drop raises; close() must
+            # survive and account for each suppressed failure.
+            injector.arm(CAPTURE_DROP_TRIGGER, raise_fault("injected drop failure"))
+        capture.close()
+        notification.close()
+
+        return {
+            "events": events,
+            "consumed": consumed,
+            "local": db.metrics(),
+            "remote": remote.metrics(),
+            "queues": broker.stats(),
+            "engine": dict(engine.stats),
+            "propagation": dict(propagator.stats),
+            "delivery": dict(delivery.stats),
+            "pubsub": dict(pubsub.stats),
+            "trace": _sample_trace(trace_log),
+            "trace_count": len(trace_log.trace_ids()),
+        }
+    finally:
+        set_default_trace_log(previous_log)
+
+
+def _sample_trace(log: TraceLog) -> dict[str, Any] | None:
+    """The first trace that travelled the whole capture→delivery path."""
+    best: dict[str, Any] | None = None
+    for trace_id in log.trace_ids():
+        hops = log.lookup(trace_id)
+        stages = {hop.stage for hop in hops}
+        rendered = {
+            "trace_id": trace_id,
+            "hops": [
+                {"stage": hop.stage, "ts": hop.ts, **hop.detail} for hop in hops
+            ],
+        }
+        if all(stage in stages for stage in _FULL_PATH_STAGES):
+            return rendered
+        if best is None or len(hops) > len(best["hops"]):
+            best = rendered
+    return best
+
+
+def format_report(report: dict[str, Any]) -> str:
+    """Human-readable rendering (the non-``--json`` CLI output)."""
+    lines: list[str] = []
+
+    def section(title: str) -> None:
+        lines.append("")
+        lines.append(title)
+        lines.append("-" * len(title))
+
+    lines.append(
+        f"workload: {report['events']} events captured, "
+        f"{report['consumed']} delivered, "
+        f"{report['trace_count']} traces recorded"
+    )
+    for side in ("local", "remote"):
+        snapshot = report[side]
+        section(f"{side} database counters")
+        for key, value in sorted(snapshot["counters"].items()):
+            if value:
+                lines.append(f"  {key:<44} {value}")
+        gauges = {k: v for k, v in sorted(snapshot["gauges"].items())}
+        if gauges:
+            section(f"{side} database gauges")
+            for key, value in gauges.items():
+                lines.append(f"  {key:<44} {value}")
+        histograms = snapshot.get("histograms", {})
+        live = {k: h for k, h in sorted(histograms.items()) if h["count"]}
+        if live:
+            section(f"{side} database histograms")
+            for key, h in live.items():
+                lines.append(
+                    f"  {key:<44} count={h['count']} mean={h['mean']:.4f} "
+                    f"p50={h['p50']:.4f} p95={h['p95']:.4f} p99={h['p99']:.4f}"
+                )
+        if snapshot.get("errors_suppressed"):
+            section(f"{side} suppressed errors")
+            for stage, count in sorted(snapshot["errors_suppressed"].items()):
+                last = snapshot["last_errors"].get(stage, "")
+                lines.append(f"  {stage:<44} {count}  (last: {last})")
+
+    section("stage stats")
+    for stage in ("engine", "propagation", "delivery", "pubsub", "queues"):
+        lines.append(f"  {stage}: {json.dumps(report[stage], sort_keys=True)}")
+
+    trace = report.get("trace")
+    if trace:
+        section(f"sample trace {trace['trace_id']}")
+        for hop in trace["hops"]:
+            detail = {
+                k: v for k, v in hop.items() if k not in ("stage", "ts")
+            }
+            lines.append(
+                f"  {hop['ts']:>10.2f}  {hop['stage']:<22} "
+                + ", ".join(f"{k}={v}" for k, v in detail.items())
+            )
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Event trace IDs and the TraceLog ring buffer.
+
+Every event gets a ``trace_id`` at its birth boundary — capture
+(:meth:`repro.capture.base.CaptureSource._emit`) or direct enqueue
+(:meth:`repro.queues.queue_table.QueueTable._prepare`) — and the id then
+rides unchanged through rules → queues → propagation → pub/sub delivery:
+on :class:`repro.events.Event` as a field, on
+:class:`repro.queues.message.Message` in ``headers["trace_id"]``.  Each
+stage that handles a traced message records a hop here, so
+``lookup_trace(tid)`` reconstructs the full capture→delivery path.
+
+The log is a bounded ring buffer (old hops fall off; the newest
+``capacity`` hops are always reconstructable) and recording is guarded
+by a single ``enabled`` check plus a ``None`` trace-id check, so the
+disabled cost is one method call.  Timestamps are supplied by callers
+from their component's Clock — this module never reads wall time.
+
+A process-wide default log backs the module-level :func:`record_hop` /
+:func:`lookup_trace` helpers; trace ids are process-unique (a simple
+monotonic counter), so concurrent pipelines sharing the default log
+cannot collide.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+DEFAULT_TRACE_CAPACITY = 4096
+
+_ids = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A fresh process-unique trace id (cheap: no uuid, no clock)."""
+    return f"t-{next(_ids)}"
+
+
+@dataclass(frozen=True)
+class TraceHop:
+    """One recorded stage transition for one trace id."""
+
+    trace_id: str
+    stage: str
+    ts: float
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceLog:
+    """Bounded ring buffer of :class:`TraceHop` records."""
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._hops: deque[TraceHop] = deque(maxlen=capacity)
+
+    def record(self, trace_id: str | None, stage: str, ts: float = 0.0, **detail: Any) -> None:
+        if not self.enabled or trace_id is None:
+            return
+        self._hops.append(TraceHop(trace_id, stage, ts, detail))
+
+    def lookup(self, trace_id: str) -> list[TraceHop]:
+        """All retained hops for one trace id, in recorded order."""
+        return [hop for hop in self._hops if hop.trace_id == trace_id]
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids still in the buffer, oldest first."""
+        seen: dict[str, None] = {}
+        for hop in self._hops:
+            seen.setdefault(hop.trace_id, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        self._hops.clear()
+
+    def __len__(self) -> int:
+        return len(self._hops)
+
+    def __iter__(self) -> Iterator[TraceHop]:
+        return iter(self._hops)
+
+
+_default_log = TraceLog()
+
+
+def default_trace_log() -> TraceLog:
+    return _default_log
+
+
+def set_default_trace_log(log: TraceLog) -> TraceLog:
+    """Swap the process default (tests install a fresh/disabled log);
+    returns the previous one so callers can restore it."""
+    global _default_log
+    previous = _default_log
+    _default_log = log
+    return previous
+
+
+def record_hop(trace_id: str | None, stage: str, ts: float = 0.0, **detail: Any) -> None:
+    _default_log.record(trace_id, stage, ts, **detail)
+
+
+def lookup_trace(trace_id: str) -> list[TraceHop]:
+    return _default_log.lookup(trace_id)

@@ -15,6 +15,8 @@ from typing import Any, Callable
 from repro.db.database import Database
 from repro.errors import PubSubError, TopicNotFoundError
 from repro.events import Event
+from repro.faults import PUBSUB_CONSUMER
+from repro.obs.trace import record_hop
 from repro.pubsub.subscription import Callback, TopicSubscription
 from repro.pubsub.topic import Topic, topic_matches
 from repro.queues.broker import QueueBroker
@@ -32,6 +34,7 @@ def _event_to_payload(topic: str, event: Event) -> dict[str, Any]:
             if _jsonable(value)
         },
         "source": event.source,
+        "trace_id": event.trace_id,
     }
 
 
@@ -49,6 +52,7 @@ def _payload_to_event(data: dict[str, Any]) -> Event:
         timestamp=data["timestamp"],
         payload=data["payload"],
         source=data.get("source", ""),
+        trace_id=data.get("trace_id"),
     )
 
 
@@ -63,6 +67,10 @@ class PubSubBroker:
         self._subscriptions: dict[str, TopicSubscription] = {}
         self._listeners: dict[str, Callback] = {}
         self.stats = {"published": 0, "delivered": 0, "spooled": 0}
+        obs = db.obs
+        self._m_published = obs.counter("pubsub.published", broker=name)
+        self._m_delivered = obs.counter("pubsub.delivered", broker=name)
+        self._m_spooled = obs.counter("pubsub.spooled", broker=name)
 
     # -- topics ---------------------------------------------------------------
 
@@ -150,6 +158,14 @@ class PubSubBroker:
         topic = self.topic(topic_name)
         topic.record(event)
         self.stats["published"] += 1
+        self._m_published.inc()
+        record_hop(
+            event.trace_id,
+            "pubsub.publish",
+            self.db.clock.now(),
+            broker=self.name,
+            topic=topic.name,
+        )
         deliveries = 0
         for subscription in self._subscriptions.values():
             if not topic_matches(subscription.topic_pattern, topic.name):
@@ -165,17 +181,35 @@ class PubSubBroker:
     ) -> None:
         subscription.delivered += 1
         if subscription.durable:
+            # Carry the event's trace id in the spool message's headers
+            # so queue hops and redeliveries stay on the same trace.
             self.queues.publish(
                 subscription.queue_name,
-                Message(payload=_event_to_payload(topic_name, event)),
+                Message(
+                    payload=_event_to_payload(topic_name, event),
+                    headers=(
+                        {"trace_id": event.trace_id}
+                        if event.trace_id is not None
+                        else {}
+                    ),
+                ),
             )
             self.stats["spooled"] += 1
+            self._m_spooled.inc()
             listener = self._listeners.get(subscription.subscriber)
             if listener is not None:
                 self._drain(subscription, listener)
         else:
             subscription.callback(event)
             self.stats["delivered"] += 1
+            self._m_delivered.inc()
+            record_hop(
+                event.trace_id,
+                "pubsub.deliver",
+                self.db.clock.now(),
+                broker=self.name,
+                subscriber=subscription.subscriber,
+            )
 
     # -- consumption / application activation ------------------------------------------
 
@@ -207,8 +241,14 @@ class PubSubBroker:
                 return drained
             event = _payload_to_event(message.payload)
             try:
+                self._fire_consumer_failpoint(subscription, event)
                 callback(event)
-            except Exception:
+            except Exception as exc:
+                # The raising callback is accounted for before the
+                # message is requeued and the exception re-raised to the
+                # caller (the activation contract): the failure is never
+                # invisible even if the caller swallows it.
+                self.db.obs.record_error("pubsub.drain", exc)
                 self.queues.requeue(
                     subscription.queue_name,
                     message.message_id,
@@ -221,7 +261,29 @@ class PubSubBroker:
                 principal=subscription.subscriber,
             )
             self.stats["delivered"] += 1
+            self._m_delivered.inc()
+            record_hop(
+                event.trace_id,
+                "pubsub.deliver",
+                self.db.clock.now(),
+                broker=self.name,
+                subscriber=subscription.subscriber,
+            )
             drained += 1
+
+    def _fire_consumer_failpoint(
+        self, subscription: TopicSubscription, event: Event
+    ) -> None:
+        """Hit the ``pubsub.consumer`` failpoint (fault-injection tests
+        model a crashing activated application here)."""
+        faults = self.db.faults
+        if faults is not None:
+            faults.fire(
+                PUBSUB_CONSUMER,
+                broker=self,
+                subscriber=subscription.subscriber,
+                event=event,
+            )
 
     def fetch(self, subscriber: str) -> Event | None:
         """Pull one spooled event for a durable subscription (manual
@@ -238,7 +300,16 @@ class PubSubBroker:
             subscription.queue_name, message.message_id, principal=subscriber
         )
         self.stats["delivered"] += 1
-        return _payload_to_event(message.payload)
+        self._m_delivered.inc()
+        event = _payload_to_event(message.payload)
+        record_hop(
+            event.trace_id,
+            "pubsub.deliver",
+            self.db.clock.now(),
+            broker=self.name,
+            subscriber=subscriber,
+        )
+        return event
 
     def backlog(self, subscriber: str) -> int:
         subscription = self.subscription(subscriber)

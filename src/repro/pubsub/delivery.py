@@ -19,8 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+import json
+
 from repro.errors import DeliveryError
 from repro.faults import DELIVERY_CONSUMER
+from repro.obs.trace import record_hop
 from repro.queues.broker import QueueBroker
 from repro.queues.message import Message
 
@@ -71,6 +74,24 @@ class DeliveryManager:
             "consumer_errors": 0,
             "dead_lettered": 0,
         }
+        self._obs = broker.db.obs
+        self._m_delivered = self._obs.counter(
+            "delivery.delivered", queue=queue_name
+        )
+        self._m_acked = self._obs.counter("delivery.acked", queue=queue_name)
+        self._m_redelivered = self._obs.counter(
+            "delivery.redelivered", queue=queue_name
+        )
+        self._m_consumer_errors = self._obs.counter(
+            "delivery.consumer_errors", queue=queue_name
+        )
+        self._m_dead = self._obs.counter(
+            "delivery.dead_lettered", queue=queue_name
+        )
+        # Enqueue → successful-consumption latency, in clock seconds.
+        self._m_hop_latency = self._obs.histogram(
+            "delivery.hop_latency", queue=queue_name
+        )
 
     @property
     def clock(self):
@@ -105,6 +126,7 @@ class DeliveryManager:
             deadline=self.clock.now() + self.ack_timeout,
         )
         self.stats["delivered"] += 1
+        self._m_delivered.inc()
         return message
 
     def ack(self, message_id: int) -> None:
@@ -115,6 +137,7 @@ class DeliveryManager:
         del self._pending[message_id]
         self.broker.ack(self.queue_name, message_id, principal="delivery")
         self.stats["acked"] += 1
+        self._m_acked.inc()
 
     def nack(self, message_id: int, *, delay: float = 0.0) -> None:
         """Explicit negative ack: give the message back for retry."""
@@ -143,6 +166,12 @@ class DeliveryManager:
         table = self.broker.db.catalog.table(queue.table_name)
         row = table.get(message_id)
         attempts = row["attempts"] if row else self.max_attempts
+        trace_id = None
+        if row is not None and row.get("headers"):
+            try:  # cold path: decode headers just for the trace hop
+                trace_id = json.loads(row["headers"]).get("trace_id")
+            except (ValueError, AttributeError):
+                trace_id = None
         if attempts >= self.max_attempts:
             if self.dead_letter_queue:
                 if row is not None:
@@ -174,6 +203,14 @@ class DeliveryManager:
                     )
                 self.broker.publish(self.dead_letter_queue, dead, principal="delivery")
                 self.stats["dead_lettered"] += 1
+                self._m_dead.inc()
+                record_hop(
+                    trace_id,
+                    "delivery.dead_letter",
+                    self.clock.now(),
+                    queue=self.queue_name,
+                    dlq=self.dead_letter_queue,
+                )
             if row is not None:
                 self.broker.ack(self.queue_name, message_id, principal="delivery")
         else:
@@ -181,6 +218,14 @@ class DeliveryManager:
                 self.queue_name, message_id, delay=delay, principal="delivery"
             )
             self.stats["redelivered"] += 1
+            self._m_redelivered.inc()
+            record_hop(
+                trace_id,
+                "delivery.redelivered",
+                self.clock.now(),
+                queue=self.queue_name,
+                attempts=attempts,
+            )
 
     # -- callback-style consumption --------------------------------------------
 
@@ -201,13 +246,31 @@ class DeliveryManager:
                 break
             try:
                 self._run_consumer(consumer, message)
-            except Exception:
+            except Exception as exc:
+                # Formerly a silent drop of the exception object: the
+                # error is retained and counted *before* the nack, so a
+                # raising consumer is observable, not just retried.
                 self.stats["consumer_errors"] += 1
+                self._m_consumer_errors.inc()
+                self._obs.record_error("delivery.process", exc)
                 self.nack(message.message_id)
                 continue
             self.ack(message.message_id)
+            self._finish(message)
             consumed += 1
         return consumed
+
+    def _finish(self, message: Message) -> None:
+        """Success accounting shared by both consumption pumps."""
+        now = self.clock.now()
+        if message.enqueued_at:
+            self._m_hop_latency.observe(now - message.enqueued_at)
+        record_hop(
+            message.headers.get("trace_id"),
+            "delivery.consumed",
+            now,
+            queue=self.queue_name,
+        )
 
     def process_batch(
         self, consumer: Consumer, *, batch: int = 100, consumer_name: str = "consumer"
@@ -231,20 +294,30 @@ class DeliveryManager:
                 message_id=message.message_id, deadline=deadline
             )
         self.stats["delivered"] += len(messages)
-        succeeded: list[int] = []
+        self._m_delivered.inc(len(messages))
+        succeeded: list[Message] = []
         for message in messages:
             try:
                 self._run_consumer(consumer, message)
-            except Exception:
+            except Exception as exc:
+                # Same boundary as process(): count and retain before
+                # the nack so batch-path failures are equally visible.
                 self.stats["consumer_errors"] += 1
+                self._m_consumer_errors.inc()
+                self._obs.record_error("delivery.process_batch", exc)
                 self.nack(message.message_id)
                 continue
-            succeeded.append(message.message_id)
+            succeeded.append(message)
         if succeeded:
-            for message_id in succeeded:
-                del self._pending[message_id]
+            for message in succeeded:
+                del self._pending[message.message_id]
             self.broker.ack_batch(
-                self.queue_name, succeeded, principal="delivery"
+                self.queue_name,
+                [message.message_id for message in succeeded],
+                principal="delivery",
             )
             self.stats["acked"] += len(succeeded)
+            self._m_acked.inc(len(succeeded))
+            for message in succeeded:
+                self._finish(message)
         return len(succeeded)

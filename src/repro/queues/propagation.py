@@ -24,8 +24,43 @@ from dataclasses import dataclass, field
 from typing import Any, Protocol
 
 from repro.errors import PropagationError
+from repro.obs.trace import record_hop
 from repro.queues.broker import QueueBroker
 from repro.queues.message import Message
+
+
+class BoundedIdWindow:
+    """Insertion-ordered set of recently seen ids with a hard size cap.
+
+    Duplicate-suppression state must not grow with traffic: ids are
+    *discarded* as soon as their message is finally resolved (acked or
+    dead-lettered), and the window only has to cover messages still in
+    retry limbo.  The cap is a backstop — if limbo ever exceeds it, the
+    oldest ids fall out and an extreme straggler could be re-sent, which
+    at-least-once delivery already permits.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._ids: dict[int, None] = {}  # insertion-ordered
+
+    def add(self, item: int) -> None:
+        if item in self._ids:
+            return
+        if len(self._ids) >= self.capacity:
+            self._ids.pop(next(iter(self._ids)))
+        self._ids[item] = None
+
+    def discard(self, item: int) -> None:
+        self._ids.pop(item, None)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._ids
+
+    def __len__(self) -> int:
+        return len(self._ids)
 
 
 class ExternalService(Protocol):
@@ -96,6 +131,7 @@ class Propagator:
         base_backoff: float = 0.1,
         max_backoff: float = 30.0,
         dead_letter_queue: str | None = None,
+        dedup_window: int = 1024,
     ) -> None:
         self.broker = broker
         self.source_queue = source_queue
@@ -106,13 +142,29 @@ class Propagator:
         self.dead_letter_queue = dead_letter_queue
         if dead_letter_queue and not broker.has_queue(dead_letter_queue):
             broker.create_queue(dead_letter_queue)
-        self._delivered_ids: dict[str, set[int]] = {}
+        # Per-link duplicate suppression across retries.  Bounded: ids
+        # are dropped once their message is resolved (see _resolve), and
+        # dedup_window caps whatever retry limbo remains.
+        self.dedup_window = dedup_window
+        self._delivered_ids: dict[str, BoundedIdWindow] = {}
         self.stats = {"forwarded": 0, "retried": 0, "dead_lettered": 0}
+        obs = broker.db.obs
+        self._clock = broker.db.clock
+        self._m_forwarded = obs.counter("prop.forwarded", source=source_queue)
+        self._m_retried = obs.counter("prop.retried", source=source_queue)
+        self._m_dead = obs.counter("prop.dead_lettered", source=source_queue)
+        self._m_attempts = obs.counter("prop.attempts", source=source_queue)
+        # Source-enqueue → fully-forwarded latency, in clock seconds.
+        self._m_hop_latency = obs.histogram(
+            "prop.hop_latency", source=source_queue
+        )
 
     def add_link(self, link: PropagationLink) -> "Propagator":
         """Attach a destination; returns self so links chain fluently."""
         self.links.append(link)
-        self._delivered_ids.setdefault(link.name, set())
+        self._delivered_ids.setdefault(
+            link.name, BoundedIdWindow(self.dedup_window)
+        )
         return self
 
     def backoff_for(self, message_id: int, attempts: int) -> float:
@@ -165,16 +217,42 @@ class Propagator:
         messages = self.broker.consume_batch(
             self.source_queue, batch, principal="propagator"
         )
-        delivered: list[int] = []
+        delivered: list[Message] = []
         for message in messages:
             if self._forward(message, defer_ack=True):
-                delivered.append(message.message_id)
+                delivered.append(message)
         if delivered:
             self.broker.ack_batch(
-                self.source_queue, delivered, principal="propagator"
+                self.source_queue,
+                [message.message_id for message in delivered],
+                principal="propagator",
             )
-            self.stats["forwarded"] += len(delivered)
+            for message in delivered:
+                self._mark_forwarded(message)
         return len(delivered)
+
+    def _mark_forwarded(self, message: Message) -> None:
+        """Shared success accounting for the single-message and batched
+        paths — both report identical forwarded counts for the same
+        workload, and the metrics layer is the single source of truth.
+
+        A fully forwarded message can never be re-dequeued, so its
+        duplicate-suppression ids are evicted from every link window
+        (the fix for the former unbounded ``_delivered_ids`` growth).
+        """
+        self.stats["forwarded"] += 1
+        self._m_forwarded.inc()
+        for window in self._delivered_ids.values():
+            window.discard(message.message_id)
+        now = self._clock.now()
+        if message.enqueued_at:
+            self._m_hop_latency.observe(now - message.enqueued_at)
+        record_hop(
+            message.headers.get("trace_id"),
+            "propagate.forwarded",
+            now,
+            source=self.source_queue,
+        )
 
     def _forward(self, message: Message, *, defer_ack: bool = False) -> bool:
         failures: list[tuple[PropagationLink, Exception]] = []
@@ -182,6 +260,7 @@ class Propagator:
             seen = self._delivered_ids[link.name]
             if message.message_id in seen:
                 continue  # Already delivered on a previous (partial) try.
+            self._m_attempts.inc()
             try:
                 link.send(message)
                 seen.add(message.message_id)
@@ -194,7 +273,7 @@ class Propagator:
             self.broker.ack(
                 self.source_queue, message.message_id, principal="propagator"
             )
-            self.stats["forwarded"] += 1
+            self._mark_forwarded(message)
             return True
         if message.attempts >= self.max_attempts:
             self._dead_letter(message, failures)
@@ -207,12 +286,32 @@ class Propagator:
             principal="propagator",
         )
         self.stats["retried"] += 1
+        self._m_retried.inc()
+        record_hop(
+            message.headers.get("trace_id"),
+            "propagate.retry",
+            self._clock.now(),
+            source=self.source_queue,
+            attempts=message.attempts,
+            delay=backoff,
+        )
         return False
 
     def _dead_letter(
         self, message: Message, failures: list[tuple[PropagationLink, Exception]]
     ) -> None:
         self.stats["dead_lettered"] += 1
+        self._m_dead.inc()
+        # A dead-lettered message is resolved: evict its dedup ids.
+        for window in self._delivered_ids.values():
+            window.discard(message.message_id)
+        record_hop(
+            message.headers.get("trace_id"),
+            "propagate.dead_letter",
+            self._clock.now(),
+            source=self.source_queue,
+            dlq=self.dead_letter_queue,
+        )
         if self.dead_letter_queue:
             dead = Message(
                 payload=message.payload,

@@ -47,6 +47,7 @@ from repro.db.database import Connection, Database
 from repro.db.schema import Column
 from repro.db.types import INT, TEXT, TIMESTAMP
 from repro.errors import MessageExpiredError, QueueError
+from repro.obs.trace import new_trace_id, record_hop
 from repro.queues.message import Message, MessageState
 
 
@@ -83,6 +84,16 @@ class QueueTable:
             "requeued": 0,
             "expired": 0,
         }
+        # Registry instruments mirroring the legacy stats dict, bound
+        # once (label: queue name); the depth gauge is a provider read
+        # only at snapshot time, so it costs the hot path nothing.
+        obs = db.obs
+        self._m_enqueued = obs.counter("queue.enqueued", queue=self.name)
+        self._m_dequeued = obs.counter("queue.dequeued", queue=self.name)
+        self._m_acked = obs.counter("queue.acked", queue=self.name)
+        self._m_requeued = obs.counter("queue.requeued", queue=self.name)
+        self._m_expired = obs.counter("queue.expired", queue=self.name)
+        obs.gauge_fn("queue.depth", self.depth, queue=self.name)
         # Priority-ordered READY index: min-heap of (-priority, rowid).
         # rowid is the tie-break, so FIFO-within-priority follows the
         # original enqueue order even across requeues.
@@ -138,6 +149,13 @@ class QueueTable:
         if message.expires_at is None and self.default_expiration is not None:
             message.expires_at = now + self.default_expiration
         message.state = MessageState.READY
+        # The enqueue boundary is a trace birth point: a message not yet
+        # carrying a trace id (i.e. not derived from a captured event)
+        # gets one here, so every queued message is trackable.
+        trace_id = message.headers.get("trace_id")
+        if trace_id is None:
+            trace_id = message.headers["trace_id"] = new_trace_id()
+        record_hop(trace_id, "queue.enqueue", now, queue=self.name)
         return message
 
     def enqueue(
@@ -156,6 +174,7 @@ class QueueTable:
         message.message_id = rowid
         heapq.heappush(self._ready, (-message.priority, rowid))
         self.stats["enqueued"] += 1
+        self._m_enqueued.inc()
         return rowid
 
     def enqueue_batch(
@@ -188,6 +207,7 @@ class QueueTable:
             message.message_id = rowid
             heapq.heappush(self._ready, (-message.priority, rowid))
         self.stats["enqueued"] += len(rowids)
+        self._m_enqueued.inc(len(rowids))
         return rowids
 
     def enqueue_via_insert(self, message: Message | Any) -> int:
@@ -210,6 +230,7 @@ class QueueTable:
         message.message_id = result.lastrowid
         heapq.heappush(self._ready, (-message.priority, result.lastrowid))
         self.stats["enqueued"] += 1
+        self._m_enqueued.inc()
         return result.lastrowid
 
     def enqueue_via_prepared(self, message: Message | Any) -> int:
@@ -239,6 +260,7 @@ class QueueTable:
         message.message_id = result.lastrowid
         heapq.heappush(self._ready, (-message.priority, result.lastrowid))
         self.stats["enqueued"] += 1
+        self._m_enqueued.inc()
         return result.lastrowid
 
     # -- dequeue ----------------------------------------------------------------
@@ -312,6 +334,18 @@ class QueueTable:
             )
         self.stats["expired"] += expired
         self.stats["dequeued"] += len(messages)
+        if expired:
+            self._m_expired.inc(expired)
+        if messages:
+            self._m_dequeued.inc(len(messages))
+            for message in messages:
+                record_hop(
+                    message.headers.get("trace_id"),
+                    "queue.dequeue",
+                    now,
+                    queue=self.name,
+                    consumer=consumer,
+                )
         return messages
 
     def dequeue(
@@ -371,6 +405,7 @@ class QueueTable:
             else:
                 self.db.delete_row(self.table_name, message_id, conn=connection)
             self.stats["acked"] += 1
+            self._m_acked.inc()
 
         self.db._with_transaction(conn, work)
 
@@ -407,6 +442,7 @@ class QueueTable:
                         self.table_name, message_id, conn=connection
                     )
             self.stats["acked"] += len(ids)
+            self._m_acked.inc(len(ids))
             return len(ids)
 
         return self.db._with_transaction(conn, work)
@@ -439,6 +475,7 @@ class QueueTable:
             )
             heapq.heappush(self._ready, (-row["priority"], message_id))
             self.stats["requeued"] += 1
+            self._m_requeued.inc()
 
         self.db._with_transaction(conn, work)
 
@@ -497,6 +534,7 @@ class QueueTable:
                 )
                 expired += 1
         self.stats["expired"] += expired
+        self._m_expired.inc(expired)
         return expired
 
     def recover_locked(self, *, consumer: str | None = None) -> int:

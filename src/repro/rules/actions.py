@@ -83,8 +83,14 @@ class EnqueueAction:
                 if _jsonable(value)
             },
         }
+        # A rule-produced message stays on the originating event's
+        # trace: event_context() surfaces the trace id, and the queue
+        # will not re-stamp a message that already carries one.
+        trace_id = context.get("trace_id")
+        headers = {"trace_id": trace_id} if isinstance(trace_id, str) else {}
         self.broker.publish(
-            self.queue_name, Message(payload=payload, priority=priority)
+            self.queue_name,
+            Message(payload=payload, priority=priority, headers=headers),
         )
 
 

@@ -29,6 +29,8 @@ from repro.db.database import Database
 from repro.db.expr import evaluate_predicate
 from repro.errors import RuleError, RuleNotFoundError
 from repro.events import Event
+from repro.obs.metrics import NULL_COUNTER
+from repro.obs.trace import record_hop
 from repro.queues.queue_table import QueueTable
 from repro.rules.index import PredicateIndex
 from repro.rules.rule import Rule
@@ -54,6 +56,10 @@ def event_context(event: Event) -> EventContext:
     context = EventContext(event.payload)
     context.setdefault("event_type", event.event_type)
     context.setdefault("timestamp", event.timestamp)
+    if event.trace_id is not None:
+        # Actions (e.g. EnqueueAction) read this to keep the outgoing
+        # message on the originating event's trace.
+        context.setdefault("trace_id", event.trace_id)
     return context
 
 
@@ -69,7 +75,13 @@ class RuleMatch:
 class RuleEngine:
     """Registered rules + evaluation strategies."""
 
-    def __init__(self, *, mode: str = "indexed", compiled: bool = True) -> None:
+    def __init__(
+        self,
+        *,
+        mode: str = "indexed",
+        compiled: bool = True,
+        metrics: Any = None,
+    ) -> None:
         if mode not in ("indexed", "naive"):
             raise RuleError(f"unknown evaluation mode {mode!r}")
         self.mode = mode
@@ -87,6 +99,20 @@ class RuleEngine:
             "matches": 0,
             "actions_run": 0,
         }
+        # Share a pipeline registry (e.g. Database.obs) to surface rule
+        # work in the same snapshot; without one, instruments are no-ops.
+        if metrics is not None:
+            self._m_events = metrics.counter("rules.events_evaluated")
+            self._m_conditions = metrics.counter("rules.conditions_evaluated")
+            self._m_matches = metrics.counter("rules.matches")
+            self._m_actions = metrics.counter("rules.actions_run")
+            self._m_compiles = metrics.counter("rules.compiles")
+        else:
+            self._m_events = NULL_COUNTER
+            self._m_conditions = NULL_COUNTER
+            self._m_matches = NULL_COUNTER
+            self._m_actions = NULL_COUNTER
+            self._m_compiles = NULL_COUNTER
 
     def __len__(self) -> int:
         return len(self._rules)
@@ -106,6 +132,7 @@ class RuleEngine:
             # lowering cost; re-adding after churn recompiles because a
             # replaced rule carries a fresh condition tree.
             rule.recompile()
+            self._m_compiles.inc()
         if rule.event_types is None:
             self._wildcard_rules.add(rule.rule_id)
         else:
@@ -180,6 +207,7 @@ class RuleEngine:
     ) -> list[RuleMatch]:
         """Evaluate all applicable rules against one context."""
         self.stats["events_evaluated"] += 1
+        self._m_events.inc()
         event_type = event.event_type if event is not None else None
         # Type filtering probes the wildcard/exact-type sets per
         # candidate instead of materializing their union per event —
@@ -207,6 +235,7 @@ class RuleEngine:
                 if not rule.matches_event_type(event_type):
                     continue
             self.stats["conditions_evaluated"] += 1
+            self._m_conditions.inc()
             if (
                 rule.compiled_condition(context)
                 if self.compiled
@@ -215,11 +244,21 @@ class RuleEngine:
                 matches.append(RuleMatch(rule=rule, context=context, event=event))
         matches.sort(key=lambda m: (-m.rule.priority, m.rule.rule_id))
         self.stats["matches"] += len(matches)
+        if matches:
+            self._m_matches.inc(len(matches))
+            trace_id = event.trace_id if event is not None else None
+            if trace_id is not None:
+                ts = event.timestamp if event is not None else 0.0
+                for match in matches:
+                    record_hop(
+                        trace_id, "rule.match", ts, rule=match.rule.rule_id
+                    )
         if run_actions:
             for match in matches:
                 if match.rule.action is not None:
                     match.rule.action(match.rule, context)
                     self.stats["actions_run"] += 1
+                    self._m_actions.inc()
         return matches
 
     def evaluate(self, event: Event, *, run_actions: bool = True) -> list[RuleMatch]:

@@ -1,0 +1,191 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import gc
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    MetricsRegistry,
+    aggregate_counters,
+    metric_key,
+    reset_aggregate,
+    split_metric_key,
+)
+
+
+class TestMetricKey:
+    def test_bare_name(self):
+        assert metric_key("wal.fsyncs", {}) == "wal.fsyncs"
+
+    def test_labels_sorted(self):
+        key = metric_key("queue.depth", {"queue": "q", "broker": "b"})
+        assert key == "queue.depth{broker=b,queue=q}"
+
+    def test_split_roundtrip(self):
+        key = metric_key("x", {"a": "1", "b": "two"})
+        name, labels = split_metric_key(key)
+        assert name == "x"
+        assert labels == {"a": "1", "b": "two"}
+
+    def test_split_bare(self):
+        assert split_metric_key("plain") == ("plain", {})
+
+
+class TestCountersAndGauges:
+    def test_counter_identity_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", queue="q1")
+        b = registry.counter("hits", queue="q1")
+        c = registry.counter("hits", queue="q2")
+        assert a is b
+        assert a is not c
+        a.inc()
+        a.inc(3)
+        assert registry.snapshot()["counters"]["hits{queue=q1}"] == 4
+        assert registry.snapshot()["counters"]["hits{queue=q2}"] == 0
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert registry.snapshot()["gauges"]["depth"] == 12
+
+    def test_gauge_fn_evaluated_at_snapshot(self):
+        registry = MetricsRegistry()
+        state = {"value": 1}
+        registry.gauge_fn("lazy", lambda: state["value"])
+        state["value"] = 42
+        assert registry.snapshot()["gauges"]["lazy"] == 42
+
+    def test_broken_gauge_provider_does_not_break_snapshot(self):
+        registry = MetricsRegistry()
+        registry.gauge_fn("broken", lambda: 1 / 0)
+        assert registry.snapshot()["gauges"]["broken"] is None
+
+    def test_snapshot_timestamp_from_clock(self):
+        clock = SimulatedClock(start=500.0)
+        registry = MetricsRegistry(clock=clock)
+        clock.advance(7.0)
+        assert registry.snapshot()["ts"] == 507.0
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == 10.0
+        assert snap["mean"] == 2.5
+        assert snap["min"] == 1.0
+        assert snap["max"] == 4.0
+
+    def test_percentiles_nearest_rank(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        snap = histogram.snapshot()
+        assert snap["p50"] == pytest.approx(50.0, abs=1.0)
+        assert snap["p95"] == pytest.approx(95.0, abs=1.0)
+        assert snap["p99"] == pytest.approx(99.0, abs=1.0)
+
+    def test_window_is_bounded_but_totals_exact(self):
+        registry = MetricsRegistry(histogram_window=8)
+        histogram = registry.histogram("latency")
+        for value in range(1000):
+            histogram.observe(float(value))
+        assert histogram.count == 1000
+        assert len(histogram._window) == 8
+        # Percentiles reflect the recent window only.
+        assert histogram.percentile(0) >= 992.0
+
+    def test_empty_percentile_is_none(self):
+        histogram = MetricsRegistry().histogram("latency")
+        assert histogram.percentile(50) is None
+        assert histogram.snapshot()["p99"] is None
+
+
+class TestDisabledRegistry:
+    def test_hands_out_shared_null_instruments(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("c") is NULL_COUNTER
+        assert registry.gauge("g") is NULL_GAUGE
+        assert registry.histogram("h") is NULL_HISTOGRAM
+
+    def test_null_instruments_record_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c").inc(100)
+        registry.gauge("g").set(5)
+        registry.gauge_fn("lazy", lambda: 1)
+        registry.histogram("h").observe(1.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+    def test_error_accounting_still_works_when_disabled(self):
+        # Failure accounting is cold-path and must never be optimized
+        # away — the whole point of fixing the silent-swallow sites.
+        registry = MetricsRegistry(enabled=False)
+        exc = ValueError("boom")
+        registry.record_error("stage.x", exc)
+        assert registry.errors_suppressed("stage.x") == 1
+        assert registry.errors_suppressed() == 1
+        assert registry.last_error("stage.x") is exc
+
+
+class TestErrorAccounting:
+    def test_counts_per_stage_and_retains_last(self):
+        registry = MetricsRegistry()
+        first, second = KeyError("a"), RuntimeError("b")
+        registry.record_error("s1", first)
+        registry.record_error("s1", second)
+        registry.record_error("s2", first)
+        assert registry.errors_suppressed("s1") == 2
+        assert registry.errors_suppressed("s2") == 1
+        assert registry.errors_suppressed() == 3
+        assert registry.last_error("s1") is second
+        snap = registry.snapshot()
+        assert snap["errors_suppressed"] == {"s1": 2, "s2": 1}
+        assert "RuntimeError: b" in snap["last_errors"]["s1"]
+
+
+class TestProcessAggregate:
+    def test_live_and_retired_registries_fold_together(self):
+        reset_aggregate()
+        live = MetricsRegistry()
+        live.counter("agg.test", side="live").inc(2)
+
+        def make_retired():
+            retired = MetricsRegistry()
+            retired.counter("agg.test", side="gone").inc(5)
+
+        make_retired()
+        gc.collect()
+        totals = aggregate_counters(by_name=True)
+        assert totals["agg.test"] == 7
+        by_key = aggregate_counters(by_name=False)
+        assert by_key["agg.test{side=live}"] == 2
+        assert by_key["agg.test{side=gone}"] == 5
+
+    def test_errors_included_in_aggregate(self):
+        reset_aggregate()
+        registry = MetricsRegistry()
+        registry.record_error("stage.y", ValueError("x"))
+        totals = aggregate_counters(by_name=True)
+        assert totals["errors_suppressed"] == 1
+
+    def test_reset_zeroes_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("will.be.reset").inc(9)
+        reset_aggregate()
+        assert aggregate_counters().get("will.be.reset", 0) == 0

@@ -1,0 +1,76 @@
+"""Unit tests for trace ids and the TraceLog ring buffer."""
+
+from repro.obs.trace import (
+    TraceLog,
+    default_trace_log,
+    lookup_trace,
+    new_trace_id,
+    record_hop,
+    set_default_trace_log,
+)
+
+
+class TestTraceIds:
+    def test_unique_and_stringy(self):
+        ids = {new_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(tid.startswith("t-") for tid in ids)
+
+
+class TestTraceLog:
+    def test_record_and_lookup_in_order(self):
+        log = TraceLog()
+        tid = new_trace_id()
+        log.record(tid, "capture", 1.0, source="x")
+        log.record(tid, "queue.enqueue", 2.0, queue="q")
+        log.record(new_trace_id(), "capture", 3.0)
+        hops = log.lookup(tid)
+        assert [hop.stage for hop in hops] == ["capture", "queue.enqueue"]
+        assert hops[0].detail == {"source": "x"}
+        assert hops[1].ts == 2.0
+
+    def test_none_trace_id_ignored(self):
+        log = TraceLog()
+        log.record(None, "capture", 1.0)
+        assert len(log) == 0
+
+    def test_disabled_log_records_nothing(self):
+        log = TraceLog(enabled=False)
+        log.record(new_trace_id(), "capture", 1.0)
+        assert len(log) == 0
+
+    def test_ring_buffer_bounded(self):
+        log = TraceLog(capacity=10)
+        for i in range(50):
+            log.record(f"t-fixed-{i}", "stage", float(i))
+        assert len(log) == 10
+        # Only the newest hops survive.
+        assert [hop.ts for hop in log] == [float(i) for i in range(40, 50)]
+
+    def test_trace_ids_distinct_oldest_first(self):
+        log = TraceLog()
+        log.record("a", "s1", 1.0)
+        log.record("b", "s1", 2.0)
+        log.record("a", "s2", 3.0)
+        assert log.trace_ids() == ["a", "b"]
+
+    def test_clear(self):
+        log = TraceLog()
+        log.record("a", "s1", 1.0)
+        log.clear()
+        assert len(log) == 0
+
+
+class TestDefaultLog:
+    def test_module_helpers_use_installed_default(self):
+        fresh = TraceLog()
+        previous = set_default_trace_log(fresh)
+        try:
+            tid = new_trace_id()
+            record_hop(tid, "capture", 1.0)
+            assert default_trace_log() is fresh
+            assert [hop.stage for hop in lookup_trace(tid)] == ["capture"]
+            assert len(fresh) == 1
+        finally:
+            restored = set_default_trace_log(previous)
+            assert restored is fresh

@@ -1,0 +1,78 @@
+"""The observability layer's overhead budget.
+
+The instrument design (bind once, one attribute load + integer add per
+event; see :mod:`repro.obs.metrics`) claims near-zero hot-path cost.
+This smoke test holds it to that: the EXP-3 internal enqueue path with
+full instrumentation (metrics registry + trace hops) must stay within
+5% of the same workload on a registry-disabled database with tracing
+off.
+
+Wall-clock perf assertions are noisy in shared CI, so trials are
+interleaved, each configuration keeps its best (minimum) time, and the
+comparison retries a few times before failing — the budget must be
+exceeded consistently, not once.
+"""
+
+import time
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.db import Database
+from repro.obs.trace import TraceLog, set_default_trace_log
+from repro.queues import Message, QueueTable
+
+MESSAGES = 3000
+TRIALS = 3
+ATTEMPTS = 4
+BUDGET = 1.05
+
+
+def _enqueue_run(*, metrics_enabled: bool) -> float:
+    db = Database(clock=SimulatedClock(start=1000.0), sync_policy="none",
+                  metrics_enabled=metrics_enabled)
+    queue = QueueTable(db, "bench")
+    payloads = [{"seq": i} for i in range(MESSAGES)]
+    started = time.perf_counter()
+    for payload in payloads:
+        queue.enqueue(Message(payload=payload))
+    elapsed = time.perf_counter() - started
+    assert queue.depth() == MESSAGES
+    return elapsed
+
+
+@pytest.mark.obs
+class TestInstrumentationOverhead:
+    def test_enqueue_throughput_within_budget(self):
+        baseline_log = TraceLog(enabled=False)
+        for attempt in range(ATTEMPTS):
+            instrumented = []
+            disabled = []
+            for _ in range(TRIALS):
+                # Interleave so ambient machine noise hits both sides.
+                previous = set_default_trace_log(TraceLog())
+                try:
+                    instrumented.append(_enqueue_run(metrics_enabled=True))
+                finally:
+                    set_default_trace_log(previous)
+                previous = set_default_trace_log(baseline_log)
+                try:
+                    disabled.append(_enqueue_run(metrics_enabled=False))
+                finally:
+                    set_default_trace_log(previous)
+            ratio = min(instrumented) / min(disabled)
+            if ratio <= BUDGET:
+                return
+        pytest.fail(
+            f"instrumented enqueue {ratio:.3f}x the disabled baseline "
+            f"(budget {BUDGET}x) across {ATTEMPTS} attempts"
+        )
+
+    def test_disabled_registry_records_nothing_on_this_path(self):
+        db = Database(clock=SimulatedClock(start=1000.0), sync_policy="none",
+                      metrics_enabled=False)
+        queue = QueueTable(db, "bench")
+        queue.enqueue(Message(payload={"x": 1}))
+        snapshot = db.obs.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"] == {}

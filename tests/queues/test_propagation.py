@@ -219,3 +219,104 @@ class TestBackoffSchedule:
         assert len(service.received) == 1
         # Uncapped 2**5 = 32s would have needed far more than 2s steps:
         assert attempts <= 8
+
+
+class TestBoundedDedup:
+    """Regression for the formerly unbounded ``_delivered_ids`` growth."""
+
+    def test_windows_empty_after_10k_forwarded(self, source, remote, clock):
+        propagator = Propagator(source, "outbox").add_link(
+            PropagationLink("r", broker=remote, queue_name="inbox")
+        )
+        total = 10_000
+        for start in range(0, total, 500):
+            source.publish_batch(
+                "outbox", [Message(payload=i) for i in range(start, start + 500)]
+            )
+        forwarded = 0
+        while forwarded < total:
+            drained = propagator.pump(batch=500)
+            assert drained > 0
+            forwarded += drained
+            # The dedup windows never retain resolved ids: bounded even
+            # though every message passes through them.
+            for window in propagator._delivered_ids.values():
+                assert len(window) == 0
+        assert propagator.stats["forwarded"] == total
+        assert remote.queue("inbox").depth() == total
+
+    def test_partial_failure_retention_is_capped(self, source, remote, clock):
+        """With one link permanently down, the healthy link's dedup ids
+        accumulate only until the message dead-letters — and the window
+        cap bounds whatever remains in retry limbo."""
+        service = FlakyService(failures=10**9)
+        propagator = (
+            Propagator(
+                source, "outbox", max_attempts=2, base_backoff=0.1,
+                dead_letter_queue="dlq", dedup_window=64,
+            )
+            .add_link(PropagationLink("ok", broker=remote, queue_name="inbox"))
+            .add_link(PropagationLink("down", service=service))
+        )
+        for i in range(500):
+            source.publish("outbox", i)
+        for _ in range(6):
+            propagator.pump(batch=500)
+            clock.advance(10.0)
+        assert propagator.stats["dead_lettered"] == 500
+        for window in propagator._delivered_ids.values():
+            assert len(window) <= 64
+
+    def test_window_rejects_nonpositive_capacity(self):
+        from repro.queues.propagation import BoundedIdWindow
+
+        with pytest.raises(ValueError):
+            BoundedIdWindow(0)
+
+    def test_window_evicts_oldest(self):
+        from repro.queues.propagation import BoundedIdWindow
+
+        window = BoundedIdWindow(3)
+        for i in range(5):
+            window.add(i)
+        assert len(window) == 3
+        assert 0 not in window and 1 not in window
+        assert 2 in window and 4 in window
+        window.discard(3)
+        assert len(window) == 2
+
+
+class TestRunOncePumpParity:
+    """Satellite fix: both drain paths report identical stats for the
+    same workload (they share one accounting path in the metrics layer)."""
+
+    def _drive(self, broker, clock, drain):
+        service = FlakyService(failures=5)
+        propagator = Propagator(
+            broker, "outbox", max_attempts=3, base_backoff=0.1,
+            dead_letter_queue="dlq",
+        ).add_link(PropagationLink("svc", service=service))
+        for i in range(20):
+            broker.publish("outbox", {"n": i})
+        for _ in range(10):
+            drain(propagator)
+            clock.advance(10.0)
+        assert broker.queue("outbox").depth() == 0
+        return propagator.stats
+
+    def test_same_workload_same_stats(self, clock):
+        from repro.db import Database
+
+        def fresh_broker():
+            broker = QueueBroker(Database(clock=clock))
+            broker.create_queue("outbox")
+            return broker
+
+        single = self._drive(
+            fresh_broker(), clock, lambda p: p.run_once(batch=100)
+        )
+        batched = self._drive(
+            fresh_broker(), clock, lambda p: p.pump(batch=100)
+        )
+        assert single == batched
+        assert single["forwarded"] + single["dead_lettered"] == 20

@@ -31,7 +31,10 @@ class TestEnqueueDequeue:
         queue.enqueue(Message(payload=payload, headers={"h": 1}, correlation_id="c9"))
         message = queue.dequeue()
         assert message.payload == payload
-        assert message.headers == {"h": 1}
+        # Enqueue stamps a trace id into the headers; user headers
+        # round-trip alongside it.
+        assert message.headers["h"] == 1
+        assert isinstance(message.headers["trace_id"], str)
         assert message.correlation_id == "c9"
 
     def test_bare_payload_wrapped(self, queue):
