@@ -190,10 +190,16 @@ def test_exp4_shape():
         data[(10_000, "compiled")]["conditions_per_event"]
         == data[(10_000, "indexed")]["conditions_per_event"]
     )
-    assert (
-        data[(10_000, "compiled")]["us_per_event"]
-        < data[(10_000, "indexed")]["us_per_event"] * 1.15
-    )
+    # Regression guard for the PR 6 fix: compiled must never invert —
+    # it used to lose at 10k rules because the compiled closure graph
+    # tripled the GC-tracked object population (walked on every gen-2
+    # collection).  Fused single-closure comparisons keep it ahead at
+    # every measured point; the 1.05 factor absorbs timer noise only.
+    for count in (100, 1_000, 10_000):
+        assert (
+            data[(count, "compiled")]["us_per_event"]
+            <= data[(count, "indexed")]["us_per_event"] * 1.05
+        ), f"compiled slower than indexed at {count} rules"
 
 
 def test_exp4_correctness_at_scale():

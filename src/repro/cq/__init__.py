@@ -20,6 +20,7 @@ from repro.cq.aggregate import (
     WindowAggregate,
 )
 from repro.cq.analytics import AnomalyDetector, QueryValueScorer, StreamStatistics
+from repro.cq.ivm import MaterializedView, ViewSnapshot
 from repro.cq.operators import FilterOperator, MapOperator, StreamJoin, StreamTableJoin
 from repro.cq.pattern import Kleene, PatternElement, PatternMatcher, Seq
 from repro.cq.query import ContinuousQuery, CQEngine
@@ -62,4 +63,6 @@ __all__ = [
     "StreamStatistics",
     "AnomalyDetector",
     "QueryValueScorer",
+    "MaterializedView",
+    "ViewSnapshot",
 ]

@@ -20,6 +20,7 @@ Three layers:
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -52,6 +53,45 @@ class StreamStatistics:
             self.ewma = value
         else:
             self.ewma += self.ewma_alpha * (value - self.ewma)
+
+    def merge(self, delta: "StreamStatistics") -> None:
+        """Fold a partial (e.g. per-batch) statistics state into this one.
+
+        Count/mean/variance merge exactly (Chan's parallel formula) and
+        the extremes combine elementwise.  EWMA is inherently
+        sequential, so the merged state adopts the delta's EWMA — the
+        delta's observations are assumed to be the more recent, which
+        is exactly what EWMA weights toward.
+        """
+        if delta.count == 0:
+            return
+        if self.count == 0:
+            self.count = delta.count
+            self.mean = delta.mean
+            self._m2 = delta._m2
+            self.minimum = delta.minimum
+            self.maximum = delta.maximum
+            self.ewma = delta.ewma
+            return
+        total = self.count + delta.count
+        shift = delta.mean - self.mean
+        self._m2 += delta._m2 + shift * shift * self.count * delta.count / total
+        self.mean += shift * delta.count / total
+        self.count = total
+        if delta.minimum is not None:
+            self.minimum = (
+                delta.minimum
+                if self.minimum is None
+                else min(self.minimum, delta.minimum)
+            )
+        if delta.maximum is not None:
+            self.maximum = (
+                delta.maximum
+                if self.maximum is None
+                else max(self.maximum, delta.maximum)
+            )
+        if delta.ewma is not None:
+            self.ewma = delta.ewma
 
     @property
     def variance(self) -> float:
@@ -124,6 +164,11 @@ class QueryScore:
 class _Candidate:
     name: str
     alert_times: list[float] = field(default_factory=list)
+    # Incremental scoring state, maintained per alert: total hits and,
+    # per covered episode, the earliest alert that hit it (which is the
+    # alert the sorted-order recompute attributes the delay to).
+    hits: int = 0
+    first_hit: dict[float, float] = field(default_factory=dict)
 
 
 class QueryValueScorer:
@@ -134,11 +179,25 @@ class QueryValueScorer:
     precision/recall discounted by normalized detection delay — a query
     that fires precisely, covers every episode, and fires early is
     maximally valuable; a chatty or blind query scores near zero.
+
+    Scoring is delta-maintained: each ``record_alert`` updates the
+    candidate's running precision/recall/delay state in O(log truth)
+    (one bisect), so :meth:`scores` is O(candidates) instead of
+    rescanning every alert against every episode.  ``recompute=True``
+    keeps the full O(alerts x episodes) rescan — the equivalence-test
+    escape hatch.
     """
 
-    def __init__(self, truth: Iterable[float], *, tolerance: float = 60.0) -> None:
+    def __init__(
+        self,
+        truth: Iterable[float],
+        *,
+        tolerance: float = 60.0,
+        recompute: bool = False,
+    ) -> None:
         self.truth = sorted(truth)
         self.tolerance = tolerance
+        self.recompute = bool(recompute)
         self._candidates: dict[str, _Candidate] = {}
 
     def record_alert(self, query_name: str, timestamp: float) -> None:
@@ -146,6 +205,17 @@ class QueryValueScorer:
             query_name, _Candidate(query_name)
         )
         candidate.alert_times.append(timestamp)
+        # Delta update: the episode this alert hits is the first one at
+        # or after (alert - tolerance) — the same episode the sorted
+        # rescan in _score_one would pick.
+        truth = self.truth
+        index = bisect_left(truth, timestamp - self.tolerance)
+        if index < len(truth) and truth[index] <= timestamp:
+            episode = truth[index]
+            candidate.hits += 1
+            earliest = candidate.first_hit.get(episode)
+            if earliest is None or timestamp < earliest:
+                candidate.first_hit[episode] = timestamp
 
     def register(self, query_name: str) -> None:
         """Make a candidate known even before (or without) any alert —
@@ -177,20 +247,32 @@ class QueryValueScorer:
                 if matched not in covered:
                     covered.add(matched)
                     delays.append(alert - matched)
-        precision = hits / len(alerts) if alerts else 0.0
-        recall = len(covered) / len(self.truth) if self.truth else 0.0
+        return self._combine(
+            candidate.name, len(alerts), hits, len(covered), sum(delays)
+        )
+
+    def _combine(
+        self,
+        name: str,
+        alerts: int,
+        hits: int,
+        covered: int,
+        delay_total: float,
+    ) -> QueryScore:
+        precision = hits / alerts if alerts else 0.0
+        recall = covered / len(self.truth) if self.truth else 0.0
         if precision + recall > 0:
             f1 = 2 * precision * recall / (precision + recall)
         else:
             f1 = 0.0
-        mean_delay = sum(delays) / len(delays) if delays else None
+        mean_delay = delay_total / covered if covered else None
         timeliness = (
             1.0 - (mean_delay / self.tolerance) if mean_delay is not None else 0.0
         )
         value = f1 * (0.5 + 0.5 * max(0.0, timeliness))
         return QueryScore(
-            name=candidate.name,
-            alerts=len(alerts),
+            name=name,
+            alerts=alerts,
             hits=hits,
             precision=precision,
             recall=recall,
@@ -198,10 +280,23 @@ class QueryValueScorer:
             value=value,
         )
 
+    def _score_incremental(self, candidate: _Candidate) -> QueryScore:
+        delay_total = sum(
+            alert - episode for episode, alert in candidate.first_hit.items()
+        )
+        return self._combine(
+            candidate.name,
+            len(candidate.alert_times),
+            candidate.hits,
+            len(candidate.first_hit),
+            delay_total,
+        )
+
     def scores(self) -> list[QueryScore]:
         """All candidates, most valuable first."""
+        score_one = self._score_one if self.recompute else self._score_incremental
         return sorted(
-            (self._score_one(c) for c in self._candidates.values()),
+            (score_one(c) for c in self._candidates.values()),
             key=lambda score: -score.value,
         )
 

@@ -16,7 +16,7 @@ end of stream.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.cq.stream import Operator, Stream
 from repro.errors import WindowError
@@ -56,7 +56,32 @@ def _pane_event(pane: WindowPane, source: str) -> Event:
     )
 
 
-class TumblingWindow(Operator):
+# Observer called as ``observer(pane, event)`` right after ``event`` is
+# appended to ``pane`` — the delta-processing hook: a downstream
+# consumer (e.g. WindowAggregate in delta mode) folds each event into
+# per-pane aggregate state as it arrives instead of refolding the whole
+# pane at close.
+PaneObserver = Callable[[WindowPane, Event], None]
+
+
+class WindowOperator(Operator):
+    """Base for window operators: pane bookkeeping plus append hooks."""
+
+    def __init__(self, name: str, upstream: Stream) -> None:
+        super().__init__(name, upstream)
+        self._pane_observers: list[PaneObserver] = []
+
+    def attach_pane_observer(self, observer: PaneObserver) -> None:
+        """Register a per-append callback (the IVM delta feed)."""
+        self._pane_observers.append(observer)
+
+    def _append(self, pane: WindowPane, event: Event) -> None:
+        pane.events.append(event)
+        for observer in self._pane_observers:
+            observer(pane, event)
+
+
+class TumblingWindow(WindowOperator):
     """Fixed, non-overlapping windows of ``size`` seconds, aligned to
     multiples of ``size`` — optionally partitioned by ``key_field``."""
 
@@ -94,7 +119,7 @@ class TumblingWindow(Operator):
         if pane is None:
             pane = WindowPane(start=start, end=start + self.size, key=key)
             self._panes[(key, start)] = pane
-        pane.events.append(event)
+        self._append(pane, event)
         self._close_expired()
 
     def _close_expired(self) -> None:
@@ -115,7 +140,7 @@ class TumblingWindow(Operator):
             self.emit(_pane_event(pane, self.name))
 
 
-class SlidingWindow(Operator):
+class SlidingWindow(WindowOperator):
     """Overlapping windows: ``size`` seconds every ``slide`` seconds.
 
     Each event lands in ``ceil(size / slide)`` panes.
@@ -161,7 +186,7 @@ class SlidingWindow(Operator):
                 if pane is None:
                     pane = WindowPane(start=start, end=start + self.size, key=key)
                     self._panes[(key, start)] = pane
-                pane.events.append(event)
+                self._append(pane, event)
             start += self.slide
         self._close_expired()
 
@@ -179,8 +204,13 @@ class SlidingWindow(Operator):
             self.emit(_pane_event(self._panes.pop(pane_key), self.name))
 
 
-class CountWindow(Operator):
-    """Every ``count`` events forms a pane (optionally per key)."""
+class CountWindow(WindowOperator):
+    """Every ``count`` events forms a pane (optionally per key).
+
+    Panes are built eagerly (an open pane per key from its first event)
+    so pane observers see each append — the delta path needs the pane to
+    exist while it fills, not only at close.
+    """
 
     def __init__(
         self,
@@ -195,36 +225,30 @@ class CountWindow(Operator):
         super().__init__(name or f"count({count})", upstream)
         self.count = count
         self.key_field = key_field
-        self._buffers: dict[Any, list[Event]] = {}
+        self._panes: dict[Any, WindowPane] = {}
 
     def process(self, event: Event) -> None:
         key = event.get(self.key_field) if self.key_field else None
-        buffer = self._buffers.setdefault(key, [])
-        buffer.append(event)
-        if len(buffer) >= self.count:
+        pane = self._panes.get(key)
+        if pane is None:
             pane = WindowPane(
-                start=buffer[0].timestamp,
-                end=buffer[-1].timestamp,
-                events=list(buffer),
-                key=key,
+                start=event.timestamp, end=event.timestamp, key=key
             )
-            buffer.clear()
+            self._panes[key] = pane
+        self._append(pane, event)
+        pane.end = event.timestamp
+        if len(pane.events) >= self.count:
+            del self._panes[key]
             self.emit(_pane_event(pane, self.name))
 
     def flush(self) -> None:
-        for key, buffer in list(self._buffers.items()):
-            if buffer:
-                pane = WindowPane(
-                    start=buffer[0].timestamp,
-                    end=buffer[-1].timestamp,
-                    events=list(buffer),
-                    key=key,
-                )
-                buffer.clear()
+        for key in list(self._panes):
+            pane = self._panes.pop(key)
+            if pane.events:
                 self.emit(_pane_event(pane, self.name))
 
 
-class SessionWindow(Operator):
+class SessionWindow(WindowOperator):
     """Activity sessions: a pane closes after ``gap`` seconds of
     silence (per key)."""
 
@@ -255,7 +279,7 @@ class SessionWindow(Operator):
         if session is None:
             session = WindowPane(start=timestamp, end=timestamp, key=key)
             self._sessions[key] = session
-        session.events.append(event)
+        self._append(session, event)
         session.end = max(session.end, timestamp)
         # Close other keys' idle sessions as time advances.
         idle = [

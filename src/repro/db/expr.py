@@ -839,17 +839,27 @@ def substitute_parameters(
 # sub-trees — and rule conditions evaluated millions of times — compile
 # exactly once.  Trees must not be mutated in place after compilation;
 # build a new tree (or call the owner's ``recompile()``) instead.
+#
+# Compiled closures bind their constants as *default arguments* rather
+# than closure cells, and the dominant ``column <op> literal`` leaf
+# shapes are fused into one closure each.  Both choices exist for the
+# same reason: every function object, cell, and closure tuple a rule
+# set retains is walked by each full garbage collection, and at 10k+
+# registered rules that walk is what used to make the compiled path
+# *slower* than the interpreted one.  Fusing cuts the per-rule
+# long-lived object count roughly 3x (and saves a call per operand).
 
 _CompiledFn = Callable[[Mapping[str, Any]], Any]
 
 
 def compile_expression(expression: Expression) -> _CompiledFn:
     """Return a closure equivalent to ``expression.evaluate`` (memoized)."""
-    info = expression.__dict__.get("_compiled_memo")
-    if info is None:
-        info = _compile_node(expression)
-        expression._compiled_memo = info
-    return info[0]
+    fn = expression.__dict__.get("_compiled_memo")
+    if fn is None:
+        fn, const = _compile_node(expression)
+        expression._compiled_memo = fn
+        expression._compiled_const = const
+    return fn
 
 
 def compile_predicate(
@@ -869,11 +879,13 @@ def compile_predicate(
 
 
 def _compile_child(node: Expression) -> tuple[_CompiledFn, bool]:
-    info = node.__dict__.get("_compiled_memo")
-    if info is None:
-        info = _compile_node(node)
-        node._compiled_memo = info
-    return info
+    fn = node.__dict__.get("_compiled_memo")
+    if fn is None:
+        fn, const = _compile_node(node)
+        node._compiled_memo = fn
+        node._compiled_const = const
+        return fn, const
+    return fn, node.__dict__.get("_compiled_const", False)
 
 
 def _fold_constant(fn: _CompiledFn) -> tuple[_CompiledFn, bool]:
@@ -899,25 +911,25 @@ def _compile_node(node: Expression) -> tuple[_CompiledFn, bool]:
         # Mirrors ColumnRef.evaluate exactly: ``in`` + ``[]`` so mapping
         # types with __contains__/__missing__ overrides (EventContext)
         # behave identically under compiled evaluation.
-        name = node.name
         if node.qualifier:
+            name = node.name
             qualified = node.full_name
 
-            def column_fn(row: Mapping[str, Any]) -> Any:
-                if qualified in row:
-                    return row[qualified]
-                if name in row:
-                    return row[name]
-                raise ExpressionError(f"unknown column {qualified!r}")
+            def column_fn(
+                row: Mapping[str, Any],
+                _qualified: str = qualified,
+                _name: str = name,
+            ) -> Any:
+                if _qualified in row:
+                    return row[_qualified]
+                if _name in row:
+                    return row[_name]
+                raise ExpressionError(f"unknown column {_qualified!r}")
 
-        else:
-
-            def column_fn(row: Mapping[str, Any]) -> Any:
-                if name in row:
-                    return row[name]
-                raise ExpressionError(f"unknown column {name!r}")
-
-        return column_fn, False
+            return column_fn, False
+        bare_fn = _fused_column_lookup(node)
+        assert bare_fn is not None
+        return bare_fn, False
 
     if isinstance(node, Parameter):
         index = node.index
@@ -972,21 +984,27 @@ def _compile_node(node: Expression) -> tuple[_CompiledFn, bool]:
         negated = node.negated
         items_const = all(const for _, const in item_infos)
         if items_const:
-            candidates = [fn({}) for fn, _ in item_infos]
+            raw = [fn({}) for fn, _ in item_infos]
+            saw_null_const = any(candidate is None for candidate in raw)
+            candidates = tuple(c for c in raw if c is not None)
 
-            def in_fn(row: Mapping[str, Any]) -> Any:
-                value = operand_fn(row)
+            def in_fn(
+                row: Mapping[str, Any],
+                _operand: _CompiledFn = operand_fn,
+                _cands: tuple[Any, ...] = candidates,
+                _saw_null: bool = saw_null_const,
+                _neg: bool = negated,
+                _cmp: Callable[[Any, Any], int] = compare_values,
+            ) -> Any:
+                value = _operand(row)
                 if value is None:
                     return None
-                saw_null = False
-                for candidate in candidates:
-                    if candidate is None:
-                        saw_null = True
-                    elif compare_values(value, candidate) == 0:
-                        return not negated
-                if saw_null:
+                for candidate in _cands:
+                    if _cmp(value, candidate) == 0:
+                        return not _neg
+                if _saw_null:
                     return None
-                return negated
+                return _neg
 
         else:
             item_fns = [fn for fn, _ in item_infos]
@@ -1016,16 +1034,68 @@ def _compile_node(node: Expression) -> tuple[_CompiledFn, bool]:
         high_fn, high_const = _compile_child(node.high)
         negated = node.negated
 
-        def between_fn(row: Mapping[str, Any]) -> Any:
-            value = value_fn(row)
-            low = low_fn(row)
-            high = high_fn(row)
+        if low_const and high_const and not value_const:
+            # The common rule/WHERE shape: constant bounds evaluated at
+            # compile time, one closure, no per-row bound calls.
+            low_value = low_fn({})
+            high_value = high_fn({})
+            if (
+                isinstance(node.operand, ColumnRef)
+                and not node.operand.qualifier
+                and low_value is not None
+                and high_value is not None
+            ):
+                # Fully fused: lookup + range check in one closure.
+                def between_col_fn(
+                    row: Mapping[str, Any],
+                    _name: str = node.operand.name,
+                    _low: Any = low_value,
+                    _high: Any = high_value,
+                    _neg: bool = negated,
+                    _cmp: Callable[[Any, Any], int] = compare_values,
+                ) -> Any:
+                    if _name in row:
+                        value = row[_name]
+                    else:
+                        raise ExpressionError(f"unknown column {_name!r}")
+                    if value is None:
+                        return None
+                    inside = _cmp(value, _low) >= 0 and _cmp(value, _high) <= 0
+                    return not inside if _neg else inside
+
+                return between_col_fn, False
+
+            def between_fn(
+                row: Mapping[str, Any],
+                _value: _CompiledFn = value_fn,
+                _low: Any = low_value,
+                _high: Any = high_value,
+                _neg: bool = negated,
+                _cmp: Callable[[Any, Any], int] = compare_values,
+            ) -> Any:
+                value = _value(row)
+                if value is None or _low is None or _high is None:
+                    return None
+                inside = _cmp(value, _low) >= 0 and _cmp(value, _high) <= 0
+                return not inside if _neg else inside
+
+            return between_fn, False
+
+        def between_fn(
+            row: Mapping[str, Any],
+            _value: _CompiledFn = value_fn,
+            _low_fn: _CompiledFn = low_fn,
+            _high_fn: _CompiledFn = high_fn,
+            _neg: bool = negated,
+            _cmp: Callable[[Any, Any], int] = compare_values,
+        ) -> Any:
+            value = _value(row)
+            low = _low_fn(row)
+            high = _high_fn(row)
             if value is None or low is None or high is None:
                 return None
-            inside = (
-                compare_values(value, low) >= 0 and compare_values(value, high) <= 0
-            )
-            return not inside if negated else inside
+            inside = _cmp(value, low) >= 0 and _cmp(value, high) <= 0
+            return not inside if _neg else inside
 
         if value_const and low_const and high_const:
             return _fold_constant(between_fn)
@@ -1035,14 +1105,18 @@ def _compile_node(node: Expression) -> tuple[_CompiledFn, bool]:
         operand_fn, operand_const = _compile_child(node.operand)
         negated = node.negated
         if node._regex is not None:
-            regex = node._regex
 
-            def like_fn(row: Mapping[str, Any]) -> Any:
-                value = operand_fn(row)
+            def like_fn(
+                row: Mapping[str, Any],
+                _operand: _CompiledFn = operand_fn,
+                _match: Callable[[str], Any] = node._regex.fullmatch,
+                _neg: bool = negated,
+            ) -> Any:
+                value = _operand(row)
                 if value is None:
                     return None
-                matched = regex.fullmatch(str(value)) is not None
-                return not matched if negated else matched
+                matched = _match(str(value)) is not None
+                return not matched if _neg else matched
 
             if operand_const:
                 return _fold_constant(like_fn)
@@ -1112,19 +1186,103 @@ def _compile_node(node: Expression) -> tuple[_CompiledFn, bool]:
     return node.evaluate, False
 
 
+# Comparison result (-1/0/1 from compare_values) -> acceptable values.
+_CMP_OK: dict[str, tuple[int, ...]] = {
+    "=": (0,),
+    "!=": (-1, 1),
+    "<": (-1,),
+    "<=": (-1, 0),
+    ">": (1,),
+    ">=": (0, 1),
+}
+
+_CMP_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+
+
+def _fused_column_lookup(node: ColumnRef) -> _CompiledFn | None:
+    """Single-closure column fetch for bare (unqualified) references."""
+    if node.qualifier:
+        return None
+    name = node.name
+
+    def column_fn(row: Mapping[str, Any], _name: str = name) -> Any:
+        if _name in row:
+            return row[_name]
+        raise ExpressionError(f"unknown column {_name!r}")
+
+    return column_fn
+
+
+def _fused_comparison(node: BinaryOp) -> _CompiledFn | None:
+    """Fuse ``col <op> literal`` (either orientation) into one closure.
+
+    Mirrors the generic path exactly: the column lookup uses the
+    ``in`` + ``[]`` protocol (EventContext-compatible), missing columns
+    raise, and a NULL on either side yields UNKNOWN.
+    """
+    op = node.op
+    if isinstance(node.left, ColumnRef) and isinstance(node.right, Literal):
+        column, const = node.left, node.right.value
+    elif isinstance(node.right, ColumnRef) and isinstance(node.left, Literal):
+        column, const = node.right, node.left.value
+        op = _CMP_FLIP[op]
+    else:
+        return None
+    if column.qualifier:
+        return None
+    name = column.name
+    if const is None:
+        # literal NULL: the lookup still runs (missing columns raise),
+        # but the comparison is always UNKNOWN.
+        def null_cmp_fn(row: Mapping[str, Any], _name: str = name) -> Any:
+            if _name in row:
+                return None
+            raise ExpressionError(f"unknown column {_name!r}")
+
+        return null_cmp_fn
+    ok = _CMP_OK[op]
+
+    def cmp_fn(
+        row: Mapping[str, Any],
+        _name: str = name,
+        _const: Any = const,
+        _ok: tuple[int, ...] = ok,
+        _cmp: Callable[[Any, Any], int] = compare_values,
+    ) -> Any:
+        if _name in row:
+            value = row[_name]
+        else:
+            raise ExpressionError(f"unknown column {_name!r}")
+        if value is None:
+            return None
+        return _cmp(value, _const) in _ok
+
+    return cmp_fn
+
+
 def _compile_binary(node: BinaryOp) -> tuple[_CompiledFn, bool]:
     op = node.op
+
+    if op in _COMPARISONS:
+        fused = _fused_comparison(node)
+        if fused is not None:
+            return fused, False
+
     left_fn, left_const = _compile_child(node.left)
     right_fn, right_const = _compile_child(node.right)
     both_const = left_const and right_const
 
     if op == "AND":
 
-        def bin_fn(row: Mapping[str, Any]) -> Any:
-            left = left_fn(row)
+        def bin_fn(
+            row: Mapping[str, Any],
+            _left: _CompiledFn = left_fn,
+            _right: _CompiledFn = right_fn,
+        ) -> Any:
+            left = _left(row)
             if left is not None and not left:
                 return False
-            right = right_fn(row)
+            right = _right(row)
             if right is not None and not right:
                 return False
             if left is None or right is None:
@@ -1133,11 +1291,15 @@ def _compile_binary(node: BinaryOp) -> tuple[_CompiledFn, bool]:
 
     elif op == "OR":
 
-        def bin_fn(row: Mapping[str, Any]) -> Any:
-            left = left_fn(row)
+        def bin_fn(
+            row: Mapping[str, Any],
+            _left: _CompiledFn = left_fn,
+            _right: _CompiledFn = right_fn,
+        ) -> Any:
+            left = _left(row)
             if left:
                 return True
-            right = right_fn(row)
+            right = _right(row)
             if right:
                 return True
             if left is None or right is None:
@@ -1145,77 +1307,43 @@ def _compile_binary(node: BinaryOp) -> tuple[_CompiledFn, bool]:
             return False
 
     elif op in _COMPARISONS:
-        # One dedicated closure per operator: the comparison check is
-        # inlined rather than dispatched through a second callable,
-        # since comparisons dominate rule/WHERE evaluation.
-        if op == "=":
+        ok = _CMP_OK[op]
 
-            def bin_fn(row: Mapping[str, Any]) -> Any:
-                left = left_fn(row)
-                right = right_fn(row)
-                if left is None or right is None:
-                    return None
-                return compare_values(left, right) == 0
-
-        elif op == "!=":
-
-            def bin_fn(row: Mapping[str, Any]) -> Any:
-                left = left_fn(row)
-                right = right_fn(row)
-                if left is None or right is None:
-                    return None
-                return compare_values(left, right) != 0
-
-        elif op == "<":
-
-            def bin_fn(row: Mapping[str, Any]) -> Any:
-                left = left_fn(row)
-                right = right_fn(row)
-                if left is None or right is None:
-                    return None
-                return compare_values(left, right) < 0
-
-        elif op == "<=":
-
-            def bin_fn(row: Mapping[str, Any]) -> Any:
-                left = left_fn(row)
-                right = right_fn(row)
-                if left is None or right is None:
-                    return None
-                return compare_values(left, right) <= 0
-
-        elif op == ">":
-
-            def bin_fn(row: Mapping[str, Any]) -> Any:
-                left = left_fn(row)
-                right = right_fn(row)
-                if left is None or right is None:
-                    return None
-                return compare_values(left, right) > 0
-
-        else:  # ">="
-
-            def bin_fn(row: Mapping[str, Any]) -> Any:
-                left = left_fn(row)
-                right = right_fn(row)
-                if left is None or right is None:
-                    return None
-                return compare_values(left, right) >= 0
+        def bin_fn(
+            row: Mapping[str, Any],
+            _left: _CompiledFn = left_fn,
+            _right: _CompiledFn = right_fn,
+            _ok: tuple[int, ...] = ok,
+            _cmp: Callable[[Any, Any], int] = compare_values,
+        ) -> Any:
+            left = _left(row)
+            right = _right(row)
+            if left is None or right is None:
+                return None
+            return _cmp(left, right) in _ok
 
     elif op == "||":
 
-        def bin_fn(row: Mapping[str, Any]) -> Any:
-            left = left_fn(row)
-            right = right_fn(row)
+        def bin_fn(
+            row: Mapping[str, Any],
+            _left: _CompiledFn = left_fn,
+            _right: _CompiledFn = right_fn,
+        ) -> Any:
+            left = _left(row)
+            right = _right(row)
             if left is None or right is None:
                 return None
             return str(left) + str(right)
 
     elif op == "/":
 
-        def bin_fn(row: Mapping[str, Any]) -> Any:
-            left = left_fn(row)
-            right = right_fn(row)
+        def bin_fn(
+            row: Mapping[str, Any],
+            _left: _CompiledFn = left_fn,
+            _right: _CompiledFn = right_fn,
+        ) -> Any:
+            left = _left(row)
+            right = _right(row)
             if left is None or right is None:
                 return None
             if right == 0:
@@ -1225,16 +1353,22 @@ def _compile_binary(node: BinaryOp) -> tuple[_CompiledFn, bool]:
     elif op in _ARITHMETIC:
         arith = _ARITHMETIC[op]
 
-        def bin_fn(row: Mapping[str, Any]) -> Any:
-            left = left_fn(row)
-            right = right_fn(row)
+        def bin_fn(
+            row: Mapping[str, Any],
+            _left: _CompiledFn = left_fn,
+            _right: _CompiledFn = right_fn,
+            _arith: Callable[[Any, Any], Any] = arith,
+            _op: str = op,
+        ) -> Any:
+            left = _left(row)
+            right = _right(row)
             if left is None or right is None:
                 return None
             try:
-                return arith(left, right)
+                return _arith(left, right)
             except TypeError:
                 raise ExpressionError(
-                    f"operator {op!r} not applicable to "
+                    f"operator {_op!r} not applicable to "
                     f"{type(left).__name__} and {type(right).__name__}"
                 ) from None
 
@@ -1242,3 +1376,50 @@ def _compile_binary(node: BinaryOp) -> tuple[_CompiledFn, bool]:
         return node.evaluate, False
 
     return _fold_constant(bin_fn) if both_const else (bin_fn, False)
+
+
+# --------------------------------------------------------------------------
+# Delta-update compilation (incremental view maintenance)
+# --------------------------------------------------------------------------
+#
+# A materialized view's per-row work is fixed at definition time: test
+# the view predicate, extract the grouping key, extract one value per
+# aggregate.  ``compile_delta_update`` lowers all of that into a single
+# closure — the same treatment rule predicates got in the compiled rule
+# engine — so applying a delta batch is a tight loop over row dicts
+# with no AST interpretation on the hot path.
+
+_DeltaFn = Callable[[Mapping[str, Any]], "tuple[Any, dict[str, Any]] | None"]
+
+
+def compile_delta_update(
+    extractors: Mapping[str, Expression],
+    predicate: Expression | None = None,
+    key: Expression | None = None,
+) -> _DeltaFn:
+    """Compile a view's row-delta into one closure.
+
+    The closure maps a row to ``(group_key, {output: value})``, or
+    ``None`` when the row fails ``predicate`` (so the delta does not
+    touch the view).  All sub-expressions share the per-node compiled
+    memos, so repeated view definitions over the same trees reuse work.
+    """
+    pred_fn = compile_predicate(predicate) if predicate is not None else None
+    key_fn = compile_expression(key) if key is not None else None
+    items = tuple(
+        (output, compile_expression(expression))
+        for output, expression in extractors.items()
+    )
+
+    def delta_fn(
+        row: Mapping[str, Any],
+        _pred: Callable[[Mapping[str, Any]], bool] | None = pred_fn,
+        _key: _CompiledFn | None = key_fn,
+        _items: tuple[tuple[str, _CompiledFn], ...] = items,
+    ) -> tuple[Any, dict[str, Any]] | None:
+        if _pred is not None and not _pred(row):
+            return None
+        group = _key(row) if _key is not None else None
+        return group, {output: fn(row) for output, fn in _items}
+
+    return delta_fn

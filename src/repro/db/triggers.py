@@ -140,6 +140,15 @@ class TriggerRegistry:
     def names(self) -> list[str]:
         return sorted(self._triggers)
 
+    def has(self, table: str, event: TriggerEvent) -> bool:
+        """True when any trigger is registered for (table, event).
+
+        Cheap enough to call on every row write: callers use it to skip
+        TriggerContext construction entirely on trigger-free tables,
+        which is the common case on hot DML paths.
+        """
+        return bool(self._by_table_event.get((table, event)))
+
     def for_table(self, table: str) -> list[Trigger]:
         return sorted(
             (t for t in self._triggers.values() if t.table == table),

@@ -1,0 +1,364 @@
+"""Randomized delta-vs-recompute equivalence for the IVM layer.
+
+The whole point of delta processing is that nobody should be able to
+tell it apart from full recomputation.  These tests drive every
+incremental aggregate, the delta WindowAggregate, MaterializedView, and
+the incremental QueryValueScorer with seeded random workloads — inserts,
+window evictions (including evicting the current Min/Max extremum),
+out-of-order arrivals, varying batch sizes — and assert the delta state
+is indistinguishable from a fresh fold over the surviving values.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.cq import (
+    Avg,
+    Count,
+    CountWindow,
+    MaterializedView,
+    Max,
+    Min,
+    Percentile,
+    SlidingWindow,
+    Stddev,
+    Stream,
+    Sum,
+    TumblingWindow,
+    WindowAggregate,
+)
+from repro.cq.analytics import QueryValueScorer, StreamStatistics
+from repro.errors import StreamError
+from repro.events import Event
+
+pytestmark = pytest.mark.ivm
+
+AGG_FACTORIES = {
+    "count": Count,
+    "sum": Sum,
+    "avg": Avg,
+    "min": Min,
+    "max": Max,
+    "stddev": Stddev,
+    "p50": lambda: Percentile(0.5),
+    "p95": lambda: Percentile(0.95),
+}
+
+
+def _refold(factory, values):
+    fn = factory()
+    for value in values:
+        fn.add(value)
+    return fn.result()
+
+
+def _assert_same(delta_result, refold_result, context):
+    if isinstance(delta_result, float) and isinstance(refold_result, float):
+        assert math.isclose(
+            delta_result, refold_result, rel_tol=1e-9, abs_tol=1e-9
+        ), context
+    else:
+        assert delta_result == refold_result, context
+
+
+@pytest.mark.parametrize("agg_name", sorted(AGG_FACTORIES))
+@pytest.mark.parametrize("seed", [11, 29, 47])
+def test_aggregate_add_remove_matches_refold(agg_name, seed):
+    """Random add/remove interleavings: delta state == fresh fold of the
+    surviving multiset after EVERY operation."""
+    factory = AGG_FACTORIES[agg_name]
+    rng = random.Random(seed)
+    fn = factory()
+    live: list[float] = []
+    for step in range(400):
+        if live and rng.random() < 0.45:
+            value = live.pop(rng.randrange(len(live)))
+            fn.remove(value)
+        else:
+            value = round(rng.uniform(-50, 50), 3)
+            live.append(value)
+            fn.add(value)
+        _assert_same(
+            fn.result(),
+            _refold(factory, live),
+            f"{agg_name} diverged at step {step} (seed {seed})",
+        )
+    # Drain to empty: the delta state must return to its zero value.
+    while live:
+        fn.remove(live.pop())
+    _assert_same(fn.result(), _refold(factory, []), f"{agg_name} not empty")
+
+
+@pytest.mark.parametrize("agg_class", [Min, Max])
+def test_extremum_eviction_of_current_top(agg_class):
+    """Retracting the current extremum — the case naive single-value
+    tracking cannot handle — must expose the runner-up, repeatedly."""
+    fn = agg_class()
+    values = [5.0, 1.0, 9.0, 3.0, 7.0]
+    for value in values:
+        fn.add(value)
+    survivors = list(values)
+    while survivors:
+        top = fn.result()
+        assert top == (min if agg_class is Min else max)(survivors)
+        fn.remove(top)
+        survivors.remove(top)
+    assert fn.result() is None
+
+
+@pytest.mark.parametrize("agg_class", [Min, Max])
+def test_extremum_remove_never_added_value_pending(agg_class):
+    """Retracting a value not at the heap top is deferred; the result
+    stays correct even with duplicate values in flight."""
+    fn = agg_class()
+    for value in [4.0, 4.0, 2.0, 8.0]:
+        fn.add(value)
+    fn.remove(4.0)  # not (necessarily) the top for Max; pending for Min
+    assert fn.result() == (2.0 if agg_class is Min else 8.0)
+    fn.remove(2.0 if agg_class is Min else 8.0)
+    assert fn.result() == 4.0
+
+
+def test_aggregate_retract_from_empty_raises():
+    for name, factory in AGG_FACTORIES.items():
+        with pytest.raises(StreamError):
+            factory().remove(1.0)
+
+
+def _window_events(rng, n, *, disorder=0.0, keys=("a", "b")):
+    events = []
+    timestamp = 0.0
+    for index in range(n):
+        timestamp += rng.uniform(0.05, 0.4)
+        jitter = -rng.uniform(0.0, disorder) if rng.random() < 0.3 else 0.0
+        events.append(
+            Event(
+                "reading",
+                timestamp=max(0.0, timestamp + jitter),
+                payload={
+                    "key": rng.choice(keys),
+                    "value": round(rng.uniform(0, 100), 3),
+                    # Occasional NULL field exercises None-skipping.
+                    "maybe": None if rng.random() < 0.2 else rng.random(),
+                },
+            )
+        )
+    return events
+
+
+SPEC = {
+    "n": (None, Count),
+    "total": ("value", Sum),
+    "mean": ("value", Avg),
+    "lo": ("value", Min),
+    "hi": ("value", Max),
+    "sd": ("value", Stddev),
+    "p90": ("value", lambda: Percentile(0.9)),
+    "maybe_n": ("maybe", Count),
+}
+
+
+def _run_window_pair(make_window, events):
+    """Drive identical event sequences through a delta-mode and a
+    recompute-mode WindowAggregate; return both output lists."""
+    outputs = {}
+    for mode_recompute in (False, True):
+        source = Stream("src")
+        window = make_window(source)
+        agg = WindowAggregate(
+            window, "summary", SPEC, recompute=mode_recompute
+        )
+        collected = []
+        agg.subscribe(lambda event, out=collected: out.append(event))
+        for event in events:
+            source.push(event)
+        window.flush()
+        outputs[mode_recompute] = collected
+    return outputs[False], outputs[True]
+
+
+def _assert_outputs_equal(delta_events, recompute_events):
+    assert len(delta_events) == len(recompute_events)
+    for delta_event, recompute_event in zip(delta_events, recompute_events):
+        assert delta_event.payload.keys() == recompute_event.payload.keys()
+        for field in delta_event.payload:
+            _assert_same(
+                delta_event.payload[field],
+                recompute_event.payload[field],
+                f"field {field!r} at window "
+                f"[{delta_event.payload['window_start']}, "
+                f"{delta_event.payload['window_end']})",
+            )
+
+
+@pytest.mark.parametrize("seed", [3, 17, 101])
+def test_tumbling_delta_equals_recompute(seed):
+    rng = random.Random(seed)
+    events = _window_events(rng, 300)
+    delta, recompute = _run_window_pair(
+        lambda s: TumblingWindow(s, 2.0, key_field="key"), events
+    )
+    assert delta, "window produced no panes"
+    _assert_outputs_equal(delta, recompute)
+
+
+@pytest.mark.parametrize("seed", [5, 23])
+def test_sliding_delta_equals_recompute_with_disorder(seed):
+    """Sliding panes + bounded out-of-order arrivals: every event lands
+    in several panes and late events still fold into the right ones."""
+    rng = random.Random(seed)
+    events = _window_events(rng, 250, disorder=0.5)
+    delta, recompute = _run_window_pair(
+        lambda s: SlidingWindow(s, 3.0, 1.0, allowed_lateness=1.0), events
+    )
+    assert delta, "window produced no panes"
+    _assert_outputs_equal(delta, recompute)
+
+
+@pytest.mark.parametrize("count", [1, 7, 64])
+def test_count_window_delta_equals_recompute(count):
+    rng = random.Random(count)
+    events = _window_events(rng, 200)
+    delta, recompute = _run_window_pair(
+        lambda s: CountWindow(s, count, key_field="key"), events
+    )
+    assert delta, "window produced no panes"
+    _assert_outputs_equal(delta, recompute)
+
+
+@pytest.mark.parametrize("batch_size", [1, 16, 97, 256])
+@pytest.mark.parametrize("seed", [7, 43])
+def test_materialized_view_stream_equivalence(batch_size, seed):
+    """Same stream, different fold batch sizes, recompute baseline:
+    final view contents must be identical in every configuration."""
+    rng = random.Random(seed)
+    events = _window_events(rng, 350, keys=("a", "b", "c"))
+    spec = {
+        "n": (None, Count),
+        "total": ("value", Sum),
+        "lo": ("value", Min),
+        "hi": ("value", Max),
+        "sd": ("value", Stddev),
+    }
+    snapshots = {}
+    for recompute in (False, True):
+        source = Stream("src")
+        view = MaterializedView(
+            "by_key", spec, key_field="key", recompute=recompute
+        ).bind_stream(source, batch_size=batch_size)
+        for event in events:
+            source.push(event)
+        view.flush()
+        snapshots[recompute] = view.snapshot()
+    delta_snap, recompute_snap = snapshots[False], snapshots[True]
+    assert delta_snap.groups.keys() == recompute_snap.groups.keys()
+    for key in delta_snap.groups:
+        for field in spec:
+            _assert_same(
+                delta_snap.groups[key][field],
+                recompute_snap.groups[key][field],
+                f"group {key!r} field {field!r} (batch {batch_size})",
+            )
+    # Batching really batched: N events arrived in ceil(n/batch) folds.
+    expected_batches = -(-len(events) // batch_size)
+    assert delta_snap.batches_folded == expected_batches
+    assert delta_snap.deltas_applied == len(events)
+    assert delta_snap.refolds == 0
+
+
+def test_materialized_view_table_equivalence():
+    """Table-bound view under inserts/updates/deletes == SELECT-style
+    refold of the table's live rows."""
+    from repro.db import Database
+
+    rng = random.Random(97)
+    db = Database()
+    db.execute("CREATE TABLE load (id INTEGER, host TEXT, v REAL)")
+    spec = {"n": (None, Count), "total": ("v", Sum), "hi": ("v", Max)}
+    view = MaterializedView("by_host", spec, key_field="host")
+    view.bind_table(db, "load")
+    live: dict[int, tuple[str, float]] = {}
+    next_id = 0
+    for _ in range(300):
+        action = rng.random()
+        if action < 0.55 or not live:
+            next_id += 1
+            host = rng.choice(["h0", "h1", "h2"])
+            value = round(rng.uniform(0, 10), 3)
+            db.execute(
+                f"INSERT INTO load VALUES ({next_id}, '{host}', {value})"
+            )
+            live[next_id] = (host, value)
+        elif action < 0.8:
+            row_id = rng.choice(list(live))
+            value = round(rng.uniform(0, 10), 3)
+            db.execute(f"UPDATE load SET v = {value} WHERE id = {row_id}")
+            live[row_id] = (live[row_id][0], value)
+        else:
+            row_id = rng.choice(list(live))
+            db.execute(f"DELETE FROM load WHERE id = {row_id}")
+            del live[row_id]
+    snap = view.snapshot()
+    expected: dict[str, list[float]] = {}
+    for host, value in live.values():
+        expected.setdefault(host, []).append(value)
+    assert snap.groups.keys() == expected.keys()
+    for host, values in expected.items():
+        _assert_same(snap.groups[host]["n"], len(values), host)
+        _assert_same(snap.groups[host]["total"], sum(values), host)
+        _assert_same(snap.groups[host]["hi"], max(values), host)
+    assert snap.last_lsn is not None and snap.last_lsn > 0
+
+
+@pytest.mark.parametrize("seed", [13, 59])
+def test_scorer_incremental_equals_recompute(seed):
+    rng = random.Random(seed)
+    truth = sorted(rng.uniform(0, 1000) for _ in range(12))
+    incremental = QueryValueScorer(truth, tolerance=30.0)
+    recompute = QueryValueScorer(truth, tolerance=30.0, recompute=True)
+    for _ in range(400):
+        name = f"q{rng.randrange(5)}"
+        timestamp = rng.uniform(-20, 1050)
+        incremental.record_alert(name, timestamp)
+        recompute.record_alert(name, timestamp)
+    incremental.register("silent")
+    recompute.register("silent")
+    left, right = incremental.scores(), recompute.scores()
+    assert [score.name for score in left] == [score.name for score in right]
+    for a, b in zip(left, right):
+        assert a.alerts == b.alerts and a.hits == b.hits
+        _assert_same(a.precision, b.precision, a.name)
+        _assert_same(a.recall, b.recall, a.name)
+        _assert_same(a.value, b.value, a.name)
+        if a.mean_detection_delay is None:
+            assert b.mean_detection_delay is None
+        else:
+            _assert_same(a.mean_detection_delay, b.mean_detection_delay, a.name)
+
+
+@pytest.mark.parametrize("seed", [31, 71])
+def test_stream_statistics_merge_equals_sequential(seed):
+    """Chan-merged per-batch partials == one sequential Welford pass."""
+    rng = random.Random(seed)
+    values = [rng.gauss(10, 4) for _ in range(500)]
+    sequential = StreamStatistics()
+    for value in values:
+        sequential.add(value)
+    merged = StreamStatistics()
+    index = 0
+    while index < len(values):
+        size = rng.randrange(1, 60)
+        partial = StreamStatistics()
+        for value in values[index : index + size]:
+            partial.add(value)
+        merged.merge(partial)
+        index += size
+    assert merged.count == sequential.count
+    _assert_same(merged.mean, sequential.mean, "mean")
+    _assert_same(merged.stddev, sequential.stddev, "stddev")
+    _assert_same(merged.minimum, sequential.minimum, "minimum")
+    _assert_same(merged.maximum, sequential.maximum, "maximum")

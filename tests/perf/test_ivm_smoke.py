@@ -1,0 +1,127 @@
+"""Perf smoke: the delta path must actually be a delta path.
+
+These tests do not benchmark; they assert *structural* properties via
+the metrics counters — the delta path applies exactly one delta per
+event and never falls back to refolding — plus one coarse timing check
+(generous margin) that repeated snapshots of a delta view beat the
+recompute baseline, which refolds the whole retained set per read.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cq import (
+    Avg,
+    Count,
+    MaterializedView,
+    Max,
+    Min,
+    Stream,
+    Sum,
+    TumblingWindow,
+    WindowAggregate,
+)
+from repro.events import Event
+from repro.obs.metrics import MetricsRegistry
+
+pytestmark = pytest.mark.ivm
+
+SPEC = {
+    "n": (None, Count),
+    "total": ("v", Sum),
+    "mean": ("v", Avg),
+    "lo": ("v", Min),
+    "hi": ("v", Max),
+}
+
+
+def _events(n):
+    return [
+        Event("m", timestamp=float(i) * 0.01, payload={"v": float(i % 97)})
+        for i in range(n)
+    ]
+
+
+def test_window_aggregate_delta_path_never_refolds():
+    n = 2000
+    metrics = MetricsRegistry()
+    source = Stream("src")
+    window = TumblingWindow(source, 1.0)
+    agg = WindowAggregate(window, "summary", SPEC, metrics=metrics)
+    outputs = []
+    agg.subscribe(outputs.append)
+    for event in _events(n):
+        source.push(event)
+    window.flush()
+    assert outputs, "no panes emitted"
+    deltas = metrics.counter("cq.agg.deltas_applied", stream=agg.name)
+    refolds = metrics.counter("cq.agg.refolds", stream=agg.name)
+    # One delta per event, zero refold fallbacks: per-event O(window)
+    # recomputation would show up here as refolds > 0 or deltas != n.
+    assert deltas.value == n
+    assert refolds.value == 0
+
+
+def test_window_aggregate_late_attach_refolds_honestly():
+    """An operator attached after a pane started filling must refold
+    that pane (and count it) rather than emit from partial state."""
+    metrics = MetricsRegistry()
+    source = Stream("src")
+    window = TumblingWindow(source, 10.0)
+    source.push(Event("m", timestamp=0.0, payload={"v": 1.0}))
+    agg = WindowAggregate(window, "summary", SPEC, metrics=metrics)
+    outputs = []
+    agg.subscribe(outputs.append)
+    source.push(Event("m", timestamp=1.0, payload={"v": 2.0}))
+    window.flush()
+    assert len(outputs) == 1
+    assert outputs[0].payload["n"] == 2  # both events, not just observed one
+    assert metrics.counter("cq.agg.refolds", stream=agg.name).value == 1
+
+
+def test_materialized_view_delta_counters():
+    n, batch = 1024, 64
+    metrics = MetricsRegistry()
+    source = Stream("src")
+    view = MaterializedView("smoke", SPEC, metrics=metrics).bind_stream(
+        source, batch_size=batch
+    )
+    for event in _events(n):
+        source.push(event)
+    view.flush()
+    snap = view.snapshot()
+    assert snap.deltas_applied == n
+    assert snap.batches_folded == n // batch
+    assert snap.refolds == 0
+    assert metrics.counter("view.deltas_applied", view="smoke").value == n
+    assert metrics.counter("view.refolds", view="smoke").value == 0
+
+
+def test_delta_snapshot_beats_recompute_refold():
+    """Reading a delta view is O(groups); the recompute baseline refolds
+    all retained rows per read.  At 2k retained rows and 50 reads the
+    delta path must win outright — no tolerance needed, the asymptotic
+    gap dwarfs timer noise."""
+    n, reads = 2000, 50
+    events = _events(n)
+    timings = {}
+    for recompute in (False, True):
+        source = Stream("src")
+        view = MaterializedView(
+            "t", SPEC, recompute=recompute
+        ).bind_stream(source, batch_size=256)
+        for event in events:
+            source.push(event)
+        view.flush()
+        started = time.perf_counter()
+        for _ in range(reads):
+            snap = view.snapshot()
+        timings[recompute] = time.perf_counter() - started
+        assert snap.groups[None]["n"] == n
+    assert timings[False] < timings[True], (
+        f"delta snapshots ({timings[False]:.4f}s) not faster than "
+        f"recompute ({timings[True]:.4f}s)"
+    )
