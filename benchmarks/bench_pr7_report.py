@@ -1,0 +1,170 @@
+"""PR-7 report: sharded multi-process scale-out, machine-readable.
+
+Writes ``BENCH_PR7.json`` at the repo root with two sections:
+
+* ``exp11_sweep`` — throughput vs shard count (1/2/4/8; 1/2 in quick
+  mode) on the batched publish/consume/ack paths, with speedup against
+  the 1-shard batched baseline.
+* ``exp11_zipf`` — the Zipf-skewed "simulated users" soak: per-shard
+  depth imbalance under realistic key skew plus fleet-wide
+  exactly-once accounting from the workers' own metric registries.
+
+Acceptance bars (>=1.6x at 2 shards, >=2.5x at 4 shards) only make
+sense where the hardware can express parallelism, so they are gated on
+``os.cpu_count()``: a bar whose shard count exceeds the core count is
+reported as skipped rather than failed.  Failures are printed as
+``ACCEPTANCE FAIL`` lines, never raised, so a loaded CI box still
+produces a diffable report.
+
+Run:  python benchmarks/bench_pr7_report.py [--quick]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+try:
+    from benchmarks.bench_exp11_sharding import (
+        run_scaling_sweep,
+        run_zipf_soak,
+    )
+except ImportError:
+    from bench_exp11_sharding import run_scaling_sweep, run_zipf_soak
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
+
+#: speedup-vs-1-shard floors, applied only when cores >= shard count.
+BARS = {2: 1.6, 4: 2.5}
+
+
+def _best_sweep(runs: list[list[dict]]) -> list[dict]:
+    """Per shard count, keep the fastest run (noise floors, not means,
+    are the honest aggregate on a shared box), then recompute speedups
+    against the surviving 1-shard row."""
+    best: dict[int, dict] = {}
+    for rows in runs:
+        for row in rows:
+            if (
+                row["shards"] not in best
+                or row["msgs_per_s"] > best[row["shards"]]["msgs_per_s"]
+            ):
+                best[row["shards"]] = dict(row)
+    rows = [best[shards] for shards in sorted(best)]
+    baseline = rows[0]["msgs_per_s"]
+    for row in rows:
+        row["speedup_vs_1"] = row["msgs_per_s"] / baseline
+    return rows
+
+
+def build_report(quick: bool = False) -> dict:
+    repeats = 1 if quick else 3
+    shard_counts = (1, 2) if quick else (1, 2, 4, 8)
+    n_messages = 512 if quick else 8_192
+    soak = (
+        dict(shards=2, n_users=10_000, n_messages=512)
+        if quick
+        else dict(shards=4, n_users=1_000_000, n_messages=16_384)
+    )
+
+    sweep_rows = _best_sweep(
+        [run_scaling_sweep(shard_counts, n_messages) for _ in range(repeats)]
+    )
+    soak_row = run_zipf_soak(**soak)
+
+    return {
+        "experiment": "PR-7 sharded multi-process scale-out (EXP-11)",
+        "quick": quick,
+        "cores": os.cpu_count() or 1,
+        "exp11_sweep": {
+            "n_messages": n_messages,
+            "arms": [
+                {
+                    "shards": row["shards"],
+                    "msgs_per_s": round(row["msgs_per_s"], 1),
+                    "publish_per_s": round(row["publish_per_s"], 1),
+                    "consume_per_s": round(row["consume_per_s"], 1),
+                    "speedup_vs_1": round(row["speedup_vs_1"], 3),
+                }
+                for row in sweep_rows
+            ],
+        },
+        "exp11_zipf": {
+            "users": soak_row["users"],
+            "messages": soak_row["messages"],
+            "shards": soak_row["shards"],
+            "queues": soak_row["queues"],
+            "publish_per_s": round(soak_row["publish_per_s"], 1),
+            "per_shard_depth": soak_row["per_shard_depth"],
+            "depth_imbalance": round(soak_row["depth_imbalance"], 3),
+            "fleet_enqueued": soak_row["fleet_enqueued"],
+            "fleet_acked": soak_row["fleet_acked"],
+            "exactly_once": soak_row["exactly_once"],
+        },
+    }
+
+
+def _check(report: dict) -> tuple[list[str], list[str]]:
+    """Returns (problems, skipped-bar notes)."""
+    problems: list[str] = []
+    skipped: list[str] = []
+    cores = report["cores"]
+    arms = {row["shards"]: row for row in report["exp11_sweep"]["arms"]}
+    for shards, floor in sorted(BARS.items()):
+        if shards not in arms:
+            continue
+        if cores < shards:
+            skipped.append(
+                f"exp11: {floor}x bar at {shards} shards skipped "
+                f"(only {cores} core(s) — scale-out cannot show here)"
+            )
+            continue
+        speedup = arms[shards]["speedup_vs_1"]
+        if speedup < floor:
+            problems.append(
+                f"exp11: {shards}-shard speedup {speedup}x below the "
+                f"{floor}x floor"
+            )
+    zipf = report["exp11_zipf"]
+    if not zipf["exactly_once"]:
+        problems.append(
+            "exp11: zipf soak lost or duplicated messages "
+            f"(enqueued={zipf['fleet_enqueued']} acked={zipf['fleet_acked']} "
+            f"published={zipf['messages']})"
+        )
+    # 64 vnodes/shard should keep skewed load within ~2x of fair share.
+    if zipf["depth_imbalance"] > 2.0:
+        problems.append(
+            f"exp11: zipf depth imbalance {zipf['depth_imbalance']}x "
+            "exceeds the 2x consistent-hashing bound"
+        )
+    return problems, skipped
+
+
+def main(quick: bool = False) -> None:
+    report = build_report(quick=quick)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    for row in report["exp11_sweep"]["arms"]:
+        print(
+            f"  {row['shards']} shard(s): {row['msgs_per_s']:,.0f} msgs/s "
+            f"({row['speedup_vs_1']}x vs 1 shard)"
+        )
+    zipf = report["exp11_zipf"]
+    print(
+        f"  zipf soak: imbalance {zipf['depth_imbalance']}x, "
+        f"exactly_once={zipf['exactly_once']}"
+    )
+    problems, skipped = _check(report)
+    for note in skipped:
+        print(f"  SKIPPED: {note}")
+    for problem in problems:
+        print(f"  ACCEPTANCE FAIL: {problem}")
+    if not problems:
+        print("  all applicable PR-7 acceptance bars met")
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

@@ -72,16 +72,28 @@ def run_demo() -> int:
     return 0
 
 
-def run_stats(*, events: int, as_json: bool, faults: bool) -> int:
-    from repro.obs.report import format_report, run_stats_workload
+def run_stats(
+    *, events: int, as_json: bool, faults: bool, shards: int = 0
+) -> int:
+    if shards:
+        from repro.obs.report import (
+            format_sharded_report,
+            run_sharded_stats_workload,
+        )
 
-    report = run_stats_workload(events=events, faults=faults)
+        report = run_sharded_stats_workload(shards=shards, events=events)
+        formatter = format_sharded_report
+    else:
+        from repro.obs.report import format_report, run_stats_workload
+
+        report = run_stats_workload(events=events, faults=faults)
+        formatter = format_report
     if as_json:
         import json
 
         print(json.dumps(report, indent=2, sort_keys=True, default=str))
     else:
-        print(format_report(report))
+        print(formatter(report))
     return 0
 
 
@@ -116,6 +128,11 @@ def main(argv: list[str] | None = None) -> int:
         help="arm failure-boundary failpoints so suppressed errors "
         "(consumer crashes, trigger-drop failures) appear in the report",
     )
+    stats_parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="run the workload over N shard worker processes instead "
+        "and report fleet-wide merged metrics (ignores --faults)",
+    )
     arguments = parser.parse_args(argv)
     if arguments.command == "version":
         print(__version__)
@@ -129,6 +146,7 @@ def main(argv: list[str] | None = None) -> int:
             events=arguments.events,
             as_json=arguments.json,
             faults=arguments.faults,
+            shards=arguments.shards,
         )
     parser.print_help()
     return 2

@@ -150,18 +150,55 @@ class MaterializedView:
 
     # -- input bindings ------------------------------------------------------
 
-    def bind_table(self, db: Any, table_name: str) -> "MaterializedView":
+    def bind_table(
+        self,
+        db: Any,
+        table_name: str,
+        *,
+        start_lsn: int = 0,
+        snapshot: Iterable[Mapping[str, Any]] | None = None,
+    ) -> "MaterializedView":
         """Maintain this view over a table's committed DML.
 
-        Replays the committed journal from the start (so the view
-        reflects rows committed before binding — a truncated journal
-        prefix is the one history this cannot see), then folds each
-        later commit's records as one delta batch.
+        Backfills by replaying the committed journal from ``start_lsn``
+        (default 0: the whole history), then folds each later commit's
+        records as one delta batch.  A checkpointed database whose
+        journal prefix was truncated cannot replay from 0 — pass the
+        table's checkpoint state as ``snapshot`` (row mappings, folded
+        as inserts) together with the ``start_lsn`` the snapshot is
+        current to, and replay resumes from there.
+
+        Raises:
+            StreamError: the journal no longer reaches back to
+                ``start_lsn`` (records after it were truncated away),
+                which would silently produce a view missing history.
         """
         if self._reader is not None:
             raise StreamError(f"view {self.name!r} is already table-bound")
+        if start_lsn < 0:
+            raise StreamError("start_lsn must be >= 0")
+        first_retained = db.wal.first_lsn
+        if start_lsn + 1 < first_retained:
+            raise StreamError(
+                f"view {self.name!r}: journal for table {table_name!r} no "
+                f"longer reaches back to LSN {start_lsn} — records before "
+                f"LSN {first_retained} were truncated (checkpoint log "
+                f"reclaim).  Re-bind with a checkpoint snapshot of the "
+                f"table and start_lsn >= {first_retained - 1}."
+            )
         self._table = table_name.lower()
-        self._reader = db.journal_reader(0)
+        if snapshot is not None:
+            applied = 0
+            for row in snapshot:
+                if self._apply(row, +1):
+                    applied += 1
+            if applied:
+                self._deltas_applied += applied
+                self._m_deltas.inc(applied)
+                self._batches_folded += 1
+                self._m_batches.inc()
+                self._version += 1
+        self._reader = db.journal_reader(start_lsn)
         backfill = self._reader.poll()
         if backfill:
             self._fold_records(backfill)

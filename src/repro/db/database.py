@@ -21,6 +21,7 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.clock import Clock, WallClock
 from repro.db.catalog import Catalog
+from repro.db.engine import StorageEngine
 from repro.db.expr import (
     Expression,
     compile_expression,
@@ -214,8 +215,13 @@ class Connection:
         return self.transaction
 
 
-class Database:
-    """An embedded database instance.
+class Database(StorageEngine):
+    """An embedded database instance — the reference
+    :class:`~repro.db.engine.StorageEngine`.
+
+    In the sharded deployment (:mod:`repro.shard`) each worker process
+    owns one of these; everything above the engine interface is shared
+    between the single-process and sharded paths.
 
     Args:
         path: optional WAL file path; when set, the journal persists
@@ -444,6 +450,13 @@ class Database:
             raise
         scratch.commit()
         return result
+
+    def run_in_transaction(
+        self, conn: Connection | None, work: Callable[[Connection], Any]
+    ) -> Any:
+        """Public name for :meth:`_with_transaction` (the
+        :class:`~repro.db.engine.StorageEngine` contract)."""
+        return self._with_transaction(conn, work)
 
     # -- DDL ------------------------------------------------------------------
 

@@ -1,0 +1,207 @@
+"""The storage-engine interface a shard-local engine must provide.
+
+The sharded execution layer (:mod:`repro.shard`) runs N worker
+processes, each owning one *storage engine* — a process-local journal,
+catalog, transaction manager, and DML core.  Everything built on top of
+the engine (queue tables, brokers, capture sources, materialized views)
+programs against this interface, never against a concrete class, so a
+shard is simply "a :class:`~repro.db.database.Database` behind the same
+API" and the single-process and sharded deployments share every line of
+queue/pub-sub code.
+
+The interface is deliberately the *used* surface, not an aspirational
+one: every method here is called today by the queue layer, capture
+sources, or the IVM layer.  Attribute contracts (``clock``, ``catalog``,
+``wal``, ``obs``, ``faults``) are documented rather than declared
+abstract — they are instance attributes on engines, and the queue layer
+reads them directly on hot paths.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.catalog import Catalog
+    from repro.db.database import Connection
+    from repro.db.schema import Column, TableSchema
+    from repro.db.sql.executor import Result
+    from repro.db.storage import HeapTable
+    from repro.db.wal import JournalReader
+
+
+class StorageEngine(abc.ABC):
+    """Process-local storage: tables, transactions, journal, metrics.
+
+    Required instance attributes (read directly by the layers above):
+
+    ``clock``
+        The engine's :class:`repro.clock.Clock`; every timestamp the
+        queue layer produces comes from here.
+    ``catalog``
+        The :class:`repro.db.catalog.Catalog` of live tables.
+    ``wal``
+        The engine's :class:`repro.db.wal.WriteAheadLog`.
+    ``obs``
+        The engine's :class:`repro.obs.metrics.MetricsRegistry`;
+        components bind their instruments from it once, at construction.
+    ``faults``
+        Optional :class:`repro.faults.FaultInjector` shared by every
+        failpoint site reachable through this engine (may be ``None``).
+    """
+
+    # -- sessions & SQL -----------------------------------------------------
+
+    @abc.abstractmethod
+    def connect(self) -> "Connection":
+        """Open a session against this engine."""
+
+    @abc.abstractmethod
+    def execute(
+        self, sql: str, params: Sequence[Any] | None = None
+    ) -> "Result":
+        """Execute one SQL statement on the engine's default session."""
+
+    @abc.abstractmethod
+    def query(
+        self, sql: str, params: Sequence[Any] | None = None
+    ) -> list[dict[str, Any]]:
+        """Execute and return rows (convenience for SELECT)."""
+
+    @abc.abstractmethod
+    def prepare(self, sql: str) -> Any:
+        """Prepare a (possibly parameterized) statement for reuse."""
+
+    # -- DDL ----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def create_table(
+        self,
+        name: str,
+        columns: "list[Column] | None" = None,
+        *,
+        checks: list[Any] | None = None,
+        schema: "TableSchema | None" = None,
+        conn: "Connection | None" = None,
+    ) -> "HeapTable":
+        """Create a table from a schema or column list."""
+
+    @abc.abstractmethod
+    def drop_table(
+        self,
+        name: str,
+        *,
+        if_exists: bool = False,
+        conn: "Connection | None" = None,
+    ) -> None:
+        """Drop a table."""
+
+    @abc.abstractmethod
+    def create_index(
+        self,
+        name: str,
+        table_name: str,
+        column: str,
+        *,
+        unique: bool = False,
+        kind: str = "ordered",
+        conn: "Connection | None" = None,
+    ) -> None:
+        """Create an index on one column."""
+
+    # -- DML core -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def insert_row(
+        self,
+        table_name: str,
+        values: Mapping[str, Any],
+        *,
+        conn: "Connection | None" = None,
+    ) -> int:
+        """Insert one row; returns its rowid."""
+
+    @abc.abstractmethod
+    def insert_many(
+        self,
+        table_name: str,
+        rows: Iterable[Mapping[str, Any]],
+        *,
+        conn: "Connection | None" = None,
+    ) -> list[int]:
+        """Insert a batch of rows in ONE transaction; returns rowids."""
+
+    @abc.abstractmethod
+    def update_row(
+        self,
+        table_name: str,
+        rowid: int,
+        updates: Mapping[str, Any],
+        *,
+        conn: "Connection | None" = None,
+    ) -> None:
+        """Apply column updates to one row."""
+
+    @abc.abstractmethod
+    def update_rows(
+        self,
+        table_name: str,
+        updates: Iterable[tuple[int, Mapping[str, Any]]],
+        *,
+        conn: "Connection | None" = None,
+    ) -> int:
+        """Apply ``(rowid, updates)`` pairs in ONE transaction."""
+
+    @abc.abstractmethod
+    def delete_row(
+        self,
+        table_name: str,
+        rowid: int,
+        *,
+        conn: "Connection | None" = None,
+    ) -> None:
+        """Delete one row."""
+
+    # -- transactions & locking --------------------------------------------
+
+    @abc.abstractmethod
+    def run_in_transaction(
+        self, conn: "Connection | None", work: Callable[["Connection"], Any]
+    ) -> Any:
+        """Run ``work`` in the caller's transaction or an implicit one.
+
+        With ``conn`` given, ``work`` joins its open transaction; with
+        ``conn=None`` the engine opens a scratch transaction around it
+        (commit on return, rollback on raise).
+        """
+
+    @abc.abstractmethod
+    def lock_table_shared(self, conn: "Connection", table: str) -> None:
+        """Take a shared table lock in ``conn``'s transaction."""
+
+    @abc.abstractmethod
+    def lock_table_exclusive(self, conn: "Connection", table: str) -> None:
+        """Take an exclusive table lock in ``conn``'s transaction."""
+
+    @abc.abstractmethod
+    def add_commit_listener(self, listener: Callable[[Any], None]) -> None:
+        """Register a callback invoked after every successful commit."""
+
+    @abc.abstractmethod
+    def add_abort_listener(self, listener: Callable[[Any], None]) -> None:
+        """Register a callback invoked after every rollback."""
+
+    # -- journal, checkpoint, observability ---------------------------------
+
+    @abc.abstractmethod
+    def journal_reader(self, start_lsn: int | None = None) -> "JournalReader":
+        """A committed-changes cursor over the engine's journal."""
+
+    @abc.abstractmethod
+    def checkpoint(self, *, truncate: bool = False) -> int:
+        """Write a consistent checkpoint; returns its LSN."""
+
+    @abc.abstractmethod
+    def metrics(self) -> dict[str, Any]:
+        """One coherent observability snapshot for this engine."""

@@ -422,6 +422,16 @@ class WriteAheadLog:
         return self._next_lsn - 1
 
     @property
+    def first_lsn(self) -> int:
+        """LSN of the oldest *retained* record — greater than 1 once
+        :meth:`truncate_before` has reclaimed a prefix.  An empty (or
+        fully truncated) journal reports ``last_lsn + 1``: nothing is
+        retained, so history reaches back only to the tail."""
+        if self._records:
+            return self._records[0].lsn
+        return self._next_lsn
+
+    @property
     def durable_lsn(self) -> int:
         """LSN of the last record guaranteed to survive a crash."""
         if self._durable_count == 0:

@@ -242,3 +242,38 @@ class ModelError(ReproError):
 class ResponderError(ReproError):
     """No responder satisfying the authorization/availability/capability
     requirements could be found."""
+
+
+# --------------------------------------------------------------------------
+# Sharded multi-process execution (repro.shard)
+# --------------------------------------------------------------------------
+
+
+class ShardError(ReproError):
+    """Base class for errors raised by the sharded execution layer."""
+
+
+class ShardProtocolError(ShardError):
+    """A malformed or oversized frame on the coordinator/worker wire."""
+
+
+class ShardWorkerError(ShardError):
+    """A worker reported an error executing a routed operation.
+
+    ``kind`` names the worker-side exception class; when it maps to a
+    known :class:`ReproError` subclass the coordinator re-raises that
+    class instead, so callers of the sharded brokers catch exactly the
+    errors the single-process brokers raise."""
+
+    def __init__(self, message: str, *, kind: str = "", shard: int | None = None):
+        super().__init__(message)
+        self.kind = kind
+        self.shard = shard
+
+
+class ShardWorkerDied(ShardError):
+    """The worker process closed its channel or timed out mid-request."""
+
+    def __init__(self, message: str, *, shard: int | None = None):
+        super().__init__(message)
+        self.shard = shard

@@ -27,6 +27,11 @@ name                    fired
                         listener runs (inside the requeue boundary)
 ``capture.drop_trigger``  inside capture-source teardown, before each
                         trigger is dropped (the swallowed-close path)
+``shard.prepared``      in a shard worker, after a 2PC prepare record
+                        became durable and the YES vote was sent —
+                        the classic "voted yes then died" window
+``shard.decide``        in a shard worker, after a 2PC decision
+                        arrived but before it is applied
 ======================  =====================================================
 
 Custom names are allowed (the catalog is a convention, not a schema) so
@@ -67,6 +72,8 @@ BROKER_ACK = "broker.ack"
 DELIVERY_CONSUMER = "delivery.consumer"
 PUBSUB_CONSUMER = "pubsub.consumer"
 CAPTURE_DROP_TRIGGER = "capture.drop_trigger"
+SHARD_PREPARED = "shard.prepared"
+SHARD_DECIDE = "shard.decide"
 
 FAILPOINT_CATALOG = frozenset(
     {
@@ -80,6 +87,8 @@ FAILPOINT_CATALOG = frozenset(
         DELIVERY_CONSUMER,
         PUBSUB_CONSUMER,
         CAPTURE_DROP_TRIGGER,
+        SHARD_PREPARED,
+        SHARD_DECIDE,
     }
 )
 
@@ -211,6 +220,23 @@ def added_latency(clock: Any, seconds: float) -> Action:
             clock.advance(seconds)
         else:
             clock.sleep(seconds)
+
+    return action
+
+
+def exit_process(code: int = 1) -> Action:
+    """Kill the current process immediately (``os._exit`` — no flushes,
+    no atexit, no cleanup), modeling a hard worker crash at the site.
+
+    Used by the shard crash tests: a worker armed with this action on
+    ``shard.prepared`` dies with its vote on the wire, leaving an
+    in-doubt transaction for recovery to resolve.
+    """
+
+    def action(ctx: FaultContext) -> None:
+        import os
+
+        os._exit(code)
 
     return action
 

@@ -314,8 +314,26 @@ def _fold(items: Iterable[tuple[str, Any]]) -> None:
             _retired_counters[key] = _retired_counters.get(key, 0) + count
 
 
+def absorb_snapshot(snapshot: dict[str, Any]) -> None:
+    """Fold a REMOTE process's registry snapshot into this process's
+    aggregate totals.
+
+    Shard workers cannot appear in ``_live_registries`` (their
+    registries live in other interpreters), so the coordinator absorbs
+    each worker's final snapshot at shutdown — after which
+    :func:`aggregate_counters` reports fleet-wide totals exactly as if
+    the work had run in-process.
+    """
+    _fold(snapshot.get("counters", {}).items())
+    _fold(
+        (f"errors_suppressed{{stage={stage}}}", count)
+        for stage, count in snapshot.get("errors_suppressed", {}).items()
+    )
+
+
 def aggregate_counters(*, by_name: bool = True) -> dict[str, float]:
-    """Process-wide counter totals: retired registries plus live ones.
+    """Process-wide counter totals: retired registries, live ones, and
+    any absorbed worker snapshots (:func:`absorb_snapshot`).
 
     With ``by_name`` (default) labels are stripped and same-named
     counters summed — the compact view ``run_all --quick`` prints.
@@ -335,6 +353,92 @@ def aggregate_counters(*, by_name: bool = True) -> dict[str, float]:
         name, _labels = split_metric_key(key)
         by[name] = by.get(name, 0) + value
     return by
+
+
+def merge_snapshots(
+    snapshots: "dict[Any, dict[str, Any]]",
+    *,
+    label_name: str | None = None,
+) -> dict[str, Any]:
+    """Fold per-process registry snapshots into one coherent view.
+
+    ``snapshots`` maps a source label (e.g. shard id) to the dict
+    :meth:`MetricsRegistry.snapshot` produced in that process — the
+    form shard workers ship over the control channel, since registry
+    objects themselves never cross process boundaries.
+
+    Merge rules: counters, gauges, and ``errors_suppressed`` sum per
+    key; histograms merge their exact fields (count/sum/min/max, mean
+    recomputed) but surface percentiles only when a single source
+    observed the series (nearest-rank windows are not mergeable, and a
+    fabricated quantile is worse than none).  With ``label_name`` each
+    source's counters and gauges are ALSO retained under keys extended
+    with ``{label_name}=<label>`` — how per-shard ``queue.depth``
+    stays visible inside the fleet-wide fold.
+    """
+    merged_counters: dict[str, float] = {}
+    merged_gauges: dict[str, float] = {}
+    merged_errors: dict[str, int] = {}
+    merged_last: dict[str, str] = {}
+    histogram_parts: dict[str, list[dict[str, Any]]] = {}
+    ts: float | None = None
+
+    def relabel(key: str, label: Any) -> str:
+        name, labels = split_metric_key(key)
+        labels[label_name] = label  # type: ignore[index]
+        return metric_key(name, labels)
+
+    for label, snapshot in snapshots.items():
+        if snapshot.get("ts") is not None:
+            ts = max(ts, snapshot["ts"]) if ts is not None else snapshot["ts"]
+        for key, value in snapshot.get("counters", {}).items():
+            merged_counters[key] = merged_counters.get(key, 0) + value
+            if label_name is not None:
+                merged_counters[relabel(key, label)] = value
+        for key, value in snapshot.get("gauges", {}).items():
+            if value is None:
+                continue
+            merged_gauges[key] = merged_gauges.get(key, 0) + value
+            if label_name is not None:
+                merged_gauges[relabel(key, label)] = value
+        for key, part in snapshot.get("histograms", {}).items():
+            histogram_parts.setdefault(key, []).append(part)
+        for stage, count in snapshot.get("errors_suppressed", {}).items():
+            merged_errors[stage] = merged_errors.get(stage, 0) + count
+        for stage, text in snapshot.get("last_errors", {}).items():
+            merged_last[
+                stage if label_name is None else f"{stage}[{label_name}={label}]"
+            ] = text
+
+    merged_histograms: dict[str, dict[str, Any]] = {}
+    for key, parts in histogram_parts.items():
+        if len(parts) == 1:
+            merged_histograms[key] = dict(parts[0])
+            continue
+        count = sum(part["count"] for part in parts)
+        total = sum(part["sum"] for part in parts)
+        mins = [part["min"] for part in parts if part["min"] is not None]
+        maxes = [part["max"] for part in parts if part["max"] is not None]
+        merged_histograms[key] = {
+            "count": count,
+            "sum": total,
+            "mean": (total / count) if count else None,
+            "min": min(mins) if mins else None,
+            "max": max(maxes) if maxes else None,
+            "p50": None,
+            "p95": None,
+            "p99": None,
+        }
+
+    return {
+        "ts": ts,
+        "sources": sorted(snapshots, key=str),
+        "counters": merged_counters,
+        "gauges": merged_gauges,
+        "histograms": merged_histograms,
+        "errors_suppressed": merged_errors,
+        "last_errors": merged_last,
+    }
 
 
 def reset_aggregate() -> None:

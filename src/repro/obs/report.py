@@ -172,6 +172,101 @@ def run_stats_workload(
         set_default_trace_log(previous_log)
 
 
+def run_sharded_stats_workload(
+    *, shards: int = 2, events: int = 200
+) -> dict[str, Any]:
+    """Run a queue workload over a multi-process shard fleet and fold
+    every worker's metrics snapshot into one report.
+
+    This is the multi-process face of ``python -m repro stats``: the
+    registries live in the worker processes, ship their snapshots over
+    the control channel, and :func:`repro.obs.metrics.merge_snapshots`
+    folds them — fleet-wide counters summed, per-shard ``queue.depth``
+    retained under ``shard=<id>`` keys.
+    """
+    from repro.obs.metrics import merge_snapshots
+    from repro.queues.message import Message
+    from repro.shard import ShardCoordinator, ShardedQueueBroker
+
+    with ShardCoordinator(shards) as coordinator:
+        broker = ShardedQueueBroker(coordinator)
+        queue_names = [f"stream_{i}" for i in range(max(4, shards * 2))]
+        placement = {
+            name: broker.create_queue(name) for name in queue_names
+        }
+        batch = 32
+        for start in range(0, events, batch):
+            entries = [
+                (queue_names[(start + j) % len(queue_names)],
+                 Message(payload={"seq": start + j}))
+                for j in range(min(batch, events - start))
+            ]
+            broker.publish_many(entries)
+        consumed = 0
+        for name in queue_names:
+            messages = broker.consume_batch(name, events)
+            if messages:
+                broker.ack_batch(name, [m.message_id for m in messages])
+            consumed += len(messages)
+        per_shard = coordinator.metrics_by_shard()
+        merged = merge_snapshots(per_shard, label_name="shard")
+        return {
+            "shards": shards,
+            "events": events,
+            "consumed": consumed,
+            "placement": placement,
+            "queues": broker.stats(),
+            "per_shard_counters": {
+                shard: {
+                    key: value
+                    for key, value in snapshot["counters"].items()
+                    if value and key.startswith("queue.")
+                }
+                for shard, snapshot in per_shard.items()
+            },
+            "merged": merged,
+        }
+
+
+def format_sharded_report(report: dict[str, Any]) -> str:
+    """Human-readable rendering of the sharded stats report."""
+    lines = [
+        f"sharded workload: {report['events']} messages over "
+        f"{len(report['placement'])} queues on {report['shards']} shards, "
+        f"{report['consumed']} consumed"
+    ]
+    lines.append("")
+    lines.append("queue placement (consistent hash)")
+    lines.append("-" * 33)
+    for name, shard in sorted(report["placement"].items()):
+        lines.append(f"  {name:<24} shard {shard}")
+    lines.append("")
+    lines.append("per-shard queue counters")
+    lines.append("-" * 24)
+    for shard, counters in sorted(report["per_shard_counters"].items()):
+        for key, value in sorted(counters.items()):
+            lines.append(f"  shard {shard}  {key:<36} {value}")
+    merged = report["merged"]
+    lines.append("")
+    lines.append("fleet-wide counters (merged across processes)")
+    lines.append("-" * 45)
+    for key, value in sorted(merged["counters"].items()):
+        if value and "{" not in key:
+            lines.append(f"  {key:<44} {value}")
+    depth_keys = {
+        key: value
+        for key, value in sorted(merged["gauges"].items())
+        if key.startswith("queue.depth") and "shard=" in key
+    }
+    if depth_keys:
+        lines.append("")
+        lines.append("per-shard depth gauges")
+        lines.append("-" * 22)
+        for key, value in depth_keys.items():
+            lines.append(f"  {key:<44} {value}")
+    return "\n".join(lines)
+
+
 def _sample_trace(log: TraceLog) -> dict[str, Any] | None:
     """The first trace that travelled the whole capture→delivery path."""
     best: dict[str, Any] | None = None

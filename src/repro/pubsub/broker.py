@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 from typing import Any, Callable
 
-from repro.db.database import Database
+from repro.db.engine import StorageEngine
 from repro.errors import PubSubError, TopicNotFoundError
 from repro.events import Event
 from repro.faults import PUBSUB_CONSUMER
@@ -59,7 +59,7 @@ def _payload_to_event(data: dict[str, Any]) -> Event:
 class PubSubBroker:
     """Topics + subscriptions over one database."""
 
-    def __init__(self, db: Database, *, name: str = "pubsub") -> None:
+    def __init__(self, db: StorageEngine, *, name: str = "pubsub") -> None:
         self.db = db
         self.name = name
         self.queues = QueueBroker(db, name=f"{name}-queues")

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
-from repro.db.database import Database
+from repro.db.engine import StorageEngine
 from repro.errors import QueueError, QueueNotFoundError
 from repro.faults import BROKER_ACK, BROKER_CONSUME, BROKER_PUBLISH
 from repro.queues.audit import AuditTrail, Permission, SecurityManager
@@ -28,7 +28,7 @@ class QueueBroker:
 
     def __init__(
         self,
-        db: Database,
+        db: StorageEngine,
         *,
         security: SecurityManager | None = None,
         audit: bool = False,

@@ -43,7 +43,8 @@ import json
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.clock import Clock
-from repro.db.database import Connection, Database
+from repro.db.database import Connection
+from repro.db.engine import StorageEngine
 from repro.db.schema import Column
 from repro.db.types import INT, TEXT, TIMESTAMP
 from repro.errors import MessageExpiredError, QueueError
@@ -60,7 +61,7 @@ class QueueTable:
 
     def __init__(
         self,
-        db: Database,
+        db: StorageEngine,
         name: str,
         *,
         keep_history: bool = False,
@@ -365,7 +366,7 @@ class QueueTable:
             messages = self._dequeue_ready(connection, consumer, 1)
             return messages[0] if messages else None
 
-        return self.db._with_transaction(conn, work)
+        return self.db.run_in_transaction(conn, work)
 
     def dequeue_batch(
         self,
@@ -387,7 +388,7 @@ class QueueTable:
         def work(connection: Connection) -> list[Message]:
             return self._dequeue_ready(connection, consumer, max_messages)
 
-        return self.db._with_transaction(conn, work)
+        return self.db.run_in_transaction(conn, work)
 
     def ack(self, message_id: int, *, conn: Connection | None = None) -> None:
         """Consume a LOCKED message (delete, or mark CONSUMED when the
@@ -407,7 +408,7 @@ class QueueTable:
             self.stats["acked"] += 1
             self._m_acked.inc()
 
-        self.db._with_transaction(conn, work)
+        self.db.run_in_transaction(conn, work)
 
     def ack_batch(
         self,
@@ -445,7 +446,7 @@ class QueueTable:
             self._m_acked.inc(len(ids))
             return len(ids)
 
-        return self.db._with_transaction(conn, work)
+        return self.db.run_in_transaction(conn, work)
 
     def requeue(
         self,
@@ -477,7 +478,7 @@ class QueueTable:
             self.stats["requeued"] += 1
             self._m_requeued.inc()
 
-        self.db._with_transaction(conn, work)
+        self.db.run_in_transaction(conn, work)
 
     def _require_state(
         self, message_id: int, expected: MessageState, operation: str

@@ -1,0 +1,46 @@
+"""Sharded multi-process scale-out for the broker/queue layer.
+
+Layering (bottom-up):
+
+* :mod:`repro.shard.hashring` — consistent-hash shard map + router.
+* :mod:`repro.shard.protocol` — length-prefixed frames and the
+  message wire forms.
+* :mod:`repro.shard.twopc` — durable participant/decision logs for
+  cross-shard atomic operations.
+* :mod:`repro.shard.worker` — the per-shard process: a full
+  :class:`~repro.db.database.Database` + broker stack behind a framed
+  channel.
+* :mod:`repro.shard.coordinator` — worker lifecycle, pipelined
+  scatter, 2PC driving, crash recovery.
+* :mod:`repro.shard.broker` — :class:`ShardedQueueBroker` /
+  :class:`ShardedPubSubBroker`, the single-process broker APIs routed
+  over the fleet.
+"""
+
+from repro.shard.broker import ShardedPubSubBroker, ShardedQueueBroker
+from repro.shard.coordinator import ShardCoordinator, WorkerHandle
+from repro.shard.hashring import ShardMap, ShardRouter, stable_hash
+from repro.shard.twopc import (
+    ABORTED,
+    COMMITTED,
+    PREPARED,
+    DecisionLog,
+    ParticipantLog,
+    new_gtid,
+)
+
+__all__ = [
+    "ShardMap",
+    "ShardRouter",
+    "stable_hash",
+    "ShardCoordinator",
+    "WorkerHandle",
+    "ShardedQueueBroker",
+    "ShardedPubSubBroker",
+    "ParticipantLog",
+    "DecisionLog",
+    "new_gtid",
+    "PREPARED",
+    "COMMITTED",
+    "ABORTED",
+]

@@ -1,0 +1,407 @@
+"""Sharded facades over the queue and pub/sub broker APIs.
+
+:class:`ShardedQueueBroker` and :class:`ShardedPubSubBroker` present
+the single-process broker surface while executing against a
+:class:`~repro.shard.coordinator.ShardCoordinator`'s worker fleet.  A
+queue (or durable-subscription spool) lives *entirely* on the shard its
+name hashes to, so every single-queue operation is one local
+transaction on one worker — the paper's queue semantics are untouched;
+only placement changed.  The one genuinely distributed operation,
+:meth:`ShardedQueueBroker.publish_atomic` across queues on different
+shards, runs the 2PC protocol.
+
+Error fidelity: worker-side exceptions come back over the wire as
+``(kind, message)``; the facade re-raises the matching
+:class:`~repro.errors.ReproError` subclass so callers catch exactly
+what the local brokers would have raised.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro import errors as errors_module
+from repro.errors import ReproError, ShardError, ShardWorkerError
+from repro.events import Event
+from repro.pubsub.broker import _event_to_payload, _payload_to_event
+from repro.pubsub.topic import Topic, topic_matches
+from repro.queues.message import Message
+from repro.shard.coordinator import ShardCoordinator
+from repro.shard.protocol import message_to_wire, wire_to_consumed
+from repro.shard.twopc import new_gtid  # noqa: F401  (re-export convenience)
+
+
+def _reraise(exc: ShardWorkerError) -> None:
+    """Map a worker-reported error back to its local exception class
+    (falls through to the ShardWorkerError itself for unknown kinds)."""
+    cls = getattr(errors_module, exc.kind, None)
+    if (
+        isinstance(cls, type)
+        and issubclass(cls, ReproError)
+        and cls not in (ShardWorkerError,)
+    ):
+        try:
+            raise cls(str(exc)) from None
+        except TypeError:  # subclass with a custom constructor
+            pass
+    raise exc
+
+
+class ShardedQueueBroker:
+    """The :class:`~repro.queues.broker.QueueBroker` API, shard-routed."""
+
+    def __init__(self, coordinator: ShardCoordinator) -> None:
+        self.coordinator = coordinator
+        self.router = coordinator.router
+
+    def _call(self, queue_name: str, op: str, args: dict[str, Any]) -> Any:
+        shard_id = self.router.shard_for(queue_name)
+        try:
+            return self.coordinator.worker(shard_id).call(op, args)
+        except ShardWorkerError as exc:
+            _reraise(exc)
+
+    # -- queue lifecycle ----------------------------------------------------
+
+    def create_queue(
+        self,
+        name: str,
+        *,
+        keep_history: bool = False,
+        default_expiration: float | None = None,
+    ) -> int:
+        """Create ``name`` on its owning shard; returns the shard id."""
+        self._call(
+            name,
+            "create_queue",
+            {
+                "name": name,
+                "keep_history": keep_history,
+                "default_expiration": default_expiration,
+            },
+        )
+        return self.router.shard_for(name)
+
+    def drop_queue(self, name: str) -> None:
+        self._call(name, "drop_queue", {"name": name})
+
+    def shard_for(self, name: str) -> int:
+        return self.router.shard_for(name)
+
+    # -- publish ------------------------------------------------------------
+
+    def publish(
+        self, queue_name: str, message: Message, *, principal: str = "internal"
+    ) -> int:
+        return self.publish_batch(queue_name, [message], principal=principal)[0]
+
+    def publish_batch(
+        self,
+        queue_name: str,
+        messages: list[Message],
+        *,
+        principal: str = "internal",
+    ) -> list[int]:
+        """One frame, one worker transaction — the batched fast path."""
+        return self._call(
+            queue_name,
+            "publish_batch",
+            {
+                "queue": queue_name,
+                "messages": [message_to_wire(m) for m in messages],
+                "principal": principal,
+            },
+        )
+
+    def publish_many(
+        self,
+        entries: list[tuple[str, Message]],
+        *,
+        principal: str = "internal",
+    ) -> list[int]:
+        """Publish ``(queue, message)`` pairs spanning any number of
+        shards — grouped per shard, shipped as one pipelined scatter (no
+        atomicity across shards; use :meth:`publish_atomic` for that).
+        Returned ids align with the input order.
+        """
+        grouped: dict[tuple[int, str], list[tuple[int, Message]]] = {}
+        for index, (queue_name, message) in enumerate(entries):
+            key = (self.router.shard_for(queue_name), queue_name.lower())
+            grouped.setdefault(key, []).append((index, message))
+        # One frame per (shard, queue) group — all sent before any reply
+        # is read, so every involved worker runs its batches concurrently.
+        pending: list[tuple[int, int, list[int]]] = []
+        for (shard_id, queue_name), pairs in grouped.items():
+            request_id = self.coordinator.worker(shard_id).send(
+                "publish_batch",
+                {
+                    "queue": queue_name,
+                    "messages": [message_to_wire(m) for _, m in pairs],
+                    "principal": principal,
+                },
+            )
+            pending.append((shard_id, request_id, [index for index, _ in pairs]))
+        results: list[int | None] = [None] * len(entries)
+        first_error: Exception | None = None
+        for shard_id, request_id, indexes in pending:
+            try:
+                ids = self.coordinator.worker(shard_id).recv(request_id)
+            except ShardError as exc:
+                if first_error is None:
+                    first_error = exc
+                continue
+            for index, message_id in zip(indexes, ids):
+                results[index] = message_id
+        if first_error is not None:
+            if isinstance(first_error, ShardWorkerError):
+                _reraise(first_error)
+            raise first_error
+        return results  # type: ignore[return-value]
+
+    def publish_atomic(
+        self, entries: list[tuple[str, Message]], *, principal: str = "internal"
+    ) -> str | None:
+        """Atomically enqueue across queues.  Single-shard groups take
+        the ordinary one-transaction path (returns ``None``); spanning
+        shards runs 2PC and returns the gtid."""
+        ops_by_shard: dict[int, list[dict[str, Any]]] = {}
+        for queue_name, message in entries:
+            ops_by_shard.setdefault(self.router.shard_for(queue_name), []).append(
+                {"queue": queue_name.lower(), "message": message_to_wire(message)}
+            )
+        if len(ops_by_shard) == 1:
+            ((shard_id, ops),) = ops_by_shard.items()
+            # All on one shard: local transactionality suffices, but a
+            # multi-queue batch still needs single-frame atomicity — the
+            # 2PC participant path degenerates to exactly that, so reuse
+            # it (prepare+decide on one worker, no decision journal round).
+            gtid = new_gtid()
+            handle = self.coordinator.worker(shard_id)
+            try:
+                handle.call("prepare", {"gtid": gtid, "ops": ops})
+                handle.call("decide", {"gtid": gtid, "decision": "committed"})
+            except ShardWorkerError as exc:
+                _reraise(exc)
+            return None
+        return self.coordinator.two_phase_publish(ops_by_shard)
+
+    # -- consume / ack ------------------------------------------------------
+
+    def consume(
+        self, queue_name: str, *, principal: str = "consumer"
+    ) -> Message | None:
+        messages = self.consume_batch(queue_name, 1, principal=principal)
+        return messages[0] if messages else None
+
+    def consume_batch(
+        self, queue_name: str, max_messages: int, *, principal: str = "consumer"
+    ) -> list[Message]:
+        wires = self._call(
+            queue_name,
+            "consume_batch",
+            {
+                "queue": queue_name,
+                "max_messages": max_messages,
+                "principal": principal,
+            },
+        )
+        return [wire_to_consumed(wire) for wire in wires]
+
+    def ack(
+        self, queue_name: str, message_id: int, *, principal: str = "consumer"
+    ) -> None:
+        self._call(
+            queue_name,
+            "ack",
+            {"queue": queue_name, "message_id": message_id, "principal": principal},
+        )
+
+    def ack_batch(
+        self,
+        queue_name: str,
+        message_ids: list[int],
+        *,
+        principal: str = "consumer",
+    ) -> int:
+        return self._call(
+            queue_name,
+            "ack_batch",
+            {
+                "queue": queue_name,
+                "message_ids": list(message_ids),
+                "principal": principal,
+            },
+        )
+
+    def requeue(
+        self,
+        queue_name: str,
+        message_id: int,
+        *,
+        delay: float = 0.0,
+        principal: str = "consumer",
+    ) -> None:
+        self._call(
+            queue_name,
+            "requeue",
+            {
+                "queue": queue_name,
+                "message_id": message_id,
+                "delay": delay,
+                "principal": principal,
+            },
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    def depth(self, queue_name: str) -> int:
+        return self._call(queue_name, "depth", {"queue": queue_name})
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-queue stats merged across every shard."""
+        merged: dict[str, dict[str, int]] = {}
+        for shard_stats in self.coordinator.broadcast("stats").values():
+            merged.update(shard_stats)
+        return merged
+
+    def metrics_by_shard(self) -> dict[int, dict[str, Any]]:
+        return self.coordinator.metrics_by_shard()
+
+
+class ShardedPubSubBroker:
+    """Topic fan-out in the coordinator, durable spooling on the shards.
+
+    Topic/subscription metadata is tiny coordinator-local state; what
+    must scale — the per-subscriber durable spool traffic — rides
+    :class:`ShardedQueueBroker`, so each ``sub_<name>`` queue lands on
+    the shard its name hashes to and publishes to disjoint subscribers
+    batch per shard.
+    """
+
+    def __init__(self, coordinator: ShardCoordinator, *, name: str = "pubsub") -> None:
+        self.name = name
+        self.queues = ShardedQueueBroker(coordinator)
+        self._topics: dict[str, Topic] = {}
+        self._subscriptions: dict[str, dict[str, Any]] = {}
+        self.stats = {"published": 0, "spooled": 0, "delivered": 0}
+
+    # -- topics / subscriptions ---------------------------------------------
+
+    def create_topic(self, name: str, *, retain: bool = False) -> Topic:
+        name = name.lower()
+        if name in self._topics:
+            raise errors_module.PubSubError(f"topic {name!r} already exists")
+        topic = Topic(name, retain=retain)
+        self._topics[name] = topic
+        return topic
+
+    def topic(self, name: str) -> Topic:
+        try:
+            return self._topics[name.lower()]
+        except KeyError:
+            raise errors_module.TopicNotFoundError(
+                f"topic {name!r} does not exist"
+            ) from None
+
+    def subscribe(self, subscriber: str, topic_pattern: str) -> str:
+        """Register a durable subscription; returns its spool queue
+        name.  (Nondurable inline callbacks don't cross process
+        boundaries — durable spooling is the sharded mode.)"""
+        if subscriber in self._subscriptions:
+            raise errors_module.PubSubError(
+                f"subscriber {subscriber!r} already registered"
+            )
+        queue_name = f"sub_{subscriber.lower()}"
+        self.queues.create_queue(queue_name)
+        self._subscriptions[subscriber] = {
+            "pattern": topic_pattern,
+            "queue": queue_name,
+        }
+        return queue_name
+
+    def unsubscribe(self, subscriber: str) -> None:
+        if self._subscriptions.pop(subscriber, None) is None:
+            raise errors_module.PubSubError(
+                f"subscriber {subscriber!r} is not registered"
+            )
+
+    # -- publish ------------------------------------------------------------
+
+    def publish(self, topic_name: str, event: Event) -> int:
+        return self.publish_events(topic_name, [event])
+
+    def publish_events(self, topic_name: str, events: list[Event]) -> int:
+        """Fan a batch of events out to every matching durable spool —
+        grouped so each worker sees one frame per spool queue, shipped
+        as one pipelined scatter across shards."""
+        topic = self.topic(topic_name)
+        entries: list[tuple[str, Message]] = []
+        for event in events:
+            topic.record(event)
+            self.stats["published"] += 1
+            for info in self._subscriptions.values():
+                if topic_matches(info["pattern"], topic.name):
+                    entries.append(
+                        (
+                            info["queue"],
+                            Message(payload=_event_to_payload(topic.name, event)),
+                        )
+                    )
+        if entries:
+            self.queues.publish_many(entries, principal="internal")
+            self.stats["spooled"] += len(entries)
+        return len(entries)
+
+    # -- consume ------------------------------------------------------------
+
+    def _spool(self, subscriber: str) -> str:
+        try:
+            return self._subscriptions[subscriber]["queue"]
+        except KeyError:
+            raise errors_module.PubSubError(
+                f"subscriber {subscriber!r} is not registered"
+            ) from None
+
+    def fetch(self, subscriber: str) -> Event | None:
+        queue_name = self._spool(subscriber)
+        message = self.queues.consume(queue_name, principal=subscriber)
+        if message is None:
+            return None
+        self.queues.ack(
+            queue_name, message.message_id, principal=subscriber
+        )
+        self.stats["delivered"] += 1
+        return _payload_to_event(message.payload)
+
+    def drain(
+        self, subscriber: str, callback: Callable[[Event], Any], *, batch: int = 64
+    ) -> int:
+        """Consume the whole backlog through ``callback`` in batches
+        (ack after each successful callback; a raising callback requeues
+        its event and re-raises, like the local activation contract)."""
+        queue_name = self._spool(subscriber)
+        drained = 0
+        while True:
+            messages = self.queues.consume_batch(
+                queue_name, batch, principal=subscriber
+            )
+            if not messages:
+                return drained
+            acked: list[int] = []
+            try:
+                for message in messages:
+                    callback(_payload_to_event(message.payload))
+                    acked.append(message.message_id)
+            finally:
+                if acked:
+                    self.queues.ack_batch(queue_name, acked, principal=subscriber)
+                    self.stats["delivered"] += len(acked)
+                    drained += len(acked)
+                for message in messages:
+                    if message.message_id not in acked:
+                        self.queues.requeue(
+                            queue_name, message.message_id, principal=subscriber
+                        )
+
+    def backlog(self, subscriber: str) -> int:
+        return self.queues.depth(self._spool(subscriber))

@@ -1,0 +1,374 @@
+"""The shard coordinator: worker lifecycle, routing, and 2PC driving.
+
+The coordinator is deliberately thin — it owns no queue state.  It
+spawns one worker process per shard (each a full :class:`Database` +
+:class:`QueueBroker` stack over its own WAL file), routes requests by
+consistent hash of the queue/topic name, and drives two-phase commit
+for the rare cross-shard atomic operation, journaling decisions in its
+*own* small engine (``coordinator.wal``) so a crash between phases is
+recoverable.
+
+Parallelism model: each worker channel is strictly ordered
+request/reply, so the coordinator can **pipeline** — send one batched
+frame to every involved shard, *then* collect the replies
+(:meth:`ShardCoordinator.scatter`).  While it waits, every worker is
+executing its batch on its own core; that concurrency, not any change
+to the storage layer, is the scale-out mechanism EXP-11 measures.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+from typing import Any, Iterable
+
+from repro.db.database import Database
+from repro.errors import (
+    ShardError,
+    ShardWorkerDied,
+    ShardWorkerError,
+)
+from repro.shard.hashring import ShardMap, ShardRouter
+from repro.shard.protocol import recv_frame, send_frame
+from repro.shard.twopc import ABORTED, COMMITTED, DecisionLog, new_gtid
+from repro.shard.worker import worker_main
+
+#: Per-request deadline.  Workers answer small batches in milliseconds;
+#: a stuck/dead worker must surface as ShardWorkerDied, not a hang.
+DEFAULT_TIMEOUT = 30.0
+
+
+class WorkerHandle:
+    """One worker process plus its coordinator-side channel end."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        config: dict[str, Any],
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        self.shard_id = shard_id
+        self.config = dict(config)
+        self.timeout = timeout
+        self._next_id = 0
+        parent_sock, child_sock = socket.socketpair()
+        ctx = multiprocessing.get_context("fork")
+        self.process = ctx.Process(
+            target=worker_main,
+            args=(child_sock, self.config),
+            name=f"shard-worker-{shard_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_sock.close()  # the child holds its own copy
+        parent_sock.settimeout(timeout)
+        self.sock = parent_sock
+        self.alive = True
+
+    # -- framed request/reply -----------------------------------------------
+
+    def send(self, op: str, args: dict[str, Any] | None = None) -> int:
+        """Ship one request frame; returns its id (for :meth:`recv`).
+        Send/recv are split so the coordinator can pipeline across
+        workers."""
+        if not self.alive:
+            raise ShardWorkerDied(
+                f"shard {self.shard_id} worker is down", shard=self.shard_id
+            )
+        self._next_id += 1
+        request_id = self._next_id
+        try:
+            send_frame(self.sock, {"id": request_id, "op": op, "args": args or {}})
+        except (OSError, BrokenPipeError) as exc:
+            self._mark_dead()
+            raise ShardWorkerDied(
+                f"shard {self.shard_id} channel send failed: {exc}",
+                shard=self.shard_id,
+            ) from None
+        return request_id
+
+    def recv(self, request_id: int) -> Any:
+        """Collect the reply for ``request_id`` (replies arrive in send
+        order, so this is a single recv)."""
+        try:
+            frame = recv_frame(self.sock)
+        except socket.timeout:
+            self._mark_dead()
+            raise ShardWorkerDied(
+                f"shard {self.shard_id} timed out after {self.timeout}s",
+                shard=self.shard_id,
+            ) from None
+        except OSError as exc:
+            self._mark_dead()
+            raise ShardWorkerDied(
+                f"shard {self.shard_id} channel failed: {exc}",
+                shard=self.shard_id,
+            ) from None
+        if frame is None:
+            self._mark_dead()
+            raise ShardWorkerDied(
+                f"shard {self.shard_id} worker exited", shard=self.shard_id
+            )
+        if frame.get("id") != request_id:
+            self._mark_dead()
+            raise ShardError(
+                f"shard {self.shard_id}: reply id {frame.get('id')!r} "
+                f"!= expected {request_id}"
+            )
+        if not frame.get("ok"):
+            raise ShardWorkerError(
+                frame.get("error", "shard worker error"),
+                kind=frame.get("kind", "ReproError"),
+                shard=self.shard_id,
+            )
+        return frame.get("result")
+
+    def call(self, op: str, args: dict[str, Any] | None = None) -> Any:
+        """Synchronous convenience: send + recv one request."""
+        return self.recv(self.send(op, args))
+
+    def _mark_dead(self) -> None:
+        self.alive = False
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def stop(self, *, graceful: bool = True) -> None:
+        if self.alive and graceful:
+            try:
+                self.call("shutdown")
+            except (ShardError, OSError):
+                pass
+        self._mark_dead()
+        if self.process.is_alive():
+            self.process.join(timeout=5.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join()
+
+    def kill(self) -> None:
+        """Hard-kill the worker (crash simulation — no shutdown frame,
+        no WAL flush beyond what already committed)."""
+        self._mark_dead()
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(timeout=5.0)
+
+
+class ShardCoordinator:
+    """Owns the shard map, the worker fleet, and the 2PC decision log."""
+
+    def __init__(
+        self,
+        num_shards: int = 2,
+        *,
+        data_dir: str | None = None,
+        shard_map: ShardMap | None = None,
+        sync_policy: str = "commit",
+        group_commit_size: int = 64,
+        timeout: float = DEFAULT_TIMEOUT,
+        worker_faults: dict[int, dict[str, Any]] | None = None,
+    ) -> None:
+        """Args:
+        data_dir: directory for per-shard WAL files (``shard-<i>.wal``)
+            and the coordinator's decision journal
+            (``coordinator.wal``).  ``None`` runs everything in memory
+            — fast, recoverable only within the process, right for
+            benchmarks.
+        worker_faults: per-shard fault specs (see
+            :func:`repro.shard.worker.build_injector`) for crash tests.
+        """
+        self.map = shard_map or ShardMap(range(num_shards))
+        self.router = ShardRouter(self.map)
+        self.data_dir = data_dir
+        self.sync_policy = sync_policy
+        self.group_commit_size = group_commit_size
+        self.timeout = timeout
+        self._worker_faults = worker_faults or {}
+        decision_path = None
+        if data_dir is not None:
+            import os
+
+            os.makedirs(data_dir, exist_ok=True)
+            decision_path = os.path.join(data_dir, "coordinator.wal")
+        self.engine = Database(path=decision_path, sync_policy=sync_policy)
+        self.decisions = DecisionLog(self.engine)
+        self.workers: dict[int, WorkerHandle] = {}
+        for shard_id in self.map.shard_ids:
+            self.workers[shard_id] = self._spawn(shard_id)
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def _wal_path(self, shard_id: int) -> str | None:
+        if self.data_dir is None:
+            return None
+        import os
+
+        return os.path.join(self.data_dir, f"shard-{shard_id}.wal")
+
+    def _spawn(self, shard_id: int) -> WorkerHandle:
+        config = {
+            "shard_id": shard_id,
+            "wal_path": self._wal_path(shard_id),
+            "sync_policy": self.sync_policy,
+            "group_commit_size": self.group_commit_size,
+            "fault": self._worker_faults.get(shard_id),
+        }
+        return WorkerHandle(shard_id, config, timeout=self.timeout)
+
+    def worker(self, shard_id: int) -> WorkerHandle:
+        try:
+            return self.workers[shard_id]
+        except KeyError:
+            raise ShardError(f"no worker for shard {shard_id}") from None
+
+    def shard_for(self, name: str) -> int:
+        return self.router.shard_for(name)
+
+    def restart_worker(
+        self, shard_id: int, *, fault: dict[str, Any] | None = None,
+        graceful: bool = True,
+    ) -> dict[str, Any]:
+        """Respawn ``shard_id``'s worker over the SAME WAL path (the
+        recovery path), then resolve any in-doubt 2PC transactions it
+        reports against the decision journal.  Returns the worker's
+        ping summary plus the resolution outcomes.
+
+        ``graceful=True`` asks the old worker to flush and exit (a
+        no-op if it already died); ``graceful=False`` hard-kills it,
+        losing any group-commit-buffered tail — the crash simulation.
+        """
+        old = self.workers.get(shard_id)
+        if old is not None:
+            old.stop(graceful=graceful)
+        if fault is not None:
+            self._worker_faults[shard_id] = fault
+        else:
+            self._worker_faults.pop(shard_id, None)
+        handle = self._spawn(shard_id)
+        self.workers[shard_id] = handle
+        summary = handle.call("ping")
+        summary["resolved"] = self._resolve_indoubt(handle)
+        return summary
+
+    def _resolve_indoubt(self, handle: WorkerHandle) -> dict[str, str]:
+        """Presumed-abort resolution: commit iff the decision journal
+        says so; otherwise journal an abort and tell the worker."""
+        outcomes: dict[str, str] = {}
+        for gtid in handle.call("list_indoubt"):
+            decision = self.decisions.decision_for(gtid)
+            if decision is None:
+                decision = ABORTED
+                self.decisions.record(gtid, decision)
+            handle.call("resolve", {"gtid": gtid, "decision": decision})
+            outcomes[gtid] = decision
+        return outcomes
+
+    # -- pipelined fan-out --------------------------------------------------
+
+    def scatter(
+        self, requests: Iterable[tuple[int, str, dict[str, Any]]]
+    ) -> dict[int, Any]:
+        """Send every ``(shard_id, op, args)`` request, THEN collect the
+        replies — all involved workers execute concurrently.  Raises the
+        first error after all replies are in (no worker is left with an
+        unread reply in its channel)."""
+        pending: list[tuple[int, int]] = []
+        for shard_id, op, args in requests:
+            handle = self.worker(shard_id)
+            pending.append((shard_id, handle.send(op, args)))
+        results: dict[int, Any] = {}
+        first_error: Exception | None = None
+        for shard_id, request_id in pending:
+            try:
+                results[shard_id] = self.worker(shard_id).recv(request_id)
+            except (ShardWorkerError, ShardWorkerDied) as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def broadcast(self, op: str, args: dict[str, Any] | None = None) -> dict[int, Any]:
+        """``scatter`` the same request to every live shard."""
+        return self.scatter(
+            (shard_id, op, args or {})
+            for shard_id, handle in self.workers.items()
+            if handle.alive
+        )
+
+    # -- two-phase commit ---------------------------------------------------
+
+    def two_phase_publish(
+        self, ops_by_shard: dict[int, list[dict[str, Any]]]
+    ) -> str:
+        """Atomically apply enqueue ops spanning multiple shards.
+
+        Phase 1 scatters ``prepare`` (each worker journals its intent
+        and votes).  All-yes → the decision journal records COMMITTED
+        (the commit point) → phase 2 scatters the decision.  Any no-vote
+        or dead worker during phase 1 → ABORTED.  Phase 2 errors are
+        tolerated: the decision is journaled, so a worker that missed it
+        resolves on restart (:meth:`restart_worker`).
+        """
+        gtid = new_gtid()
+        votes_ok = True
+        try:
+            self.scatter(
+                (shard_id, "prepare", {"gtid": gtid, "ops": ops})
+                for shard_id, ops in ops_by_shard.items()
+            )
+        except (ShardWorkerError, ShardWorkerDied):
+            votes_ok = False
+        decision = COMMITTED if votes_ok else ABORTED
+        self.decisions.record(gtid, decision)  # THE commit point
+        for shard_id in ops_by_shard:
+            handle = self.workers.get(shard_id)
+            if handle is None or not handle.alive:
+                continue  # resolved at restart via the decision journal
+            try:
+                handle.call("decide", {"gtid": gtid, "decision": decision})
+            except (ShardWorkerError, ShardWorkerDied):
+                continue
+        if not votes_ok:
+            raise ShardError(f"cross-shard transaction {gtid} aborted")
+        return gtid
+
+    # -- metrics / lifecycle ------------------------------------------------
+
+    def metrics_by_shard(self) -> dict[int, dict[str, Any]]:
+        """Every live worker's metrics snapshot, keyed by shard id."""
+        return self.broadcast("metrics")
+
+    def metrics(self) -> dict[str, Any]:
+        """Fleet-wide metrics: every worker's snapshot folded into one
+        (per-shard counters/gauges retained under ``shard=<id>`` keys),
+        plus the coordinator engine's own snapshot."""
+        from repro.obs.metrics import merge_snapshots
+
+        per_shard = self.metrics_by_shard()
+        per_shard["coordinator"] = self.engine.metrics()
+        return merge_snapshots(per_shard, label_name="shard")
+
+    def stop(self) -> None:
+        from repro.obs.metrics import absorb_snapshot
+
+        for handle in self.workers.values():
+            if handle.alive:
+                try:
+                    absorb_snapshot(handle.call("metrics"))
+                except ShardError:
+                    pass
+        for handle in self.workers.values():
+            handle.stop()
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

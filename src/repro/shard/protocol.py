@@ -1,0 +1,155 @@
+"""Length-prefixed frame protocol between coordinator and workers.
+
+One frame = a 4-byte big-endian payload length followed by that many
+bytes of compact JSON.  JSON (not pickle) keeps the wire debuggable,
+language-neutral, and — more importantly — safe: a worker never
+executes coordinator bytes, it interprets a small op vocabulary.
+
+Requests and responses carry a monotonically increasing ``id`` per
+channel; a worker processes requests in order and replies in order, so
+the coordinator can *pipeline* — send one batched frame to every shard,
+then collect replies — which is where multi-core parallelism comes
+from (all workers run their batch concurrently while the coordinator
+waits).
+
+Batching discipline mirrors the storage layer's: one frame carries a
+whole ``publish_batch``/``consume_batch``/``ack_batch``, so per-message
+wire overhead amortizes exactly like per-message commit overhead does
+(PR 1 / PR 6 lessons applied to IPC).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any
+
+from repro.errors import ShardProtocolError
+from repro.queues.message import Message, MessageState
+
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's payload: a malformed/hostile length
+#: prefix must not make the reader allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def send_frame(sock: socket.socket, obj: Any) -> None:
+    """Serialize ``obj`` and write it as one frame."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ShardProtocolError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket) -> Any | None:
+    """Read one frame; returns the decoded object, or ``None`` on clean
+    EOF (peer closed between frames).  Raises
+    :class:`ShardProtocolError` on a truncated or malformed frame and
+    lets ``socket.timeout`` propagate (the caller owns deadlines).
+    """
+    header = _recv_exact(sock, _HEADER.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ShardProtocolError(f"frame header claims {length} bytes")
+    payload = _recv_exact(sock, length, eof_ok=False)
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ShardProtocolError(f"undecodable frame: {exc}") from None
+
+
+def _recv_exact(
+    sock: socket.socket, count: int, *, eof_ok: bool
+) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == count:
+                return None
+            raise ShardProtocolError(
+                f"peer closed mid-frame ({count - remaining}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# -- message <-> wire form ----------------------------------------------------
+
+_WIRE_FIELDS = (
+    "payload",
+    "priority",
+    "correlation_id",
+    "headers",
+    "expires_at",
+    "visible_at",
+)
+
+
+def message_to_wire(message: Message) -> dict[str, Any]:
+    """Producer-side fields of a message, for a publish op.
+
+    Enqueue-time fields (``enqueued_at``, ``state``, trace stamping)
+    are assigned by the owning shard's queue table, exactly as in the
+    single-process path."""
+    wire: dict[str, Any] = {}
+    for fieldname in _WIRE_FIELDS:
+        value = getattr(message, fieldname)
+        if value not in (None, {}, 0) or fieldname == "payload":
+            wire[fieldname] = value
+    return wire
+
+
+def wire_to_message(wire: dict[str, Any]) -> Message:
+    return Message(
+        payload=wire.get("payload"),
+        priority=int(wire.get("priority") or 0),
+        correlation_id=wire.get("correlation_id"),
+        headers=dict(wire.get("headers") or {}),
+        expires_at=wire.get("expires_at"),
+        visible_at=wire.get("visible_at"),
+    )
+
+
+def consumed_to_wire(message: Message) -> dict[str, Any]:
+    """Full snapshot of a dequeued (LOCKED) message for the consume
+    reply — the coordinator rebuilds an identical :class:`Message`."""
+    return {
+        "payload": message.payload,
+        "queue": message.queue,
+        "message_id": message.message_id,
+        "priority": message.priority,
+        "enqueued_at": message.enqueued_at,
+        "visible_at": message.visible_at,
+        "expires_at": message.expires_at,
+        "correlation_id": message.correlation_id,
+        "headers": message.headers,
+        "attempts": message.attempts,
+        "state": message.state.value,
+        "consumer": message.consumer,
+    }
+
+
+def wire_to_consumed(wire: dict[str, Any]) -> Message:
+    return Message(
+        payload=wire["payload"],
+        queue=wire["queue"],
+        message_id=wire["message_id"],
+        priority=wire["priority"],
+        enqueued_at=wire["enqueued_at"],
+        visible_at=wire["visible_at"],
+        expires_at=wire["expires_at"],
+        correlation_id=wire["correlation_id"],
+        headers=wire["headers"],
+        attempts=wire["attempts"],
+        state=MessageState(wire["state"]),
+        consumer=wire["consumer"],
+    )

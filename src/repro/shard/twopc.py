@@ -1,0 +1,192 @@
+"""Two-phase commit records for the rare cross-shard operation.
+
+A queue lives entirely on one shard, so almost every operation is a
+single-shard local transaction.  The exception the paper's rule layer
+forces: one logical action must enqueue to queues owned by *different*
+shards, atomically (e.g. a rule on shard A fanning out to a queue on
+shard B).  Those go through coordinator-driven 2PC.
+
+The participant side is **deferred-apply, presumed-abort**:
+
+* **Prepare** — the worker journals an *intent*: one committed local
+  transaction inserting ``(gtid, state='prepared', ops)`` into its
+  ``shard_2pc`` table.  Nothing is enqueued yet; the intent rides the
+  shard's own WAL, so a crashed worker finds its in-doubt transactions
+  in recovered table state, not in volatile memory.
+* **Commit decision** — ONE local transaction applies every op (the
+  enqueues) *and* flips the row to ``state='committed'``.  Local
+  atomicity of that transaction gives exactly-once application: either
+  the effects and the decision record both survive, or neither does.
+* **Abort decision** — flips the row to ``state='aborted'``.
+* **Recovery** — rows still ``prepared`` are in-doubt; the coordinator
+  resolves each against its own durable decision journal (commit iff a
+  commit decision was journaled before the crash — presumed abort
+  otherwise) by re-sending the decision, which is idempotent here
+  because a resolved row is no longer ``prepared``.
+
+The coordinator side journals decisions in its *own* engine before
+sending phase 2 — the classic "decision record is the commit point".
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+from typing import Any, Callable
+
+from repro.db.engine import StorageEngine
+from repro.db.schema import Column
+from repro.db.types import TEXT, TIMESTAMP
+
+#: Table (on every shard) holding participant 2PC state.
+PARTICIPANT_TABLE = "shard_2pc"
+#: Table (on the coordinator engine) holding decisions — the commit point.
+DECISION_TABLE = "shard_gtid"
+
+PREPARED = "prepared"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+
+def new_gtid() -> str:
+    """A globally unique transaction id (uuid4 hex)."""
+    return uuid.uuid4().hex
+
+
+class ParticipantLog:
+    """One shard's durable 2PC state, stored in ``shard_2pc``."""
+
+    def __init__(self, engine: StorageEngine) -> None:
+        self.engine = engine
+        if not engine.catalog.has_table(PARTICIPANT_TABLE):
+            engine.create_table(
+                PARTICIPANT_TABLE,
+                [
+                    Column("gtid", TEXT, nullable=False, unique=True),
+                    Column("state", TEXT, nullable=False),
+                    Column("ops", TEXT, nullable=False),
+                    Column("updated_at", TIMESTAMP, nullable=False),
+                ],
+            )
+            engine.create_index(
+                f"ix_{PARTICIPANT_TABLE}_gtid", PARTICIPANT_TABLE, "gtid",
+                kind="hash",
+            )
+
+    def _rowid(self, gtid: str) -> int | None:
+        table = self.engine.catalog.table(PARTICIPANT_TABLE)
+        rowids = table.lookup_rowids("gtid", gtid)
+        return rowids[0] if rowids else None
+
+    def state(self, gtid: str) -> str | None:
+        rowid = self._rowid(gtid)
+        if rowid is None:
+            return None
+        return self.engine.catalog.table(PARTICIPANT_TABLE).get(rowid)["state"]
+
+    def prepare(self, gtid: str, ops: list[dict[str, Any]]) -> None:
+        """Journal the intent as one committed transaction (the vote
+        becomes durable before it is sent).  Idempotent re-prepare of
+        the same gtid is rejected by the unique index."""
+        self.engine.insert_row(
+            PARTICIPANT_TABLE,
+            {
+                "gtid": gtid,
+                "state": PREPARED,
+                "ops": json.dumps(ops),
+                "updated_at": self.engine.clock.now(),
+            },
+        )
+        # The vote may be sent only once the intent is ON DISK — group
+        # commit must not be allowed to buffer a YES vote.
+        self.engine.wal.flush()
+
+    def decide(
+        self,
+        gtid: str,
+        decision: str,
+        apply_ops: Callable[[list[dict[str, Any]], Any], Any],
+    ) -> bool:
+        """Apply ``decision`` to a prepared transaction.
+
+        On commit, ``apply_ops(ops, conn)`` runs in the SAME local
+        transaction that flips the state row, so application and the
+        journaled decision are atomic.  Returns False (no-op) when the
+        gtid is unknown or already resolved — that idempotence is what
+        makes recovery re-sends safe.
+        """
+        if decision not in (COMMITTED, ABORTED):
+            raise ValueError(f"unknown 2PC decision {decision!r}")
+        rowid = self._rowid(gtid)
+        if rowid is None:
+            return False
+        table = self.engine.catalog.table(PARTICIPANT_TABLE)
+        row = table.get(rowid)
+        if row["state"] != PREPARED:
+            return False
+
+        def work(conn: Any) -> None:
+            if decision == COMMITTED:
+                apply_ops(json.loads(row["ops"]), conn)
+            self.engine.update_row(
+                PARTICIPANT_TABLE,
+                rowid,
+                {"state": decision, "updated_at": self.engine.clock.now()},
+                conn=conn,
+            )
+
+        self.engine.run_in_transaction(None, work)
+        self.engine.wal.flush()
+        return True
+
+    def indoubt(self) -> list[str]:
+        """gtids journaled ``prepared`` whose outcome this shard never
+        learned (the set recovery must resolve)."""
+        table = self.engine.catalog.table(PARTICIPANT_TABLE)
+        return sorted(
+            row["gtid"]
+            for _rowid, row in table.scan()
+            if row["state"] == PREPARED
+        )
+
+
+class DecisionLog:
+    """The coordinator's durable decision journal (``shard_gtid``)."""
+
+    def __init__(self, engine: StorageEngine) -> None:
+        self.engine = engine
+        if not engine.catalog.has_table(DECISION_TABLE):
+            engine.create_table(
+                DECISION_TABLE,
+                [
+                    Column("gtid", TEXT, nullable=False, unique=True),
+                    Column("decision", TEXT, nullable=False),
+                    Column("decided_at", TIMESTAMP, nullable=False),
+                ],
+            )
+            engine.create_index(
+                f"ix_{DECISION_TABLE}_gtid", DECISION_TABLE, "gtid",
+                kind="hash",
+            )
+
+    def record(self, gtid: str, decision: str) -> None:
+        """Journal the decision — THE commit point of the protocol.
+        Once this commits, the transaction's fate is ``decision``
+        regardless of which processes die afterwards."""
+        self.engine.insert_row(
+            DECISION_TABLE,
+            {
+                "gtid": gtid,
+                "decision": decision,
+                "decided_at": self.engine.clock.now(),
+            },
+        )
+        self.engine.wal.flush()
+
+    def decision_for(self, gtid: str) -> str | None:
+        """The journaled decision, or ``None`` (presumed abort)."""
+        table = self.engine.catalog.table(DECISION_TABLE)
+        rowids = table.lookup_rowids("gtid", gtid)
+        if not rowids:
+            return None
+        return table.get(rowids[0])["decision"]

@@ -1,0 +1,276 @@
+"""The shard worker process: one storage engine behind a framed channel.
+
+Each worker owns a full process-local stack — :class:`Database` (its
+own WAL file), :class:`QueueBroker` with its queue tables, a
+:class:`MetricsRegistry`, and a 2PC :class:`ParticipantLog` — and
+serves a small op vocabulary over the coordinator channel.  Because
+everything below the channel is the unmodified single-process code,
+every operational guarantee (recoverability, transactional support,
+ordering) holds per shard exactly as documented; the shard layer adds
+only routing and the cross-shard 2PC protocol on top.
+
+Restart behaviour: opening the worker over an existing WAL path
+recovers the engine, re-attaches every ``q_*`` queue table (rebuilding
+its READY heap), returns LOCKED messages to READY (their consumer —
+the dead previous incarnation — can never ack them), and reports
+in-doubt 2PC transactions for the coordinator to resolve.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+from typing import Any
+
+from repro.db.database import Database
+from repro.errors import ReproError
+from repro.faults import (
+    SHARD_DECIDE,
+    SHARD_PREPARED,
+    FaultInjector,
+    always,
+    exit_process,
+    on_hit,
+    raise_fault,
+)
+from repro.queues.broker import QueueBroker
+from repro.shard.protocol import (
+    consumed_to_wire,
+    message_to_wire,
+    recv_frame,
+    send_frame,
+    wire_to_message,
+)
+from repro.shard.twopc import ABORTED, COMMITTED, ParticipantLog
+
+
+def build_injector(spec: dict[str, Any] | None) -> FaultInjector | None:
+    """Rehydrate a fault injector from a JSON-safe spec (the only form
+    that crosses the process boundary).
+
+    Spec keys: ``failpoint`` (name), ``action`` (``"exit"`` or
+    ``"raise"``), optional ``on_hit`` (1-based), ``max_fires``,
+    ``code`` (exit status), ``seed``.
+    """
+    if not spec:
+        return None
+    injector = FaultInjector(seed=int(spec.get("seed", 0)))
+    if spec.get("action") == "exit":
+        action = exit_process(int(spec.get("code", 3)))
+    else:
+        action = raise_fault(spec.get("message", "injected shard fault"))
+    policy = on_hit(int(spec["on_hit"])) if "on_hit" in spec else always()
+    injector.arm(
+        spec["failpoint"],
+        action,
+        policy=policy,
+        max_fires=spec.get("max_fires"),
+    )
+    return injector
+
+
+class ShardWorker:
+    """Request dispatcher around one shard's process-local engine."""
+
+    def __init__(self, config: dict[str, Any]) -> None:
+        self.shard_id = int(config["shard_id"])
+        self.faults = build_injector(config.get("fault"))
+        self.db = Database(
+            path=config.get("wal_path"),
+            sync_policy=config.get("sync_policy", "commit"),
+            group_commit_size=int(config.get("group_commit_size", 1)),
+            metrics_enabled=bool(config.get("metrics_enabled", True)),
+            faults=self.faults,
+        )
+        self.broker = QueueBroker(
+            self.db, name=f"shard-{self.shard_id}", audit=bool(config.get("audit"))
+        )
+        self.twopc = ParticipantLog(self.db)
+        recovered = 0
+        for table in self.db.catalog.tables():
+            if table.name.startswith("q_"):
+                queue = self.broker.create_queue_or_attach(table.name[2:])
+                recovered += queue.recover_locked()
+        self.recovered_locked = recovered
+
+    def _fire(self, name: str, **site: Any) -> None:
+        if self.faults is not None:
+            self.faults.fire(name, shard=self.shard_id, **site)
+
+    # -- op handlers --------------------------------------------------------
+
+    def dispatch(self, op: str, args: dict[str, Any]) -> Any:
+        handler = getattr(self, f"op_{op}", None)
+        if handler is None:
+            raise ReproError(f"shard worker: unknown op {op!r}")
+        return handler(**args)
+
+    def op_ping(self) -> dict[str, Any]:
+        return {
+            "shard": self.shard_id,
+            "queues": self.broker.queue_names(),
+            "recovered_locked": self.recovered_locked,
+        }
+
+    def op_create_queue(
+        self,
+        name: str,
+        keep_history: bool = False,
+        default_expiration: float | None = None,
+    ) -> bool:
+        self.broker.create_queue_or_attach(
+            name,
+            keep_history=keep_history,
+            default_expiration=default_expiration,
+        )
+        return True
+
+    def op_drop_queue(self, name: str) -> bool:
+        self.broker.drop_queue(name)
+        return True
+
+    def op_publish_batch(
+        self, queue: str, messages: list[dict[str, Any]], principal: str = "internal"
+    ) -> list[int]:
+        return self.broker.publish_batch(
+            queue,
+            [wire_to_message(wire) for wire in messages],
+            principal=principal,
+        )
+
+    def op_consume_batch(
+        self, queue: str, max_messages: int, principal: str = "consumer"
+    ) -> list[dict[str, Any]]:
+        messages = self.broker.consume_batch(
+            queue, max_messages, principal=principal
+        )
+        return [consumed_to_wire(message) for message in messages]
+
+    def op_ack(self, queue: str, message_id: int, principal: str = "consumer") -> bool:
+        self.broker.ack(queue, message_id, principal=principal)
+        return True
+
+    def op_ack_batch(
+        self, queue: str, message_ids: list[int], principal: str = "consumer"
+    ) -> int:
+        return self.broker.ack_batch(queue, message_ids, principal=principal)
+
+    def op_requeue(
+        self,
+        queue: str,
+        message_id: int,
+        delay: float = 0.0,
+        principal: str = "consumer",
+    ) -> bool:
+        self.broker.requeue(queue, message_id, delay=delay, principal=principal)
+        return True
+
+    def op_depth(self, queue: str) -> int:
+        return self.broker.queue(queue).depth()
+
+    def op_stats(self) -> dict[str, dict[str, int]]:
+        return self.broker.stats()
+
+    def op_metrics(self) -> dict[str, Any]:
+        return self.db.metrics()
+
+    def op_checkpoint(self, truncate: bool = False) -> int:
+        return self.db.checkpoint(truncate=truncate)
+
+    # -- 2PC participant ----------------------------------------------------
+
+    def op_prepare(self, gtid: str, ops: list[dict[str, Any]]) -> bool:
+        """Phase 1: validate, journal the intent durably, vote YES.
+
+        Any exception (unknown queue, storage failure) becomes a NO
+        vote at the coordinator.  The ``shard.prepared`` failpoint
+        fires *after* the vote frame is on the wire (see serve_forever)
+        — the canonical voted-yes-then-died crash window."""
+        for op in ops:
+            self.broker.queue(op["queue"])  # raises QueueNotFoundError
+        self.twopc.prepare(gtid, ops)
+        return True
+
+    def op_decide(self, gtid: str, decision: str) -> bool:
+        self._fire(SHARD_DECIDE, gtid=gtid, decision=decision)
+        return self.twopc.decide(gtid, decision, self._apply_ops)
+
+    def op_resolve(self, gtid: str, decision: str) -> bool:
+        """Recovery-time decision re-send; same idempotent path."""
+        return self.twopc.decide(gtid, decision, self._apply_ops)
+
+    def op_list_indoubt(self) -> list[str]:
+        return self.twopc.indoubt()
+
+    def op_twopc_state(self, gtid: str) -> str | None:
+        return self.twopc.state(gtid)
+
+    def _apply_ops(self, ops: list[dict[str, Any]], conn: Any) -> None:
+        for op in ops:
+            self.broker.queue(op["queue"]).enqueue(
+                wire_to_message(op["message"]), conn=conn
+            )
+
+    # -- debugging / test hooks --------------------------------------------
+
+    def op_browse_ids(self, queue: str) -> list[int]:
+        return [m.message_id for m in self.broker.queue(queue).browse()]
+
+    def op_wal_flush(self) -> bool:
+        self.db.wal.flush()
+        return True
+
+
+def serve_forever(sock: socket.socket, config: dict[str, Any]) -> None:
+    """The worker main loop: strictly ordered request/reply frames."""
+    worker = ShardWorker(config)
+    while True:
+        frame = recv_frame(sock)
+        if frame is None:  # coordinator closed the channel
+            break
+        op = frame.get("op", "")
+        if op == "shutdown":
+            worker.db.wal.flush()
+            send_frame(sock, {"id": frame.get("id"), "ok": True, "result": True})
+            break
+        try:
+            result = worker.dispatch(op, frame.get("args") or {})
+        except Exception as exc:  # every failure surfaces to the caller
+            worker.db.obs.record_error("shard.worker", exc)
+            send_frame(
+                sock,
+                {
+                    "id": frame.get("id"),
+                    "ok": False,
+                    "kind": type(exc).__name__,
+                    "error": str(exc),
+                },
+            )
+            continue
+        send_frame(sock, {"id": frame.get("id"), "ok": True, "result": result})
+        if op == "prepare" and result:
+            # Crash window: the YES vote is durable AND on the wire.
+            worker._fire(SHARD_PREPARED, gtid=(frame.get("args") or {}).get("gtid"))
+
+
+def worker_main(sock: socket.socket, config: dict[str, Any]) -> None:
+    """Process entry point (target of ``multiprocessing.Process``)."""
+    try:
+        serve_forever(sock, config)
+    except (OSError, EOFError, KeyboardInterrupt):
+        pass  # channel torn down — the coordinator owns the verdict
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+    sys.exit(0)
+
+
+__all__ = [
+    "ShardWorker",
+    "worker_main",
+    "serve_forever",
+    "build_injector",
+    "message_to_wire",
+]

@@ -362,3 +362,84 @@ def test_stream_statistics_merge_equals_sequential(seed):
     _assert_same(merged.stddev, sequential.stddev, "stddev")
     _assert_same(merged.minimum, sequential.minimum, "minimum")
     _assert_same(merged.maximum, sequential.maximum, "maximum")
+
+
+def test_bind_table_rejects_truncated_journal():
+    """Binding from an LSN the journal no longer retains must raise a
+    clear error instead of silently building a view missing history."""
+    from repro.db import Database
+
+    db = Database()
+    db.execute("CREATE TABLE load (id INTEGER, host TEXT, v REAL)")
+    for i in range(5):
+        db.execute(f"INSERT INTO load VALUES ({i}, 'h0', {float(i)})")
+    db.checkpoint(truncate=True)
+    db.execute("INSERT INTO load VALUES (99, 'h1', 1.0)")
+
+    view = MaterializedView(
+        "late", {"n": (None, Count)}, key_field="host"
+    )
+    with pytest.raises(StreamError, match="no longer reaches back"):
+        view.bind_table(db, "load")  # start_lsn=0: history is gone
+    # The failed bind left the view unbound — a corrected bind works.
+    cutoff = db.wal.first_lsn - 1
+    view.bind_table(
+        db,
+        "load",
+        start_lsn=cutoff,
+        snapshot=[
+            {"host": row["host"], "v": row["v"]}
+            for _rowid, row in db.catalog.table("load").scan()
+            if row["host"] == "h0"
+        ],
+    )
+    snap = view.snapshot()
+    assert snap.groups["h0"]["n"] == 5
+    assert snap.groups["h1"]["n"] == 1
+
+
+def test_bind_table_snapshot_seed_matches_full_replay():
+    """snapshot + start_lsn backfill == replay-from-zero backfill, and
+    both views then track later commits identically."""
+    from repro.db import Database
+
+    rng = random.Random(41)
+    db = Database()
+    db.execute("CREATE TABLE load (id INTEGER, host TEXT, v REAL)")
+    for i in range(40):
+        host = rng.choice(["h0", "h1", "h2"])
+        db.execute(f"INSERT INTO load VALUES ({i}, '{host}', {round(rng.uniform(0, 10), 3)})")
+
+    spec = {"n": (None, Count), "total": ("v", Sum)}
+    full = MaterializedView("full", spec, key_field="host")
+    full.bind_table(db, "load")  # replays the whole journal
+
+    seed_lsn = db.wal.last_lsn
+    seeded = MaterializedView("seeded", spec, key_field="host")
+    seeded.bind_table(
+        db,
+        "load",
+        start_lsn=seed_lsn,
+        snapshot=[row for _rowid, row in db.catalog.table("load").scan()],
+    )
+    for i in range(40, 60):
+        host = rng.choice(["h0", "h1", "h2"])
+        db.execute(f"INSERT INTO load VALUES ({i}, '{host}', {round(rng.uniform(0, 10), 3)})")
+
+    left, right = full.snapshot(), seeded.snapshot()
+    assert left.groups.keys() == right.groups.keys()
+    for host in left.groups:
+        for field in spec:
+            _assert_same(
+                left.groups[host][field], right.groups[host][field], host
+            )
+
+
+def test_bind_table_rejects_negative_start_lsn():
+    from repro.db import Database
+
+    db = Database()
+    db.execute("CREATE TABLE t (id INTEGER)")
+    view = MaterializedView("neg", {"n": (None, Count)})
+    with pytest.raises(StreamError, match="start_lsn"):
+        view.bind_table(db, "t", start_lsn=-1)

@@ -189,3 +189,76 @@ class TestProcessAggregate:
         registry.counter("will.be.reset").inc(9)
         reset_aggregate()
         assert aggregate_counters().get("will.be.reset", 0) == 0
+
+
+class TestMergeSnapshots:
+    """Folding per-process registry snapshots (the shard fleet path)."""
+
+    def _snapshots(self):
+        from repro.obs.metrics import merge_snapshots  # noqa: F401
+
+        a = MetricsRegistry(clock=SimulatedClock(start=10.0))
+        a.counter("queue.enqueued", queue="orders").inc(7)
+        a.gauge("queue.depth", queue="orders").set(3)
+        a.histogram("wal.group_commit_batch").observe(4.0)
+        a.record_error("shard.worker", ValueError("a"))
+        b = MetricsRegistry(clock=SimulatedClock(start=20.0))
+        b.counter("queue.enqueued", queue="orders").inc(5)
+        b.counter("queue.enqueued", queue="alerts").inc(2)
+        b.gauge("queue.depth", queue="orders").set(1)
+        b.histogram("wal.group_commit_batch").observe(8.0)
+        return a.snapshot(), b.snapshot()
+
+    def test_counters_and_gauges_sum_across_sources(self):
+        from repro.obs.metrics import merge_snapshots
+
+        snap_a, snap_b = self._snapshots()
+        merged = merge_snapshots({0: snap_a, 1: snap_b})
+        assert merged["counters"]["queue.enqueued{queue=orders}"] == 12
+        assert merged["counters"]["queue.enqueued{queue=alerts}"] == 2
+        assert merged["gauges"]["queue.depth{queue=orders}"] == 4
+        assert merged["errors_suppressed"]["shard.worker"] == 1
+        assert merged["ts"] == 20.0
+        assert merged["sources"] == [0, 1]
+
+    def test_label_name_retains_per_source_series(self):
+        from repro.obs.metrics import merge_snapshots
+
+        snap_a, snap_b = self._snapshots()
+        merged = merge_snapshots({0: snap_a, 1: snap_b}, label_name="shard")
+        assert merged["gauges"]["queue.depth{queue=orders,shard=0}"] == 3
+        assert merged["gauges"]["queue.depth{queue=orders,shard=1}"] == 1
+        assert merged["counters"]["queue.enqueued{queue=orders,shard=1}"] == 5
+        # the unlabeled sum is still present
+        assert merged["counters"]["queue.enqueued{queue=orders}"] == 12
+
+    def test_histograms_merge_exact_fields_only(self):
+        from repro.obs.metrics import merge_snapshots
+
+        snap_a, snap_b = self._snapshots()
+        merged = merge_snapshots({0: snap_a, 1: snap_b})
+        h = merged["histograms"]["wal.group_commit_batch"]
+        assert h["count"] == 2
+        assert h["sum"] == 12.0
+        assert h["mean"] == 6.0
+        assert h["min"] == 4.0 and h["max"] == 8.0
+        # window percentiles are not mergeable across processes
+        assert h["p50"] is None
+
+    def test_single_source_histogram_keeps_percentiles(self):
+        from repro.obs.metrics import merge_snapshots
+
+        snap_a, _ = self._snapshots()
+        merged = merge_snapshots({0: snap_a})
+        assert merged["histograms"]["wal.group_commit_batch"]["p50"] == 4.0
+
+    def test_absorb_snapshot_feeds_aggregate(self):
+        from repro.obs.metrics import absorb_snapshot
+
+        reset_aggregate()
+        _, snap_b = self._snapshots()
+        absorb_snapshot(snap_b)
+        totals = aggregate_counters(by_name=True)
+        # 5 + 2 from the absorbed remote snapshot (plus the live
+        # registry's own 7+... is excluded: reset_aggregate zeroed it).
+        assert totals["queue.enqueued"] >= 7

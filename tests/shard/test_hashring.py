@@ -1,0 +1,134 @@
+"""Shard-routing invariants: stability, determinism, balance.
+
+These are pure in-process tests of the consistent-hash layer — no
+worker processes — so they are cheap enough to pin tight statistical
+invariants (the growth test checks ~1/N movement, not just "some keys
+moved").
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ShardError
+from repro.shard.hashring import ShardMap, ShardRouter, stable_hash
+
+pytestmark = pytest.mark.shard
+
+KEYS = [f"queue_{i}" for i in range(2000)]
+
+
+class TestStableHash:
+    def test_deterministic_within_process(self):
+        assert stable_hash("orders") == stable_hash("orders")
+        assert stable_hash("orders") != stable_hash("orders2")
+
+    def test_deterministic_across_processes(self):
+        """The routing hash must not be Python's per-process-salted
+        ``hash()`` — a fresh interpreter must agree on every key."""
+        script = (
+            "from repro.shard.hashring import ShardMap, stable_hash\n"
+            "m = ShardMap(range(4))\n"
+            "print(stable_hash('orders'))\n"
+            "print(','.join(str(m.shard_for(f'queue_{i}')) for i in range(64)))\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            check=True,
+        )
+        remote_hash, remote_route = result.stdout.strip().splitlines()
+        assert int(remote_hash) == stable_hash("orders")
+        local = ShardMap(range(4))
+        assert remote_route == ",".join(
+            str(local.shard_for(f"queue_{i}")) for i in range(64)
+        )
+
+
+class TestShardMap:
+    def test_every_key_routes_to_a_member(self):
+        shard_map = ShardMap([0, 1, 2])
+        for key in KEYS:
+            assert shard_map.shard_for(key) in (0, 1, 2)
+
+    def test_balance_is_roughly_uniform(self):
+        shard_map = ShardMap(range(4))
+        counts = {s: len(ks) for s, ks in shard_map.assign(KEYS).items()}
+        expected = len(KEYS) / 4
+        for shard, count in counts.items():
+            # 64 vnodes keep per-shard load within ~2x of fair share.
+            assert expected / 2 < count < expected * 2, counts
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_growth_moves_about_one_over_n_keys(self, n):
+        """Adding shard N to an N-shard ring relocates ~1/(N+1) of the
+        keys — the consistent-hashing contract.  A modulo router would
+        relocate ~N/(N+1); the 2/(N+1) ceiling rules that out."""
+        before = ShardMap(range(n))
+        after = before.with_shard(n)
+        moved = sum(
+            1 for key in KEYS if before.shard_for(key) != after.shard_for(key)
+        )
+        fraction = moved / len(KEYS)
+        ideal = 1 / (n + 1)
+        assert fraction < 2 * ideal, (
+            f"growth {n}->{n + 1} moved {fraction:.1%} of keys "
+            f"(ideal {ideal:.1%})"
+        )
+        assert fraction > ideal / 3, "suspiciously few keys moved"
+
+    def test_growth_only_moves_keys_onto_the_new_shard(self):
+        """Keys never shuffle between surviving shards — every moved
+        key lands on the newcomer."""
+        before = ShardMap(range(3))
+        after = before.with_shard(3)
+        for key in KEYS:
+            if before.shard_for(key) != after.shard_for(key):
+                assert after.shard_for(key) == 3, key
+
+    def test_removal_inverts_growth(self):
+        grown = ShardMap(range(3)).with_shard(3)
+        assert grown.without_shard(3) == ShardMap(range(3))
+
+    def test_roundtrip_through_dict(self):
+        shard_map = ShardMap([1, 5, 9], vnodes=16)
+        clone = ShardMap.from_dict(shard_map.to_dict())
+        assert clone == shard_map
+        for key in KEYS[:200]:
+            assert clone.shard_for(key) == shard_map.shard_for(key)
+
+    def test_rejects_empty_and_duplicates(self):
+        with pytest.raises(ShardError):
+            ShardMap([])
+        assert ShardMap([1, 1, 2]).shard_ids == (1, 2)
+        with pytest.raises(ShardError):
+            ShardMap([0, 1]).with_shard(1)
+        with pytest.raises(ShardError):
+            ShardMap([0, 1]).without_shard(7)
+
+
+class TestShardRouter:
+    def test_names_are_case_normalized(self):
+        router = ShardRouter(ShardMap(range(4)))
+        assert router.shard_for("Orders") == router.shard_for("orders")
+
+    def test_group_by_shard_preserves_entry_order(self):
+        router = ShardRouter(ShardMap(range(4)))
+        entries = [(f"q{i}", i) for i in range(100)]
+        grouped = router.group_by_shard(entries)
+        assert sum(len(batch) for batch in grouped.values()) == 100
+        for shard_id, batch in grouped.items():
+            items = [item for _, item in batch]
+            assert items == sorted(items), "per-shard order lost"
+            for name, _ in batch:
+                assert router.shard_for(name) == shard_id
+
+    def test_rebalance_swaps_the_map(self):
+        router = ShardRouter(ShardMap(range(2)))
+        router.rebalance(ShardMap(range(3)))
+        assert len(router.map) == 3

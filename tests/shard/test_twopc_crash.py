@@ -1,0 +1,209 @@
+"""Crash tests for the cross-shard 2PC protocol.
+
+The harness reuses :mod:`repro.faults`: each worker rehydrates a seeded
+:class:`FaultInjector` from its config, and the ``shard.prepared`` /
+``shard.decide`` failpoints armed with :func:`exit_process` model a
+worker dying at the two interesting windows:
+
+* after voting YES (vote durable and on the wire, decision never
+  received) — the in-doubt window;
+* after receiving a decision but before applying it.
+
+The invariant under every history: a transaction whose COMMITTED
+decision was journaled is applied on every shard exactly once after
+recovery, and one never journaled as committed is applied nowhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ShardError
+from repro.queues.message import Message
+from repro.shard import ShardCoordinator, ShardedQueueBroker, ShardMap
+
+pytestmark = pytest.mark.shard
+
+TIMEOUT = 20.0
+
+
+def two_queues(shards: int = 2) -> tuple[str, str]:
+    shard_map = ShardMap(range(shards))
+    names: dict[int, str] = {}
+    for i in range(10_000):
+        name = f"q{i}"
+        names.setdefault(shard_map.shard_for(name), name)
+        if len(names) == shards:
+            return names[0], names[1]
+    raise AssertionError("could not cover both shards")
+
+
+@pytest.fixture()
+def durable_fleet(tmp_path):
+    with ShardCoordinator(
+        2, data_dir=str(tmp_path), timeout=TIMEOUT
+    ) as coordinator:
+        yield coordinator
+
+
+class TestVotedYesThenDied:
+    def test_decision_journal_resolves_indoubt_to_commit(self, durable_fleet):
+        """Worker 1 votes YES then exits before seeing the decision.
+        The coordinator journaled COMMITTED, so the transaction IS
+        committed; restart must apply it on shard 1 exactly once."""
+        coordinator = durable_fleet
+        q0, q1 = two_queues()
+        broker = ShardedQueueBroker(coordinator)
+        broker.create_queue(q0)
+        broker.create_queue(q1)
+
+        coordinator.restart_worker(
+            1,
+            fault={
+                "failpoint": "shard.prepared",
+                "action": "exit",
+                "code": 3,
+                "seed": 1,
+                "max_fires": 1,
+            },
+        )
+        gtid = broker.publish_atomic(
+            [(q0, Message(payload="x")), (q1, Message(payload="y"))]
+        )
+        # Phase 1 completed (both votes arrived before the crash), so
+        # the protocol committed even though shard 1 died immediately
+        # after voting.
+        assert gtid is not None
+        assert coordinator.decisions.decision_for(gtid) == "committed"
+        assert not coordinator.worker(1).alive
+
+        summary = coordinator.restart_worker(1)
+        assert summary["resolved"] == {gtid: "committed"}
+        # Exactly once: depth 1, not 0 (lost) and not 2 (reapplied).
+        assert broker.depth(q1) == 1
+        assert broker.depth(q0) == 1
+        assert coordinator.worker(1).call("list_indoubt") == []
+        assert coordinator.worker(1).call("twopc_state", {"gtid": gtid}) == "committed"
+
+    def test_presumed_abort_when_no_decision_was_journaled(self, durable_fleet):
+        """A prepared transaction whose coordinator never journaled a
+        decision resolves to ABORT on recovery (presumed abort), and
+        the abort is journaled so later resolution attempts agree."""
+        coordinator = durable_fleet
+        q0, q1 = two_queues()
+        broker = ShardedQueueBroker(coordinator)
+        broker.create_queue(q0)
+        broker.create_queue(q1)
+
+        # Inject the in-doubt state directly: prepare on shard 1 as the
+        # coordinator would, but "crash" before recording any decision.
+        gtid = "deadbeef" * 4
+        coordinator.worker(1).call(
+            "prepare",
+            {"gtid": gtid,
+             "ops": [{"queue": q1, "message": {"payload": "ghost"}}]},
+        )
+        coordinator.restart_worker(1, graceful=False)
+        coordinator.restart_worker(1)
+        # Whichever restart resolved it, the outcome must be the
+        # presumed abort, and it must now be journaled.
+        assert coordinator.decisions.decision_for(gtid) == "aborted"
+        assert coordinator.worker(1).call("list_indoubt") == []
+        assert broker.depth(q1) == 0
+
+    def test_seeded_crash_histories_never_lose_committed_work(self, durable_fleet):
+        """Drive several cross-shard transactions against a worker that
+        dies on its first prepare; after recovery, every transaction
+        the decision journal calls committed is visible exactly once."""
+        coordinator = durable_fleet
+        q0, q1 = two_queues()
+        broker = ShardedQueueBroker(coordinator)
+        broker.create_queue(q0)
+        broker.create_queue(q1)
+
+        committed: list[str] = []
+        for round_no in range(3):
+            coordinator.restart_worker(
+                1,
+                fault={
+                    "failpoint": "shard.prepared",
+                    "action": "exit",
+                    "code": 3,
+                    "seed": round_no,
+                    "max_fires": 1,
+                },
+            )
+            try:
+                gtid = broker.publish_atomic(
+                    [(q0, Message(payload=f"a{round_no}")),
+                     (q1, Message(payload=f"b{round_no}"))]
+                )
+            except ShardError:
+                continue  # aborted round: must not surface anywhere
+            committed.append(gtid)
+            coordinator.restart_worker(1)
+
+        coordinator.restart_worker(1)  # idempotent: nothing in doubt
+        assert coordinator.worker(1).call("list_indoubt") == []
+        for gtid in committed:
+            assert coordinator.decisions.decision_for(gtid) == "committed"
+        assert broker.depth(q0) == len(committed)
+        assert broker.depth(q1) == len(committed)
+
+
+class TestDecideWindowCrash:
+    def test_crash_before_applying_decision_recovers(self, durable_fleet):
+        """Worker 1 receives the commit decision but dies before
+        applying it.  The participant row is still PREPARED, so restart
+        re-resolves from the decision journal — still exactly once."""
+        coordinator = durable_fleet
+        q0, q1 = two_queues()
+        broker = ShardedQueueBroker(coordinator)
+        broker.create_queue(q0)
+        broker.create_queue(q1)
+
+        coordinator.restart_worker(
+            1,
+            fault={
+                "failpoint": "shard.decide",
+                "action": "exit",
+                "code": 3,
+                "seed": 9,
+                "max_fires": 1,
+            },
+        )
+        # Phase 1 succeeds on both shards; the decide round kills
+        # worker 1 before it applies.  two_phase_publish tolerates the
+        # dead worker (the decision is journaled), so this returns.
+        gtid = broker.publish_atomic(
+            [(q0, Message(payload="x")), (q1, Message(payload="y"))]
+        )
+        assert gtid is not None
+        assert coordinator.decisions.decision_for(gtid) == "committed"
+        assert not coordinator.worker(1).alive
+        assert broker.depth(q0) == 1  # shard 0 already applied
+
+        summary = coordinator.restart_worker(1)
+        assert summary["resolved"] == {gtid: "committed"}
+        assert broker.depth(q1) == 1
+        assert coordinator.worker(1).call("list_indoubt") == []
+
+
+class TestWorkerRecovery:
+    def test_queue_state_survives_worker_restart(self, durable_fleet):
+        """A restarted worker re-attaches its queue tables from the WAL
+        and returns LOCKED messages to READY (their consumer died)."""
+        coordinator = durable_fleet
+        q0, q1 = two_queues()
+        broker = ShardedQueueBroker(coordinator)
+        broker.create_queue(q1)
+        broker.publish_batch(q1, [Message(payload={"i": i}) for i in range(4)])
+        locked = broker.consume_batch(q1, 2)
+        assert len(locked) == 2
+
+        summary = coordinator.restart_worker(1)
+        assert q1 in summary["queues"]
+        assert summary["recovered_locked"] == 2
+        # All four messages consumable again — none lost, none duplicated.
+        replay = broker.consume_batch(q1, 10)
+        assert sorted(m.payload["i"] for m in replay) == [0, 1, 2, 3]
