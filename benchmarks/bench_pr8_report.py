@@ -1,0 +1,178 @@
+"""PR-8 report: availability under primary failure, machine-readable.
+
+Writes ``BENCH_PR8.json`` at the repo root from the EXP-12 harness:
+one arm per repair path (``promote`` — in-memory primary + replica;
+``restart`` — durable primary, WAL replay), each recording the
+unavailability window, pre/post-kill throughput, stale reads served
+during the outage, and the loss/duplication accounting.
+
+Acceptance bars:
+
+* **no committed loss, no duplicates** — hard bars, never gated: a
+  loaded box may be slow but must not lose acknowledged messages;
+* **unavailability window** and **throughput recovery** are timing
+  bars, gated on ``os.cpu_count() >= 2``: the supervisor thread, the
+  client loop, and the worker processes must actually run in parallel
+  for the window to mean anything.  On a 1-core box they are reported
+  as skipped rather than failed.
+* in promote mode the replica must have served at least one tagged
+  stale read during the outage (degraded-mode serving, not an error
+  storm).
+
+Failures are printed as ``ACCEPTANCE FAIL`` lines, never raised, so a
+loaded CI box still produces a diffable report.
+
+Run:  python benchmarks/bench_pr8_report.py [--quick]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+try:
+    from benchmarks.bench_exp12_availability import run_modes
+except ImportError:
+    from bench_exp12_availability import run_modes
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+
+#: Hard ceiling on the measured outage window (ms).  Generous: a
+#: healthy run closes it in well under 200ms; the bar exists to catch
+#: a supervisor that converges by luck or not at all.
+UNAVAILABILITY_CEILING_MS = 5_000.0
+#: Post-recovery throughput floor as a fraction of the warm baseline.
+RECOVERY_THROUGHPUT_FLOOR = 0.5
+
+
+def _best_arms(runs: list[list[dict]]) -> list[dict]:
+    """Per mode, keep the run with the smallest unavailability window
+    (noise floors, not means, are the honest aggregate on a shared
+    box); loss/duplicate counts are summed across every run — a loss
+    in any run is a failure no aggregate may hide."""
+    best: dict[str, dict] = {}
+    totals: dict[str, dict[str, int]] = {}
+    for rows in runs:
+        for row in rows:
+            mode = row["mode"]
+            tally = totals.setdefault(mode, {"lost": 0, "duplicates": 0, "runs": 0})
+            tally["lost"] += row["lost"]
+            tally["duplicates"] += row["duplicates"]
+            tally["runs"] += 1
+            if (
+                mode not in best
+                or row["unavailable_ms"] < best[mode]["unavailable_ms"]
+            ):
+                best[mode] = dict(row)
+    arms = []
+    for mode in sorted(best):
+        arm = best[mode]
+        arm["lost_all_runs"] = totals[mode]["lost"]
+        arm["duplicates_all_runs"] = totals[mode]["duplicates"]
+        arm["runs"] = totals[mode]["runs"]
+        arms.append(arm)
+    return arms
+
+
+def build_report(quick: bool = False) -> dict:
+    repeats = 1 if quick else 3
+    n_messages = 256 if quick else 2_048
+    arms = _best_arms([run_modes(n_messages) for _ in range(repeats)])
+    return {
+        "experiment": "PR-8 availability under primary failure (EXP-12)",
+        "quick": quick,
+        "cores": os.cpu_count() or 1,
+        "bars": {
+            "unavailability_ceiling_ms": UNAVAILABILITY_CEILING_MS,
+            "recovery_throughput_floor": RECOVERY_THROUGHPUT_FLOOR,
+        },
+        "exp12_arms": [
+            {
+                "mode": row["mode"],
+                "runs": row["runs"],
+                "messages_per_run": row["messages"],
+                "warm_per_s": round(row["warm_per_s"], 1),
+                "recovered_per_s": round(row["recovered_per_s"], 1),
+                "recovered_ratio": round(
+                    row["recovered_per_s"] / row["warm_per_s"], 3
+                ),
+                "unavailable_ms": round(row["unavailable_ms"], 2),
+                "failed_writes": row["failed_writes"],
+                "stale_reads": row["stale_reads"],
+                "lost_all_runs": row["lost_all_runs"],
+                "duplicates_all_runs": row["duplicates_all_runs"],
+                "restarts": row["restarts"],
+                "promotions": row["promotions"],
+            }
+            for row in arms
+        ],
+    }
+
+
+def _check(report: dict) -> tuple[list[str], list[str]]:
+    """Returns (problems, skipped-bar notes)."""
+    problems: list[str] = []
+    skipped: list[str] = []
+    cores = report["cores"]
+    timing_bars_apply = cores >= 2
+    for arm in report["exp12_arms"]:
+        mode = arm["mode"]
+        if arm["lost_all_runs"]:
+            problems.append(
+                f"exp12/{mode}: {arm['lost_all_runs']} committed "
+                "message(s) lost across runs"
+            )
+        if arm["duplicates_all_runs"]:
+            problems.append(
+                f"exp12/{mode}: {arm['duplicates_all_runs']} duplicate "
+                "deliveries across runs"
+            )
+        if mode == "promote" and arm["stale_reads"] == 0:
+            problems.append(
+                "exp12/promote: no stale replica reads served during "
+                "the outage — degraded-mode reads are not working"
+            )
+        if not timing_bars_apply:
+            skipped.append(
+                f"exp12/{mode}: timing bars skipped (only {cores} core(s))"
+            )
+            continue
+        if arm["unavailable_ms"] > UNAVAILABILITY_CEILING_MS:
+            problems.append(
+                f"exp12/{mode}: unavailability window "
+                f"{arm['unavailable_ms']}ms exceeds the "
+                f"{UNAVAILABILITY_CEILING_MS}ms ceiling"
+            )
+        if arm["recovered_ratio"] < RECOVERY_THROUGHPUT_FLOOR:
+            problems.append(
+                f"exp12/{mode}: recovered throughput is only "
+                f"{arm['recovered_ratio']}x of warm baseline (floor "
+                f"{RECOVERY_THROUGHPUT_FLOOR}x)"
+            )
+    return problems, skipped
+
+
+def main(quick: bool = False) -> None:
+    report = build_report(quick=quick)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    for arm in report["exp12_arms"]:
+        print(
+            f"  {arm['mode']}: outage {arm['unavailable_ms']}ms, "
+            f"recovered at {arm['recovered_ratio']}x warm throughput, "
+            f"lost={arm['lost_all_runs']} dups={arm['duplicates_all_runs']} "
+            f"stale_reads={arm['stale_reads']}"
+        )
+    problems, skipped = _check(report)
+    for note in skipped:
+        print(f"  SKIPPED: {note}")
+    for problem in problems:
+        print(f"  ACCEPTANCE FAIL: {problem}")
+    if not problems:
+        print("  all applicable PR-8 acceptance bars met")
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

@@ -2,7 +2,7 @@
 
 Usage:  python benchmarks/run_all.py [--out FILE] [--quick]
 
-Runs EXP-1 … EXP-11 in order and writes the combined tables to stdout
+Runs EXP-1 … EXP-12 in order and writes the combined tables to stdout
 (and optionally a file) — the artifact summarized in EXPERIMENTS.md.
 ``--quick`` shrinks every experiment to a tiny sweep (seconds total):
 a smoke mode for CI and for checking the harness still runs end to end;
@@ -36,6 +36,7 @@ EXPERIMENTS = [
     "bench_exp9_virt",
     "bench_exp10_recovery",
     "bench_exp11_sharding",
+    "bench_exp12_availability",
 ]
 
 

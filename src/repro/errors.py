@@ -277,3 +277,26 @@ class ShardWorkerDied(ShardError):
     def __init__(self, message: str, *, shard: int | None = None):
         super().__init__(message)
         self.shard = shard
+
+
+class ShardUnavailable(ShardError):
+    """No live primary currently serves the shard.
+
+    Raised by the sharded brokers (fail-fast write policy, or a read
+    that could not be served even stale) while the supervisor is still
+    restarting or promoting.  ``retry_after`` is the caller's hint, in
+    seconds, for when the supervisor next attempts recovery — back off
+    at least that long before retrying."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: int | None = None,
+        retry_after: float | None = None,
+    ):
+        if retry_after is not None:
+            message = f"{message} (retry after {retry_after:.2f}s)"
+        super().__init__(message)
+        self.shard = shard
+        self.retry_after = retry_after

@@ -32,6 +32,14 @@ name                    fired
                         the classic "voted yes then died" window
 ``shard.decide``        in a shard worker, after a 2PC decision
                         arrived but before it is applied
+``shard.heartbeat``     in a shard worker, before answering a
+                        supervisor heartbeat probe — arm ``exit`` to
+                        model a crash, :func:`stall` to model a wedged
+                        worker that times out but stays alive
+``shard.replicate``     in a replica worker, before applying a shipped
+                        replication batch
+``shard.promote``       in the coordinator, after the chosen replica
+                        is caught up but before routing flips to it
 ======================  =====================================================
 
 Custom names are allowed (the catalog is a convention, not a schema) so
@@ -74,6 +82,9 @@ PUBSUB_CONSUMER = "pubsub.consumer"
 CAPTURE_DROP_TRIGGER = "capture.drop_trigger"
 SHARD_PREPARED = "shard.prepared"
 SHARD_DECIDE = "shard.decide"
+SHARD_HEARTBEAT = "shard.heartbeat"
+SHARD_REPLICATE = "shard.replicate"
+SHARD_PROMOTE = "shard.promote"
 
 FAILPOINT_CATALOG = frozenset(
     {
@@ -89,6 +100,9 @@ FAILPOINT_CATALOG = frozenset(
         CAPTURE_DROP_TRIGGER,
         SHARD_PREPARED,
         SHARD_DECIDE,
+        SHARD_HEARTBEAT,
+        SHARD_REPLICATE,
+        SHARD_PROMOTE,
     }
 )
 
@@ -237,6 +251,23 @@ def exit_process(code: int = 1) -> Action:
         import os
 
         os._exit(code)
+
+    return action
+
+
+def stall(seconds: float) -> Action:
+    """Block the site for ``seconds`` of *real* time (``time.sleep``).
+
+    Models a wedged-but-alive process: a shard worker stalled on its
+    heartbeat trips the coordinator's socket timeout while
+    ``process.is_alive()`` stays true — the "transient timeout"
+    classification, as opposed to a dead channel.
+    """
+
+    def action(ctx: FaultContext) -> None:
+        import time
+
+        time.sleep(seconds)
 
     return action
 

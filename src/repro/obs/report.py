@@ -186,9 +186,10 @@ def run_sharded_stats_workload(
     """
     from repro.obs.metrics import merge_snapshots
     from repro.queues.message import Message
-    from repro.shard import ShardCoordinator, ShardedQueueBroker
+    from repro.shard import ShardCoordinator, ShardedQueueBroker, ShardSupervisor
 
-    with ShardCoordinator(shards) as coordinator:
+    with ShardCoordinator(shards, replication_factor=1) as coordinator:
+        supervisor = ShardSupervisor(coordinator, heartbeat_timeout=2.0)
         broker = ShardedQueueBroker(coordinator)
         queue_names = [f"stream_{i}" for i in range(max(4, shards * 2))]
         placement = {
@@ -208,6 +209,10 @@ def run_sharded_stats_workload(
             if messages:
                 broker.ack_batch(name, [m.message_id for m in messages])
             consumed += len(messages)
+        # Exercise the self-healing path for the demo: kill shard 0's
+        # primary and let the supervisor promote its replica.
+        coordinator.worker(0).kill()
+        supervisor.run_until_healthy(deadline=15.0)
         per_shard = coordinator.metrics_by_shard()
         merged = merge_snapshots(per_shard, label_name="shard")
         return {
@@ -216,6 +221,10 @@ def run_sharded_stats_workload(
             "consumed": consumed,
             "placement": placement,
             "queues": broker.stats(),
+            "fleet_health": {
+                str(shard): health
+                for shard, health in supervisor.fleet_health().items()
+            },
             "per_shard_counters": {
                 shard: {
                     key: value
@@ -240,6 +249,21 @@ def format_sharded_report(report: dict[str, Any]) -> str:
     lines.append("-" * 33)
     for name, shard in sorted(report["placement"].items()):
         lines.append(f"  {name:<24} shard {shard}")
+    health = report.get("fleet_health")
+    if health:
+        lines.append("")
+        lines.append("fleet health (supervised, replicated)")
+        lines.append("-" * 37)
+        for shard, state in sorted(health.items()):
+            lag = state["replication"]
+            lines.append(
+                f"  shard {shard}  role={state['role']:<8}"
+                f" replicas={state['replicas_alive']}/{state['replicas']}"
+                f" lag_ops={lag['lag_ops']}"
+                f" restarts={state['restarts']}"
+                f" promotions={state['promotions']}"
+                f" breaker={state['breaker']}"
+            )
     lines.append("")
     lines.append("per-shard queue counters")
     lines.append("-" * 24)

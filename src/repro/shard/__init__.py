@@ -11,15 +11,27 @@ Layering (bottom-up):
   :class:`~repro.db.database.Database` + broker stack behind a framed
   channel.
 * :mod:`repro.shard.coordinator` — worker lifecycle, pipelined
-  scatter, 2PC driving, crash recovery.
+  scatter, 2PC driving, crash recovery, replication recording, the
+  degraded-mode write spool, and replica promotion.
+* :mod:`repro.shard.replication` — the per-shard replication log and
+  primary→replica log shipping.
+* :mod:`repro.shard.supervisor` — heartbeat probing, failure
+  classification, backed-off restarts, circuit breaking, promotion.
 * :mod:`repro.shard.broker` — :class:`ShardedQueueBroker` /
   :class:`ShardedPubSubBroker`, the single-process broker APIs routed
-  over the fleet.
+  over the fleet, with caller-selectable degradation policies.
 """
 
 from repro.shard.broker import ShardedPubSubBroker, ShardedQueueBroker
-from repro.shard.coordinator import ShardCoordinator, WorkerHandle
+from repro.shard.coordinator import FleetView, ShardCoordinator, WorkerHandle
 from repro.shard.hashring import ShardMap, ShardRouter, stable_hash
+from repro.shard.replication import ReplicaState, ReplicationLog, ShardReplicator
+from repro.shard.supervisor import (
+    BREAKER_CLOSED,
+    BREAKER_OPEN,
+    ShardHealth,
+    ShardSupervisor,
+)
 from repro.shard.twopc import (
     ABORTED,
     COMMITTED,
@@ -35,8 +47,16 @@ __all__ = [
     "stable_hash",
     "ShardCoordinator",
     "WorkerHandle",
+    "FleetView",
     "ShardedQueueBroker",
     "ShardedPubSubBroker",
+    "ShardSupervisor",
+    "ShardHealth",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "ShardReplicator",
+    "ReplicationLog",
+    "ReplicaState",
     "ParticipantLog",
     "DecisionLog",
     "new_gtid",

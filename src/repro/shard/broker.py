@@ -21,7 +21,13 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro import errors as errors_module
-from repro.errors import ReproError, ShardError, ShardWorkerError
+from repro.errors import (
+    ReproError,
+    ShardError,
+    ShardUnavailable,
+    ShardWorkerDied,
+    ShardWorkerError,
+)
 from repro.events import Event
 from repro.pubsub.broker import _event_to_payload, _payload_to_event
 from repro.pubsub.topic import Topic, topic_matches
@@ -47,19 +53,119 @@ def _reraise(exc: ShardWorkerError) -> None:
     raise exc
 
 
-class ShardedQueueBroker:
-    """The :class:`~repro.queues.broker.QueueBroker` API, shard-routed."""
+#: Ops that change shard state and therefore must route through
+#: :meth:`ShardCoordinator.mutate` (which records replication entries).
+#: ``consume_batch``/``requeue`` mutate lock state only — they ride the
+#: same path but the replicator deliberately skips them.
+_MUTATING_OPS = frozenset(
+    {
+        "create_queue",
+        "drop_queue",
+        "publish_batch",
+        "ack",
+        "ack_batch",
+        "requeue",
+        "consume_batch",
+    }
+)
 
-    def __init__(self, coordinator: ShardCoordinator) -> None:
+#: Writes the spool policy may buffer during an outage.  Acks and
+#: consumes are NOT spoolable: they reference locks that died with the
+#: primary, so replaying them later could only fail.
+_SPOOLABLE_OPS = frozenset({"publish_batch", "create_queue", "drop_queue"})
+
+
+class ShardedQueueBroker:
+    """The :class:`~repro.queues.broker.QueueBroker` API, shard-routed.
+
+    Degradation policy (per instance, caller-selectable):
+
+    * ``read_policy="primary"`` (default) — reads require the primary;
+      an outage raises :class:`ShardUnavailable`.
+      ``read_policy="replica_ok"`` — while the primary is down, reads
+      (``depth``/``stats``/``peek``) are served by the freshest replica
+      and tagged ``stale=True`` with the lag bound.
+    * ``write_policy="fail"`` (default) — writes to a downed shard
+      raise :class:`ShardUnavailable` carrying the supervisor's
+      retry-after hint.  ``write_policy="spool"`` — spoolable writes
+      wait in the coordinator's bounded per-shard spool and replay, in
+      order, when the shard recovers (publishes return ``-1``
+      placeholder ids; delivery is at-least-once across the outage).
+    """
+
+    def __init__(
+        self,
+        coordinator: ShardCoordinator,
+        *,
+        read_policy: str = "primary",
+        write_policy: str = "fail",
+    ) -> None:
+        if read_policy not in ("primary", "replica_ok"):
+            raise ValueError(f"unknown read_policy {read_policy!r}")
+        if write_policy not in ("fail", "spool"):
+            raise ValueError(f"unknown write_policy {write_policy!r}")
         self.coordinator = coordinator
         self.router = coordinator.router
+        self.read_policy = read_policy
+        self.write_policy = write_policy
+        #: Staleness tag of the most recent degraded read (``None``
+        #: after a primary-served one) — the out-of-band channel for
+        #: APIs whose return shape has no room for a tag.
+        self.last_read_info: dict[str, Any] | None = None
 
     def _call(self, queue_name: str, op: str, args: dict[str, Any]) -> Any:
         shard_id = self.router.shard_for(queue_name)
         try:
-            return self.coordinator.worker(shard_id).call(op, args)
+            if op in _MUTATING_OPS:
+                result = self.coordinator.mutate(shard_id, op, args)
+            else:
+                result = self.coordinator.call(shard_id, op, args)
+            self.last_read_info = None
+            return result
         except ShardWorkerError as exc:
             _reraise(exc)
+        except ShardWorkerDied as exc:
+            return self._degraded(shard_id, op, args, exc)
+
+    def _degraded(
+        self, shard_id: int, op: str, args: dict[str, Any],
+        cause: ShardWorkerDied,
+    ) -> Any:
+        """Apply the degradation policy after the primary failed an op."""
+        retry_after = self.coordinator.retry_hints.get(shard_id)
+        if op in _MUTATING_OPS:
+            if (
+                self.write_policy == "spool"
+                and op in _SPOOLABLE_OPS
+            ):
+                self.coordinator.spool_write(shard_id, op, args)
+                if op == "publish_batch":
+                    # Real ids exist only once the spool replays; the
+                    # placeholder keeps the return shape.
+                    return [-1] * len(args["messages"])
+                return True
+            raise ShardUnavailable(
+                f"shard {shard_id} has no live primary for {op!r}",
+                shard=shard_id,
+                retry_after=retry_after,
+            ) from cause
+        if self.read_policy == "replica_ok":
+            try:
+                result, info = self.coordinator.replica_read(shard_id, op, args)
+            except ShardWorkerDied as exc:
+                raise ShardUnavailable(
+                    f"shard {shard_id} has no live primary or replica",
+                    shard=shard_id,
+                    retry_after=retry_after,
+                ) from exc
+            self.last_read_info = info
+            return result
+        raise ShardUnavailable(
+            f"shard {shard_id} has no live primary for {op!r} "
+            "(read_policy='primary')",
+            shard=shard_id,
+            retry_after=retry_after,
+        ) from cause
 
     # -- queue lifecycle ----------------------------------------------------
 
@@ -130,33 +236,43 @@ class ShardedQueueBroker:
             grouped.setdefault(key, []).append((index, message))
         # One frame per (shard, queue) group — all sent before any reply
         # is read, so every involved worker runs its batches concurrently.
-        pending: list[tuple[int, int, list[int]]] = []
-        for (shard_id, queue_name), pairs in grouped.items():
-            request_id = self.coordinator.worker(shard_id).send(
-                "publish_batch",
-                {
+        # The whole pipelined exchange holds the coordinator lock: a
+        # supervisor probe interleaving frames on a strictly-ordered
+        # channel would corrupt the request/reply pairing.
+        with self.coordinator._lock:
+            pending: list[tuple[int, int, list[int], dict[str, Any]]] = []
+            for (shard_id, queue_name), pairs in grouped.items():
+                args = {
                     "queue": queue_name,
                     "messages": [message_to_wire(m) for _, m in pairs],
                     "principal": principal,
-                },
-            )
-            pending.append((shard_id, request_id, [index for index, _ in pairs]))
-        results: list[int | None] = [None] * len(entries)
-        first_error: Exception | None = None
-        for shard_id, request_id, indexes in pending:
-            try:
-                ids = self.coordinator.worker(shard_id).recv(request_id)
-            except ShardError as exc:
-                if first_error is None:
-                    first_error = exc
-                continue
-            for index, message_id in zip(indexes, ids):
-                results[index] = message_id
-        if first_error is not None:
-            if isinstance(first_error, ShardWorkerError):
-                _reraise(first_error)
-            raise first_error
-        return results  # type: ignore[return-value]
+                }
+                request_id = self.coordinator.worker(shard_id).send(
+                    "publish_batch", args
+                )
+                pending.append(
+                    (shard_id, request_id, [index for index, _ in pairs], args)
+                )
+            results: list[int | None] = [None] * len(entries)
+            first_error: Exception | None = None
+            for shard_id, request_id, indexes, args in pending:
+                try:
+                    handle = self.coordinator.worker(shard_id)
+                    ids = handle.recv(request_id)
+                except ShardError as exc:
+                    if first_error is None:
+                        first_error = exc
+                    continue
+                self.coordinator.replicator.record_mutation(
+                    shard_id, "publish_batch", args, ids, lsn=handle.last_lsn
+                )
+                for index, message_id in zip(indexes, ids):
+                    results[index] = message_id
+            if first_error is not None:
+                if isinstance(first_error, ShardWorkerError):
+                    _reraise(first_error)
+                raise first_error
+            return results  # type: ignore[return-value]
 
     def publish_atomic(
         self, entries: list[tuple[str, Message]], *, principal: str = "internal"
@@ -176,12 +292,20 @@ class ShardedQueueBroker:
             # 2PC participant path degenerates to exactly that, so reuse
             # it (prepare+decide on one worker, no decision journal round).
             gtid = new_gtid()
-            handle = self.coordinator.worker(shard_id)
-            try:
-                handle.call("prepare", {"gtid": gtid, "ops": ops})
-                handle.call("decide", {"gtid": gtid, "decision": "committed"})
-            except ShardWorkerError as exc:
-                _reraise(exc)
+            with self.coordinator._lock:
+                handle = self.coordinator.worker(shard_id)
+                try:
+                    handle.call("prepare", {"gtid": gtid, "ops": ops})
+                    decided = handle.call(
+                        "decide", {"gtid": gtid, "decision": "committed"}
+                    )
+                except ShardWorkerError as exc:
+                    _reraise(exc)
+                if decided.get("applied"):
+                    self.coordinator.replicator.record_applied(
+                        shard_id, ops, decided.get("ids") or {},
+                        lsn=handle.last_lsn,
+                    )
             return None
         return self.coordinator.two_phase_publish(ops_by_shard)
 
@@ -257,12 +381,73 @@ class ShardedQueueBroker:
     def depth(self, queue_name: str) -> int:
         return self._call(queue_name, "depth", {"queue": queue_name})
 
+    def depth_info(self, queue_name: str) -> dict[str, Any]:
+        """``depth`` with its staleness contract made explicit:
+        ``{"depth", "stale", "lag_ops", "source"}`` — ``stale=True``
+        only when a replica served it under ``read_policy="replica_ok"``."""
+        depth = self._call(queue_name, "depth", {"queue": queue_name})
+        info = self.last_read_info
+        return {
+            "depth": depth,
+            "stale": bool(info and info.get("stale")),
+            "lag_ops": info.get("lag_ops") if info else 0,
+            "source": f"replica:{info['replica']}" if info else "primary",
+        }
+
+    def peek(
+        self, queue_name: str, max_messages: int = 1
+    ) -> dict[str, Any]:
+        """READY messages in dequeue order WITHOUT locking them — the
+        degraded-mode consume.  Returns ``{"messages", "stale",
+        "lag_ops", "source"}``; a replica may serve it (peeking mutates
+        nothing), unlike :meth:`consume_batch`."""
+        wires = self._call(
+            queue_name, "peek",
+            {"queue": queue_name, "max_messages": max_messages},
+        )
+        info = self.last_read_info
+        return {
+            "messages": [wire_to_consumed(wire) for wire in wires],
+            "stale": bool(info and info.get("stale")),
+            "lag_ops": info.get("lag_ops") if info else 0,
+            "source": f"replica:{info['replica']}" if info else "primary",
+        }
+
     def stats(self) -> dict[str, dict[str, int]]:
-        """Per-queue stats merged across every shard."""
+        """Per-queue stats merged across every shard.  Shards with no
+        live primary fall back to their freshest replica when
+        ``read_policy="replica_ok"``; shards with neither are simply
+        absent (see :meth:`stats_info` for the tagged view)."""
+        return self.stats_info()["queues"]
+
+    def stats_info(self) -> dict[str, Any]:
+        """Fleet stats with the availability picture attached:
+        ``queues`` (merged per-queue stats), ``stale_shards`` (served
+        by a replica, with lag), ``missing`` (no primary or replica)."""
+        view = self.coordinator.broadcast("stats")
         merged: dict[str, dict[str, int]] = {}
-        for shard_stats in self.coordinator.broadcast("stats").values():
+        for shard_stats in view.values():
             merged.update(shard_stats)
-        return merged
+        stale_shards: dict[int, dict[str, Any]] = {}
+        missing: list[int] = []
+        for shard_id in view.missing:
+            if self.read_policy == "replica_ok":
+                try:
+                    shard_stats, info = self.coordinator.replica_read(
+                        shard_id, "stats", {}
+                    )
+                except ShardError:
+                    missing.append(shard_id)
+                    continue
+                merged.update(shard_stats)
+                stale_shards[shard_id] = info
+            else:
+                missing.append(shard_id)
+        return {
+            "queues": merged,
+            "stale_shards": stale_shards,
+            "missing": missing,
+        }
 
     def metrics_by_shard(self) -> dict[int, dict[str, Any]]:
         return self.coordinator.metrics_by_shard()

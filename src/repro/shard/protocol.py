@@ -119,6 +119,19 @@ def wire_to_message(wire: dict[str, Any]) -> Message:
     )
 
 
+def exported_to_wire(message: Message) -> dict[str, Any]:
+    """Producer fields plus the exporting shard's message id.
+
+    Snapshot form used to seed a replica from its primary: the replica
+    re-enqueues the producer fields (a LOCKED original lands READY — a
+    promoted replica redelivers unacked work, exactly like a restarted
+    primary's ``recover_locked``) and keeps ``primary_id`` so acks
+    shipped later by primary id find the right local row."""
+    wire = message_to_wire(message)
+    wire["primary_id"] = message.message_id
+    return wire
+
+
 def consumed_to_wire(message: Message) -> dict[str, Any]:
     """Full snapshot of a dequeued (LOCKED) message for the consume
     reply — the coordinator rebuilds an identical :class:`Message`."""

@@ -1,0 +1,365 @@
+"""Supervision for the shard fleet: detect, classify, repair.
+
+The :class:`ShardSupervisor` closes the loop PR 7 left open — a dead
+:class:`ShardWorker` made its queues unreachable until someone called
+``restart_worker`` by hand.  The supervisor periodically probes every
+primary with a cheap ``heartbeat`` op under a tight per-call deadline
+and drives recovery through a small per-shard state machine:
+
+Failure classification (the table in docs/architecture.md):
+
+=============  ==============================================  =============
+observation    meaning                                         response
+=============  ==============================================  =============
+probe ok       healthy                                         reset streaks
+timeout, but   **stalled** — the process lives but stopped     kill (fence),
+process alive  answering (wedged syscall, injected stall)      then restart
+dead channel/  **crashed** — the process exited                restart with
+process                                                        backoff
+repeated       **crash loop** — something systemic (bad WAL,   circuit-break:
+crashes        poisoned input, armed fault)                    stop burning
+                                                               restarts,
+                                                               promote
+=============  ==============================================  =============
+
+Restarts are spaced by capped exponential backoff with deterministic
+*downward* jitter — the same derivation as
+:meth:`repro.queues.propagation.Propagator.backoff_for`, keyed by
+``(shard_id, attempt)``, no ambient RNG — so a multi-shard outage does
+not retry in lockstep and a given attempt always lands at the same
+delay (seeded chaos tests stay reproducible).
+
+Repair policy: a **durable** shard (WAL on disk) prefers restarting
+its primary — recovery replays the WAL, so restart preserves more
+than an in-memory replica might.  An **in-memory** shard prefers
+promoting a replica — its primary's state died with the process, while
+the replica holds everything the replication log shipped.  Either way,
+when the preferred path is exhausted the other is tried; when both
+are, the breaker opens and the shard serves degraded (stale replica
+reads, spooled or failed-fast writes) until the next supervision round
+retries.
+
+The supervisor also keeps the *replica* tier at strength: dead
+replicas are respawned and re-seeded from the current primary, so a
+shard that just failed over regains a standby for the next failure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.errors import ShardError, ShardUnavailable, ShardWorkerDied
+from repro.shard.coordinator import ShardCoordinator
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+
+
+class ShardHealth:
+    """The supervisor's per-shard view (exposed via ``fleet_health``)."""
+
+    __slots__ = (
+        "failures",
+        "restart_attempts",
+        "breaker",
+        "last_class",
+        "next_attempt_at",
+        "restarts",
+        "promotions",
+    )
+
+    def __init__(self) -> None:
+        self.failures = 0            # consecutive failed probes
+        self.restart_attempts = 0    # since the shard was last healthy
+        self.breaker = BREAKER_CLOSED
+        self.last_class: str | None = None
+        self.next_attempt_at = 0.0   # monotonic deadline for next repair
+        self.restarts = 0            # lifetime, for stats --shards
+        self.promotions = 0
+
+    def mark_healthy(self) -> None:
+        self.failures = 0
+        self.restart_attempts = 0
+        self.breaker = BREAKER_CLOSED
+        self.last_class = None
+        self.next_attempt_at = 0.0
+
+
+class ShardSupervisor:
+    """Health-checks the fleet and repairs it without operator help."""
+
+    def __init__(
+        self,
+        coordinator: ShardCoordinator,
+        *,
+        heartbeat_timeout: float = 1.0,
+        failure_threshold: int = 1,
+        max_restarts: int = 3,
+        base_backoff: float = 0.05,
+        max_backoff: float = 2.0,
+        preserve_faults: bool = False,
+        monotonic: Any = time.monotonic,
+    ) -> None:
+        """Args:
+        heartbeat_timeout: per-probe deadline — far tighter than the
+            30s op deadline; a healthy worker answers in microseconds.
+        failure_threshold: consecutive probe failures before repair
+            (``1`` = repair on first failure; raise it to tolerate
+            transient timeouts).
+        max_restarts: restart attempts before the shard is declared in
+            a crash loop (breaker opens; promotion becomes the only
+            path).
+        preserve_faults: re-arm each worker's fault spec across
+            supervisor restarts (crash-loop tests); default clears it.
+        monotonic: injectable time source for deterministic tests.
+        """
+        self.coordinator = coordinator
+        self.heartbeat_timeout = heartbeat_timeout
+        self.failure_threshold = failure_threshold
+        self.max_restarts = max_restarts
+        self.base_backoff = base_backoff
+        self.max_backoff = max_backoff
+        self.preserve_faults = preserve_faults
+        self.monotonic = monotonic
+        self.health: dict[int, ShardHealth] = {
+            shard_id: ShardHealth() for shard_id in coordinator.map.shard_ids
+        }
+        self.events: list[dict[str, Any]] = []
+        self._thread: threading.Thread | None = None
+        self._stop_event = threading.Event()
+        coordinator.supervisor = self
+
+    # -- backoff ------------------------------------------------------------
+
+    def backoff_for(self, shard_id: int, attempt: int) -> float:
+        """Delay before restart ``attempt`` of ``shard_id`` —
+        exponential, capped, deterministically jittered downward by up
+        to 25% (same derivation as the propagator's retry schedule)."""
+        raw = self.base_backoff * (2 ** max(0, attempt - 1))
+        capped = min(raw, self.max_backoff)
+        mix = (shard_id * 2654435761 + attempt * 0x9E3779B9) % 4096
+        jitter = (mix / 4096.0) * 0.25
+        return capped * (1.0 - jitter)
+
+    # -- probing and classification -----------------------------------------
+
+    def probe(self, shard_id: int) -> str | None:
+        """One heartbeat; returns ``None`` when healthy, else the
+        failure class (``"stalled"`` or ``"crashed"``)."""
+        with self.coordinator._lock:
+            handle = self.coordinator.workers.get(shard_id)
+            if handle is None or not handle.alive:
+                return "crashed"
+            try:
+                handle.call("heartbeat", timeout=self.heartbeat_timeout)
+                return None
+            except ShardWorkerDied:
+                # Timeout with a live process = stalled (wedged, not
+                # dead).  Fence it — a wedged primary waking up after
+                # we repair would be a second writer.
+                if handle.process.is_alive():
+                    handle.kill()
+                    return "stalled"
+                return "crashed"
+            except ShardError:
+                # The worker answered with an error: the channel is
+                # healthy even if the op misbehaved.
+                return None
+
+    # -- the supervision loop -----------------------------------------------
+
+    def tick(self) -> list[dict[str, Any]]:
+        """One supervision round over the whole fleet; returns the
+        repair events it performed (also appended to ``events``)."""
+        events: list[dict[str, Any]] = []
+        for shard_id in self.coordinator.map.shard_ids:
+            events.extend(self._tick_shard(shard_id))
+        events.extend(self._tick_replicas())
+        self.events.extend(events)
+        return events
+
+    def run_until_healthy(
+        self, *, deadline: float = 10.0, poll: float = 0.02
+    ) -> list[dict[str, Any]]:
+        """Drive :meth:`tick` until every breaker-closed shard has a
+        live primary, or ``deadline`` elapses.  The chaos suite's
+        synchronous alternative to the background thread."""
+        start = self.monotonic()
+        events: list[dict[str, Any]] = []
+        while True:
+            events.extend(self.tick())
+            if all(
+                self.coordinator.primary_alive(shard_id)
+                or self.health[shard_id].breaker == BREAKER_OPEN
+                for shard_id in self.coordinator.map.shard_ids
+            ):
+                return events
+            if self.monotonic() - start > deadline:
+                return events
+            time.sleep(poll)
+
+    def _tick_shard(self, shard_id: int) -> list[dict[str, Any]]:
+        health = self.health[shard_id]
+        failure_class = self.probe(shard_id)
+        if failure_class is None:
+            health.mark_healthy()
+            return []
+        health.failures += 1
+        health.last_class = failure_class
+        if health.failures < self.failure_threshold:
+            return [{"shard": shard_id, "action": "suspect",
+                     "class": failure_class}]
+        now = self.monotonic()
+        if now < health.next_attempt_at:
+            return []  # still backing off
+        return self._repair(shard_id, health, failure_class)
+
+    def _repair(
+        self, shard_id: int, health: ShardHealth, failure_class: str
+    ) -> list[dict[str, Any]]:
+        coordinator = self.coordinator
+        durable = coordinator.data_dir is not None
+        has_replica = coordinator.live_replica(shard_id) is not None
+        restarts_left = health.restart_attempts < self.max_restarts
+        # Durable shards restart first (WAL recovery preserves the
+        # most); in-memory shards promote first (the replica holds
+        # what the dead primary lost).
+        if durable or not has_replica:
+            plan = ["restart", "promote"] if restarts_left else ["promote"]
+        else:
+            plan = ["promote", "restart"] if restarts_left else ["promote"]
+        if not restarts_left and health.breaker != BREAKER_OPEN:
+            health.breaker = BREAKER_OPEN
+        events: list[dict[str, Any]] = []
+        for action in plan:
+            if action == "restart":
+                health.restart_attempts += 1
+                try:
+                    summary = coordinator.restart_worker(
+                        shard_id,
+                        graceful=False,
+                        preserve_fault=self.preserve_faults,
+                    )
+                except ShardError as exc:
+                    events.append({"shard": shard_id, "action": "restart",
+                                   "class": failure_class, "ok": False,
+                                   "error": str(exc)})
+                    continue
+                health.restarts += 1
+                # Clear the probe streak but KEEP restart_attempts: a
+                # worker that dies again before the next healthy probe
+                # is a crash loop, and only a healthy probe
+                # (mark_healthy in _tick_shard) forgives the streak.
+                health.failures = 0
+                health.next_attempt_at = 0.0
+                events.append({"shard": shard_id, "action": "restart",
+                               "class": failure_class, "ok": True,
+                               "summary": summary})
+                return events
+            if action == "promote" and has_replica:
+                try:
+                    summary = coordinator.promote_replica(shard_id)
+                except (ShardUnavailable, ShardError) as exc:
+                    events.append({"shard": shard_id, "action": "promote",
+                                   "class": failure_class, "ok": False,
+                                   "error": str(exc)})
+                    continue
+                health.promotions += 1
+                health.failures = 0
+                health.next_attempt_at = 0.0
+                events.append({"shard": shard_id, "action": "promote",
+                               "class": failure_class, "ok": True,
+                               "summary": summary})
+                return events
+        # Nothing worked: schedule the next attempt and publish the
+        # retry hint degraded-mode errors carry.
+        delay = self.backoff_for(shard_id, health.restart_attempts + 1)
+        health.next_attempt_at = self.monotonic() + delay
+        coordinator.retry_hints[shard_id] = delay
+        events.append({"shard": shard_id, "action": "defer",
+                       "class": failure_class, "retry_after": delay,
+                       "breaker": health.breaker})
+        return events
+
+    def _tick_replicas(self) -> list[dict[str, Any]]:
+        """Respawn dead replicas (seeded from the current primary) so
+        the standby tier regains strength after a failover."""
+        events: list[dict[str, Any]] = []
+        coordinator = self.coordinator
+        for shard_id in coordinator.map.shard_ids:
+            if not coordinator.primary_alive(shard_id):
+                continue  # nothing to seed from yet
+            replicas = coordinator.replicas.get(shard_id, [])
+            target = coordinator.replication_factor
+            keep = [replica for replica in replicas if replica.alive]
+            respawned = 0
+            while len(keep) < target:
+                replica = coordinator._spawn_replica(shard_id, len(keep))
+                keep.append(replica)
+                respawned += 1
+            coordinator.replicas[shard_id] = keep
+            if respawned:
+                events.append({"shard": shard_id, "action": "respawn_replica",
+                               "count": respawned})
+        return events
+
+    # -- fleet health (stats --shards) --------------------------------------
+
+    def fleet_health(self) -> dict[int, dict[str, Any]]:
+        """Per-shard role/lag/streak summary merging the coordinator's
+        state with the supervisor's."""
+        out: dict[int, dict[str, Any]] = {}
+        fleet = self.coordinator.fleet_state()
+        for shard_id, state in fleet.items():
+            health = self.health[shard_id]
+            out[shard_id] = {
+                **state,
+                "role": "primary" if state["primary_alive"] else "down",
+                "breaker": health.breaker,
+                "failure_class": health.last_class,
+                "restarts": health.restarts,
+                "promotions": health.promotions,
+                "restart_attempts": health.restart_attempts,
+            }
+        return out
+
+    # -- background thread ---------------------------------------------------
+
+    def start_thread(self, *, interval: float = 0.2) -> None:
+        """Run :meth:`tick` every ``interval`` seconds in a daemon
+        thread until :meth:`stop_thread` (or coordinator shutdown)."""
+        if self._thread is not None:
+            return
+
+        def loop() -> None:
+            while not self._stop_event.wait(interval):
+                try:
+                    self.tick()
+                except Exception:
+                    # The supervisor must outlive any single bad round.
+                    self.coordinator.engine.obs.counter(
+                        "shard.supervisor_errors"
+                    ).inc()
+
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=loop, name="shard-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    def stop_thread(self) -> None:
+        if self._thread is None:
+            return
+        self._stop_event.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+
+__all__ = [
+    "ShardSupervisor",
+    "ShardHealth",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+]

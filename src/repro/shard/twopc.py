@@ -149,9 +149,25 @@ class ParticipantLog:
             if row["state"] == PREPARED
         )
 
+    def states(self, gtids: list[str]) -> dict[str, str | None]:
+        """Resolution states for a batch of gtids (``None`` = unknown
+        here) — the worker-side half of decision-log compaction: a
+        decision row is reclaimable only once every participant reports
+        its gtid ``committed``/``aborted``."""
+        return {gtid: self.state(gtid) for gtid in gtids}
+
 
 class DecisionLog:
-    """The coordinator's durable decision journal (``shard_gtid``)."""
+    """The coordinator's durable decision journal (``shard_gtid``).
+
+    Rows also record the *participants* (shard ids) of each
+    transaction, which is what makes compaction safe: a decision may be
+    deleted only once every participant has durably resolved the gtid
+    on its own shard — after that the row can never be consulted again
+    (recovery asks only about gtids still ``prepared`` somewhere).
+    Rows recovered from a pre-participants journal have no participant
+    list and are never compacted.
+    """
 
     def __init__(self, engine: StorageEngine) -> None:
         self.engine = engine
@@ -162,25 +178,42 @@ class DecisionLog:
                     Column("gtid", TEXT, nullable=False, unique=True),
                     Column("decision", TEXT, nullable=False),
                     Column("decided_at", TIMESTAMP, nullable=False),
+                    Column("participants", TEXT),
                 ],
             )
             engine.create_index(
                 f"ix_{DECISION_TABLE}_gtid", DECISION_TABLE, "gtid",
                 kind="hash",
             )
+        # A journal recovered from before the participants column keeps
+        # its 3-column shape; such logs still resolve but never compact.
+        self._has_participants = any(
+            column.name == "participants"
+            for column in engine.catalog.table(DECISION_TABLE).schema.columns
+        )
 
-    def record(self, gtid: str, decision: str) -> None:
+    def record(
+        self,
+        gtid: str,
+        decision: str,
+        *,
+        participants: list[int] | None = None,
+    ) -> None:
         """Journal the decision — THE commit point of the protocol.
         Once this commits, the transaction's fate is ``decision``
         regardless of which processes die afterwards."""
-        self.engine.insert_row(
-            DECISION_TABLE,
-            {
-                "gtid": gtid,
-                "decision": decision,
-                "decided_at": self.engine.clock.now(),
-            },
-        )
+        row: dict[str, Any] = {
+            "gtid": gtid,
+            "decision": decision,
+            "decided_at": self.engine.clock.now(),
+        }
+        if self._has_participants:
+            row["participants"] = (
+                json.dumps(sorted(participants))
+                if participants is not None
+                else None
+            )
+        self.engine.insert_row(DECISION_TABLE, row)
         self.engine.wal.flush()
 
     def decision_for(self, gtid: str) -> str | None:
@@ -190,3 +223,43 @@ class DecisionLog:
         if not rowids:
             return None
         return table.get(rowids[0])["decision"]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.engine.catalog.table(DECISION_TABLE).scan())
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Every decision row, with ``participants`` decoded (or
+        ``None`` when unknown/legacy)."""
+        out: list[dict[str, Any]] = []
+        for rowid, row in self.engine.catalog.table(DECISION_TABLE).scan():
+            raw = row.get("participants") if self._has_participants else None
+            out.append(
+                {
+                    "rowid": rowid,
+                    "gtid": row["gtid"],
+                    "decision": row["decision"],
+                    "participants": json.loads(raw) if raw else None,
+                }
+            )
+        return out
+
+    def compact(self, resolved_gtids: set[str]) -> int:
+        """Delete decisions whose gtid is in ``resolved_gtids`` — the
+        caller certifies every participant has durably resolved them.
+        One transaction, flushed; returns the number removed."""
+        table = self.engine.catalog.table(DECISION_TABLE)
+        doomed = [
+            rowid
+            for rowid, row in table.scan()
+            if row["gtid"] in resolved_gtids
+        ]
+        if not doomed:
+            return 0
+
+        def work(conn: Any) -> None:
+            for rowid in doomed:
+                self.engine.delete_row(DECISION_TABLE, rowid, conn=conn)
+
+        self.engine.run_in_transaction(None, work)
+        self.engine.wal.flush()
+        return len(doomed)

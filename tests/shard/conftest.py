@@ -1,0 +1,42 @@
+"""Shared fixtures for the shard suite.
+
+The ``chaos`` marker gets a **hard per-test deadline** enforced with
+SIGALRM: these tests kill worker processes mid-protocol on purpose, so
+the failure mode to guard against is not a wrong answer but a hang
+(a supervisor loop that never converges, a recv with no peer).  A
+pytest-level timeout plugin isn't available offline; the stdlib alarm
+is enough because the whole suite is POSIX-only already (fork-spawned
+workers).
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+#: Hard wall-clock ceiling for one chaos test.  Generous — a healthy
+#: run finishes in a couple of seconds; the alarm exists to turn a
+#: hang into a failure, not to race the scheduler.
+CHAOS_DEADLINE_S = 60
+
+
+@pytest.fixture(autouse=True)
+def _chaos_deadline(request):
+    """Arm SIGALRM for tests marked ``chaos``; no-op otherwise."""
+    if request.node.get_closest_marker("chaos") is None:
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"chaos test exceeded the {CHAOS_DEADLINE_S}s hard deadline"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(CHAOS_DEADLINE_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,108 @@
+"""Coordinator-crash recovery: the decision journal is the truth.
+
+These tests crash the *coordinator* (not a worker) inside the 2PC
+window between prepare and decide, then bring up a fresh coordinator
+over the same data directory.  The contract under test is presumed
+abort: a prepared gtid with no journaled decision aborts everywhere;
+a journaled COMMITTED decision commits everywhere — regardless of
+which process died when.
+
+The crash is simulated by abandoning the coordinator object after the
+prepare round: the workers journaled their YES votes durably, and the
+new coordinator sees exactly what a restarted one would.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queues.message import Message
+from repro.shard import ShardCoordinator, ShardedQueueBroker, ShardMap
+from repro.shard.protocol import message_to_wire
+
+pytestmark = [pytest.mark.shard, pytest.mark.chaos]
+
+TIMEOUT = 20.0
+
+
+def two_queues(shards: int = 2) -> tuple[str, str]:
+    shard_map = ShardMap(range(shards))
+    names: dict[int, str] = {}
+    for i in range(10_000):
+        name = f"q{i}"
+        names.setdefault(shard_map.shard_for(name), name)
+        if len(names) == shards:
+            return names[0], names[1]
+    raise AssertionError("could not cover both shards")
+
+
+def prepare_everywhere(fleet, gtid: str, q0: str, q1: str) -> None:
+    """Run phase 1 by hand on both shards; each journals a YES vote."""
+    for shard_id, queue in ((0, q0), (1, q1)):
+        ops = [{"queue": queue, "message": message_to_wire(Message(payload=gtid))}]
+        assert fleet.worker(shard_id).call(
+            "prepare", {"gtid": gtid, "ops": ops}
+        ) is True
+
+
+class TestCoordinatorCrash:
+    def test_crash_before_decision_presumes_abort(self, tmp_path):
+        data_dir = str(tmp_path)
+        q0, q1 = two_queues()
+        gtid = "gtid-orphan-1"
+        with ShardCoordinator(
+            2, data_dir=data_dir, group_commit_size=1, timeout=TIMEOUT
+        ) as fleet:
+            broker = ShardedQueueBroker(fleet)
+            broker.create_queue(q0)
+            broker.create_queue(q1)
+            prepare_everywhere(fleet, gtid, q0, q1)
+            # Crash window: votes journaled, no decision recorded.
+            assert fleet.decisions.decision_for(gtid) is None
+
+        with ShardCoordinator(
+            2, data_dir=data_dir, group_commit_size=1, timeout=TIMEOUT
+        ) as fleet:
+            # Startup resolution found no decision → presumed abort.
+            for shard_id in (0, 1):
+                assert fleet.worker(shard_id).call("list_indoubt") == []
+                assert (
+                    fleet.worker(shard_id).call("twopc_state", {"gtid": gtid})
+                    == "aborted"
+                )
+            broker = ShardedQueueBroker(fleet)
+            assert broker.depth(q0) == 0
+            assert broker.depth(q1) == 0
+
+    def test_crash_after_decision_commits_on_recovery(self, tmp_path):
+        data_dir = str(tmp_path)
+        q0, q1 = two_queues()
+        gtid = "gtid-decided-1"
+        with ShardCoordinator(
+            2, data_dir=data_dir, group_commit_size=1, timeout=TIMEOUT
+        ) as fleet:
+            broker = ShardedQueueBroker(fleet)
+            broker.create_queue(q0)
+            broker.create_queue(q1)
+            prepare_everywhere(fleet, gtid, q0, q1)
+            # The commit point lands in the journal... and then the
+            # coordinator dies before sending a single decide frame.
+            fleet.decisions.record(gtid, "committed", participants=[0, 1])
+
+        with ShardCoordinator(
+            2, data_dir=data_dir, group_commit_size=1, timeout=TIMEOUT
+        ) as fleet:
+            for shard_id in (0, 1):
+                assert fleet.worker(shard_id).call("list_indoubt") == []
+                assert (
+                    fleet.worker(shard_id).call("twopc_state", {"gtid": gtid})
+                    == "committed"
+                )
+            broker = ShardedQueueBroker(fleet)
+            assert broker.depth(q0) == 1
+            assert broker.depth(q1) == 1
+            # Exactly once: a second manual resolve must not re-apply.
+            assert fleet.worker(0).call(
+                "resolve", {"gtid": gtid, "decision": "committed"}
+            )["applied"] is False
+            assert broker.depth(q0) == 1

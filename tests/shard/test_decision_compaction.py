@@ -1,0 +1,146 @@
+"""Decision-log compaction: bounded growth without losing resolvability.
+
+The satellite fix under test: the coordinator's ``shard_gtid`` journal
+previously kept every decision forever.  Compaction may delete a
+decision only once every participant has durably resolved the gtid —
+after that, no recovery path can ever ask about it again.  The
+regression that must never happen: compacting a decision some shard
+still holds in doubt, which would flip a committed transaction to
+presumed-abort on restart.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queues.message import Message
+from repro.shard import ShardCoordinator, ShardedQueueBroker, ShardMap
+
+pytestmark = pytest.mark.shard
+
+TIMEOUT = 20.0
+
+
+def two_queues(shards: int = 2) -> tuple[str, str]:
+    shard_map = ShardMap(range(shards))
+    names: dict[int, str] = {}
+    for i in range(10_000):
+        name = f"q{i}"
+        names.setdefault(shard_map.shard_for(name), name)
+        if len(names) == shards:
+            return names[0], names[1]
+    raise AssertionError("could not cover both shards")
+
+
+class TestCompaction:
+    def test_fully_resolved_decisions_are_reclaimed(self, tmp_path):
+        with ShardCoordinator(
+            2, data_dir=str(tmp_path), timeout=TIMEOUT
+        ) as fleet:
+            q0, q1 = two_queues()
+            broker = ShardedQueueBroker(fleet)
+            broker.create_queue(q0)
+            broker.create_queue(q1)
+            for i in range(5):
+                broker.publish_atomic(
+                    [(q0, Message(payload=f"a{i}")),
+                     (q1, Message(payload=f"b{i}"))]
+                )
+            assert len(fleet.decisions) == 5
+            assert fleet.compact_decisions() == 5
+            assert len(fleet.decisions) == 0
+            # Idempotent; and later transactions journal normally.
+            assert fleet.compact_decisions() == 0
+            broker.publish_atomic(
+                [(q0, Message(payload="x")), (q1, Message(payload="y"))]
+            )
+            assert len(fleet.decisions) == 1
+
+    def test_indoubt_decisions_survive_compaction_and_resolve(self, tmp_path):
+        """A decide-window crash leaves shard 1 in doubt.  Compaction
+        with the shard down must keep that decision; after restart the
+        (compacted) journal still resolves it to COMMITTED."""
+        with ShardCoordinator(
+            2, data_dir=str(tmp_path), timeout=TIMEOUT
+        ) as fleet:
+            q0, q1 = two_queues()
+            broker = ShardedQueueBroker(fleet)
+            broker.create_queue(q0)
+            broker.create_queue(q1)
+            # A fully resolved transaction (compactable)...
+            resolved_gtid = broker.publish_atomic(
+                [(q0, Message(payload="r0")), (q1, Message(payload="r1"))]
+            )
+            # ...then one whose decide round kills shard 1 (in doubt).
+            fleet.restart_worker(
+                1,
+                fault={
+                    "failpoint": "shard.decide",
+                    "action": "exit",
+                    "code": 3,
+                    "seed": 5,
+                    "max_fires": 1,
+                },
+            )
+            indoubt_gtid = broker.publish_atomic(
+                [(q0, Message(payload="x")), (q1, Message(payload="y"))]
+            )
+            assert not fleet.worker(1).alive
+            assert len(fleet.decisions) == 2
+            # Shard 1 is unreachable, and it participates in both
+            # gtids: compaction cannot confirm resolution there, so it
+            # must keep everything — even the one already resolved.
+            assert fleet.compact_decisions() == 0
+            remaining = {row["gtid"] for row in fleet.decisions.rows()}
+            assert remaining == {resolved_gtid, indoubt_gtid}
+
+            summary = fleet.restart_worker(1)
+            assert summary["resolved"] == {indoubt_gtid: "committed"}
+            assert broker.depth(q1) == 2  # both transactions, exactly once
+            # Now both are resolved everywhere and reclaimable.
+            assert fleet.compact_decisions() == 2
+            assert len(fleet.decisions) == 0
+
+    def test_compacted_journal_survives_coordinator_restart(self, tmp_path):
+        """Compaction rewrites durable state; a reopened coordinator
+        must see the compacted journal and still resolve what's left."""
+        data_dir = str(tmp_path)
+        q0, q1 = two_queues()
+        with ShardCoordinator(2, data_dir=data_dir, timeout=TIMEOUT) as fleet:
+            broker = ShardedQueueBroker(fleet)
+            broker.create_queue(q0)
+            broker.create_queue(q1)
+            broker.publish_atomic(
+                [(q0, Message(payload="a")), (q1, Message(payload="b"))]
+            )
+            # Compact while healthy: the first decision is reclaimed
+            # and that deletion hits the durable journal.
+            assert fleet.compact_decisions() == 1
+            fleet.restart_worker(
+                1,
+                fault={
+                    "failpoint": "shard.decide",
+                    "action": "exit",
+                    "code": 3,
+                    "seed": 6,
+                    "max_fires": 1,
+                },
+            )
+            indoubt_gtid = broker.publish_atomic(
+                [(q0, Message(payload="x")), (q1, Message(payload="y"))]
+            )
+            assert [row["gtid"] for row in fleet.decisions.rows()] == [
+                indoubt_gtid
+            ]
+
+        with ShardCoordinator(2, data_dir=data_dir, timeout=TIMEOUT) as fleet:
+            # The reopened coordinator resolved shard 1's in-doubt gtid
+            # from the compacted journal during startup.
+            assert fleet.decisions.decision_for(indoubt_gtid) == "committed"
+            assert fleet.worker(1).call("list_indoubt") == []
+            assert (
+                fleet.worker(1).call("twopc_state", {"gtid": indoubt_gtid})
+                == "committed"
+            )
+            broker = ShardedQueueBroker(fleet)
+            assert broker.depth(q1) == 2

@@ -12,6 +12,7 @@ import pytest
 from repro.errors import (
     QueueNotFoundError,
     ShardError,
+    ShardUnavailable,
     ShardWorkerDied,
 )
 from repro.events import Event
@@ -220,10 +221,39 @@ class TestWorkerDeath:
         q1 = names[1][0]
         broker.create_queue(q1)
         fleet.worker(1).kill()
-        with pytest.raises(ShardWorkerDied):
+        # Default policies fail fast with the degraded-mode error (the
+        # raw ShardWorkerDied is a coordinator-level detail now).
+        with pytest.raises(ShardUnavailable):
             broker.publish(q1, Message(payload="x"))
         # The other shard keeps serving.
         q0 = names[0][0]
         broker.create_queue(q0)
         broker.publish(q0, Message(payload="ok"))
         assert broker.depth(q0) == 1
+
+    def test_broadcast_returns_partial_results_with_missing(self, fleet):
+        """Fleet-wide fan-outs degrade to partial answers: a dead shard
+        lands in ``missing`` (with its error) instead of poisoning the
+        whole broadcast."""
+        broker = ShardedQueueBroker(fleet)
+        names = queue_names_per_shard(2)
+        q0, q1 = names[0][0], names[1][0]
+        broker.create_queue(q0)
+        broker.create_queue(q1)
+        broker.publish(q0, Message(payload="a"))
+        fleet.worker(1).kill()
+
+        view = fleet.metrics_by_shard()
+        assert view.missing == [1]
+        assert 0 in view and 1 not in view
+        assert isinstance(view.errors[1], ShardWorkerDied)
+
+        # Queue-level stats survive too: shard 0's queues are there.
+        stats = broker.stats()
+        assert stats[q0]["enqueued"] == 1
+        assert q1 not in stats
+
+        # strict mode still propagates the failure for callers that
+        # need all-or-nothing semantics.
+        with pytest.raises(ShardWorkerDied):
+            fleet.broadcast("stats", strict=True)

@@ -1,0 +1,157 @@
+"""Replication-layer tests: log shipping, id translation, reseeding.
+
+Replica state is observed through the replica's own channel (``depth``
+/ ``browse_ids`` are read ops a replica serves); the invariant under
+test is always *convergence with what the coordinator acknowledged*,
+never byte-identical engines — replicas assign their own rowids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ShardWorkerError
+from repro.queues.message import Message
+from repro.shard import ShardCoordinator, ShardedQueueBroker, ShardMap
+
+pytestmark = pytest.mark.shard
+
+TIMEOUT = 20.0
+
+
+def two_queues(shards: int = 2) -> tuple[str, str]:
+    shard_map = ShardMap(range(shards))
+    names: dict[int, str] = {}
+    for i in range(10_000):
+        name = f"q{i}"
+        names.setdefault(shard_map.shard_for(name), name)
+        if len(names) == shards:
+            return names[0], names[1]
+    raise AssertionError("could not cover both shards")
+
+
+@pytest.fixture()
+def fleet():
+    with ShardCoordinator(2, replication_factor=1, timeout=TIMEOUT) as c:
+        yield c
+
+
+def replica_depth(coordinator, shard_id: int, queue: str) -> int:
+    replica = coordinator.live_replica(shard_id)
+    assert replica is not None
+    return replica.handle.call("depth", {"queue": queue})
+
+
+class TestLogShipping:
+    def test_publishes_and_acks_converge_on_the_replica(self, fleet):
+        broker = ShardedQueueBroker(fleet)
+        broker.create_queue("orders")
+        shard_id = broker.shard_for("orders")
+        ids = broker.publish_batch(
+            "orders", [Message(payload={"i": i}) for i in range(6)]
+        )
+        assert replica_depth(fleet, shard_id, "orders") == 6
+
+        # Ack by primary id — the replica must translate through its
+        # id map, not assume rowids line up.
+        consumed = broker.consume_batch("orders", 2)
+        broker.ack_batch("orders", [m.message_id for m in consumed])
+        assert broker.depth("orders") == 4
+        assert replica_depth(fleet, shard_id, "orders") == 4
+        assert fleet.replicator.lag(shard_id)["lag_ops"] == 0
+        assert ids == list(range(1, 7))
+
+    def test_consume_without_ack_is_not_replicated(self, fleet):
+        """Lock state is deliberately local: a replica keeps consumed-
+        but-unacked messages READY, so promotion redelivers them
+        (at-least-once, same as a primary restart)."""
+        broker = ShardedQueueBroker(fleet)
+        broker.create_queue("orders")
+        shard_id = broker.shard_for("orders")
+        broker.publish_batch("orders", [Message(payload=i) for i in range(4)])
+        broker.consume_batch("orders", 3)  # locked on primary only
+        assert broker.depth("orders") == 1
+        assert replica_depth(fleet, shard_id, "orders") == 4
+
+    def test_replica_refuses_direct_mutations(self, fleet):
+        broker = ShardedQueueBroker(fleet)
+        broker.create_queue("orders")
+        shard_id = broker.shard_for("orders")
+        replica = fleet.live_replica(shard_id)
+        with pytest.raises(ShardWorkerError, match="refuses"):
+            replica.handle.call(
+                "publish_batch",
+                {"queue": "orders", "messages": [{"payload": "rogue"}]},
+            )
+        # Reads are fine.
+        assert replica.handle.call("depth", {"queue": "orders"}) == 0
+
+    def test_lag_is_visible_when_shipping_is_deferred(self):
+        with ShardCoordinator(
+            2, replication_factor=1, auto_ship=False, timeout=TIMEOUT
+        ) as fleet:
+            broker = ShardedQueueBroker(fleet)
+            broker.create_queue("orders")
+            shard_id = broker.shard_for("orders")
+            broker.publish_batch(
+                "orders", [Message(payload=i) for i in range(5)]
+            )
+            lag = fleet.replicator.lag(shard_id)
+            assert lag["lag_ops"] == 2  # create_queue + publish entries
+            # Nothing shipped yet: the replica doesn't even have the queue.
+            replica = fleet.live_replica(shard_id)
+            assert "orders" not in replica.handle.call("ping")["queues"]
+            fleet.replicator.ship(shard_id)
+            assert fleet.replicator.lag(shard_id)["lag_ops"] == 0
+            assert replica_depth(fleet, shard_id, "orders") == 5
+            # Shipped entries the slowest replica acked are trimmed.
+            assert len(fleet.replicator.log_for(shard_id)) == 0
+
+    def test_two_phase_commit_effects_reach_replicas(self, fleet):
+        q0, q1 = two_queues()
+        broker = ShardedQueueBroker(fleet)
+        broker.create_queue(q0)
+        broker.create_queue(q1)
+        gtid = broker.publish_atomic(
+            [(q0, Message(payload="x")), (q1, Message(payload="y"))]
+        )
+        assert gtid is not None
+        assert replica_depth(fleet, 0, q0) == 1
+        assert replica_depth(fleet, 1, q1) == 1
+
+    def test_single_shard_atomic_path_reaches_replicas(self, fleet):
+        broker = ShardedQueueBroker(fleet)
+        broker.create_queue("orders")
+        shard_id = broker.shard_for("orders")
+        assert broker.publish_atomic(
+            [("orders", Message(payload="a")), ("orders", Message(payload="b"))]
+        ) is None
+        assert replica_depth(fleet, shard_id, "orders") == 2
+
+
+class TestReseeding:
+    def test_reseed_after_primary_restart(self, tmp_path):
+        """A restarted primary may have lost a group-commit-buffered
+        tail the replicas already applied; reseeding snaps them back to
+        exactly the primary's recovered state."""
+        with ShardCoordinator(
+            2,
+            data_dir=str(tmp_path),
+            replication_factor=1,
+            group_commit_size=1,
+            timeout=TIMEOUT,
+        ) as fleet:
+            broker = ShardedQueueBroker(fleet)
+            broker.create_queue("orders")
+            shard_id = broker.shard_for("orders")
+            broker.publish_batch(
+                "orders", [Message(payload=i) for i in range(8)]
+            )
+            consumed = broker.consume_batch("orders", 3)
+            broker.ack_batch("orders", [m.message_id for m in consumed])
+            fleet.restart_worker(shard_id, graceful=False)
+            assert broker.depth("orders") == 5
+            assert replica_depth(fleet, shard_id, "orders") == 5
+            # The shipped stream continues cleanly after the reseed.
+            broker.publish("orders", Message(payload="post-restart"))
+            assert replica_depth(fleet, shard_id, "orders") == 6
