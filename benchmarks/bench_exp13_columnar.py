@@ -1,0 +1,185 @@
+"""EXP-13 — Vectorized columnar execution vs row-at-a-time aggregation.
+
+The analytics path's aggregate SELECTs historically evaluated one
+compiled closure per row.  The columnar engine runs the same statements
+as scan→mask→reduce over a ColumnStore projection (numpy kernels, zero
+per-row Python calls).  This experiment sweeps table size and WHERE
+selectivity and reports both arms, their speedup, and a per-arm
+result-equivalence check — the speedup is only meaningful if both arms
+compute the same answer.
+
+Arms per (rows, selectivity) cell:
+
+* ``agg``   — ungrouped: ``SELECT count(*), sum, avg, min, max WHERE val < T``
+* ``group`` — grouped: ``SELECT grp, count(*), sum(val), avg(score) ...
+  GROUP BY grp`` (8 groups)
+
+Run standalone:  python benchmarks/bench_exp13_columnar.py [--quick]
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import sys
+import time
+
+try:
+    from benchmarks.reporting import print_table
+except ImportError:
+    from reporting import print_table
+
+from repro.clock import SimulatedClock
+from repro.db import Database
+from repro.db.sql import executor
+
+SIZES = [1_000, 10_000, 100_000, 500_000]
+QUICK_SIZES = [1_000, 10_000]
+SELECTIVITIES = [0.01, 0.1, 0.9]
+#: val is uniform over [0, VAL_RANGE); ``val < sel * VAL_RANGE``
+#: selects ~sel of the table.
+VAL_RANGE = 10_000
+GROUPS = 8
+
+
+def make_db(rows: int, seed: int = 13) -> Database:
+    rng = random.Random(seed)
+    db = Database(clock=SimulatedClock(), sync_policy="none")
+    db.execute("CREATE TABLE ev (id INT, grp TEXT, val INT, score REAL)")
+    batch = []
+    for i in range(rows):
+        batch.append(
+            {
+                "id": i,
+                "grp": f"g{rng.randrange(GROUPS)}",
+                "val": rng.randrange(VAL_RANGE),
+                # Integer-valued REAL keeps sums exactly representable,
+                # so the equivalence check can stay strict.
+                "score": float(rng.randrange(1_000)),
+            }
+        )
+        if len(batch) >= 10_000:
+            db.insert_many("ev", batch)
+            batch = []
+    if batch:
+        db.insert_many("ev", batch)
+    return db
+
+
+def _queries(selectivity: float) -> dict[str, str]:
+    threshold = int(selectivity * VAL_RANGE)
+    return {
+        "agg": (
+            "SELECT count(*), sum(val), avg(val), min(val), max(val)"
+            f" FROM ev WHERE val < {threshold}"
+        ),
+        "group": (
+            "SELECT grp, count(*), sum(val), avg(score)"
+            f" FROM ev WHERE val < {threshold} GROUP BY grp"
+        ),
+    }
+
+
+def _time_query(db: Database, query: str, repeats: int) -> tuple[float, list]:
+    best = math.inf
+    rows: list = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        rows = db.query(query)
+        best = min(best, time.perf_counter() - started)
+    return best, rows
+
+
+def _results_match(fast: list, slow: list) -> bool:
+    if len(fast) != len(slow):
+        return False
+
+    def key(row):
+        # Round floats in the sort key so last-ulp differences cannot
+        # misalign rows; the per-column check below stays strict.
+        return sorted(
+            (k, round(v, 6) if isinstance(v, float) else repr(v))
+            for k, v in row.items()
+        )
+
+    for fast_row, slow_row in zip(sorted(fast, key=key), sorted(slow, key=key)):
+        if set(fast_row) != set(slow_row):
+            return False
+        for column, fast_value in fast_row.items():
+            slow_value = slow_row[column]
+            if isinstance(fast_value, float) and isinstance(slow_value, float):
+                if not math.isclose(
+                    fast_value, slow_value, rel_tol=1e-12, abs_tol=1e-12
+                ):
+                    return False
+            elif fast_value != slow_value:
+                return False
+    return True
+
+
+def run_experiment(
+    sizes: list[int] | None = None,
+    selectivities: list[float] | None = None,
+    repeats: int = 3,
+) -> list[dict]:
+    sizes = sizes or SIZES
+    selectivities = selectivities or SELECTIVITIES
+    results: list[dict] = []
+    for rows in sizes:
+        db = make_db(rows)
+        # Warm the projection outside every timed region: steady-state
+        # analytics amortize the build across many queries.
+        db.query("SELECT count(*) FROM ev")
+        for selectivity in selectivities:
+            for shape, query in _queries(selectivity).items():
+                fast_before = executor.VECTOR_STATS["fast_path"]
+                vec_s, vec_rows = _time_query(db, query, repeats)
+                engaged = executor.VECTOR_STATS["fast_path"] > fast_before
+                previous = executor.set_vectorized(False)
+                try:
+                    row_s, row_rows = _time_query(db, query, repeats)
+                finally:
+                    executor.set_vectorized(previous)
+                results.append(
+                    {
+                        "rows": rows,
+                        "selectivity": selectivity,
+                        "shape": shape,
+                        "row_ms": round(row_s * 1e3, 3),
+                        "vec_ms": round(vec_s * 1e3, 3),
+                        "speedup": round(row_s / vec_s, 2) if vec_s else 0.0,
+                        "vectorized": engaged,
+                        "match": _results_match(vec_rows, row_rows),
+                    }
+                )
+    return results
+
+
+def test_exp13_shape():
+    """Smoke: the sweep runs, the fast path engages on every arm, and
+    both arms agree on every result."""
+    results = run_experiment(sizes=[1_000], selectivities=[0.1], repeats=1)
+    assert len(results) == 2
+    for row in results:
+        assert row["vectorized"], f"fast path did not engage: {row}"
+        assert row["match"], f"arms disagree: {row}"
+        assert row["vec_ms"] > 0 and row["row_ms"] > 0
+
+
+def main(quick: bool = False) -> None:
+    sizes = QUICK_SIZES if quick else SIZES
+    repeats = 2 if quick else 3
+    results = run_experiment(sizes=sizes, repeats=repeats)
+    print_table(
+        f"EXP-13: row vs vectorized aggregation (best of {repeats})",
+        results,
+        ["rows", "selectivity", "shape", "row_ms", "vec_ms", "speedup",
+         "vectorized", "match"],
+    )
+    mismatches = [row for row in results if not row["match"]]
+    if mismatches:
+        print(f"  EQUIVALENCE FAIL: {len(mismatches)} arm(s) disagree")
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

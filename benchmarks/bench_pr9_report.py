@@ -1,0 +1,139 @@
+"""PR-9 report: vectorized columnar execution, machine-readable.
+
+Writes ``BENCH_PR9.json`` at the repo root from the EXP-13 harness:
+one arm per (table size, WHERE selectivity, query shape) recording the
+row-path time, the vectorized time, the speedup, whether the fast path
+actually engaged, and whether both arms computed the same result.
+
+Acceptance bars:
+
+* **result equivalence** — hard bar, never gated: every arm's
+  vectorized result must match the row path (floats to relative
+  1e-12; see docs/architecture.md for why stddev is not bit-exact);
+* **fast path engagement** — hard bar, never gated: every arm in this
+  sweep is vector-eligible, so VECTOR_STATS must show the fast path
+  served it (a silent fallback would quietly benchmark the row path
+  against itself);
+* **speedup floor** — >= 5x at 100k rows / 10% selectivity (ungrouped
+  shape), gated on ``os.cpu_count() >= 2`` like PR-7/PR-8's timing
+  bars: on a 1-core box the interpreter, the GC, and whatever else CI
+  is running all contend with the timed region, so the ratio is
+  reported but only *enforced* with >= 2 cores.  In ``--quick`` mode
+  the 100k arm is not run and the bar is reported as skipped.
+
+Failures are printed as ``ACCEPTANCE FAIL`` lines, never raised, so a
+loaded CI box still produces a diffable report.
+
+Run:  python benchmarks/bench_pr9_report.py [--quick]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+try:
+    from benchmarks.bench_exp13_columnar import (
+        QUICK_SIZES,
+        SELECTIVITIES,
+        run_experiment,
+    )
+except ImportError:
+    from bench_exp13_columnar import QUICK_SIZES, SELECTIVITIES, run_experiment
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
+
+#: Vectorized must beat the row path by at least this factor on the
+#: reference arm (100k rows, 10% selectivity, ungrouped aggregates).
+SPEEDUP_FLOOR = 5.0
+REFERENCE_ROWS = 100_000
+REFERENCE_SELECTIVITY = 0.1
+REFERENCE_SHAPE = "agg"
+
+
+def build_report(quick: bool = False) -> dict:
+    sizes = QUICK_SIZES if quick else [1_000, 10_000, REFERENCE_ROWS]
+    repeats = 2 if quick else 3
+    arms = run_experiment(
+        sizes=sizes, selectivities=SELECTIVITIES, repeats=repeats
+    )
+    return {
+        "experiment": "PR-9 vectorized columnar execution (EXP-13)",
+        "quick": quick,
+        "cores": os.cpu_count() or 1,
+        "bars": {
+            "speedup_floor": SPEEDUP_FLOOR,
+            "reference_rows": REFERENCE_ROWS,
+            "reference_selectivity": REFERENCE_SELECTIVITY,
+        },
+        "exp13_arms": arms,
+    }
+
+
+def _check(report: dict) -> tuple[list[str], list[str]]:
+    """Returns (problems, skipped-bar notes)."""
+    problems: list[str] = []
+    skipped: list[str] = []
+    cores = report["cores"]
+    for arm in report["exp13_arms"]:
+        label = f"exp13/{arm['rows']}r/{arm['selectivity']}s/{arm['shape']}"
+        if not arm["match"]:
+            problems.append(
+                f"{label}: vectorized result differs from the row path"
+            )
+        if not arm["vectorized"]:
+            problems.append(
+                f"{label}: fast path did not engage on a vector-eligible query"
+            )
+    reference = next(
+        (
+            arm
+            for arm in report["exp13_arms"]
+            if arm["rows"] == REFERENCE_ROWS
+            and arm["selectivity"] == REFERENCE_SELECTIVITY
+            and arm["shape"] == REFERENCE_SHAPE
+        ),
+        None,
+    )
+    if reference is None:
+        skipped.append(
+            f"speedup bar skipped: {REFERENCE_ROWS}-row arm not in this "
+            "sweep (quick mode)"
+        )
+    elif cores < 2:
+        skipped.append(
+            f"speedup bar skipped (only {cores} core(s)); measured "
+            f"{reference['speedup']}x vs floor {SPEEDUP_FLOOR}x"
+        )
+    elif reference["speedup"] < SPEEDUP_FLOOR:
+        problems.append(
+            f"exp13 reference arm: speedup {reference['speedup']}x below "
+            f"the {SPEEDUP_FLOOR}x floor"
+        )
+    return problems, skipped
+
+
+def main(quick: bool = False) -> None:
+    report = build_report(quick=quick)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    for arm in report["exp13_arms"]:
+        print(
+            f"  {arm['rows']}r sel={arm['selectivity']} {arm['shape']}: "
+            f"row {arm['row_ms']}ms vec {arm['vec_ms']}ms "
+            f"({arm['speedup']}x) vectorized={arm['vectorized']} "
+            f"match={arm['match']}"
+        )
+    problems, skipped = _check(report)
+    for note in skipped:
+        print(f"  SKIPPED: {note}")
+    for problem in problems:
+        print(f"  ACCEPTANCE FAIL: {problem}")
+    if not problems:
+        print("  all applicable PR-9 acceptance bars met")
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

@@ -188,10 +188,7 @@ class MaterializedView:
             )
         self._table = table_name.lower()
         if snapshot is not None:
-            applied = 0
-            for row in snapshot:
-                if self._apply(row, +1):
-                    applied += 1
+            applied = self._apply_insert_batch(snapshot)
             if applied:
                 self._deltas_applied += applied
                 self._m_deltas.inc(applied)
@@ -214,19 +211,32 @@ class MaterializedView:
 
     def _fold_records(self, records: Iterable[Any]) -> None:
         applied = 0
+        # Runs of consecutive inserts (the common shape: bulk loads,
+        # append-mostly tables) fold as one batch; retractions flush
+        # the run first so per-group arrival order is preserved.
+        inserts: list[Any] = []
+
+        def flush_inserts() -> None:
+            if inserts:
+                self._apply_insert_batch(inserts)
+                inserts.clear()
+
         for record in records:
             if record.table != self._table:
                 continue
             if record.op == "insert":
-                self._apply(record.after, +1)
+                inserts.append(record.after)
             elif record.op == "delete":
+                flush_inserts()
                 self._apply(record.before, -1)
             elif record.op == "update":
+                flush_inserts()
                 self._apply(record.before, -1)
                 self._apply(record.after, +1)
             else:
                 continue
             applied += 1
+        flush_inserts()
         if applied:
             self._deltas_applied += applied
             self._m_deltas.inc(applied)
@@ -260,18 +270,18 @@ class MaterializedView:
     def apply_batch(self, events: Iterable[Event]) -> int:
         """Fold a batch of events as ONE view update; returns the
         number of deltas applied (rows passing the view predicate)."""
-        applied = 0
+        rows: list[_RowContext] = []
         for event in events:
             row = _RowContext(event.payload)
             row.setdefault("event_type", event.event_type)
             row.setdefault("timestamp", event.timestamp)
-            if self._apply(row, +1):
-                applied += 1
+            rows.append(row)
             if (
                 self._last_timestamp is None
                 or event.timestamp > self._last_timestamp
             ):
                 self._last_timestamp = event.timestamp
+        applied = self._apply_insert_batch(rows)
         if applied:
             self._deltas_applied += applied
             self._m_deltas.inc(applied)
@@ -281,6 +291,56 @@ class MaterializedView:
         return applied
 
     # -- delta application ---------------------------------------------------
+
+    def _apply_insert_batch(
+        self, rows: Iterable[Mapping[str, Any] | None]
+    ) -> int:
+        """Fold many +1 rows as one batch: rows group by view key and
+        each aggregate absorbs its per-group values via ``add_batch``
+        (one call per aggregate per group instead of one per row).
+        Per-group arrival order is preserved, so order-sensitive float
+        states stay identical to per-row application.  Returns the
+        number of rows that passed the view predicate; counters are the
+        caller's responsibility (entry points differ in what they
+        count)."""
+        by_key: dict[Any, list[dict[str, Any]]] = {}
+        applied = 0
+        for row in rows:
+            if row is None:
+                continue
+            if not isinstance(row, _RowContext):
+                row = _RowContext(row)
+            delta = self._delta_fn(row)
+            if delta is None:
+                continue
+            key, values = delta
+            by_key.setdefault(key, []).append(values)
+            applied += 1
+        if not applied:
+            return 0
+        if not self._delta_capable:
+            for key, values_list in by_key.items():
+                self._retained.setdefault(key, []).extend(values_list)
+            return applied
+        for key, values_list in by_key.items():
+            group = self._groups.get(key)
+            if group is None:
+                group = {
+                    output: factory()
+                    for output, factory in self._factories.items()
+                }
+                self._groups[key] = group
+                self._group_rows[key] = 0
+            for output, fn in group.items():
+                batch = [
+                    values[output]
+                    for values in values_list
+                    if values[output] is not None
+                ]
+                if batch:
+                    fn.add_batch(batch)
+            self._group_rows[key] += len(values_list)
+        return applied
 
     def _apply(self, row: Mapping[str, Any] | None, sign: int) -> bool:
         if row is None:
@@ -338,10 +398,9 @@ class MaterializedView:
         result: dict[str, Any] = {}
         for output, factory in self._factories.items():
             fn = factory()
-            for values in rows:
-                value = values[output]
-                if value is not None:
-                    fn.add(value)
+            fn.add_batch(
+                [values[output] for values in rows if values[output] is not None]
+            )
             result[output] = fn.result()
         return result
 

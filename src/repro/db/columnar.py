@@ -1,0 +1,261 @@
+"""Columnar secondary projection of a heap table.
+
+A :class:`ColumnStore` shadows one :class:`repro.db.storage.HeapTable`
+with per-column typed numpy arrays plus null masks — the batch-at-a-time
+representation the vectorized executor fast path (and the IVM batch
+folds) reduce over.  The heap stays the single source of truth; the
+store is a cache with a narrow consistency protocol driven by the
+table's mutation hooks:
+
+* **insert** appends the new row to a pending tail that is encoded into
+  the arrays lazily, in one batch, on the next read;
+* **update / delete / restore** invalidate the whole projection (column
+  segments cannot cheaply splice), and the next read rebuilds it from
+  the heap with :meth:`HeapTable.scan_internal`;
+* reads happen under the database's shared table lock, so a batch
+  handed out by :meth:`batch` is consistent with the heap for the
+  duration of the statement.
+
+Column encodings:
+
+* INT and BOOL columns are ``int64`` arrays (``compare_values`` folds
+  bools to ints, so this loses nothing); REAL and TIMESTAMP are
+  ``float64``; NULLs store a zero fill plus a ``True`` bit in the
+  column's null mask.
+* TEXT columns are dictionary-encoded: a *sorted* array of distinct
+  strings plus an ``int64`` code per row.  Sorting the dictionary makes
+  ordered comparisons against constants a ``searchsorted`` on codes.
+* JSON columns (and INT columns whose values overflow int64) are not
+  vectorizable; expressions touching them fall back to the row path.
+
+GC note: the store retains O(columns) numpy arrays, one encode dict per
+TEXT column, and nothing per row — BENCH_PR4's perf cliffs were gen-2
+GC walks over per-row Python objects, and this layer must not
+reintroduce one (regression-gated by the columnar GC test).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Mapping
+
+try:  # numpy is a declared dependency, but degrade gracefully without it
+    import numpy as np
+except ImportError:  # pragma: no cover - the environment bakes numpy in
+    np = None  # type: ignore[assignment]
+
+from repro.db import types as _types
+
+if TYPE_CHECKING:
+    from repro.db.schema import TableSchema
+    from repro.db.storage import HeapTable
+
+#: INT constants beyond this magnitude are not representable exactly in
+#: the vector kernels (int64/f64 conversion hazards); queries comparing
+#: against them fall back to the row path.
+INT64_SAFE_BOUND = 2**62
+
+
+def vector_kinds(schema: "TableSchema") -> dict[str, str]:
+    """Map each vectorizable column to its kernel kind.
+
+    Kinds: ``int`` / ``real`` / ``bool`` (numeric arrays) and ``text``
+    (dictionary codes).  JSON columns are omitted — an expression that
+    references an omitted column does not vector-compile, which is the
+    fallback contract.  Memoized on the schema object.
+    """
+    cached = schema.__dict__.get("_vector_kinds_memo")
+    if cached is not None:
+        return cached
+    kinds: dict[str, str] = {}
+    for column in schema.columns:
+        col_type = column.col_type
+        if col_type is _types.INT:
+            kinds[column.name] = "int"
+        elif col_type is _types.REAL or col_type is _types.TIMESTAMP:
+            kinds[column.name] = "real"
+        elif col_type is _types.BOOL:
+            kinds[column.name] = "bool"
+        elif col_type is _types.TEXT:
+            kinds[column.name] = "text"
+    schema._vector_kinds_memo = kinds
+    return kinds
+
+
+class ColumnSeries:
+    """One column's arrays: values (or text codes), null mask, and —
+    for text — the sorted dictionary the codes index into."""
+
+    __slots__ = ("kind", "values", "nulls", "dictionary")
+
+    def __init__(self, kind: str, values: Any, nulls: Any, dictionary: Any = None):
+        self.kind = kind  # "num" | "text"
+        self.values = values
+        self.nulls = nulls
+        self.dictionary = dictionary
+
+
+class ColumnBatch:
+    """A consistent, read-only view over a ColumnStore's arrays.
+
+    This is the object vector kernels evaluate against: ``n`` rows,
+    ``series(name)`` per column (``None`` when the column could not be
+    encoded — the runtime fallback signal), and the aligned ``rowids``
+    array the executor uses to fetch representative rows."""
+
+    __slots__ = ("n", "rowids", "_series")
+
+    def __init__(self, n: int, rowids: Any, series: dict[str, ColumnSeries]):
+        self.n = n
+        self.rowids = rowids
+        self._series = series
+
+    def series(self, name: str) -> ColumnSeries | None:
+        return self._series.get(name)
+
+
+class ColumnStore:
+    """Lazily built columnar projection of one heap table."""
+
+    def __init__(self, table: "HeapTable") -> None:
+        if np is None:  # pragma: no cover
+            raise RuntimeError("ColumnStore requires numpy")
+        self._table = table
+        self._lock = threading.Lock()
+        self._kinds = vector_kinds(table.schema)
+        self._dirty = True
+        # Rows inserted since the last build, as (rowid, stored-row)
+        # references (stored rows are never mutated in place, so holding
+        # references is safe).  Encoded in one batch on the next read.
+        self._pending: list[tuple[int, Mapping[str, Any]]] = []
+        self._rowids: Any = None
+        self._columns: dict[str, ColumnSeries] = {}
+        # Diagnostics (asserted on by the consistency tests).
+        self.rebuilds = 0
+        self.append_batches = 0
+
+    # -- mutation hooks (called by HeapTable with storage already updated)
+
+    def note_insert(self, rowid: int, row: Mapping[str, Any]) -> None:
+        if not self._dirty:
+            self._pending.append((rowid, row))
+
+    def note_mutation(self) -> None:
+        """Update/delete/restore: invalidate; next read rebuilds."""
+        if not self._dirty:
+            self._dirty = True
+            self._pending.clear()
+
+    # -- reads -------------------------------------------------------------
+
+    def batch(self) -> ColumnBatch:
+        """The current consistent view, (re)building or flushing the
+        pending insert tail as needed."""
+        with self._lock:
+            if self._dirty:
+                self._rebuild()
+            elif self._pending:
+                self._flush_pending()
+            return ColumnBatch(
+                int(self._rowids.shape[0]), self._rowids, dict(self._columns)
+            )
+
+    # -- encoding ----------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        rows = list(self._table.scan_internal())
+        self._rowids = np.fromiter(
+            (rowid for rowid, _row in rows), dtype=np.int64, count=len(rows)
+        )
+        self._columns = {}
+        for name, kind in self._kinds.items():
+            series = self._encode_column(name, kind, [row for _rowid, row in rows])
+            if series is not None:
+                self._columns[name] = series
+        self._pending.clear()
+        self._dirty = False
+        self.rebuilds += 1
+
+    def _flush_pending(self) -> None:
+        pending, self._pending = self._pending, []
+        tail_rowids = np.fromiter(
+            (rowid for rowid, _row in pending), dtype=np.int64, count=len(pending)
+        )
+        self._rowids = np.concatenate([self._rowids, tail_rowids])
+        tail_rows = [row for _rowid, row in pending]
+        for name in list(self._columns):
+            base = self._columns[name]
+            tail = self._encode_column(name, self._kinds[name], tail_rows)
+            if tail is None:
+                del self._columns[name]  # overflow mid-append: drop column
+                continue
+            if base.kind == "text":
+                self._columns[name] = _append_text(base, tail)
+            else:
+                self._columns[name] = ColumnSeries(
+                    "num",
+                    np.concatenate([base.values, tail.values]),
+                    np.concatenate([base.nulls, tail.nulls]),
+                )
+        self.append_batches += 1
+
+    def _encode_column(
+        self, name: str, kind: str, rows: list[Mapping[str, Any]]
+    ) -> ColumnSeries | None:
+        raw = [row[name] for row in rows]
+        nulls = np.fromiter(
+            (value is None for value in raw), dtype=np.bool_, count=len(raw)
+        )
+        if kind == "text":
+            distinct = sorted({value for value in raw if value is not None})
+            dictionary = np.array(distinct, dtype=object)
+            encode = {value: code for code, value in enumerate(distinct)}
+            codes = np.fromiter(
+                (0 if value is None else encode[value] for value in raw),
+                dtype=np.int64,
+                count=len(raw),
+            )
+            return ColumnSeries("text", codes, nulls, dictionary)
+        if kind == "real":
+            values = np.fromiter(
+                (0.0 if value is None else value for value in raw),
+                dtype=np.float64,
+                count=len(raw),
+            )
+            return ColumnSeries("num", values, nulls)
+        # int / bool -> int64 (compare_values folds bool to int anyway)
+        try:
+            values = np.fromiter(
+                (0 if value is None else int(value) for value in raw),
+                dtype=np.int64,
+                count=len(raw),
+            )
+        except OverflowError:
+            return None  # unbounded Python ints: this column is row-path only
+        return ColumnSeries("num", values, nulls)
+
+
+def _append_text(base: ColumnSeries, tail: ColumnSeries) -> ColumnSeries:
+    """Concatenate two text series, merging dictionaries and remapping
+    codes so the combined dictionary stays sorted."""
+    if tail.dictionary.shape[0] == 0:
+        merged = base.dictionary
+        base_codes = base.values
+        tail_codes = tail.values
+    elif base.dictionary.shape[0] == 0:
+        merged = tail.dictionary
+        base_codes = base.values
+        tail_codes = tail.values
+    else:
+        merged_list = sorted(set(base.dictionary.tolist()) | set(tail.dictionary.tolist()))
+        merged = np.array(merged_list, dtype=object)
+        base_remap = np.searchsorted(merged, base.dictionary)
+        tail_remap = np.searchsorted(merged, tail.dictionary)
+        base_codes = base_remap[base.values]
+        tail_codes = tail_remap[tail.values]
+    return ColumnSeries(
+        "text",
+        np.concatenate([base_codes, tail_codes]).astype(np.int64, copy=False),
+        np.concatenate([base.nulls, tail.nulls]),
+        merged,
+    )

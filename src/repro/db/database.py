@@ -1013,7 +1013,10 @@ class Database(StorageEngine):
                 )
             tables_meta[table.name] = {
                 "schema": schema_to_dict(table.schema),
-                "rows": {str(rowid): row for rowid, row in table.snapshot().items()},
+                # scan_internal: checkpoint meta is JSON-encoded at append
+                # time (or held only by readers that never write), and
+                # stored rows are never mutated in place, so no copies.
+                "rows": {str(rowid): row for rowid, row in table.scan_internal()},
                 "indexes": indexes,
             }
         scratch = self.transactions.begin()

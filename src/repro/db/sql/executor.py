@@ -25,8 +25,11 @@ from repro.db.expr import (
     Like,
     Literal,
     UnaryOp,
+    VectorFallback,
     compile_expression,
     compile_predicate,
+    compile_vector_extractor,
+    compile_vector_predicate,
     evaluate_predicate,
 )
 from repro.db.index import _sort_key
@@ -317,36 +320,47 @@ def _execute_select(db: "Database", conn: "Connection", stmt: Select) -> Result:
         db.lock_table_shared(conn, join.table)
 
     where = _resolve_subqueries(db, conn, stmt.where)
+    aggregate_nodes = _collect_aggregates(stmt)
+    source_rows: list[dict[str, Any]] = []
+    output_pairs: list[tuple[dict[str, Any], dict[str, Any]]] | None = None
 
     if not stmt.joins:
-        # Single-table SELECT: let the planner pick an index path.  The
-        # path re-applies the full WHERE as a residual filter, so no
-        # second filtering pass is needed.  Qualified references in the
-        # WHERE (``o.price``) still resolve: ColumnRef falls back to the
-        # bare column name.
         table = db.catalog.table(stmt.table)
         base_alias = stmt.alias or stmt.table
-        path = plan_access(table, where)
-        source_rows = [
-            _qualify(row, base_alias) for _rowid, row in path.rows()
-        ]
+        if stmt.group_by or aggregate_nodes:
+            # Aggregate over one table: try scan→mask→reduce over the
+            # columnar projection.  Returns None (ineligible shape, or
+            # a kernel raised VectorFallback) -> row path below.
+            output_pairs = _try_vectorized(
+                table, base_alias, stmt, where, aggregate_nodes
+            )
+        if output_pairs is None:
+            # Single-table SELECT: let the planner pick an index path.
+            # The path re-applies the full WHERE as a residual filter,
+            # so no second filtering pass is needed.  Qualified
+            # references in the WHERE (``o.price``) still resolve:
+            # ColumnRef falls back to the bare column name.
+            path = plan_access(table, where)
+            source_rows = [
+                _qualify(row, base_alias) for _rowid, row in path.rows()
+            ]
     else:
         source_rows = list(_scan_from_clause(db, stmt))
         if where is not None:
             where_predicate = compile_predicate(where)
             source_rows = [row for row in source_rows if where_predicate(row)]
 
-    aggregate_nodes = _collect_aggregates(stmt)
-    if stmt.group_by or aggregate_nodes:
-        output_pairs = _execute_grouped(stmt, source_rows, aggregate_nodes)
-    else:
-        output_pairs = []
-        ordinal = [0]
-        for row in source_rows:
-            projected, columns = _project(
-                stmt.items, row, aggregates=None, ordinal=ordinal
-            )
-            output_pairs.append((projected, row))
+    if output_pairs is None:
+        if stmt.group_by or aggregate_nodes:
+            output_pairs = _execute_grouped(stmt, source_rows, aggregate_nodes)
+        else:
+            output_pairs = []
+            ordinal = [0]
+            for row in source_rows:
+                projected, columns = _project(
+                    stmt.items, row, aggregates=None, ordinal=ordinal
+                )
+                output_pairs.append((projected, row))
 
     columns = _output_columns(stmt, source_rows)
 
@@ -417,7 +431,7 @@ def _scan_from_clause(db: "Database", stmt: Select) -> Iterator[dict[str, Any]]:
     base_alias = stmt.alias or stmt.table
 
     rows: Iterator[dict[str, Any]] = (
-        _qualify(row, base_alias) for _rowid, row in base_table.scan()
+        _qualify(row, base_alias) for _rowid, row in base_table.scan_internal()
     )
     for join in stmt.joins:
         rows = _apply_join(db, rows, join)
@@ -436,7 +450,9 @@ def _apply_join(
 ) -> Iterator[dict[str, Any]]:
     right_table = db.catalog.table(join.table)
     right_alias = join.alias or join.table
-    right_rows = [_qualify(row, right_alias) for _rowid, row in right_table.scan()]
+    right_rows = [
+        _qualify(row, right_alias) for _rowid, row in right_table.scan_internal()
+    ]
     on_predicate = compile_predicate(join.on)
 
     # Equi-join fast path: build a hash table on the right side.
@@ -521,6 +537,371 @@ def _equi_join_columns(
             if referenced != right_alias:
                 return first, second.full_name
     return None
+
+
+# --------------------------------------------------------------------------
+# Vectorized aggregate fast path
+# --------------------------------------------------------------------------
+#
+# Eligible shape: single-table SELECT (no joins, no ``*`` items, no
+# DISTINCT aggregates) whose WHERE, GROUP BY keys, and aggregate
+# arguments all vector-compile against the table's column kinds.  The
+# statement then runs scan→mask→reduce over the table's
+# :class:`~repro.db.columnar.ColumnStore` — zero per-row Python closure
+# calls — and feeds the same :func:`_finalize_groups` tail as the row
+# path.  Anything else (including a kernel raising
+# :class:`VectorFallback` at runtime) reruns on the row path unchanged.
+
+_VECTORIZED_ENABLED = True
+
+#: Observability counters, also asserted on by the fast-path smoke
+#: tests: fast_path counts statements served from the ColumnStore,
+#: fallback_compile counts ineligible statements, fallback_runtime
+#: counts batches a compiled kernel refused (e.g. unencodable column).
+VECTOR_STATS = {"fast_path": 0, "fallback_compile": 0, "fallback_runtime": 0}
+
+
+def set_vectorized(enabled: bool) -> bool:
+    """Toggle the columnar fast path; returns the previous setting."""
+    global _VECTORIZED_ENABLED
+    previous = _VECTORIZED_ENABLED
+    _VECTORIZED_ENABLED = bool(enabled)
+    return previous
+
+
+def _try_vectorized(
+    table: Any,
+    base_alias: str,
+    stmt: Select,
+    where: Expression | None,
+    aggregate_nodes: list[AggregateCall],
+) -> list[tuple[dict[str, Any], dict[str, Any]]] | None:
+    if not _VECTORIZED_ENABLED:
+        return None
+    from repro.db import columnar
+
+    np = columnar.np
+    if np is None:
+        return None
+    if any(item.is_star for item in stmt.items):
+        VECTOR_STATS["fallback_compile"] += 1
+        return None
+    if any(node.distinct for node in aggregate_nodes):
+        VECTOR_STATS["fallback_compile"] += 1
+        return None
+
+    kinds = columnar.vector_kinds(table.schema)
+    try:
+        where_fn = (
+            compile_vector_predicate(where, kinds) if where is not None else None
+        )
+        key_extractors = [
+            compile_vector_extractor(expression, kinds)
+            for expression in stmt.group_by
+        ]
+        agg_specs: dict[str, tuple[str, str, Any]] = {}
+        for node in aggregate_nodes:
+            key = _aggregate_key(node)
+            if key in agg_specs:
+                continue
+            if node.argument is None:  # COUNT(*)
+                agg_specs[key] = (node.name, "star", None)
+                continue
+            flavor, payload = compile_vector_extractor(node.argument, kinds)
+            if node.name in ("sum", "avg", "stddev"):
+                # The row path raises on textual values here (sum of
+                # str); fall back so it raises identically.
+                if flavor == "text":
+                    raise VectorFallback("text argument to numeric aggregate")
+                if flavor == "const" and not (
+                    payload is None or isinstance(payload, (bool, int, float))
+                ):
+                    raise VectorFallback("non-numeric constant aggregate argument")
+            agg_specs[key] = (node.name, flavor, payload)
+    except VectorFallback:
+        VECTOR_STATS["fallback_compile"] += 1
+        return None
+
+    try:
+        result = _run_vectorized(
+            table, base_alias, stmt, where_fn, key_extractors, agg_specs, np
+        )
+    except VectorFallback:
+        VECTOR_STATS["fallback_runtime"] += 1
+        return None
+    VECTOR_STATS["fast_path"] += 1
+    return result
+
+
+def _run_vectorized(
+    table: Any,
+    base_alias: str,
+    stmt: Select,
+    where_fn: Any,
+    key_extractors: list[tuple[str, Any]],
+    agg_specs: dict[str, tuple[str, str, Any]],
+    np: Any,
+) -> list[tuple[dict[str, Any], dict[str, Any]]]:
+    batch = table.column_store().batch()
+    if where_fn is not None:
+        idx = np.flatnonzero(where_fn(batch))
+    else:
+        idx = np.arange(batch.n)
+    k = int(idx.shape[0])
+
+    # Each distinct extractor closure is evaluated once per statement
+    # and restricted to the WHERE-selected rows; shared sub-expressions
+    # between GROUP BY keys and aggregate arguments share the work.
+    evaluated: dict[int, tuple] = {}
+
+    def run_extractor(flavor: str, payload: Any) -> tuple:
+        if flavor == "const":
+            return ("const", payload)
+        cache_key = id(payload)
+        cached = evaluated.get(cache_key)
+        if cached is None:
+            raw = payload(batch)
+            if flavor == "text":
+                cached = ("text", raw[0][idx], ~raw[1][idx], raw[2])
+            elif flavor == "bool":
+                cached = ("bool", raw[0][idx], ~raw[1][idx])
+            else:
+                cached = ("num", raw[0][idx], ~raw[1][idx])
+            evaluated[cache_key] = cached
+        return cached
+
+    if not stmt.group_by:
+        aggregate_values = {}
+        for key, (name, flavor, payload) in agg_specs.items():
+            if flavor == "star":
+                aggregate_values[key] = k
+            else:
+                aggregate_values[key] = _ungrouped_aggregate(
+                    name, run_extractor(flavor, payload), k, np
+                )
+        representative = _vector_representative(
+            table, base_alias, batch, idx, 0
+        ) if k else {}
+        return _finalize_groups(stmt, [(representative, aggregate_values)])
+
+    if k == 0:
+        return _finalize_groups(stmt, [])  # No rows -> no groups.
+
+    # Dense per-key codes (0 = NULL, like the row path's _hash_fold
+    # tuple keys: equal raw values get equal codes within one column).
+    code_arrays = []
+    for flavor, payload in key_extractors:
+        data = run_extractor(flavor, payload)
+        if data[0] == "const":
+            code_arrays.append(np.zeros(k, dtype=np.int64))
+        elif data[0] == "bool":
+            code_arrays.append(np.where(data[2], data[1].astype(np.int64) + 1, 0))
+        elif data[0] == "text":
+            code_arrays.append(np.where(data[2], data[1] + 1, 0))
+        else:
+            _, inverse = np.unique(data[1], return_inverse=True)
+            code_arrays.append(np.where(data[2], inverse.reshape(-1) + 1, 0))
+    if len(code_arrays) == 1:
+        _, inv = np.unique(code_arrays[0], return_inverse=True)
+    else:
+        _, inv = np.unique(
+            np.column_stack(code_arrays), axis=0, return_inverse=True
+        )
+    inv = inv.reshape(-1)
+    group_count = int(inv.max()) + 1
+
+    # First-occurrence order (matches the row path's dict insertion
+    # order over a heap scan) and segment boundaries for reduceat.
+    positions = np.arange(k)
+    first = np.full(group_count, k, dtype=np.int64)
+    np.minimum.at(first, inv, positions)
+    order = np.argsort(first, kind="stable")
+    sort_order = np.argsort(inv, kind="stable")
+    sorted_inv = inv[sort_order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_inv[1:] != sorted_inv[:-1]))
+    )
+    sizes = np.bincount(inv, minlength=group_count)
+
+    agg_results: dict[str, list[Any]] = {}
+    for key, (name, flavor, payload) in agg_specs.items():
+        if flavor == "star":
+            agg_results[key] = [int(size) for size in sizes]
+        else:
+            agg_results[key] = _grouped_aggregate(
+                name,
+                run_extractor(flavor, payload),
+                sort_order,
+                sorted_inv,
+                starts,
+                sizes,
+                group_count,
+                np,
+            )
+
+    group_data = []
+    for group_id in order.tolist():
+        representative = _vector_representative(
+            table, base_alias, batch, idx, int(first[group_id])
+        )
+        aggregate_values = {
+            key: values[group_id] for key, values in agg_results.items()
+        }
+        group_data.append((representative, aggregate_values))
+    return _finalize_groups(stmt, group_data)
+
+
+def _vector_representative(
+    table: Any, base_alias: str, batch: Any, idx: Any, position: int
+) -> dict[str, Any]:
+    rowid = int(batch.rowids[idx[position]])
+    raw = table.get(rowid)
+    if raw is None:
+        raise VectorFallback("row vanished under vectorized execution")
+    return _qualify(raw, base_alias)
+
+
+def _const_aggregate(name: str, value: Any, k: int) -> Any:
+    """Aggregate over ``k`` copies of one constant, matching
+    ``_compute_aggregate`` on ``[value] * k`` exactly."""
+    if name == "count":
+        return k if value is not None else 0
+    if value is None or k == 0:
+        return None
+    if name in ("min", "max"):
+        return value
+    if name == "sum":
+        return value * k
+    if name == "avg":
+        return (value * k) / k
+    # stddev of identical values: zero spread, None below two samples.
+    return 0.0 if k >= 2 else None
+
+
+def _ungrouped_aggregate(name: str, data: tuple, k: int, np: Any) -> Any:
+    tag = data[0]
+    if tag == "const":
+        return _const_aggregate(name, data[1], k)
+    if tag == "text":
+        codes, valid, dictionary = data[1], data[2], data[3]
+        selected = codes[valid]
+        if name == "count":
+            return int(selected.shape[0])
+        if selected.shape[0] == 0:
+            return None
+        if name == "min":
+            return dictionary[int(selected.min())]
+        return dictionary[int(selected.max())]  # max (others screened)
+    is_bool = tag == "bool"
+    values = data[1].astype(np.int64) if is_bool else data[1]
+    selected = values[data[2]]
+    count = int(selected.shape[0])
+    if name == "count":
+        return count
+    if count == 0:
+        return None
+    if name == "min":
+        result = selected.min().item()
+        return bool(result) if is_bool else result
+    if name == "max":
+        result = selected.max().item()
+        return bool(result) if is_bool else result
+    total = selected.sum().item()
+    if name == "sum":
+        return total
+    if name == "avg":
+        return total / count
+    if count < 2:  # stddev
+        return None
+    deviations = selected.astype(np.float64) - (total / count)
+    return math.sqrt(float((deviations * deviations).sum()) / (count - 1))
+
+
+def _grouped_aggregate(
+    name: str,
+    data: tuple,
+    sort_order: Any,
+    sorted_inv: Any,
+    starts: Any,
+    sizes: Any,
+    group_count: int,
+    np: Any,
+) -> list[Any]:
+    """Per-group aggregate values via segment reductions (reduceat over
+    rows sorted by group id, stable so within-group order is heap
+    order).  Invalid (NULL) slots carry the reduction's identity."""
+    tag = data[0]
+    if tag == "const":
+        return [_const_aggregate(name, data[1], int(size)) for size in sizes]
+    is_text = tag == "text"
+    is_bool = tag == "bool"
+    if is_bool:
+        values = data[1].astype(np.int64)
+    else:
+        values = data[1]
+    valid = data[2]
+    values_sorted = values[sort_order]
+    valid_sorted = valid[sort_order]
+    # bool reduceat would OR, not count — cast before reducing.
+    counts = np.add.reduceat(valid_sorted.astype(np.int64), starts)
+    if name == "count":
+        return [int(count) for count in counts]
+    if name in ("min", "max"):
+        if values_sorted.dtype == np.int64:
+            sentinel = (
+                np.iinfo(np.int64).max if name == "min" else np.iinfo(np.int64).min
+            )
+        else:
+            sentinel = np.inf if name == "min" else -np.inf
+        masked = np.where(valid_sorted, values_sorted, sentinel)
+        reducer = np.minimum if name == "min" else np.maximum
+        reduced = reducer.reduceat(masked, starts)
+        results: list[Any] = []
+        for group_id in range(group_count):
+            if counts[group_id] == 0:
+                results.append(None)
+            elif is_text:
+                results.append(data[3][int(reduced[group_id])])
+            elif is_bool:
+                results.append(bool(reduced[group_id]))
+            else:
+                results.append(reduced[group_id].item())
+        return results
+    # sum / avg / stddev (numeric flavors only; text screened at compile).
+    masked = np.where(valid_sorted, values_sorted, 0)
+    totals = np.add.reduceat(masked, starts)
+    if name == "sum":
+        return [
+            totals[group_id].item() if counts[group_id] else None
+            for group_id in range(group_count)
+        ]
+    if name == "avg":
+        return [
+            totals[group_id].item() / int(counts[group_id])
+            if counts[group_id]
+            else None
+            for group_id in range(group_count)
+        ]
+    # stddev: two-pass, same formula as _compute_aggregate.
+    means = np.divide(
+        totals.astype(np.float64),
+        counts.astype(np.float64),
+        out=np.zeros(group_count),
+        where=counts > 0,
+    )
+    deviations = np.where(
+        valid_sorted, values_sorted.astype(np.float64) - means[sorted_inv], 0.0
+    )
+    squares = np.add.reduceat(deviations * deviations, starts)
+    results = []
+    for group_id in range(group_count):
+        if counts[group_id] < 2:
+            results.append(None)
+        else:
+            results.append(
+                math.sqrt(squares[group_id] / (int(counts[group_id]) - 1))
+            )
+    return results
 
 
 # --------------------------------------------------------------------------
@@ -721,14 +1102,28 @@ def _execute_grouped(
     else:
         groups[()] = source_rows  # One global group (possibly empty).
 
-    output: list[tuple[dict[str, Any], dict[str, Any]]] = []
-    ordinal = [0]
+    group_data = []
     for _key, rows in groups.items():
         representative = rows[0] if rows else {}
         aggregate_values = {
             _aggregate_key(node): _compute_aggregate(node, rows)
             for node in aggregate_nodes
         }
+        group_data.append((representative, aggregate_values))
+    return _finalize_groups(stmt, group_data)
+
+
+def _finalize_groups(
+    stmt: Select,
+    group_data: list[tuple[dict[str, Any], dict[str, Any]]],
+) -> list[tuple[dict[str, Any], dict[str, Any]]]:
+    """Shared tail of grouped execution: HAVING, projection, and ORDER
+    BY precomputation over ``(representative, aggregate_values)`` pairs.
+    Both the row path and the vectorized fast path feed this, so result
+    shaping is identical by construction."""
+    output: list[tuple[dict[str, Any], dict[str, Any]]] = []
+    ordinal = [0]
+    for representative, aggregate_values in group_data:
         if stmt.having is not None:
             having = _substitute_aggregates(stmt.having, aggregate_values)
             if not evaluate_predicate(having, representative):

@@ -74,7 +74,10 @@ class AccessPath:
 
     def _candidates(self) -> Iterator[tuple[int, dict[str, Any]]]:
         if self.kind == "scan":
-            yield from self.table.scan()
+            # No-copy scan: every consumer downstream (SELECT qualify,
+            # UPDATE/DELETE targeting) treats rows as read-only, and
+            # stored rows are never mutated in place.
+            yield from self.table.scan_internal()
             return
         if self.kind == "index_eq":
             index = self.table.indexes[self.index_name]

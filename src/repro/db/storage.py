@@ -13,11 +13,14 @@ rollback by applying inverse operations recorded in its undo log.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
 from repro.db.index import HashIndex, Index, OrderedIndex, build_index
 from repro.db.schema import TableSchema
 from repro.errors import ConstraintViolation, SchemaError
+
+if TYPE_CHECKING:
+    from repro.db.columnar import ColumnStore
 
 
 class HeapTable:
@@ -27,6 +30,7 @@ class HeapTable:
         self.schema = schema
         self._rows: dict[int, dict[str, Any]] = {}
         self._rowids = itertools.count(1)
+        self._column_store: "ColumnStore | None" = None
         self.indexes: dict[str, Index] = {}
         for column_name in schema.unique_columns():
             self.create_index(
@@ -102,6 +106,8 @@ class HeapTable:
         self._rows[rowid] = stored
         for index in self.indexes.values():
             index.insert(stored[index.column], rowid)
+        if self._column_store is not None:
+            self._column_store.note_insert(rowid, stored)
         return rowid
 
     def update(self, rowid: int, updates: Mapping[str, Any]) -> dict[str, Any]:
@@ -117,6 +123,8 @@ class HeapTable:
                 index.delete(old_key, rowid)
                 index.insert(new_key, rowid)
         self._rows[rowid] = new_row
+        if self._column_store is not None:
+            self._column_store.note_mutation()
         return old_row
 
     def delete(self, rowid: int) -> dict[str, Any]:
@@ -125,6 +133,8 @@ class HeapTable:
         for index in self.indexes.values():
             index.delete(row[index.column], rowid)
         del self._rows[rowid]
+        if self._column_store is not None:
+            self._column_store.note_mutation()
         return row
 
     def _require(self, rowid: int) -> dict[str, Any]:
@@ -167,8 +177,25 @@ class HeapTable:
             if row is not None:
                 yield rowid, dict(row)
 
+    def scan_internal(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Full scan yielding the *stored* row dicts, without per-row
+        copies.
+
+        For trusted read-only consumers only (the SELECT row source,
+        ColumnStore builds, checkpoint serialization).  Safe because
+        stored rows are never mutated in place — ``update`` replaces
+        the dict — but callers must never write to a yielded dict.
+        """
+        return iter(list(self._rows.items()))
+
     def lookup_rowids(self, column: str, key: Any) -> list[int]:
-        """Point lookup through an index when available, else a scan."""
+        """Point lookup through an index when available, else a scan.
+
+        SQL semantics on both paths: NULL never matches, so a ``None``
+        key returns no rows even when an index stores NULL entries.
+        """
+        if key is None:
+            return []
         index = self.index_on(column)
         if index is not None:
             return sorted(index.lookup(key))
@@ -176,8 +203,17 @@ class HeapTable:
         return [
             rowid
             for rowid, row in self._rows.items()
-            if row[column] == key and key is not None
+            if row[column] == key
         ]
+
+    def column_store(self) -> "ColumnStore":
+        """The table's columnar projection, created lazily on first use
+        and kept consistent by the mutation hooks above."""
+        if self._column_store is None:
+            from repro.db.columnar import ColumnStore
+
+            self._column_store = ColumnStore(self)
+        return self._column_store
 
     def snapshot(self) -> dict[int, dict[str, Any]]:
         """Deep-enough copy of all rows, used by checkpointing."""
@@ -187,6 +223,8 @@ class HeapTable:
         """Replace all contents from a checkpoint snapshot."""
         self._rows = {rowid: dict(row) for rowid, row in rows.items()}
         self._rowids = itertools.count(max(self._rows, default=0) + 1)
+        if self._column_store is not None:
+            self._column_store.note_mutation()
         for index in self.indexes.values():
             index.clear()
             for rowid, row in self._rows.items():

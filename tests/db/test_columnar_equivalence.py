@@ -1,0 +1,358 @@
+"""Equivalence suite: the vectorized columnar fast path must produce
+the same results as the row path for every eligible aggregate query.
+
+Strategy: build seeded tables with NULL-dense columns of every
+vectorizable kind, run a grid of aggregate x WHERE-shape queries twice
+— once with the fast path enabled, once forced onto the row path via
+``set_vectorized(False)`` — and compare row sets.
+
+Comparison policy: count/min/max (and sum/avg over the
+exactly-representable values used here) must match exactly, including
+result types (bool stays bool).  ``stddev`` tolerates relative 1e-12:
+``np.add.reduceat`` does not reduce in sequential order, so the
+two-pass vector formula and the row path's sequential sums can differ
+in the last ulp.  That tolerance is the *contract* (documented in
+docs/architecture.md), not test slack.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.sql import executor
+
+
+pytestmark = pytest.mark.columnar
+
+
+def _close(a, b):
+    if isinstance(a, float) and isinstance(b, float):
+        return math.isclose(a, b, rel_tol=1e-12, abs_tol=1e-12)
+    return a == b and type(a) is type(b)
+
+
+def _sort_key(row):
+    return sorted((key, repr(value)) for key, value in row.items())
+
+
+def assert_rows_equal(fast, slow, query, *, ordered=False):
+    assert len(fast) == len(slow), f"row count differs for {query!r}"
+    if not ordered:
+        fast = sorted(fast, key=_sort_key)
+        slow = sorted(slow, key=_sort_key)
+    for fast_row, slow_row in zip(fast, slow):
+        assert set(fast_row) == set(slow_row), f"columns differ for {query!r}"
+        for column in fast_row:
+            assert _close(fast_row[column], slow_row[column]), (
+                f"{query!r}: column {column!r} differs: "
+                f"{fast_row[column]!r} != {slow_row[column]!r}"
+            )
+
+
+def run_both(db, query):
+    """Run ``query`` on the fast path (asserting it actually engaged)
+    and on the row path; returns (fast_rows, slow_rows)."""
+    before = executor.VECTOR_STATS["fast_path"]
+    fast = db.query(query)
+    engaged = executor.VECTOR_STATS["fast_path"] > before
+    previous = executor.set_vectorized(False)
+    try:
+        slow = db.query(query)
+    finally:
+        executor.set_vectorized(previous)
+    return fast, slow, engaged
+
+
+def build_db(seed, rows, null_density=0.3):
+    """Seeded table with every vectorizable kind plus a JSON column
+    (which is never vectorizable and must force fallback).
+
+    Integer-valued REALs and small INTs keep sums exactly
+    representable, so sum/avg compare exactly despite reduction-order
+    differences.
+    """
+    rng = random.Random(seed)
+    db = Database()
+    db.execute(
+        "CREATE TABLE events (id INT, grp TEXT, val INT, score REAL,"
+        " flag BOOL, note TEXT, meta JSON)"
+    )
+
+    def maybe(value):
+        return None if rng.random() < null_density else value
+
+    for i in range(rows):
+        db.execute(
+            "INSERT INTO events (id, grp, val, score, flag, note, meta)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?)",
+            [
+                i,
+                maybe(rng.choice(["alpha", "beta", "gamma", "delta"])),
+                maybe(rng.randint(-100, 100)),
+                maybe(float(rng.randint(-50, 50))),
+                maybe(rng.random() < 0.5),
+                maybe(rng.choice(["x", "yy", "zzz", "zz_top"])),
+                maybe({"k": i % 3}),
+            ],
+        )
+    return db
+
+
+AGGREGATES = [
+    "count(*)",
+    "count(val)",
+    "sum(val)",
+    "avg(val)",
+    "min(val)",
+    "max(val)",
+    "stddev(val)",
+    "sum(score)",
+    "min(note)",
+    "max(note)",
+    "min(flag)",
+    "max(flag)",
+    "count(grp)",
+]
+
+WHERE_SHAPES = [
+    None,
+    "val > 0",
+    "val >= -10 AND val <= 10",
+    "grp = 'alpha'",
+    "grp = 'alpha' OR grp = 'beta'",
+    "val > 0 AND (grp = 'alpha' OR flag)",
+    "val IS NULL",
+    "val IS NOT NULL AND score IS NOT NULL",
+    "note LIKE 'z%'",
+    "note NOT LIKE '%y'",
+    "grp IN ('alpha', 'gamma')",
+    "grp NOT IN ('alpha', 'gamma')",
+    "val BETWEEN -5 AND 25",
+    "val NOT BETWEEN -5 AND 25",
+    "NOT (val < 0)",
+    "val % 7 = 3",
+    "val + 10 > score",
+    "val / 2 >= 12",
+    "-val > 50",
+    "flag",
+    "NOT flag",
+    "flag = 1",
+    "grp > 'b'",
+    "val > 'text'",  # cross-type: constant-sign comparison
+    "0",
+    "1",
+]
+
+GROUP_BYS = [None, "grp", "flag", "grp, flag", "val % 10"]
+
+
+@pytest.mark.parametrize("seed", [11, 23])
+def test_aggregate_where_grid(seed):
+    db = build_db(seed, rows=400)
+    select_list = ", ".join(AGGREGATES)
+    engaged_count = 0
+    for where in WHERE_SHAPES:
+        query = f"SELECT {select_list} FROM events"
+        if where:
+            query += f" WHERE {where}"
+        fast, slow, engaged = run_both(db, query)
+        engaged_count += engaged
+        assert_rows_equal(fast, slow, query)
+    # Every shape in this grid is vector-eligible.
+    assert engaged_count == len(WHERE_SHAPES)
+
+
+@pytest.mark.parametrize("seed", [7])
+def test_group_by_grid(seed):
+    db = build_db(seed, rows=400)
+    for group_by in GROUP_BYS[1:]:
+        for where in [None, "val > 0", "note LIKE 'z%'", "0"]:
+            query = (
+                f"SELECT {group_by}, count(*), sum(val), avg(val),"
+                f" min(score), max(note), stddev(val)"
+                f" FROM events"
+            )
+            if where:
+                query += f" WHERE {where}"
+            query += f" GROUP BY {group_by}"
+            fast, slow, engaged = run_both(db, query)
+            assert engaged
+            assert_rows_equal(fast, slow, query)
+
+
+def test_group_by_ordering_and_having():
+    db = build_db(31, rows=300)
+    for query in [
+        "SELECT grp, count(*) AS c FROM events GROUP BY grp ORDER BY c DESC",
+        "SELECT grp, sum(val) AS s FROM events GROUP BY grp ORDER BY grp",
+        "SELECT grp, count(*) FROM events GROUP BY grp HAVING count(*) > 40",
+        "SELECT grp, avg(val) FROM events GROUP BY grp"
+        " HAVING avg(val) IS NOT NULL ORDER BY grp",
+        "SELECT grp, count(*) AS c FROM events GROUP BY grp"
+        " ORDER BY c DESC LIMIT 2",
+    ]:
+        fast, slow, engaged = run_both(db, query)
+        assert engaged
+        assert_rows_equal(fast, slow, query, ordered="ORDER BY" in query)
+
+
+def test_unordered_group_rows_match_row_path_order():
+    """Without ORDER BY, group emission order is first-occurrence over
+    the heap scan — the fast path must reproduce it exactly."""
+    db = build_db(43, rows=250)
+    query = "SELECT grp, flag, count(*) FROM events GROUP BY grp, flag"
+    fast, slow, engaged = run_both(db, query)
+    assert engaged
+    assert_rows_equal(fast, slow, query, ordered=True)
+
+
+def test_null_density_sweep():
+    for density in (0.0, 0.5, 1.0):
+        db = build_db(int(density * 100) + 3, rows=150, null_density=density)
+        for query in [
+            "SELECT count(val), sum(val), min(val), max(note), stddev(val)"
+            " FROM events",
+            "SELECT grp, count(*), avg(val) FROM events GROUP BY grp",
+            "SELECT count(*) FROM events WHERE val > 0 OR flag",
+        ]:
+            fast, slow, _engaged = run_both(db, query)
+            assert_rows_equal(fast, slow, f"{query} @density={density}")
+
+
+def test_kleene_three_valued_logic():
+    """AND/OR over NULL operands follow Kleene truth tables — compare
+    against the row path on shapes designed to hit every cell."""
+    db = build_db(57, rows=300, null_density=0.5)
+    shapes = [
+        "val > 0 AND score > 0",
+        "val > 0 OR score > 0",
+        "val > 0 AND score IS NULL",
+        "val > 0 OR score IS NULL",
+        "NOT (val > 0 AND score > 0)",
+        "NOT (val > 0 OR score > 0)",
+        "(val > 0 OR val <= 0) AND flag",  # tautology over non-NULL val
+        "val > 0 AND val < 0",  # contradiction, NULL val stays UNKNOWN
+        "flag AND NOT flag",
+        "flag OR NOT flag",
+    ]
+    for where in shapes:
+        query = f"SELECT count(*) FROM events WHERE {where}"
+        fast, slow, engaged = run_both(db, query)
+        assert engaged
+        assert_rows_equal(fast, slow, query)
+
+
+def test_empty_table_and_empty_groups():
+    db = Database()
+    db.execute("CREATE TABLE empty_t (a INT, b TEXT)")
+    for query in [
+        "SELECT count(*), sum(a), min(a), stddev(a) FROM empty_t",
+        "SELECT b, count(*) FROM empty_t GROUP BY b",
+        "SELECT count(*) FROM empty_t WHERE a > 0",
+    ]:
+        fast, slow, _engaged = run_both(db, query)
+        assert_rows_equal(fast, slow, query)
+    # count(*) over an empty table is one row of 0; GROUP BY emits none.
+    assert db.query("SELECT count(*) FROM empty_t") == [{"count": 0}]
+    assert db.query("SELECT b, count(*) FROM empty_t GROUP BY b") == []
+
+
+def test_interleaved_dml_stays_consistent():
+    """Insert-append, update/delete-invalidate, and rollback all leave
+    the columnar projection consistent with the heap."""
+    db = build_db(71, rows=200)
+    query = "SELECT grp, count(*), sum(val), max(note) FROM events GROUP BY grp"
+
+    def check(label):
+        fast, slow, _engaged = run_both(db, query)
+        assert_rows_equal(fast, slow, f"{query} [{label}]")
+
+    check("initial")
+    db.execute(
+        "INSERT INTO events (id, grp, val, score, flag, note, meta)"
+        " VALUES (9001, 'omega', 42, 1.0, 1, 'new-note', ?)",
+        [None],
+    )
+    check("after insert (pending append)")
+    db.execute("UPDATE events SET val = 0 WHERE grp = 'alpha'")
+    check("after update (invalidation)")
+    db.execute("DELETE FROM events WHERE val > 50")
+    check("after delete (invalidation)")
+    conn = db.connect()
+    conn.execute("BEGIN")
+    conn.execute("DELETE FROM events")
+    conn.execute("ROLLBACK")
+    check("after rolled-back delete")
+    store = db.catalog.table("events").column_store()
+    assert store.rebuilds >= 1
+
+
+def test_distinct_aggregate_falls_back():
+    db = build_db(83, rows=100)
+    before = dict(executor.VECTOR_STATS)
+    fast, slow, engaged = run_both(db, "SELECT count(DISTINCT grp) FROM events")
+    assert not engaged
+    assert executor.VECTOR_STATS["fallback_compile"] > before["fallback_compile"]
+    assert_rows_equal(fast, slow, "count distinct")
+
+
+def test_json_column_falls_back():
+    db = build_db(89, rows=100)
+    fast, slow, engaged = run_both(
+        db, "SELECT count(*) FROM events WHERE meta IS NULL"
+    )
+    assert not engaged
+    assert_rows_equal(fast, slow, "json predicate")
+
+
+def test_parameterized_queries_match():
+    db = build_db(97, rows=200)
+    query = "SELECT grp, count(*), sum(val) FROM events WHERE val > ? GROUP BY grp"
+    before = executor.VECTOR_STATS["fast_path"]
+    fast = db.query(query, [5])
+    previous = executor.set_vectorized(False)
+    try:
+        slow = db.query(query, [5])
+    finally:
+        executor.set_vectorized(previous)
+    assert_rows_equal(fast, slow, query)
+    # Bound parameters become literals before execution, so the fast
+    # path may or may not engage depending on binding strategy — but
+    # results must match either way (asserted above).
+    del before
+
+
+def test_huge_integer_constants():
+    """Comparisons against out-of-int64-range constants must not
+    diverge from the row path (numpy compares exactly; arithmetic on
+    huge constants falls back at compile time)."""
+    db = Database()
+    db.execute("CREATE TABLE big (v INT)")
+    for value in [0, 2**40, -(2**40), 17]:
+        db.execute("INSERT INTO big (v) VALUES (?)", [value])
+    for where in [
+        f"v < {2**70}",
+        f"v > {-(2**70)}",
+        f"v = {2**70}",
+        f"v + {2**70} > 0",  # arithmetic: compile-time fallback
+    ]:
+        query = f"SELECT count(*) FROM big WHERE {where}"
+        fast, slow, _engaged = run_both(db, query)
+        assert_rows_equal(fast, slow, query)
+
+
+def test_unbounded_int_column_falls_back_at_runtime():
+    """A column holding a Python int beyond int64 cannot be encoded;
+    the whole statement must rerun on the row path, not error."""
+    db = Database()
+    db.execute("CREATE TABLE big (v INT)")
+    db.execute("INSERT INTO big (v) VALUES (?)", [2**80])
+    db.execute("INSERT INTO big (v) VALUES (?)", [5])
+    query = "SELECT count(*), max(v) FROM big WHERE v > 0"
+    fast, slow, engaged = run_both(db, query)
+    assert not engaged
+    assert_rows_equal(fast, slow, query)

@@ -156,6 +156,33 @@ class TestScans:
         table.insert({"id": 1, "name": None})
         assert table.lookup_rowids("name", None) == []
 
+    def test_lookup_null_with_index_matches_scan_path(self):
+        # Regression: the indexed path used to return rows whose key
+        # was NULL (indexes store NULL entries), diverging from the
+        # scan path where SQL semantics apply: NULL never matches.
+        table = make_table()
+        table.insert({"id": 1, "name": None})
+        table.insert({"id": 2, "name": "a"})
+        table.create_index("ix_name", "name")
+        assert table.lookup_rowids("name", None) == []
+        assert table.lookup_rowids("name", "a") == [2]
+
+    def test_scan_internal_yields_live_rows_without_copying(self):
+        table = make_table()
+        rowid = table.insert({"id": 1, "name": "a"})
+        internal = dict(table.scan_internal())
+        assert internal[rowid] is table._rows[rowid]
+
+    def test_update_replaces_dict_so_internal_refs_stay_frozen(self):
+        # scan_internal is only safe because mutations never write a
+        # stored dict in place — update must swap in a fresh dict.
+        table = make_table()
+        rowid = table.insert({"id": 1, "name": "a"})
+        before = dict(table.scan_internal())[rowid]
+        table.update(rowid, {"name": "b"})
+        assert before["name"] == "a"
+        assert table.get(rowid)["name"] == "b"
+
 
 class TestSnapshotRestore:
     def test_roundtrip(self):
