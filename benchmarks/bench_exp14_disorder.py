@@ -1,0 +1,200 @@
+"""EXP-14 — Out-of-order streams: disorder-rate × lateness sweep.
+
+A seeded sensor stream is delayed in transit (``disorder_rate`` of
+events get Uniform(0, MAX_DELAY) extra latency, delivered in arrival
+order) and pushed through a keyed tumbling window + aggregate in both
+output modes.  Each cell reports:
+
+* ``dropped`` / ``drop_pct`` — events lost to the lateness guard
+  (``allowed_lateness < MAX_DELAY`` trades loss for state/latency);
+* ``blk_panes`` — blocking-mode emissions (the reference results);
+* ``spec_emits`` / ``spec_retr`` — speculative emissions and
+  retractions; ``balanced`` checks emits − retractions = blk_panes;
+* ``net_match`` — speculative *net* results equal blocking results
+  byte-for-byte (the CEDR compensation invariant);
+* ``lossless`` — at ``allowed_lateness >= MAX_DELAY``, results equal
+  the same pipeline fed in timestamp order (disorder fully absorbed);
+* ``kev_s`` — stream push throughput (blocking arm), thousands of
+  events/second.
+
+Run standalone:  python benchmarks/bench_exp14_disorder.py [--quick]
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+
+try:
+    from benchmarks.reporting import print_table
+except ImportError:
+    from reporting import print_table
+
+from repro.cq.aggregate import Count, Sum, WindowAggregate
+from repro.cq.stream import Stream
+from repro.cq.window import OUTPUT_SPECULATIVE, TumblingWindow
+from repro.events import KIND_RETRACTION, Event
+from repro.workloads.generators import disorder_by_delay
+
+#: Transit delay bound: the disorder the sweep injects.
+MAX_DELAY = 20.0
+WINDOW = 15.0
+KEYS = ["a", "b", "c", "d"]
+
+DISORDER_RATES = [0.0, 0.3, 0.7]
+LATENESS = [0.0, 5.0, MAX_DELAY]
+EVENTS = 40_000
+QUICK_EVENTS = 4_000
+
+
+def make_stream(count: int, seed: int = 23) -> list[Event]:
+    rng = random.Random(seed)
+    t = 0.0
+    events = []
+    for _ in range(count):
+        t += rng.uniform(0.05, 0.4)
+        events.append(
+            Event(
+                "sensor.reading",
+                round(t, 4),
+                {"k": rng.choice(KEYS), "v": rng.randrange(1_000)},
+            )
+        )
+    return events
+
+
+def run_arm(
+    events: list[Event], *, lateness: float, mode: str
+) -> tuple[dict, float]:
+    """Push all events + flush; returns (results, elapsed_seconds).
+
+    Results fold the retraction contract into net per-pane payloads,
+    plus the operator's own accounting counters.
+    """
+    s = Stream("s")
+    w = TumblingWindow(
+        s, WINDOW, key_field="k", allowed_lateness=lateness, output_mode=mode
+    )
+    agg = WindowAggregate(w, "out", {"total": ("v", Sum), "n": (None, Count)})
+    net: dict = {}
+    emits = retracts = 0
+
+    def sink(event: Event) -> None:
+        nonlocal emits, retracts
+        ident = (event["window_start"], event["window_end"], event["key"])
+        if event.kind == KIND_RETRACTION:
+            retracts += 1
+            net.pop(ident, None)
+        else:
+            emits += 1
+            net[ident] = dict(event.payload)
+
+    agg.subscribe(sink)
+    started = time.perf_counter()
+    for event in events:
+        s.push(event)
+    w.flush()
+    elapsed = time.perf_counter() - started
+    return (
+        {
+            "net": net,
+            "emits": emits,
+            "retracts": retracts,
+            "dropped": w.late_dropped,
+        },
+        elapsed,
+    )
+
+
+def run_experiment(
+    count: int = EVENTS,
+    rates: list[float] | None = None,
+    lateness_values: list[float] | None = None,
+) -> list[dict]:
+    rates = DISORDER_RATES if rates is None else rates
+    lateness_values = LATENESS if lateness_values is None else lateness_values
+    in_order = make_stream(count)
+    results: list[dict] = []
+    for rate in rates:
+        delivered = (
+            in_order
+            if rate == 0.0
+            else disorder_by_delay(
+                random.Random(97), in_order,
+                max_delay=MAX_DELAY, disorder_rate=rate,
+            )
+        )
+        for lateness in lateness_values:
+            blocking, elapsed = run_arm(
+                delivered, lateness=lateness, mode="blocking"
+            )
+            speculative, _ = run_arm(
+                delivered, lateness=lateness, mode=OUTPUT_SPECULATIVE
+            )
+            lossless = None
+            if lateness >= MAX_DELAY:
+                reference, _ = run_arm(
+                    in_order, lateness=lateness, mode="blocking"
+                )
+                lossless = (
+                    blocking["dropped"] == 0
+                    and blocking["net"] == reference["net"]
+                )
+            results.append(
+                {
+                    "rate": rate,
+                    "lateness": lateness,
+                    "events": count,
+                    "dropped": blocking["dropped"],
+                    "drop_pct": round(100.0 * blocking["dropped"] / count, 2),
+                    "blk_panes": blocking["emits"],
+                    "spec_emits": speculative["emits"],
+                    "spec_retr": speculative["retracts"],
+                    "balanced": (
+                        speculative["emits"] - speculative["retracts"]
+                        == blocking["emits"]
+                    ),
+                    "net_match": speculative["net"] == blocking["net"],
+                    "lossless": lossless,
+                    "kev_s": round(count / elapsed / 1e3, 1),
+                }
+            )
+    return results
+
+
+def test_exp14_shape():
+    """Smoke: accounting balances, speculative nets match blocking, and
+    full-lateness cells absorb the disorder losslessly."""
+    results = run_experiment(
+        count=1_500, rates=[0.5], lateness_values=[0.0, MAX_DELAY]
+    )
+    assert len(results) == 2
+    for row in results:
+        assert row["balanced"], row
+        assert row["net_match"], row
+    tight, full = results
+    assert tight["dropped"] > 0  # zero lateness: the tail is dropped
+    assert full["lossless"] is True and full["dropped"] == 0
+
+
+def main(quick: bool = False) -> None:
+    count = QUICK_EVENTS if quick else EVENTS
+    results = run_experiment(count=count)
+    print_table(
+        f"EXP-14: disorder-rate x allowed-lateness ({count} events, "
+        f"max transit delay {MAX_DELAY}s, {WINDOW}s tumbling windows)",
+        results,
+        ["rate", "lateness", "dropped", "drop_pct", "blk_panes",
+         "spec_emits", "spec_retr", "balanced", "net_match", "lossless",
+         "kev_s"],
+    )
+    broken = [
+        row for row in results if not (row["balanced"] and row["net_match"])
+    ]
+    if broken:
+        print(f"  EQUIVALENCE FAIL: {len(broken)} cell(s) unbalanced")
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

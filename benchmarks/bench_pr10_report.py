@@ -1,0 +1,122 @@
+"""PR-10 report: out-of-order streams, machine-readable.
+
+Writes ``BENCH_PR10.json`` at the repo root from the EXP-14 harness:
+one arm per (disorder rate, allowed lateness) cell recording late
+drops, blocking-mode pane count, speculative emissions/retractions,
+and the equivalence checks.
+
+Acceptance bars (all hard — none depend on wall-clock timing, so none
+are core-gated):
+
+* **speculative accounting** — every cell must balance: speculative
+  emissions − retractions = blocking-mode emissions, and the
+  speculative *net* results must equal the blocking results exactly
+  (the CEDR compensation invariant);
+* **lossless at full lateness** — cells with
+  ``allowed_lateness >= MAX_DELAY`` must drop nothing and produce
+  results identical to in-order delivery (bounded disorder absorbed);
+* **drops monotone in lateness** — for a fixed disorder rate, raising
+  the lateness budget must never drop *more* events (the guard is a
+  horizon, not a heuristic).
+
+Failures are printed as ``ACCEPTANCE FAIL`` lines, never raised, so a
+loaded CI box still produces a diffable report.
+
+Run:  python benchmarks/bench_pr10_report.py [--quick]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+try:
+    from benchmarks.bench_exp14_disorder import (
+        MAX_DELAY,
+        QUICK_EVENTS,
+        run_experiment,
+    )
+except ImportError:
+    from bench_exp14_disorder import MAX_DELAY, QUICK_EVENTS, run_experiment
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR10.json"
+
+FULL_EVENTS = 20_000
+
+
+def build_report(quick: bool = False) -> dict:
+    arms = run_experiment(count=QUICK_EVENTS if quick else FULL_EVENTS)
+    return {
+        "experiment": "PR-10 out-of-order streams (EXP-14)",
+        "quick": quick,
+        "cores": os.cpu_count() or 1,
+        "bars": {
+            "max_delay": MAX_DELAY,
+            "accounting": "spec_emits - spec_retr == blk_panes, nets equal",
+            "lossless": "lateness >= max_delay => 0 drops, in-order results",
+            "monotone": "drops non-increasing in lateness per rate",
+        },
+        "exp14_arms": arms,
+    }
+
+
+def _check(report: dict) -> tuple[list[str], list[str]]:
+    """Returns (problems, skipped-bar notes)."""
+    problems: list[str] = []
+    skipped: list[str] = []
+    by_rate: dict[float, list[dict]] = {}
+    for arm in report["exp14_arms"]:
+        label = f"exp14/rate={arm['rate']}/lateness={arm['lateness']}"
+        by_rate.setdefault(arm["rate"], []).append(arm)
+        if not arm["balanced"]:
+            problems.append(
+                f"{label}: emits {arm['spec_emits']} - retractions "
+                f"{arm['spec_retr']} != blocking panes {arm['blk_panes']}"
+            )
+        if not arm["net_match"]:
+            problems.append(
+                f"{label}: speculative net results differ from blocking"
+            )
+        if arm["lateness"] >= MAX_DELAY and arm["lossless"] is not True:
+            problems.append(
+                f"{label}: lateness covers the delay bound but disorder "
+                f"was not absorbed losslessly (dropped={arm['dropped']})"
+            )
+    for rate, arms in by_rate.items():
+        ordered = sorted(arms, key=lambda arm: arm["lateness"])
+        for tighter, looser in zip(ordered, ordered[1:]):
+            if looser["dropped"] > tighter["dropped"]:
+                problems.append(
+                    f"exp14/rate={rate}: drops rose from "
+                    f"{tighter['dropped']} to {looser['dropped']} as "
+                    f"lateness grew {tighter['lateness']} -> "
+                    f"{looser['lateness']}"
+                )
+    return problems, skipped
+
+
+def main(quick: bool = False) -> None:
+    report = build_report(quick=quick)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    for arm in report["exp14_arms"]:
+        print(
+            f"  rate={arm['rate']} lateness={arm['lateness']}: "
+            f"dropped {arm['dropped']} ({arm['drop_pct']}%), "
+            f"{arm['spec_emits']}e-{arm['spec_retr']}r vs "
+            f"{arm['blk_panes']} blocking, balanced={arm['balanced']} "
+            f"net_match={arm['net_match']} lossless={arm['lossless']}"
+        )
+    problems, skipped = _check(report)
+    for note in skipped:
+        print(f"  SKIPPED: {note}")
+    for problem in problems:
+        print(f"  ACCEPTANCE FAIL: {problem}")
+    if not problems:
+        print("  all applicable PR-10 acceptance bars met")
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

@@ -2,7 +2,7 @@
 
 Usage:  python benchmarks/run_all.py [--out FILE] [--quick]
 
-Runs EXP-1 … EXP-13 in order and writes the combined tables to stdout
+Runs EXP-1 … EXP-14 in order and writes the combined tables to stdout
 (and optionally a file) — the artifact summarized in EXPERIMENTS.md.
 ``--quick`` shrinks every experiment to a tiny sweep (seconds total):
 a smoke mode for CI and for checking the harness still runs end to end;
@@ -38,6 +38,7 @@ EXPERIMENTS = [
     "bench_exp11_sharding",
     "bench_exp12_availability",
     "bench_exp13_columnar",
+    "bench_exp14_disorder",
 ]
 
 

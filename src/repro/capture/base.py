@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.events import Event
+from repro.events import Event, punctuation
 from repro.obs.trace import new_trace_id, record_hop
 
 EventSink = Callable[[Event], None]
@@ -83,6 +83,14 @@ class CaptureSource:
         )
         for sink in self._sinks:
             sink(event)
+
+    def punctuate(self, watermark: float) -> None:
+        """Emit a watermark punctuation: a promise that this source will
+        capture no further events with ``timestamp < watermark``.  Rides
+        the normal sink fan-out (and is traced like any capture), so
+        downstream streams, queues, and windows advance event time
+        without waiting for data."""
+        self._emit(punctuation(watermark, source=self.name))
 
     def close(self) -> None:
         """Detach from the database; default is a no-op."""

@@ -20,12 +20,14 @@ from repro.cq.aggregate import (
     WindowAggregate,
 )
 from repro.cq.analytics import AnomalyDetector, QueryValueScorer, StreamStatistics
-from repro.cq.ivm import MaterializedView, ViewSnapshot
+from repro.cq.ivm import VIEW_CHANGE_EVENT_TYPE, MaterializedView, ViewSnapshot
 from repro.cq.operators import FilterOperator, MapOperator, StreamJoin, StreamTableJoin
 from repro.cq.pattern import Kleene, PatternElement, PatternMatcher, Seq
 from repro.cq.query import ContinuousQuery, CQEngine
 from repro.cq.stream import Stream
 from repro.cq.window import (
+    OUTPUT_BLOCKING,
+    OUTPUT_SPECULATIVE,
     CountWindow,
     SessionWindow,
     SlidingWindow,
@@ -65,4 +67,7 @@ __all__ = [
     "QueryValueScorer",
     "MaterializedView",
     "ViewSnapshot",
+    "VIEW_CHANGE_EVENT_TYPE",
+    "OUTPUT_BLOCKING",
+    "OUTPUT_SPECULATIVE",
 ]

@@ -27,7 +27,7 @@ from typing import Any, Callable
 from repro.cq.stream import Operator, Stream
 from repro.cq.window import PANE_EVENT_TYPE, WindowPane
 from repro.errors import StreamError
-from repro.events import Event
+from repro.events import KIND_RETRACTION, Event
 from repro.obs.metrics import NULL_COUNTER
 
 
@@ -442,6 +442,18 @@ class WindowAggregate(Operator):
 
     emits ``Event("vwap_1m", pane.end, {"volume": ..., "trades": ...,
     "high": ..., "window_start": ..., "window_end": ..., "key": ...})``.
+
+    Out-of-order support: a *speculative* upstream window emits panes
+    marked non-final and may later retract and re-emit a revised pane.
+    The aggregate mirrors that protocol in its own output — a pane
+    retraction makes it emit its previously computable summary with
+    ``kind="retraction"`` (retractions arrive *before* the revising
+    append, so live delta state / the pane contents still describe the
+    result as it was emitted), and a non-final pane is summarized
+    without releasing delta state, which keeps accumulating until the
+    pane retires.  Output payloads carry no revision bookkeeping, so a
+    speculative stream's *net* results (emissions minus retractions)
+    are byte-identical to blocking mode's.
     """
 
     def __init__(
@@ -467,8 +479,10 @@ class WindowAggregate(Operator):
         # Panes first observed mid-fill (operator attached late): their
         # delta state would be partial, so they refold at close.
         self._partial: set[int] = set()
+        self.retractions_emitted = 0
         self._m_deltas = NULL_COUNTER
         self._m_refolds = NULL_COUNTER
+        self._m_retractions = NULL_COUNTER
         if metrics is not None:
             self.bind_metrics(metrics)
             self._m_deltas = metrics.counter(
@@ -477,10 +491,19 @@ class WindowAggregate(Operator):
             self._m_refolds = metrics.counter(
                 "cq.agg.refolds", stream=self.name
             )
+            self._m_retractions = metrics.counter(
+                "cq.agg.retractions_emitted", stream=self.name
+            )
         if not self.recompute:
             attach = getattr(upstream, "attach_pane_observer", None)
             if attach is not None:
                 attach(self._on_append)
+        # Speculative panes finalize *silently* (no closing event), so
+        # delta state cannot be released at close alone — the window
+        # operator's retire hook marks the true end of a pane's life.
+        retire = getattr(upstream, "attach_pane_retire_observer", None)
+        if retire is not None:
+            retire(self._on_retire)
 
     # -- delta path ----------------------------------------------------------
 
@@ -518,31 +541,55 @@ class WindowAggregate(Operator):
             state[output_name] = fn
         return state
 
+    def _on_retire(self, pane: WindowPane) -> None:
+        self._state.pop(id(pane), None)
+        self._partial.discard(id(pane))
+
+    def _pane_state(
+        self, pane: WindowPane
+    ) -> dict[str, AggregateFunction]:
+        """The aggregate state for a pane: live delta state when whole,
+        else a refold of the pane's current contents."""
+        pane_id = id(pane)
+        state = self._state.get(pane_id)
+        if self.recompute or state is None or pane_id in self._partial:
+            state = self._refold(pane)
+            if not self.recompute:
+                self._m_refolds.inc()
+        return state
+
+    def _summarize(
+        self,
+        pane: WindowPane,
+        state: dict[str, AggregateFunction],
+        *,
+        start: float,
+        end: float,
+    ) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "window_start": start,
+            "window_end": end,
+            "key": pane.key,
+            "count": len(pane),
+        }
+        for output_name, fn in state.items():
+            payload[output_name] = fn.result()
+        return payload
+
     def process(self, event: Event) -> None:
         if event.event_type != PANE_EVENT_TYPE:
             raise StreamError(
                 "WindowAggregate must consume a window operator's panes"
             )
         pane: WindowPane = event["pane"]
-        pane_id = id(pane)
-        state = self._state.pop(pane_id, None)
-        partial = pane_id in self._partial
-        if partial:
-            self._partial.discard(pane_id)
-        if self.recompute or state is None or partial:
-            # Refold fallback: escape hatch, hook-less upstream, or a
-            # pane whose fill this operator only partially observed.
-            state = self._refold(pane)
-            if not self.recompute:
-                self._m_refolds.inc()
-        payload: dict[str, Any] = {
-            "window_start": pane.start,
-            "window_end": pane.end,
-            "key": pane.key,
-            "count": len(pane),
-        }
-        for output_name, fn in state.items():
-            payload[output_name] = fn.result()
+        state = self._pane_state(pane)
+        # A non-final (speculative) emission keeps its delta state: the
+        # pane may still be revised, and the retire hook releases it.
+        if event.get("final", True):
+            self._on_retire(pane)
+        payload = self._summarize(
+            pane, state, start=pane.start, end=pane.end
+        )
         self.emit(
             Event(
                 event_type=self.output_type,
@@ -550,5 +597,32 @@ class WindowAggregate(Operator):
                 payload=payload,
                 source=self.name,
                 causes=tuple(e.event_id for e in pane.events[:32]),
+            )
+        )
+
+    def on_retraction(self, event: Event) -> None:
+        if event.event_type != PANE_EVENT_TYPE or "pane" not in event.payload:
+            self.emit(event)  # not ours — forward unprocessed
+            return
+        # The window operator retracts a pane *before* appending the
+        # revising event, so the pane (and any delta state) still holds
+        # exactly the contents the retracted summary was computed from.
+        # The carried start/end are the bounds as originally emitted —
+        # a revised session's bounds may since have moved.
+        pane: WindowPane = event["pane"]
+        state = self._pane_state(pane)
+        payload = self._summarize(
+            pane, state, start=event["start"], end=event["end"]
+        )
+        self.retractions_emitted += 1
+        self._m_retractions.inc()
+        self.emit(
+            Event(
+                event_type=self.output_type,
+                timestamp=event["end"],
+                payload=payload,
+                source=self.name,
+                causes=tuple(e.event_id for e in pane.events[:32]),
+                kind=KIND_RETRACTION,
             )
         )

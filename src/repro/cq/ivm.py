@@ -39,8 +39,13 @@ from repro.cq.aggregate import AggregateFunction
 from repro.cq.stream import Stream
 from repro.db.expr import ColumnRef, Expression, Literal, compile_delta_update
 from repro.errors import StreamError
-from repro.events import Event
+from repro.events import KIND_PUNCTUATION, KIND_RETRACTION, Event
 from repro.obs.metrics import NULL_COUNTER
+
+#: Event type emitted on a view's opt-in :meth:`MaterializedView.changes`
+#: stream: one retraction of the group's previous result followed by the
+#: new result, per group touched by a fold.
+VIEW_CHANGE_EVENT_TYPE = "view.change"
 
 # (output name) -> (source, factory).  ``source`` may be a payload/column
 # name, ``None`` (count rows), or any Expression over the row.
@@ -77,6 +82,8 @@ class ViewSnapshot:
     refolds: int
     #: Bumped once per fold — equal versions mean identical contents.
     version: int
+    #: Deltas applied with sign −1 (retraction events folded).
+    retractions_applied: int = 0
 
 
 class MaterializedView:
@@ -129,6 +136,8 @@ class MaterializedView:
         self._deltas_applied = 0
         self._batches_folded = 0
         self._refolds = 0
+        self._retractions_applied = 0
+        self._changes: Stream | None = None
         self._version = 0
         self._last_lsn: int | None = None
         self._last_timestamp: float | None = None
@@ -139,6 +148,7 @@ class MaterializedView:
         self._m_deltas = NULL_COUNTER
         self._m_batches = NULL_COUNTER
         self._m_refolds = NULL_COUNTER
+        self._m_retractions = NULL_COUNTER
         if metrics is not None:
             self.bind_metrics(metrics)
 
@@ -146,6 +156,9 @@ class MaterializedView:
         self._m_deltas = metrics.counter("view.deltas_applied", view=self.name)
         self._m_batches = metrics.counter("view.batches_folded", view=self.name)
         self._m_refolds = metrics.counter("view.refolds", view=self.name)
+        self._m_retractions = metrics.counter(
+            "view.retractions_applied", view=self.name
+        )
         return self
 
     # -- input bindings ------------------------------------------------------
@@ -257,6 +270,12 @@ class MaterializedView:
         return self
 
     def _on_event(self, event: Event) -> None:
+        if event.kind == KIND_PUNCTUATION:
+            # A watermark is an epoch boundary: everything buffered is
+            # complete below it, so fold now rather than waiting for
+            # the batch to fill.
+            self.flush()
+            return
         self._stream_buffer.append(event)
         if len(self._stream_buffer) >= self._batch_size:
             self.flush()
@@ -267,28 +286,122 @@ class MaterializedView:
             batch, self._stream_buffer = self._stream_buffer, []
             self.apply_batch(batch)
 
+    def changes(self) -> Stream:
+        """Opt-in change stream (the view's own speculative output).
+
+        After each stream-batch fold, every touched group emits a
+        retraction (``kind="retraction"``) carrying its previous result
+        followed by its new result — only the new result at group
+        birth, only the retraction at group death.  Downstream views
+        and operators consume it with the same retraction contract the
+        window layer uses.  Costs one extra delta-fn evaluation per
+        row, so nothing is paid until this is called.
+        """
+        if self._changes is None:
+            self._changes = Stream(f"view({self.name}).changes")
+        return self._changes
+
     def apply_batch(self, events: Iterable[Event]) -> int:
         """Fold a batch of events as ONE view update; returns the
-        number of deltas applied (rows passing the view predicate)."""
-        rows: list[_RowContext] = []
+        number of deltas applied (rows passing the view predicate).
+
+        Kind-aware: data events fold with sign +1 (consecutive runs as
+        one batch), retraction events with sign −1 via the incremental
+        ``remove()`` contract; punctuation carries no rows and is
+        skipped.  Order within the batch is preserved, so a result and
+        its later retraction cancel exactly.
+        """
+        events = list(events)
+        old_results = self._snapshot_touched(events)
+        applied = 0
+        inserts: list[_RowContext] = []
+
+        def flush_inserts() -> None:
+            nonlocal applied
+            if inserts:
+                applied += self._apply_insert_batch(inserts)
+                inserts.clear()
+
         for event in events:
+            if event.kind == KIND_PUNCTUATION:
+                continue
             row = _RowContext(event.payload)
             row.setdefault("event_type", event.event_type)
             row.setdefault("timestamp", event.timestamp)
-            rows.append(row)
+            if event.kind == KIND_RETRACTION:
+                flush_inserts()
+                if self._apply(row, -1):
+                    applied += 1
+                    self._retractions_applied += 1
+                    self._m_retractions.inc()
+            else:
+                inserts.append(row)
             if (
                 self._last_timestamp is None
                 or event.timestamp > self._last_timestamp
             ):
                 self._last_timestamp = event.timestamp
-        applied = self._apply_insert_batch(rows)
+        flush_inserts()
         if applied:
             self._deltas_applied += applied
             self._m_deltas.inc(applied)
         self._batches_folded += 1
         self._m_batches.inc()
         self._version += 1
+        if old_results is not None:
+            self._emit_changes(old_results)
         return applied
+
+    def _snapshot_touched(
+        self, events: list[Event]
+    ) -> dict[Any, dict[str, Any] | None] | None:
+        """Pre-fold results of every group this batch will touch (only
+        when the change stream is active)."""
+        if self._changes is None:
+            return None
+        old_results: dict[Any, dict[str, Any] | None] = {}
+        for event in events:
+            if event.kind == KIND_PUNCTUATION:
+                continue
+            row = _RowContext(event.payload)
+            row.setdefault("event_type", event.event_type)
+            row.setdefault("timestamp", event.timestamp)
+            delta = self._delta_fn(row)
+            if delta is None:
+                continue
+            key = delta[0]
+            if key not in old_results:
+                old_results[key] = self.group(key)
+        return old_results
+
+    def _emit_changes(
+        self, old_results: dict[Any, dict[str, Any] | None]
+    ) -> None:
+        changes = self._changes
+        timestamp = self._last_timestamp or 0.0
+        for key, old in old_results.items():
+            new = self.group(key)
+            if old == new:
+                continue  # the batch's deltas cancelled out
+            if old is not None:
+                changes.push(
+                    Event(
+                        event_type=VIEW_CHANGE_EVENT_TYPE,
+                        timestamp=timestamp,
+                        payload={"view": self.name, "key": key, **old},
+                        source=self.name,
+                        kind=KIND_RETRACTION,
+                    )
+                )
+            if new is not None:
+                changes.push(
+                    Event(
+                        event_type=VIEW_CHANGE_EVENT_TYPE,
+                        timestamp=timestamp,
+                        payload={"view": self.name, "key": key, **new},
+                        source=self.name,
+                    )
+                )
 
     # -- delta application ---------------------------------------------------
 
@@ -435,6 +548,7 @@ class MaterializedView:
             batches_folded=self._batches_folded,
             refolds=self._refolds,
             version=self._version,
+            retractions_applied=self._retractions_applied,
         )
 
     def group(self, key: Any = None) -> dict[str, Any] | None:

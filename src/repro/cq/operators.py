@@ -9,7 +9,14 @@ from repro.db.database import Database
 from repro.db.expr import Expression, compile_predicate
 from repro.db.sql.parser import parse_expression
 from repro.errors import StreamError
-from repro.events import Event, correlate
+from repro.events import (
+    KIND_PUNCTUATION,
+    KIND_RETRACTION,
+    Event,
+    correlate,
+    punctuation,
+)
+from repro.obs.metrics import NULL_COUNTER
 from repro.rules.engine import EventContext
 
 
@@ -34,17 +41,25 @@ class FilterOperator(Operator):
         self.condition = condition
         self.dropped = 0
 
-    def process(self, event: Event) -> None:
+    def _passes(self, event: Event) -> bool:
         if isinstance(self.condition, Expression):
             context = EventContext(event.payload)
             context.setdefault("event_type", event.event_type)
-            passed = compile_predicate(self.condition)(context)
-        else:
-            passed = bool(self.condition(event))
-        if passed:
+            return bool(compile_predicate(self.condition)(context))
+        return bool(self.condition(event))
+
+    def process(self, event: Event) -> None:
+        if self._passes(event):
             self.emit(event)
         else:
             self.dropped += 1
+
+    def on_retraction(self, event: Event) -> None:
+        # A retraction carries the payload of the result it compensates,
+        # so the predicate gives the same verdict: retractions of events
+        # that passed pass; retractions of filtered events have nothing
+        # downstream to compensate and are filtered identically.
+        self.process(event)
 
 
 class MapOperator(Operator):
@@ -87,8 +102,20 @@ class StreamJoin(Stream):
     type ``output_type`` whose payload merges both sides (left fields
     prefixed ``left_``, right fields ``right_``, key under ``key``).
 
-    State is pruned as event time advances, so memory is bounded by the
-    window — the property its hypothesis test checks.
+    State is pruned as event time advances.  Each side keeps its own
+    watermark, and a buffer is pruned against the *other* side's
+    watermark: a buffered left event at ``t`` can still join right
+    events arriving with timestamps down to ``right_watermark``, so it
+    is evictable only once ``t + window < right_watermark`` — pruning
+    both buffers against a single shared watermark (the old bug) let a
+    fast left stream evict right-side events still within the join
+    window of in-flight left events, silently losing matches.
+
+    Events lacking the key field cannot join; they are dropped and
+    counted in ``null_key_dropped`` rather than silently discarded.
+    Watermark punctuation on either input advances that side's clock
+    (pruning state without data) and re-emits downstream carrying
+    ``min(left, right)`` — the joined stream's own watermark.
     """
 
     def __init__(
@@ -109,9 +136,28 @@ class StreamJoin(Stream):
         self.output_type = output_type
         self._left_buffer: dict[Any, list[Event]] = {}
         self._right_buffer: dict[Any, list[Event]] = {}
-        self._watermark = float("-inf")
+        self._left_watermark = float("-inf")
+        self._right_watermark = float("-inf")
+        self._out_watermark = float("-inf")
+        self.null_key_dropped = 0
+        self.retractions_dropped = 0
+        self._m_null_key = NULL_COUNTER
         left.subscribe(self._on_left)
         right.subscribe(self._on_right)
+
+    def bind_metrics(self, metrics: Any) -> "StreamJoin":
+        super().bind_metrics(metrics)
+        self._m_null_key = metrics.counter(
+            "cq.null_key_dropped", stream=self.name
+        )
+        if self.null_key_dropped:
+            self._m_null_key.inc(self.null_key_dropped)
+        return self
+
+    @property
+    def watermark(self) -> float:
+        """The joined stream's watermark: min of the two inputs."""
+        return min(self._left_watermark, self._right_watermark)
 
     def buffered(self) -> int:
         return sum(len(events) for events in self._left_buffer.values()) + sum(
@@ -133,12 +179,25 @@ class StreamJoin(Stream):
         left_side: bool,
     ) -> None:
         self.events_in += 1
+        self._m_in.inc()
+        if event.kind == KIND_PUNCTUATION:
+            self._advance(
+                event.get("watermark", event.timestamp),
+                left_side=left_side,
+                propagate=True,
+            )
+            return
+        if event.kind == KIND_RETRACTION:
+            # A join cannot compensate (the retracted event may have
+            # produced arbitrary joined outputs); drop and count.
+            self.retractions_dropped += 1
+            return
         key = event.get(self.key_field)
         if key is None:
+            self.null_key_dropped += 1
+            self._m_null_key.inc()
             return
-        self._watermark = max(self._watermark, event.timestamp)
-        self._prune(own)
-        self._prune(other)
+        self._advance(event.timestamp, left_side=left_side)
         for partner in other.get(key, ()):
             if abs(partner.timestamp - event.timestamp) <= self.window:
                 left_event, right_event = (
@@ -159,8 +218,29 @@ class StreamJoin(Stream):
                 )
         own.setdefault(key, []).append(event)
 
-    def _prune(self, buffer: dict[Any, list[Event]]) -> None:
-        horizon = self._watermark - self.window
+    def _advance(
+        self, timestamp: float, *, left_side: bool, propagate: bool = False
+    ) -> None:
+        if left_side:
+            self._left_watermark = max(self._left_watermark, timestamp)
+        else:
+            self._right_watermark = max(self._right_watermark, timestamp)
+        # A left event at t joins right events in [t - window, t + window];
+        # future right events have timestamps >= right_watermark, so a
+        # buffered left event is dead only once t + window < right_watermark
+        # — each buffer prunes against the *other* side's clock.
+        self._prune(self._left_buffer, self._right_watermark - self.window)
+        self._prune(self._right_buffer, self._left_watermark - self.window)
+        if not propagate:
+            return
+        watermark = self.watermark
+        if watermark > self._out_watermark and watermark != float("-inf"):
+            self._out_watermark = watermark
+            self.emit(punctuation(watermark, source=self.name))
+
+    def _prune(
+        self, buffer: dict[Any, list[Event]], horizon: float
+    ) -> None:
         empty_keys = []
         for key, events in buffer.items():
             kept = [event for event in events if event.timestamp >= horizon]

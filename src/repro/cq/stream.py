@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.events import Event
+from repro.events import KIND_PUNCTUATION, KIND_RETRACTION, Event, punctuation
 from repro.obs.metrics import NULL_COUNTER
 
 EventSink = Callable[[Event], None]
@@ -57,6 +57,11 @@ class Stream:
         self._m_in.inc()
         self.emit(event)
 
+    def punctuate(self, watermark: float) -> None:
+        """Inject a watermark punctuation: a promise that no further
+        data events with ``timestamp < watermark`` will be pushed."""
+        self.push(punctuation(watermark, source=self.name))
+
     def emit(self, event: Event) -> None:
         """Deliver an event to every subscriber."""
         self.events_out += 1
@@ -70,6 +75,13 @@ class Operator(Stream):
 
     Subclasses implement :meth:`process`; construction wires the
     subscription so graphs are built by just instantiating operators.
+
+    Message kinds route separately: data events reach :meth:`process`;
+    punctuation reaches :meth:`on_punctuation` (default: forward, so
+    watermarks traverse stateless operators untouched); retractions
+    reach :meth:`on_retraction` (default: forward unprocessed —
+    operators that can *compensate*, e.g. filters and views, override
+    it).
     """
 
     def __init__(self, name: str, upstream: Stream) -> None:
@@ -80,10 +92,23 @@ class Operator(Stream):
     def push(self, event: Event) -> None:
         self.events_in += 1
         self._m_in.inc()
-        self.process(event)
+        if event.kind == KIND_PUNCTUATION:
+            self.on_punctuation(event)
+        elif event.kind == KIND_RETRACTION:
+            self.on_retraction(event)
+        else:
+            self.process(event)
 
     def process(self, event: Event) -> None:
         raise NotImplementedError
+
+    def on_punctuation(self, event: Event) -> None:
+        """Handle a watermark punctuation; default forwards it."""
+        self.emit(event)
+
+    def on_retraction(self, event: Event) -> None:
+        """Handle a retraction; default forwards it unprocessed."""
+        self.emit(event)
 
     def detach(self) -> None:
         """Disconnect from the upstream (stops receiving events)."""

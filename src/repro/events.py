@@ -23,6 +23,22 @@ def _next_event_id() -> int:
     return next(_event_ids)
 
 
+#: Ordinary observation — the overwhelming majority of traffic.
+KIND_DATA = "data"
+#: Watermark punctuation (CEDR-style): "no further data events with
+#: ``timestamp < payload['watermark']`` will arrive on this channel".
+#: Carries no observation; operators advance event time and forward it.
+KIND_PUNCTUATION = "punctuation"
+#: Compensation: retracts a previously emitted event whose payload this
+#: event repeats (window pane, aggregate summary, view group result).
+KIND_RETRACTION = "retraction"
+
+_KINDS = frozenset((KIND_DATA, KIND_PUNCTUATION, KIND_RETRACTION))
+
+#: Event type of watermark punctuation built by :func:`punctuation`.
+PUNCTUATION_EVENT_TYPE = "stream.punctuation"
+
+
 @dataclass(frozen=True)
 class Event:
     """A single immutable event.
@@ -44,6 +60,12 @@ class Event:
             derived/correlated event, so one observation's full path
             through rules, queues, propagation, and delivery can be
             reconstructed.  ``None`` for events nothing is tracking.
+        kind: Message kind — ``"data"`` (default), ``"punctuation"``
+            (watermark control message), or ``"retraction"``
+            (compensation for a previously emitted result).  Control
+            and compensation messages ride the same machinery as data
+            (streams, queues, pub/sub, delivery) exactly like the DLQ
+            tombstones do; kind-aware consumers route on this field.
     """
 
     event_type: str
@@ -53,12 +75,27 @@ class Event:
     source: str = ""
     causes: tuple[int, ...] = ()
     trace_id: str | None = None
+    kind: str = KIND_DATA
 
     def __post_init__(self) -> None:
         if not self.event_type:
             raise ValueError("event_type must be non-empty")
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}")
         # Freeze the payload so the event is safely shareable.
         object.__setattr__(self, "payload", dict(self.payload))
+
+    @property
+    def is_data(self) -> bool:
+        return self.kind == KIND_DATA
+
+    @property
+    def is_punctuation(self) -> bool:
+        return self.kind == KIND_PUNCTUATION
+
+    @property
+    def is_retraction(self) -> bool:
+        return self.kind == KIND_RETRACTION
 
     def __getitem__(self, key: str) -> Any:
         return self.payload[key]
@@ -89,7 +126,9 @@ class Event:
 
         The derived event inherits this event's timestamp unless an
         explicit one is supplied, and records this event's id in its
-        ``causes`` for provenance.
+        ``causes`` for provenance.  ``kind`` is inherited: a transform
+        applied to a retraction yields a retraction of the transformed
+        result (the compensation stays a compensation).
         """
         return Event(
             event_type=event_type,
@@ -98,6 +137,7 @@ class Event:
             source=source,
             causes=(self.event_id,),
             trace_id=self.trace_id,
+            kind=self.kind,
         )
 
     def with_payload(self, **updates: Any) -> "Event":
@@ -111,7 +151,41 @@ class Event:
             source=self.source,
             causes=self.causes,
             trace_id=self.trace_id,
+            kind=self.kind,
         )
+
+    def to_retraction(self, *, source: str = "") -> "Event":
+        """The compensation for this event: same type and payload,
+        ``kind="retraction"``, caused by this event."""
+        return Event(
+            event_type=self.event_type,
+            timestamp=self.timestamp,
+            payload=self.payload,
+            source=source or self.source,
+            causes=(self.event_id,),
+            trace_id=self.trace_id,
+            kind=KIND_RETRACTION,
+        )
+
+
+def punctuation(
+    watermark: float, *, source: str = "", trace_id: str | None = None
+) -> Event:
+    """Build a watermark punctuation event.
+
+    The promise it carries: the producer will emit no further data
+    events with ``timestamp < watermark`` on this channel.  Downstream
+    operators advance event time (closing windows, pruning join state)
+    without having to see data, then forward it.
+    """
+    return Event(
+        event_type=PUNCTUATION_EVENT_TYPE,
+        timestamp=watermark,
+        payload={"watermark": watermark},
+        source=source,
+        trace_id=trace_id,
+        kind=KIND_PUNCTUATION,
+    )
 
 
 def correlate(

@@ -42,6 +42,7 @@ def run_stats_workload(
     from repro.capture.notification_capture import QueryNotificationCapture
     from repro.capture.trigger_capture import TriggerCapture
     from repro.cq.stream import Stream
+    from repro.cq.window import TumblingWindow
     from repro.pubsub.broker import PubSubBroker
     from repro.queues.broker import QueueBroker
     from repro.queues.propagation import PropagationLink, Propagator
@@ -78,6 +79,14 @@ def run_stats_workload(
         # CQ operators and pub/sub ride on the same captured stream.
         stream = Stream("orders-changes").bind_metrics(db.obs)
         capture.subscribe(stream.push)
+        # An event-time window over the captured stream: trigger capture
+        # stamps commit times, which the out-of-order pushes below
+        # deliberately violate so the lateness accounting
+        # (cq.late_dropped, cq.lateness) shows up in the report.
+        window = TumblingWindow(
+            stream, 1.0, allowed_lateness=0.5
+        ).bind_metrics(db.obs)
+        window.subscribe(lambda event: None)
         pubsub = PubSubBroker(db)
         pubsub.create_topic("orders")
         pubsub.subscribe("dashboard", "orders", durable=True)
@@ -120,6 +129,23 @@ def run_stats_workload(
                 f"'{'west' if i % 2 else 'east'}')"
             )
             clock.advance(0.05)
+
+        # Out-of-order tail: a few stragglers whose event time is far
+        # behind the stream's watermark (beyond allowed_lateness), so
+        # the window's late-drop path runs, then a terminal watermark
+        # punctuation that closes the remaining panes without data.
+        from repro.events import Event as _Event
+
+        for i in range(3):
+            stream.push(
+                _Event(
+                    "orders.insert",
+                    1_000.0 + i * 0.01,  # seconds behind the watermark
+                    {"order_id": 10_000 + i, "amount": 5.0},
+                    source="late-replay",
+                )
+            )
+        stream.punctuate(clock.now() + 10.0)
 
         consumed = 0
         for _ in range(events + 10):  # drain: propagation + retries

@@ -14,7 +14,7 @@ from typing import Any, Callable
 
 from repro.db.engine import StorageEngine
 from repro.errors import PubSubError, TopicNotFoundError
-from repro.events import Event
+from repro.events import KIND_DATA, Event
 from repro.faults import PUBSUB_CONSUMER
 from repro.obs.trace import record_hop
 from repro.pubsub.subscription import Callback, TopicSubscription
@@ -35,6 +35,7 @@ def _event_to_payload(topic: str, event: Event) -> dict[str, Any]:
         },
         "source": event.source,
         "trace_id": event.trace_id,
+        "kind": event.kind,
     }
 
 
@@ -53,6 +54,7 @@ def _payload_to_event(data: dict[str, Any]) -> Event:
         payload=data["payload"],
         source=data.get("source", ""),
         trace_id=data.get("trace_id"),
+        kind=data.get("kind", KIND_DATA),
     )
 
 

@@ -7,6 +7,14 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any
 
+from repro.events import KIND_DATA, KIND_PUNCTUATION, PUNCTUATION_EVENT_TYPE
+
+#: Header key carrying the message kind for non-data messages.  Riding
+#: the headers dict (like trace ids and DLQ tombstone metadata) means
+#: punctuation and retractions traverse enqueue, propagation, and
+#: content filters with zero schema changes.
+KIND_HEADER = "kind"
+
 
 class MessageState(Enum):
     """Lifecycle of a stored message.
@@ -85,6 +93,11 @@ class Message:
             consumer=row["consumer"],
         )
 
+    @property
+    def kind(self) -> str:
+        """Message kind (``"data"`` unless a kind header says otherwise)."""
+        return self.headers.get(KIND_HEADER, KIND_DATA)
+
     def filter_context(self) -> dict[str, Any]:
         """Row-like view for rule/filter expressions: headers and (when
         the payload is a mapping) payload keys at top level."""
@@ -96,3 +109,19 @@ class Message:
         context.setdefault("correlation_id", self.correlation_id)
         context.setdefault("queue", self.queue)
         return context
+
+
+def punctuation_message(watermark: float, *, source: str = "") -> Message:
+    """A watermark punctuation as a queue message: the promise that no
+    further data with ``timestamp < watermark`` will be enqueued by this
+    producer.  Max priority so it never queues behind the data it
+    describes."""
+    return Message(
+        payload={
+            "event_type": PUNCTUATION_EVENT_TYPE,
+            "watermark": watermark,
+            "source": source,
+        },
+        priority=1_000_000,
+        headers={KIND_HEADER: KIND_PUNCTUATION},
+    )

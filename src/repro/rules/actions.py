@@ -10,7 +10,9 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping
 
 from repro.errors import RuleError
+from repro.events import KIND_DATA
 from repro.queues.broker import QueueBroker
+from repro.queues.message import KIND_HEADER
 from repro.rules.rule import Rule, RuleAction
 
 
@@ -88,6 +90,11 @@ class EnqueueAction:
         # will not re-stamp a message that already carries one.
         trace_id = context.get("trace_id")
         headers = {"trace_id": trace_id} if isinstance(trace_id, str) else {}
+        # Non-data kinds (punctuation, retraction) ride through as a
+        # kind header so queue consumers can route on Message.kind.
+        kind = context.get("kind")
+        if isinstance(kind, str) and kind != KIND_DATA:
+            headers[KIND_HEADER] = kind
         self.broker.publish(
             self.queue_name,
             Message(payload=payload, priority=priority, headers=headers),

@@ -56,6 +56,10 @@ def event_context(event: Event) -> EventContext:
     context = EventContext(event.payload)
     context.setdefault("event_type", event.event_type)
     context.setdefault("timestamp", event.timestamp)
+    if not event.is_data:
+        # Surface non-data kinds so rules can match (or skip) control
+        # messages, and actions can stamp outgoing message headers.
+        context.setdefault("kind", event.kind)
     if event.trace_id is not None:
         # Actions (e.g. EnqueueAction) read this to keep the outgoing
         # message on the originating event's trace.

@@ -8,17 +8,28 @@ false negatives) is measurable.
 """
 
 from repro.workloads.finance import MarketDataGenerator, OrderFlowGenerator
-from repro.workloads.generators import LabeledStream, poisson_times
+from repro.workloads.generators import (
+    LabeledStream,
+    disorder_by_delay,
+    poisson_times,
+)
 from repro.workloads.hazmat import HazmatGenerator
-from repro.workloads.sensors import SensorGridGenerator
+from repro.workloads.sensors import (
+    LateSensorGenerator,
+    MultiRegionFeed,
+    SensorGridGenerator,
+)
 from repro.workloads.utility import UtilityUsageGenerator
 
 __all__ = [
     "LabeledStream",
     "poisson_times",
+    "disorder_by_delay",
     "MarketDataGenerator",
     "OrderFlowGenerator",
     "SensorGridGenerator",
+    "LateSensorGenerator",
+    "MultiRegionFeed",
     "HazmatGenerator",
     "UtilityUsageGenerator",
 ]

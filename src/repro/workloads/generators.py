@@ -42,6 +42,61 @@ class LabeledStream:
             critical_event_ids=set(self.critical_event_ids),
         )
 
+    def disordered(
+        self,
+        rng: random.Random,
+        *,
+        max_delay: float,
+        disorder_rate: float = 1.0,
+    ) -> "LabeledStream":
+        """Return a copy in *arrival* order under random network delay.
+
+        Each event is delayed by Uniform(0, ``max_delay``) seconds with
+        probability ``disorder_rate`` (0 delay otherwise) and the copy
+        is ordered by arrival time, so an event can trail others up to
+        ``max_delay`` seconds ahead of it in event time — the bounded
+        disorder an ``allowed_lateness >= max_delay`` window absorbs
+        losslessly.  Timestamps are untouched (application time is the
+        ground truth; only delivery order changes).
+        """
+        return LabeledStream(
+            events=disorder_by_delay(
+                rng,
+                self.events,
+                max_delay=max_delay,
+                disorder_rate=disorder_rate,
+            ),
+            episodes=list(self.episodes),
+            critical_event_ids=set(self.critical_event_ids),
+        )
+
+
+def disorder_by_delay(
+    rng: random.Random,
+    events: list[Event],
+    *,
+    max_delay: float,
+    disorder_rate: float = 1.0,
+) -> list[Event]:
+    """Shuffle ``events`` into arrival order under random per-event
+    delivery delay bounded by ``max_delay`` (see
+    :meth:`LabeledStream.disordered`).  The sort is stable, so events
+    sharing an arrival time keep their original relative order."""
+    if max_delay < 0:
+        raise ValueError("max_delay must be >= 0")
+    if not 0.0 <= disorder_rate <= 1.0:
+        raise ValueError("disorder_rate must be in [0, 1]")
+    arrivals = []
+    for index, event in enumerate(events):
+        delay = 0.0
+        if max_delay > 0 and (
+            disorder_rate >= 1.0 or rng.random() < disorder_rate
+        ):
+            delay = rng.uniform(0.0, max_delay)
+        arrivals.append((event.timestamp + delay, index, event))
+    arrivals.sort(key=lambda item: (item[0], item[1]))
+    return [event for _arrival, _index, event in arrivals]
+
 
 def poisson_times(
     rng: random.Random, rate: float, duration: float, start: float = 0.0

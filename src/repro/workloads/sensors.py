@@ -6,6 +6,13 @@ neighbours with distance- and time-decaying intensity — the classic
 "capture a wide variety of data and deliver to first responders"
 scenario.  Ground truth is the set of plume start times; events during
 a plume at affected cells are labelled critical.
+
+Two disorder variants feed the out-of-order machinery:
+:class:`LateSensorGenerator` delays a seeded fraction of readings in
+transit (bounded network lateness), and :class:`MultiRegionFeed`
+interleaves per-region feeds whose clocks are skewed and whose uplinks
+batch — the realistic shape of "events arrive out of order across
+collection sites".
 """
 
 from __future__ import annotations
@@ -14,7 +21,11 @@ import math
 import random
 
 from repro.events import Event
-from repro.workloads.generators import LabeledStream, pick_episode_times
+from repro.workloads.generators import (
+    LabeledStream,
+    disorder_by_delay,
+    pick_episode_times,
+)
 
 
 class SensorGridGenerator:
@@ -98,3 +109,123 @@ class SensorGridGenerator:
                     if critical:
                         stream.critical_event_ids.add(event.event_id)
         return stream
+
+
+class LateSensorGenerator(SensorGridGenerator):
+    """Sensor grid whose readings arrive late: a seeded fraction of
+    events is delayed in transit by up to ``max_delay`` seconds, so the
+    stream is delivered in arrival order while timestamps keep event
+    time.  ``allowed_lateness >= max_delay`` recovers in-order results
+    exactly; smaller bounds drop the tail (counted in
+    ``cq.late_dropped``) — the EXP-14 sweep axis."""
+
+    def __init__(
+        self,
+        *,
+        max_delay: float = 20.0,
+        disorder_rate: float = 0.3,
+        **kwargs: object,
+    ) -> None:
+        super().__init__(**kwargs)  # type: ignore[arg-type]
+        if max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
+        self.max_delay = max_delay
+        self.disorder_rate = disorder_rate
+
+    def generate(self, duration: float) -> LabeledStream:
+        stream = super().generate(duration)
+        # Independent RNG stream so delays don't perturb the readings.
+        rng = random.Random(self.seed + 7919)
+        return stream.disordered(
+            rng,
+            max_delay=self.max_delay,
+            disorder_rate=self.disorder_rate,
+        )
+
+
+class MultiRegionFeed:
+    """Clock-skewed multi-region sensor feed.
+
+    Each region runs its own :class:`SensorGridGenerator` with a
+    constant clock offset (skewed wall clocks at the collection sites)
+    and uplinks readings in periodic batches.  The merged feed is
+    ordered by *uplink arrival*, so region B's batch of older events
+    routinely lands after region A's newer ones — cross-source disorder
+    bounded by ``max(|skew|) + uplink_interval``, which is therefore
+    the lateness bound that loses nothing.  Payloads carry ``region``
+    for keyed windows.
+    """
+
+    def __init__(
+        self,
+        *,
+        regions: int = 3,
+        clock_skews: list[float] | None = None,
+        uplink_interval: float = 15.0,
+        rows: int = 3,
+        cols: int = 3,
+        report_interval: float = 5.0,
+        seed: int = 23,
+    ) -> None:
+        if regions <= 0:
+            raise ValueError("regions must be positive")
+        if clock_skews is None:
+            # Deterministic alternating skews: 0, +4, -8, +12, ...
+            clock_skews = [
+                0.0 if i == 0 else (4.0 * i) * (1 if i % 2 else -1)
+                for i in range(regions)
+            ]
+        if len(clock_skews) != regions:
+            raise ValueError("need one clock skew per region")
+        if uplink_interval <= 0:
+            raise ValueError("uplink_interval must be positive")
+        self.regions = regions
+        self.clock_skews = list(clock_skews)
+        self.uplink_interval = uplink_interval
+        self.rows = rows
+        self.cols = cols
+        self.report_interval = report_interval
+        self.seed = seed
+
+    def disorder_bound(self) -> float:
+        """Lateness bound under which no event is lost."""
+        return max(abs(skew) for skew in self.clock_skews) + self.uplink_interval
+
+    def generate(self, duration: float) -> LabeledStream:
+        merged = LabeledStream()
+        uplinks: list[tuple[float, int, int, Event]] = []
+        for region in range(self.regions):
+            generator = SensorGridGenerator(
+                rows=self.rows,
+                cols=self.cols,
+                report_interval=self.report_interval,
+                plume_count=1,
+                seed=self.seed + region * 101,
+            )
+            regional = generator.generate(duration)
+            merged.episodes.extend(regional.episodes)
+            skew = self.clock_skews[region]
+            for order, event in enumerate(regional.events):
+                # The site's skewed clock stamps the reading; the true
+                # (unskewed) occurrence time is gone, exactly as in a
+                # real deployment without clock sync.
+                stamped = Event(
+                    event.event_type,
+                    event.timestamp + skew,
+                    {**event.payload, "region": f"r{region}"},
+                    source=f"sensornet:r{region}",
+                )
+                if event.event_id in regional.critical_event_ids:
+                    merged.critical_event_ids.add(stamped.event_id)
+                # Uplink batching: the reading leaves the site at the
+                # next uplink tick after its (skewed) capture time.
+                uplink_tick = (
+                    math.floor(stamped.timestamp / self.uplink_interval) + 1
+                ) * self.uplink_interval
+                uplinks.append((uplink_tick, region, order, stamped))
+        # Arrival order: by uplink time, regions interleaved, each
+        # region's batch internally in capture order.
+        uplinks.sort(key=lambda item: (item[0], item[1], item[2]))
+        merged.events = [event for _tick, _region, _order, event in uplinks]
+        merged.episodes.sort()
+        return merged

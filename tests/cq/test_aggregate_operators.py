@@ -177,16 +177,45 @@ class TestStreamJoin:
         assert out == []
 
     def test_state_pruned(self):
+        # Both sides must advance: a buffer prunes against the *other*
+        # side's watermark (a silent right side keeps left events alive,
+        # since future right events could still join them).
         left, right, join, _out = self.make(window=5.0)
         for i in range(100):
             left.push(Event("l", float(i), {"k": i}))
-        assert join.buffered() < 20  # old entries pruned by watermark
+            right.push(Event("r", float(i), {"k": -1 - i}))
+        assert join.buffered() < 30  # old entries pruned by watermarks
+
+    def test_one_sided_stream_retains_joinable_state(self):
+        # Regression: the old single shared watermark pruned the fast
+        # side's buffer against its *own* progress, evicting left events
+        # still within the join window of the lagging right stream.
+        left, right, _join, out = self.make(window=5.0)
+        left.push(Event("l", 100.0, {"k": 7, "a": "x"}))
+        for i in range(50):  # left races far ahead
+            left.push(Event("l", 101.0 + i, {"k": i + 1000}))
+        # Right is slow but legitimate: its clock is still near 100, and
+        # its event is within the window of the buffered left@100.
+        right.push(Event("r", 98.0, {"k": 7, "b": "y"}))
+        assert len(out) == 1
+        assert out[0]["left_a"] == "x" and out[0]["right_b"] == "y"
+
+    def test_punctuation_prunes_idle_side(self):
+        # A watermark punctuation advances event time without data, so
+        # a one-sided stream's buffer still gets pruned.
+        left, right, join, _out = self.make(window=5.0)
+        for i in range(100):
+            left.push(Event("l", float(i), {"k": i}))
+        assert join.buffered() == 100
+        right.punctuate(99.0)
+        assert join.buffered() < 20
 
     def test_null_key_ignored(self):
         left, right, join, out = self.make()
         left.push(Event("l", 1.0, {"x": 1}))
         right.push(Event("r", 1.0, {"k": None}))
         assert out == [] and join.buffered() == 0
+        assert join.null_key_dropped == 2  # counted, not silent
 
     def test_join_order_symmetric(self):
         left, right, _join, out = self.make()

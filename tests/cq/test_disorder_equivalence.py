@@ -1,0 +1,233 @@
+"""Seeded disorder-equivalence suite (@pytest.mark.disorder).
+
+The CEDR correctness claim, as a property: deliver a stream shuffled
+within a lateness bound into a window with ``allowed_lateness`` at
+least that bound, and the *final* results — after applying retractions
+— are identical to in-order delivery.  Checked across tumbling /
+sliding / session windows × unkeyed / keyed × blocking / speculative
+output, and through a MaterializedView fed by the aggregate stream,
+with the speculative accounting balanced: emissions − retractions =
+blocking-mode emissions.
+"""
+
+import random
+
+import pytest
+
+from repro.cq.aggregate import Count, Max, Sum, WindowAggregate
+from repro.cq.ivm import MaterializedView
+from repro.cq.stream import Stream
+from repro.cq.window import (
+    OUTPUT_BLOCKING,
+    OUTPUT_SPECULATIVE,
+    SessionWindow,
+    SlidingWindow,
+    TumblingWindow,
+)
+from repro.events import KIND_DATA, KIND_RETRACTION, Event
+from repro.workloads.generators import disorder_by_delay
+
+pytestmark = pytest.mark.disorder
+
+MAX_DELAY = 7.0
+SEEDS = (11, 23, 47)
+
+
+def make_events(rng, *, keys, count=120, session_gaps=False):
+    """A seeded stream: mostly dense arrivals, with silent gaps when
+    exercising session windows so sessions actually close."""
+    events = []
+    t = 0.0
+    for i in range(count):
+        if session_gaps and i % 17 == 0 and i:
+            t += 25.0  # silence > gap: closes sessions
+        else:
+            t += rng.uniform(0.1, 2.0)
+        payload = {"v": rng.randrange(100)}
+        if keys:
+            payload["k"] = rng.choice(keys)
+        events.append(Event("e", round(t, 3), payload))
+    return events
+
+
+WINDOWS = {
+    "tumbling": lambda s, key, mode: TumblingWindow(
+        s, 10.0, key_field=key, allowed_lateness=MAX_DELAY, output_mode=mode
+    ),
+    "sliding": lambda s, key, mode: SlidingWindow(
+        s, 10.0, 5.0, key_field=key, allowed_lateness=MAX_DELAY,
+        output_mode=mode,
+    ),
+    "session": lambda s, key, mode: SessionWindow(
+        s, gap=8.0, key_field=key, allowed_lateness=MAX_DELAY,
+        output_mode=mode,
+    ),
+}
+
+
+def run_pipeline(events, window_name, *, key, mode):
+    """Push events, flush, and return (net_results, emits, retracts).
+
+    Net results fold the retraction contract: a data emission upserts
+    its (start, end, key) identity, a retraction deletes it.  For
+    sessions, revisions can move a pane's bounds, so identity is keyed
+    by the payload's own window bounds — exactly what a downstream
+    consumer sees.
+    """
+    s = Stream("s")
+    w = WINDOWS[window_name](s, key, mode)
+    agg = WindowAggregate(
+        w, "out", {"total": ("v", Sum), "n": (None, Count), "high": ("v", Max)}
+    )
+    out = []
+    agg.subscribe(out.append)
+    for event in events:
+        s.push(event)
+    w.flush()
+    net = {}
+    emits = retracts = 0
+    for e in out:
+        ident = (e["window_start"], e["window_end"], e["key"])
+        if e.kind == KIND_RETRACTION:
+            retracts += 1
+            del net[ident]
+        else:
+            emits += 1
+            net[ident] = dict(e.payload)
+    return net, emits, retracts
+
+
+@pytest.mark.parametrize("window_name", sorted(WINDOWS))
+@pytest.mark.parametrize("key", [None, "k"], ids=["unkeyed", "keyed"])
+@pytest.mark.parametrize(
+    "mode", [OUTPUT_BLOCKING, OUTPUT_SPECULATIVE]
+)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_disordered_final_results_match_in_order(
+    window_name, key, mode, seed
+):
+    rng = random.Random(seed)
+    events = make_events(
+        rng,
+        keys=["a", "b", "c"] if key else None,
+        session_gaps=(window_name == "session"),
+    )
+    shuffled = disorder_by_delay(
+        random.Random(seed + 1), events, max_delay=MAX_DELAY
+    )
+    assert [e.event_id for e in shuffled] != [e.event_id for e in events]
+
+    in_order, in_emits, in_retracts = run_pipeline(
+        events, window_name, key=key, mode=mode
+    )
+    disordered, dis_emits, dis_retracts = run_pipeline(
+        shuffled, window_name, key=key, mode=mode
+    )
+    assert disordered == in_order
+    if mode == OUTPUT_BLOCKING:
+        # Blocking never revises: nothing to retract, even disordered.
+        assert in_retracts == 0 and dis_retracts == 0
+
+
+@pytest.mark.parametrize("window_name", sorted(WINDOWS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_speculative_accounting_balances(window_name, seed):
+    """emissions − retractions = blocking-mode emissions, per run."""
+    rng = random.Random(seed)
+    events = make_events(
+        rng, keys=["a", "b"], session_gaps=(window_name == "session")
+    )
+    shuffled = disorder_by_delay(
+        random.Random(seed + 1), events, max_delay=MAX_DELAY
+    )
+    _net, blocking_emits, _r = run_pipeline(
+        shuffled, window_name, key="k", mode=OUTPUT_BLOCKING
+    )
+    net, emits, retracts = run_pipeline(
+        shuffled, window_name, key="k", mode=OUTPUT_SPECULATIVE
+    )
+    assert emits - retracts == blocking_emits
+    assert len(net) == blocking_emits
+
+
+@pytest.mark.parametrize("mode", [OUTPUT_BLOCKING, OUTPUT_SPECULATIVE])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_materialized_view_converges_under_disorder(mode, seed):
+    """A view over the aggregate stream lands on identical groups
+    whether fed in order or shuffled, in either output mode."""
+
+    def run(events):
+        s = Stream("s")
+        w = TumblingWindow(
+            s, 10.0, key_field="k", allowed_lateness=MAX_DELAY,
+            output_mode=mode,
+        )
+        agg = WindowAggregate(w, "out", {"total": ("v", Sum)})
+        view = MaterializedView(
+            "v",
+            {"grand": ("total", Sum), "panes": (None, Count)},
+            key_field="key",
+        )
+        view.bind_stream(agg, batch_size=3)
+        for event in events:
+            s.push(event)
+        w.flush()
+        view.flush()
+        return view.snapshot().groups
+
+    rng = random.Random(seed)
+    events = make_events(rng, keys=["a", "b", "c"])
+    shuffled = disorder_by_delay(
+        random.Random(seed + 1), events, max_delay=MAX_DELAY
+    )
+    assert run(shuffled) == run(events)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_multi_region_feed_within_declared_bound(seed):
+    """The clock-skewed multi-region feed's observed disorder respects
+    its own disorder_bound(), so that bound as allowed_lateness loses
+    nothing."""
+    from repro.workloads.sensors import MultiRegionFeed
+
+    feed = MultiRegionFeed(regions=3, seed=seed)
+    stream = feed.generate(120.0)
+    seen = float("-inf")
+    max_lateness = 0.0
+    for event in stream.events:
+        seen = max(seen, event.timestamp)
+        max_lateness = max(max_lateness, seen - event.timestamp)
+    assert 0.0 < max_lateness <= feed.disorder_bound()
+
+    s = Stream("s")
+    w = TumblingWindow(
+        s, 30.0, key_field="region",
+        allowed_lateness=feed.disorder_bound(),
+    )
+    w.subscribe(lambda event: None)
+    for event in stream.events:
+        s.push(event)
+    assert w.late_dropped == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_late_sensor_workload_drops_beyond_bound(seed):
+    """The late-sensor generator exercises the drop path when the
+    lateness budget is smaller than the transit delay."""
+    from repro.workloads.sensors import LateSensorGenerator
+
+    generator = LateSensorGenerator(
+        rows=3, cols=3, max_delay=30.0, disorder_rate=0.5, seed=seed
+    )
+    stream = generator.generate(300.0)
+
+    def run(lateness):
+        s = Stream("s")
+        w = TumblingWindow(s, 15.0, allowed_lateness=lateness)
+        w.subscribe(lambda event: None)
+        for event in stream.events:
+            s.push(event)
+        return w.late_dropped
+
+    assert run(30.0) == 0  # budget >= bound: lossless
+    assert run(0.0) > 0  # no budget: the tail is dropped, and counted

@@ -1,0 +1,502 @@
+"""Out-of-order stream processing: watermarks, retractions, late-event
+bug regressions (PR 10).
+
+The four satellite regressions each encode a pre-PR bug:
+
+* flush() not advancing the watermark → duplicate pane re-emission
+* SessionWindow missing the allowed_lateness guard → double emit
+* StreamJoin pruning both buffers against one shared watermark
+* late_dropped invisible to the metrics registry
+"""
+
+import pytest
+
+from repro.cq.aggregate import Count, Sum, WindowAggregate
+from repro.cq.ivm import MaterializedView
+from repro.cq.stream import Stream
+from repro.cq.window import (
+    OUTPUT_SPECULATIVE,
+    SessionWindow,
+    SlidingWindow,
+    TumblingWindow,
+)
+from repro.errors import WindowError
+from repro.events import (
+    KIND_DATA,
+    KIND_PUNCTUATION,
+    KIND_RETRACTION,
+    Event,
+    punctuation,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def collect(stream):
+    out = []
+    stream.subscribe(out.append)
+    return out
+
+
+def panes_of(events):
+    return [e for e in events if e.kind == KIND_DATA]
+
+
+class TestPunctuation:
+    def test_punctuation_closes_window_without_data(self):
+        s = Stream("s")
+        w = TumblingWindow(s, 10.0)
+        out = collect(w)
+        s.push(Event("e", 3.0, {"v": 1}))
+        assert panes_of(out) == []  # nothing has passed the window end
+        s.punctuate(10.0)
+        panes = panes_of(out)
+        assert len(panes) == 1 and panes[0]["start"] == 0.0
+
+    def test_punctuation_forwards_through_operators(self):
+        s = Stream("s")
+        w = TumblingWindow(s, 10.0)
+        out = collect(w)
+        s.punctuate(25.0)
+        marks = [e for e in out if e.kind == KIND_PUNCTUATION]
+        assert len(marks) == 1
+        assert marks[0]["watermark"] == 25.0
+        assert marks[0]["horizon"] == 25.0  # lateness 0: horizon = mark
+        assert w.watermark == 25.0
+
+    def test_stale_punctuation_ignored(self):
+        s = Stream("s")
+        w = TumblingWindow(s, 10.0)
+        s.punctuate(50.0)
+        s.punctuate(20.0)  # watermarks never regress
+        assert w.watermark == 50.0
+
+    def test_punctuation_constructor(self):
+        mark = punctuation(42.0, source="cap")
+        assert mark.is_punctuation and not mark.is_data
+        assert mark["watermark"] == 42.0 and mark.source == "cap"
+
+
+class TestFlushTerminal:
+    """Regression: flush() used to emit open panes but leave the
+    watermark untouched, so a post-flush event re-opened and re-emitted
+    an already-emitted pane as a duplicate."""
+
+    def test_tumbling_no_duplicate_after_flush(self):
+        s = Stream("s")
+        w = TumblingWindow(s, 10.0)
+        out = collect(w)
+        s.push(Event("e", 3.0, {"v": 1}))
+        w.flush()
+        assert len(panes_of(out)) == 1
+        s.push(Event("e", 4.0, {"v": 2}))  # post-flush straggler
+        w.flush()
+        assert len(panes_of(out)) == 1  # pre-PR: 2 (duplicate pane)
+        assert w.late_dropped == 1
+
+    def test_sliding_no_duplicate_after_flush(self):
+        s = Stream("s")
+        w = SlidingWindow(s, 10.0, 5.0)
+        out = collect(w)
+        s.push(Event("e", 3.0, {"v": 1}))
+        w.flush()
+        emitted = len(panes_of(out))
+        s.push(Event("e", 3.5, {"v": 2}))
+        w.flush()
+        assert len(panes_of(out)) == emitted
+        assert w.late_dropped == 1
+
+    def test_flush_idempotent(self):
+        s = Stream("s")
+        w = TumblingWindow(s, 10.0)
+        out = collect(w)
+        s.push(Event("e", 3.0, {}))
+        w.flush()
+        w.flush()
+        assert len(panes_of(out)) == 1
+
+
+class TestSessionLateness:
+    """Regression: SessionWindow.process had no allowed_lateness guard
+    — a very late event re-opened an already-emitted session and the
+    gap rule emitted it a second time."""
+
+    def test_very_late_event_cannot_reopen_session(self):
+        s = Stream("s")
+        w = SessionWindow(s, gap=5.0)  # lateness 0, like pre-PR default
+        out = collect(w)
+        s.push(Event("e", 1.0, {}))
+        s.push(Event("e", 2.0, {}))
+        s.push(Event("e", 100.0, {}))  # closes [1,2] via gap rule
+        assert len(panes_of(out)) == 1
+        s.push(Event("e", 3.0, {}))  # very late: inside emitted session
+        s.push(Event("e", 200.0, {}))
+        # Pre-PR: the 3.0 event re-opened [1,2] and it emitted twice.
+        assert len(panes_of(out)) == 2  # [1,2] once + [100,100] once
+        assert w.late_dropped == 1
+
+    def test_lateness_guard_unified_across_window_types(self):
+        for factory in (
+            lambda s: TumblingWindow(s, 10.0, allowed_lateness=2.0),
+            lambda s: SlidingWindow(s, 10.0, 5.0, allowed_lateness=2.0),
+            lambda s: SessionWindow(s, gap=3.0, allowed_lateness=2.0),
+        ):
+            s = Stream("s")
+            w = factory(s)
+            s.push(Event("e", 50.0, {}))
+            s.push(Event("e", 49.0, {}))  # behind watermark, within bound
+            assert w.late_dropped == 0, type(w).__name__
+            s.push(Event("e", 40.0, {}))  # beyond the bound
+            assert w.late_dropped == 1, type(w).__name__
+
+    def test_session_within_lateness_extends_not_duplicates(self):
+        s = Stream("s")
+        w = SessionWindow(s, gap=5.0, allowed_lateness=100.0)
+        out = collect(w)
+        s.push(Event("e", 1.0, {}))
+        s.push(Event("e", 30.0, {}))
+        s.push(Event("e", 2.0, {}))  # late, merges into the [1,1] session
+        w.flush()
+        panes = panes_of(out)
+        assert len(panes) == 2
+        first = panes[0]["pane"]
+        assert (first.start, first.end) == (1.0, 2.0)
+        assert len(first.events) == 2
+
+    def test_negative_lateness_rejected(self):
+        with pytest.raises(WindowError):
+            TumblingWindow(Stream("s"), 10.0, allowed_lateness=-1.0)
+
+
+class TestJoinPruneHorizon:
+    """Regression: StreamJoin pruned both buffers against one shared
+    watermark, so a fast side evicted its own still-joinable state."""
+
+    def make(self, window=5.0):
+        left, right = Stream("l"), Stream("r")
+        from repro.cq.operators import StreamJoin
+
+        join = StreamJoin(
+            left, right, key_field="k", window=window, output_type="j"
+        )
+        out = []
+        join.subscribe(out.append)
+        return left, right, join, out
+
+    def test_slow_side_still_joins_fast_side_buffer(self):
+        left, right, _join, out = self.make(window=5.0)
+        left.push(Event("l", 100.0, {"k": 7, "a": "x"}))
+        for i in range(50):
+            left.push(Event("l", 101.0 + i, {"k": 1000 + i}))
+        right.push(Event("r", 98.0, {"k": 7, "b": "y"}))
+        joined = [e for e in out if e.kind == KIND_DATA]
+        assert len(joined) == 1  # pre-PR: left@100 was pruned, 0 joins
+        assert joined[0]["left_a"] == "x"
+
+    def test_per_side_watermarks(self):
+        left, right, join, _out = self.make()
+        left.push(Event("l", 100.0, {"k": 1}))
+        right.push(Event("r", 2.0, {"k": 2}))
+        assert join.watermark == 2.0  # min of sides, not max
+
+    def test_punctuation_advances_one_side_and_forwards_min(self):
+        left, right, join, out = self.make(window=5.0)
+        left.punctuate(100.0)
+        assert [e for e in out if e.kind == KIND_PUNCTUATION] == []
+        right.punctuate(50.0)
+        marks = [e for e in out if e.kind == KIND_PUNCTUATION]
+        assert len(marks) == 1 and marks[0]["watermark"] == 50.0
+
+    def test_null_key_counted(self):
+        left, right, join, out = self.make()
+        left.push(Event("l", 1.0, {"k": None}))
+        right.push(Event("r", 1.0, {"other": 1}))
+        assert join.null_key_dropped == 2
+        registry = MetricsRegistry()
+        join.bind_metrics(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["cq.null_key_dropped{stream=join(l,r)}"] == 2
+
+    def test_retraction_into_join_counted_not_crashed(self):
+        left, right, join, out = self.make()
+        left.push(Event("l", 1.0, {"k": 1}).to_retraction())
+        assert join.retractions_dropped == 1
+        assert out == []
+
+
+class TestLatenessMetrics:
+    """Regression: late_dropped was a bare attribute invisible to the
+    metrics registry."""
+
+    def test_window_metrics_exported(self):
+        registry = MetricsRegistry()
+        s = Stream("s")
+        w = TumblingWindow(
+            s, 10.0, allowed_lateness=1.0, name="w"
+        ).bind_metrics(registry)
+        s.push(Event("e", 50.0, {}))
+        s.push(Event("e", 10.0, {}))  # 40 s late -> dropped
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["cq.late_dropped{stream=w}"] == 1
+        hist = snapshot["histograms"]["cq.lateness{stream=w}"]
+        assert hist["count"] == 1 and hist["mean"] == pytest.approx(40.0)
+
+    def test_late_bind_reexports_counts(self):
+        s = Stream("s")
+        w = TumblingWindow(s, 10.0, name="w")
+        s.push(Event("e", 50.0, {}))
+        s.push(Event("e", 10.0, {}))
+        assert w.late_dropped == 1
+        registry = MetricsRegistry()
+        w.bind_metrics(registry)
+        assert (
+            registry.snapshot()["counters"]["cq.late_dropped{stream=w}"] == 1
+        )
+
+    def test_retraction_counter_exported(self):
+        registry = MetricsRegistry()
+        s = Stream("s")
+        w = TumblingWindow(
+            s,
+            10.0,
+            allowed_lateness=5.0,
+            output_mode=OUTPUT_SPECULATIVE,
+            name="w",
+        ).bind_metrics(registry)
+        s.push(Event("e", 1.0, {}))
+        s.push(Event("e", 12.0, {}))  # speculative emit of [0,10)
+        s.push(Event("e", 8.0, {}))  # revision -> retract + re-emit
+        assert w.retractions_emitted == 1
+        snapshot = registry.snapshot()
+        assert (
+            snapshot["counters"]["cq.retractions_emitted{stream=w}"] == 1
+        )
+
+    def test_stats_workload_reports_late_drops(self):
+        from repro.obs.report import run_stats_workload
+
+        report = run_stats_workload(events=30)
+        counters = report["local"]["counters"]
+        late = {
+            key: value
+            for key, value in counters.items()
+            if key.startswith("cq.late_dropped") and value
+        }
+        assert late, f"no cq.late_dropped in stats counters: {counters}"
+
+
+class TestSpeculativeOutput:
+    def test_retraction_repeats_retracted_payload(self):
+        s = Stream("s")
+        w = TumblingWindow(
+            s, 10.0, allowed_lateness=5.0, output_mode=OUTPUT_SPECULATIVE
+        )
+        agg = WindowAggregate(w, "sum", {"total": ("v", Sum)})
+        out = collect(agg)
+        s.push(Event("e", 1.0, {"v": 1}))
+        s.push(Event("e", 12.0, {"v": 2}))
+        s.push(Event("e", 8.0, {"v": 10}))
+        kinds = [e.kind for e in out]
+        assert kinds == [KIND_DATA, KIND_RETRACTION, KIND_DATA]
+        assert out[1].payload == out[0].payload  # exact compensation
+        assert out[2]["total"] == 11.0
+
+    def test_net_results_match_blocking(self):
+        events = [
+            Event("e", t, {"v": v})
+            for t, v in [(1.0, 1), (12.0, 2), (8.0, 10), (25.0, 3), (40.0, 4)]
+        ]
+
+        def run(mode):
+            s = Stream("s")
+            w = TumblingWindow(
+                s, 10.0, allowed_lateness=5.0, output_mode=mode
+            )
+            agg = WindowAggregate(w, "sum", {"total": ("v", Sum)})
+            out = collect(agg)
+            for event in events:
+                s.push(event)
+            w.flush()
+            return out
+
+        blocking = [e.payload for e in run("blocking")]
+        net = {}
+        for e in run(OUTPUT_SPECULATIVE):
+            key = (e["window_start"], e["window_end"], e["key"])
+            if e.kind == KIND_RETRACTION:
+                net.pop(key)
+            else:
+                net[key] = e.payload
+        assert sorted(
+            net.values(), key=lambda p: p["window_start"]
+        ) == sorted(blocking, key=lambda p: p["window_start"])
+
+    def test_speculative_state_released_past_horizon(self):
+        s = Stream("s")
+        w = TumblingWindow(
+            s, 10.0, allowed_lateness=5.0, output_mode=OUTPUT_SPECULATIVE
+        )
+        agg = WindowAggregate(w, "sum", {"n": (None, Count)})
+        s.push(Event("e", 1.0, {}))
+        s.push(Event("e", 12.0, {}))
+        assert len(w._emitted) == 1
+        s.push(Event("e", 30.0, {}))  # horizon 25 > pane end 10
+        assert len(w._emitted) == 0
+        # The aggregate's delta state follows via the retire hook: only
+        # the still-open pane [30,40) keeps state.
+        assert len(agg._state) == 1
+
+    def test_invalid_output_mode_rejected(self):
+        with pytest.raises(WindowError):
+            TumblingWindow(Stream("s"), 10.0, output_mode="eager")
+
+
+class TestViewRetractions:
+    def make_view(self, **kwargs):
+        return MaterializedView(
+            "v",
+            {"total": ("amount", Sum), "n": (None, Count)},
+            key_field="region",
+            **kwargs,
+        )
+
+    def test_retraction_event_folds_as_remove(self):
+        view = self.make_view()
+        e1 = Event("t", 1.0, {"region": "w", "amount": 10.0})
+        e2 = Event("t", 2.0, {"region": "w", "amount": 5.0})
+        view.apply_batch([e1, e2])
+        assert view.group("w") == {"total": 15.0, "n": 2}
+        view.apply_batch([e1.to_retraction()])
+        assert view.group("w") == {"total": 5.0, "n": 1}
+        assert view.snapshot().retractions_applied == 1
+
+    def test_group_dies_when_fully_retracted(self):
+        view = self.make_view()
+        e1 = Event("t", 1.0, {"region": "w", "amount": 10.0})
+        view.apply_batch([e1])
+        view.apply_batch([e1.to_retraction()])
+        assert view.group("w") is None
+        assert len(view) == 0
+
+    def test_punctuation_flushes_stream_buffer(self):
+        view = self.make_view()
+        s = Stream("s")
+        view.bind_stream(s, batch_size=1000)
+        s.push(Event("t", 1.0, {"region": "w", "amount": 10.0}))
+        assert view.group("w") is None  # buffered, not folded
+        s.punctuate(5.0)
+        assert view.group("w") == {"total": 10.0, "n": 1}
+
+    def test_changes_stream_emits_retraction_then_new_result(self):
+        view = self.make_view()
+        changes = collect(view.changes())
+        view.apply_batch([Event("t", 1.0, {"region": "w", "amount": 10.0})])
+        view.apply_batch([Event("t", 2.0, {"region": "w", "amount": 5.0})])
+        kinds = [e.kind for e in changes]
+        assert kinds == [KIND_DATA, KIND_RETRACTION, KIND_DATA]
+        assert changes[1]["total"] == 10.0  # retracts the old result
+        assert changes[2]["total"] == 15.0
+        assert changes[2]["key"] == "w"
+
+    def test_windowed_speculative_feed_converges_to_blocking(self):
+        events = [
+            Event("e", t, {"v": v})
+            for t, v in [(1.0, 1), (12.0, 2), (8.0, 10), (25.0, 3), (40.0, 4)]
+        ]
+
+        def run(mode):
+            s = Stream("s")
+            w = TumblingWindow(
+                s, 10.0, allowed_lateness=5.0, output_mode=mode
+            )
+            agg = WindowAggregate(w, "sum", {"total": ("v", Sum)})
+            view = MaterializedView(
+                "windows",
+                {"grand_total": ("total", Sum), "panes": (None, Count)},
+            )
+            view.bind_stream(agg, batch_size=1)
+            for event in events:
+                s.push(event)
+            w.flush()
+            view.flush()
+            return view.group(None)
+
+        assert run("blocking") == run(OUTPUT_SPECULATIVE)
+
+
+class TestKindTransport:
+    def test_pubsub_roundtrip_preserves_kind(self, db):
+        from repro.pubsub.broker import PubSubBroker
+
+        pubsub = PubSubBroker(db)
+        pubsub.create_topic("t")
+        received = []
+        pubsub.subscribe("sub", "t", durable=True)
+        pubsub.publish("t", punctuation(42.0, source="cap"))
+        pubsub.publish(
+            "t", Event("r", 1.0, {"x": 1}, kind=KIND_RETRACTION)
+        )
+        pubsub.attach_listener("sub", received.append)
+        assert [e.kind for e in received] == [
+            KIND_PUNCTUATION,
+            KIND_RETRACTION,
+        ]
+        assert received[0]["watermark"] == 42.0
+
+    def test_queue_message_kind_header(self):
+        from repro.queues.message import (
+            KIND_HEADER,
+            Message,
+            punctuation_message,
+        )
+
+        plain = Message(payload={"x": 1})
+        assert plain.kind == KIND_DATA
+        mark = punctuation_message(10.0, source="cap")
+        assert mark.kind == KIND_PUNCTUATION
+        assert mark.payload["watermark"] == 10.0
+        assert mark.headers[KIND_HEADER] == KIND_PUNCTUATION
+
+    def test_kind_header_survives_queue_roundtrip(self, db):
+        from repro.queues.broker import QueueBroker
+        from repro.queues.message import Message, punctuation_message
+
+        broker = QueueBroker(db)
+        broker.create_queue("q")
+        broker.publish("q", punctuation_message(10.0))
+        broker.publish("q", Message(payload={"x": 1}))
+        first = broker.consume("q")
+        assert first.kind == KIND_PUNCTUATION  # max priority: jumps queue
+        second = broker.consume("q")
+        assert second.kind == KIND_DATA
+
+    def test_capture_source_punctuate(self):
+        from repro.capture.base import CaptureSource
+
+        source = CaptureSource("cap")
+        seen = []
+        source.subscribe(seen.append)
+        source.punctuate(99.0)
+        assert len(seen) == 1
+        assert seen[0].is_punctuation and seen[0]["watermark"] == 99.0
+        assert seen[0].trace_id is not None  # traced like any capture
+
+    def test_derive_preserves_kind(self):
+        retraction = Event("t", 1.0, {"x": 1}, kind=KIND_RETRACTION)
+        derived = retraction.derive("t2", {"y": 2})
+        assert derived.kind == KIND_RETRACTION
+
+    def test_filter_applies_same_predicate_to_retractions(self):
+        from repro.cq.operators import FilterOperator
+
+        s = Stream("s")
+        f = FilterOperator(s, "amount > 10")
+        out = collect(f)
+        keep = Event("t", 1.0, {"amount": 20})
+        drop = Event("t", 1.0, {"amount": 5})
+        s.push(keep.to_retraction())
+        s.push(drop.to_retraction())
+        assert len(out) == 1 and out[0].kind == KIND_RETRACTION
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Event("t", 1.0, {}, kind="rumor")
